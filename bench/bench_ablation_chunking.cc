@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: data chunking on TP-sliced pipeline SendRecv. The paper's
+ * Sec. 4.2 finding is that TP+PP triggers sparse, un-chunked SendRecv
+ * calls that underutilize PCIe/NIC bandwidth; this bench runs the
+ * counterfactual where the transport chunks those messages, isolating
+ * how much of the TP+PP penalty the missing chunking is responsible
+ * for (the rest is the smaller per-slice payload itself).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/strings.hh"
+
+using namespace charllm;
+
+int
+main()
+{
+    benchutil::banner("Ablation",
+                      "Chunked vs un-chunked TP+PP SendRecv "
+                      "(GPT3-175B, H200, act enabled)");
+
+    auto cluster = core::h200Cluster();
+    TextTable t({"config", "p2p transport", "iter(s)", "tokens/s",
+                 "SendRecv(s)", "speedup"});
+    for (const auto& par :
+         {parallel::ParallelConfig::forWorld(32, 8, 4),
+          parallel::ParallelConfig::forWorld(32, 4, 8),
+          parallel::ParallelConfig::forWorld(32, 2, 16)}) {
+        double base_tput = 0.0;
+        for (bool chunk : {false, true}) {
+            auto cfg = benchutil::sweepConfig(cluster,
+                                              model::gpt3_175b(), par);
+            cfg.train.actRecompute = true;
+            cfg.train.chunkP2p = chunk;
+            auto r = core::Experiment::run(cfg);
+            if (!r.feasible)
+                continue;
+            if (!chunk)
+                base_tput = r.tokensPerSecond;
+            t.addRow({par.label(),
+                      chunk ? "chunked (counterfactual)"
+                            : "un-chunked (measured reality)",
+                      formatFixed(r.avgIterationSeconds, 2),
+                      formatFixed(r.tokensPerSecond, 0),
+                      formatFixed(
+                          r.meanBreakdown[hw::KernelClass::SendRecv],
+                          2),
+                      strprintf("%+.1f%%",
+                                100.0 * (r.tokensPerSecond /
+                                             base_tput -
+                                         1.0))});
+        }
+        t.addSeparator();
+    }
+    t.print();
+    std::printf(
+        "\nFinding: in this reproduction the counterfactual chunking\n"
+        "moves throughput by <3%% — the TP+PP SendRecv penalty is\n"
+        "carried by the sliced per-TP-rank payloads contending for\n"
+        "the shared node NIC, not by the rendezvous handshakes\n"
+        "themselves. The attribution differs from the paper's\n"
+        "emphasis; see EXPERIMENTS.md.\n");
+    return 0;
+}

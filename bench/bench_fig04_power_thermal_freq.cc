@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates paper Figure 4: GPU temperature, power, and frequency
+ * for the H200 (top) and MI250 (bottom) clusters across models and
+ * parallelism strategies, with activation recomputation enabling the
+ * additional (otherwise OOM) configurations.
+ *
+ * Expected shape: deeper pipeline parallelism raises peak power and
+ * peak temperature; TP-heavy MoE configurations that span nodes are
+ * communication-bound and draw far less power; recomputation costs
+ * efficiency wherever the baseline already fits.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace charllm;
+using benchutil::sweepConfig;
+
+int
+main()
+{
+    benchutil::banner("Figure 4",
+                      "Power / temperature / frequency across models "
+                      "and parallelism");
+
+    // --- H200 cluster -----------------------------------------------------
+    {
+        auto cluster = core::h200Cluster();
+        std::vector<core::ExperimentConfig> configs;
+        for (const auto& m :
+             {model::gpt3_175b(), model::llama3_70b(),
+              model::mixtral_8x22b(), model::mixtral_8x7b()}) {
+            for (const auto& par : core::paperConfigs(m, cluster)) {
+                auto base = sweepConfig(cluster, m, par);
+                configs.push_back(base);
+                // "act" unlocks configurations that are OOM under
+                // stashing; include the recompute variant when the
+                // base does not fit (and for deep PP generally).
+                auto act = base;
+                act.train.actRecompute = true;
+                if (!core::Experiment::fits(base) || par.pp >= 16)
+                    configs.push_back(act);
+            }
+        }
+        std::printf("--- 32 x H200 ---\n");
+        benchutil::printSystemMetrics(benchutil::runSweep(configs));
+        std::printf("\n");
+    }
+
+    // --- MI250 cluster (scaled-down ~30B models, Sec. 3.2) -----------------
+    {
+        auto cluster = core::mi250Cluster();
+        std::vector<core::ExperimentConfig> configs;
+        for (const auto& m :
+             {model::gpt3_30b(), model::llama3_30b()}) {
+            for (const auto& par : core::paperConfigs(m, cluster)) {
+                auto base = sweepConfig(cluster, m, par);
+                configs.push_back(base);
+                auto act = base;
+                act.train.actRecompute = true;
+                if (!core::Experiment::fits(base) || par.pp >= 16)
+                    configs.push_back(act);
+            }
+        }
+        std::printf("--- 32 x MI250 GCDs ---\n");
+        benchutil::printSystemMetrics(benchutil::runSweep(configs));
+    }
+    return 0;
+}

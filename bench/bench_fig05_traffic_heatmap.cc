@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Regenerates paper Figure 5: per-GPU total NVLink and PCIe traffic
+ * distribution on the HGX H200 cluster during training, printed as
+ * node x GPU grids (GB per iteration).
+ *
+ * Expected shape: TP-heavy / expert-spanning layouts push tens of GB
+ * through NVLink and load every PCIe port; PP-heavy layouts
+ * concentrate PCIe traffic on the stage-boundary GPUs.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/strings.hh"
+
+using namespace charllm;
+
+namespace {
+
+void
+printGrid(const char* title, const core::ExperimentResult& r,
+          bool pcie)
+{
+    std::printf("%s (GB per iteration per GPU)\n", title);
+    TextTable t({"node", "gpu0", "gpu1", "gpu2", "gpu3", "gpu4",
+                 "gpu5", "gpu6", "gpu7"});
+    for (int node = 0; node < 4; ++node) {
+        std::vector<std::string> row = {std::to_string(node)};
+        for (int g = 0; g < 8; ++g) {
+            const auto& gpu =
+                r.gpus[static_cast<std::size_t>(node * 8 + g)];
+            double bytes = pcie ? gpu.pcieBytes : gpu.scaleUpBytes;
+            row.push_back(formatFixed(bytes / 1e9, 1));
+        }
+        t.addRow(row);
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Figure 5",
+                      "Per-GPU NVLink and PCIe traffic, H200 cluster");
+
+    auto cluster = core::h200Cluster();
+    struct Case
+    {
+        model::TransformerConfig m;
+        parallel::ParallelConfig par;
+        bool act;
+    };
+    std::vector<Case> cases = {
+        {model::gpt3_175b(),
+         parallel::ParallelConfig::forWorld(32, 8, 4), true},
+        {model::gpt3_175b(),
+         parallel::ParallelConfig::forWorld(32, 2, 16), true},
+        {model::mixtral_8x22b(),
+         parallel::ParallelConfig::forWorld(32, 4, 4, 2), true},
+        {model::mixtral_8x22b(),
+         parallel::ParallelConfig::forWorld(32, 1, 4, 8), true},
+    };
+    for (const auto& c : cases) {
+        auto cfg = benchutil::sweepConfig(cluster, c.m, c.par);
+        cfg.train.actRecompute = c.act;
+        auto r = core::Experiment::run(cfg);
+        std::printf("=== %s %s ===\n", c.m.name.c_str(),
+                    c.par.label().c_str());
+        if (!r.feasible) {
+            std::printf("OOM\n\n");
+            continue;
+        }
+        printGrid("NVLink", r, false);
+        printGrid("PCIe", r, true);
+        std::printf("\n");
+    }
+    std::printf(
+        "Expected: Mixtral with TP4 (EP spanning nodes) shows the\n"
+        "largest PCIe volumes on every GPU; EP8-TP1 keeps traffic on\n"
+        "NVLink; TP2-PP16 concentrates PCIe on boundary GPUs.\n");
+    return 0;
+}

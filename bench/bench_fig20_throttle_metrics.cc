@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates paper Figure 20: average SM clock throttling co-analyzed
+ * with GPU occupancy, resident warps, and threadblock counts across
+ * models, parallelism configurations, and optimizations on the H200
+ * cluster.
+ *
+ * Expected shape: communication-bound (TP/EP-spanning) rows keep high
+ * occupancy from long-running collective kernels but few warps/
+ * threadblocks and little throttling; compute-saturated rows carry
+ * high warp/threadblock pressure and throttle; cc-overlap raises all
+ * three metrics along with throttling.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/strings.hh"
+
+using namespace charllm;
+using benchutil::sweepConfig;
+
+int
+main()
+{
+    benchutil::banner("Figure 20",
+                      "Throttling vs occupancy / warps / threadblocks "
+                      "(H200)");
+
+    auto cluster = core::h200Cluster();
+    std::vector<core::ExperimentConfig> configs;
+    for (const auto& m :
+         {model::gpt3_175b(), model::llama3_70b(),
+          model::mixtral_8x22b()}) {
+        for (const auto& par : core::paperConfigs(m, cluster)) {
+            auto base = sweepConfig(cluster, m, par);
+            if (!core::Experiment::fits(base))
+                base.train.actRecompute = true;
+            configs.push_back(base);
+            auto cc = base;
+            cc.train.ccOverlap = true;
+            configs.push_back(cc);
+        }
+    }
+    auto rows = benchutil::runSweep(configs);
+
+    TextTable t({"model", "config", "throttle", "occupancy",
+                 "warps/SM", "threadblocks"});
+    std::string last;
+    for (const auto& row : rows) {
+        if (!last.empty() && row.model != last)
+            t.addSeparator();
+        last = row.model;
+        const auto& r = row.result;
+        if (!r.feasible) {
+            t.addRow({row.model, row.variant, "OOM", "-", "-", "-"});
+            continue;
+        }
+        double occ = 0.0, warps = 0.0, blocks = 0.0;
+        for (const auto& g : r.gpus) {
+            occ += g.avgOccupancy;
+            warps += g.avgWarps;
+            blocks += g.avgThreadblocks;
+        }
+        double n = static_cast<double>(r.gpus.size());
+        t.addRow({row.model, row.variant,
+                  formatFixed(100.0 * r.throttleRatio, 1) + "%",
+                  formatFixed(occ / n, 2),
+                  formatFixed(warps / n, 1),
+                  formatFixed(blocks / n, 0)});
+    }
+    t.print();
+    return 0;
+}

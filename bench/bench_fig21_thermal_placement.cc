@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Regenerates paper Figure 21: GPU power, temperature, and training
+ * efficiency of thermal-aware pipeline-stage placement, normalized to
+ * the baseline consecutive-device placement.
+ *
+ * Setup mirrors Sec. 6: TP4 stages (2 per node), DP disabled.
+ * Llama3-70B runs 4 stages on 2 nodes (the paper's 19/21 split);
+ * GPT3-175B runs 8 stages on 4 nodes (11/13 split). A delta=2 GPT
+ * variant shows the over-skew regime where asymmetry backfires.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/strings.hh"
+#include "core/thermal_placement.hh"
+
+using namespace charllm;
+
+namespace {
+
+void
+runModel(const model::TransformerConfig& m,
+         const core::ClusterSpec& cluster, int pp,
+         const std::vector<int>& deltas)
+{
+    auto par = parallel::ParallelConfig::forWorld(
+        cluster.numGpus(), 4, pp);
+    auto make = [&]() {
+        auto cfg = benchutil::sweepConfig(cluster, m, par);
+        cfg.train.actRecompute = true;
+        cfg.warmupIterations = 2;
+        return cfg;
+    };
+    auto base = core::Experiment::run(make());
+    if (!base.feasible) {
+        std::printf("%s: baseline OOM\n", m.name.c_str());
+        return;
+    }
+    auto plan = core::coldFirstPlacement(cluster, par);
+
+    std::printf("=== %s (%d stages of TP4 on %d nodes) ===\n",
+                m.name.c_str(), pp, cluster.numNodes);
+    TextTable t({"placement", "layers/stage", "eff vs base",
+                 "avgP(W)", "pkT(C)", "throttle", "temp gap(C)"});
+    auto temp_gap = [](const core::ExperimentResult& r) {
+        double lo = 1e30, hi = -1e30;
+        for (const auto& g : r.gpus) {
+            lo = std::min(lo, g.avgTempC);
+            hi = std::max(hi, g.avgTempC);
+        }
+        return hi - lo;
+    };
+    auto add = [&](const std::string& name,
+                   const std::string& layers,
+                   const core::ExperimentResult& r) {
+        t.addRow({name, layers,
+                  strprintf("%+.1f%%", 100.0 * (r.tokensPerSecond /
+                                                    base.tokensPerSecond -
+                                                1.0)),
+                  formatFixed(r.avgPowerW, 0),
+                  formatFixed(r.peakTempC, 1),
+                  formatFixed(100.0 * r.throttleRatio, 1) + "%",
+                  formatFixed(temp_gap(r), 1)});
+    };
+    add("baseline (consecutive ids)",
+        std::to_string(m.numLayers / pp), base);
+
+    auto sym_cfg = make();
+    sym_cfg.devicePermutation = plan.devicePermutation;
+    add("symmetric (cold/hot stages)",
+        std::to_string(m.numLayers / pp),
+        core::Experiment::run(sym_cfg));
+
+    for (int delta : deltas) {
+        auto asym_cfg = make();
+        asym_cfg.devicePermutation = plan.devicePermutation;
+        asym_cfg.train.stageLayers =
+            core::asymmetricStageLayers(plan, m.numLayers, delta);
+        int base_layers = m.numLayers / pp;
+        add(strprintf("asymmetric (delta=%d)", delta),
+            strprintf("%d/%d", base_layers + delta,
+                      base_layers - delta),
+            core::Experiment::run(asym_cfg));
+    }
+    t.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Figure 21",
+                      "Thermal-aware pipeline stage placement");
+    runModel(model::llama3_70b(), core::h200Cluster(2), 4, {1});
+    runModel(model::gpt3_175b(), core::h200Cluster(4), 8, {1, 2});
+    std::printf(
+        "Expected: symmetric placement gains a few percent by\n"
+        "isolating thermal effects; asymmetric allocation helps when\n"
+        "the layer skew matches the hot stages' throttle deficit and\n"
+        "backfires when it over-shoots (delta=2), while always\n"
+        "narrowing the temperature gap.\n");
+    return 0;
+}

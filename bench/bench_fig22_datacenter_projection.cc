@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Regenerates paper Figure 22: projected per-kernel latency, strong
+ * scaling, and per-GPU throughput for GPT3-175B training scaled to
+ * thousands of GPUs, following the paper's methodology: measure the
+ * DP=1 kernel times on the real (here: simulated) clusters, divide
+ * compute/communication by the DP degree, and add the modelled DP
+ * AllReduce — at 100 Gbps and 800 Gbps interconnects.
+ *
+ * Expected shape: sublinear scaling from AllReduce overhead at 100G
+ * (strong-scaling collapse approaching an order of magnitude at 8K
+ * GPUs), substantially recovered at 800G; H100 reaches higher
+ * absolute throughput, H200 higher per-GPU throughput.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/strings.hh"
+#include "scale/projector.hh"
+
+using namespace charllm;
+
+namespace {
+
+void
+project(const core::ClusterSpec& cluster,
+        const parallel::ParallelConfig& par, double bw_mult)
+{
+    // Measure the DP=1 baseline on the simulated cluster.
+    auto cfg = benchutil::sweepConfig(cluster, model::gpt3_175b(),
+                                      par);
+    cfg.train.actRecompute = true;
+    auto r = core::Experiment::run(cfg);
+    if (!r.feasible) {
+        std::printf("%s %s: baseline OOM\n\n",
+                    cluster.name.c_str(), par.label().c_str());
+        return;
+    }
+
+    scale::ProjectionInput in;
+    in.computeSeconds = r.meanBreakdown.computeTotal();
+    // TP collectives stay on the scale-up fabric; pipeline SendRecv
+    // is the inter-node component at DP=1.
+    in.intraCommSeconds =
+        r.meanBreakdown[hw::KernelClass::AllReduce] +
+        r.meanBreakdown[hw::KernelClass::AllToAll];
+    in.interCommSeconds = r.meanBreakdown[hw::KernelClass::SendRecv];
+    parallel::MemoryPlanner planner(model::gpt3_175b(), par);
+    in.gradBytesPerGpu = planner.paramsPerGpu(1) * 2.0;
+    in.baseGpus = par.worldSize();
+    in.gpusPerNode = cluster.network.gpusPerNode;
+    in.tokensPerIteration = r.tokensPerIteration;
+    in.nodeBandwidth = cluster.network.nicBw;
+    in.messageLatency = cluster.network.interLatency;
+
+    scale::Projector proj(in);
+    std::printf("=== %s, %s, %.0fG inter-node ===\n",
+                cluster.name.c_str(), par.label().c_str(),
+                100.0 * bw_mult);
+    TextTable t({"GPUs", "DP", "compute(s)", "comm(s)",
+                 "allreduce(s)", "iter(s)", "strong-scaling",
+                 "tok/s/GPU"});
+    for (int dp : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+        if (par.worldSize() * dp > 8192)
+            break;
+        auto p = proj.project(dp, bw_mult);
+        t.addRow({std::to_string(p.totalGpus), std::to_string(dp),
+                  formatFixed(p.computeSeconds, 2),
+                  formatFixed(p.commSeconds, 2),
+                  formatFixed(p.allReduceSeconds, 2),
+                  formatFixed(p.iterationSeconds, 2),
+                  formatFixed(p.strongScalingEfficiency, 3),
+                  formatFixed(p.perGpuTokensPerSecond, 0)});
+    }
+    t.print();
+    auto worst = proj.project(8192 / par.worldSize(), bw_mult);
+    std::printf("collapse vs ideal at %d GPUs: %.1fx\n\n", 8192,
+                1.0 / worst.strongScalingEfficiency);
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Figure 22",
+                      "Datacenter-scale projection (up to 8K GPUs)");
+    // DP=1 requires tp*pp to cover the cluster.
+    project(core::h200Cluster(),
+            parallel::ParallelConfig::forWorld(32, 2, 16), 1.0);
+    project(core::h100Cluster(),
+            parallel::ParallelConfig::forWorld(64, 2, 32), 1.0);
+    project(core::h200Cluster(),
+            parallel::ParallelConfig::forWorld(32, 2, 16), 8.0);
+    return 0;
+}

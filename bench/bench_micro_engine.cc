@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the simulator substrates:
+ * event-queue throughput, flow-network max-min re-allocation,
+ * collective execution, thermal integration, program construction,
+ * and a full tiny training iteration. These guard the simulator's own
+ * performance (the figure benches run thousands of simulated
+ * iterations on top of these primitives).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "coll/collective_engine.hh"
+#include "hw/platform.hh"
+#include "hw/thermal_model.hh"
+#include "model/transformer_config.hh"
+#include "net/flow_network.hh"
+#include "parallel/rank_mapper.hh"
+#include "runtime/engine.hh"
+#include "sim/simulator.hh"
+
+using namespace charllm;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        long count = 0;
+        for (int i = 0; i < state.range(0); ++i) {
+            q.scheduleAt(static_cast<sim::Tick>((i * 7919) % 100000),
+                         [&count] { ++count; });
+        }
+        q.runAll();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void
+BM_FlowNetworkContention(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::Simulator s;
+        net::Topology topo(net::Topology::hgxParams(4));
+        net::FlowNetwork netw(s, topo);
+        int done = 0;
+        for (int i = 0; i < state.range(0); ++i) {
+            netw.transfer(i % 32, (i * 11 + 1) % 32, 1e7,
+                          [&done] { ++done; });
+        }
+        s.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlowNetworkContention)->Arg(64)->Arg(512);
+
+void
+BM_RingAllReduce(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::Simulator s;
+        net::Topology topo(net::Topology::hgxParams(1));
+        net::FlowNetwork netw(s, topo);
+        coll::CollectiveEngine eng(s, netw);
+        bool done = false;
+        coll::CollectiveRequest req;
+        req.kind = coll::CollectiveKind::AllReduce;
+        req.ranks = {0, 1, 2, 3, 4, 5, 6, 7};
+        req.bytes = 1e8;
+        req.onComplete = [&done] { done = true; };
+        eng.run(std::move(req));
+        s.run();
+        benchmark::DoNotOptimize(done);
+    }
+}
+BENCHMARK(BM_RingAllReduce);
+
+void
+BM_ThermalStep(benchmark::State& state)
+{
+    hw::ThermalModel tm(hw::hgxLayout(), 8);
+    std::vector<double> powers(64, 550.0);
+    for (auto _ : state)
+        tm.step(0.002, powers);
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThermalStep);
+
+model::TransformerConfig
+microModel()
+{
+    model::TransformerConfig c;
+    c.name = "Micro";
+    c.numLayers = 8;
+    c.hiddenSize = 1024;
+    c.numHeads = 8;
+    c.numQueryGroups = 8;
+    c.ffnHiddenSize = 4096;
+    c.vocabSize = 32000;
+    c.seqLength = 512;
+    return c;
+}
+
+void
+BM_ProgramBuild(benchmark::State& state)
+{
+    parallel::RankMapper map(
+        parallel::ParallelConfig::forWorld(32, 2, 4));
+    runtime::TrainOptions opts;
+    opts.globalBatchSize = 64;
+    runtime::ProgramBuilder builder(microModel(), map, opts);
+    for (auto _ : state) {
+        auto program = builder.build(0);
+        benchmark::DoNotOptimize(program.numOps());
+    }
+}
+BENCHMARK(BM_ProgramBuild);
+
+void
+BM_TinyTrainingIteration(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::Simulator s;
+        net::Topology topo(net::Topology::hgxParams(1));
+        hw::Platform plat(s, hw::h200Spec(), hw::hgxLayout(), 1);
+        net::FlowNetwork netw(s, topo);
+        coll::CollectiveEngine colls(s, netw);
+        parallel::RankMapper map(
+            parallel::ParallelConfig::forWorld(8, 2, 4));
+        runtime::TrainOptions opts;
+        opts.globalBatchSize = 8;
+        runtime::ProgramBuilder builder(microModel(), map, opts);
+        runtime::EngineOptions eopts;
+        eopts.warmupIterations = 0;
+        eopts.measuredIterations = 1;
+        runtime::TrainingEngine engine(plat, netw, colls, builder,
+                                       eopts);
+        plat.start();
+        engine.run();
+        benchmark::DoNotOptimize(engine.avgIterationSeconds());
+    }
+}
+BENCHMARK(BM_TinyTrainingIteration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+#include "bench_util.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.hh"
+
+namespace charllm {
+namespace benchutil {
+
+void
+banner(const std::string& exp_id, const std::string& what)
+{
+    std::printf("=======================================================\n");
+    std::printf("%s — %s\n", exp_id.c_str(), what.c_str());
+    std::printf("(CharLLM-PPT reproduction; shapes, not absolute values)\n");
+    std::printf("=======================================================\n\n");
+}
+
+core::ExperimentConfig
+sweepConfig(const core::ClusterSpec& cluster,
+            const model::TransformerConfig& m,
+            const parallel::ParallelConfig& par)
+{
+    core::ExperimentConfig cfg;
+    cfg.cluster = cluster;
+    cfg.model = m;
+    cfg.par = par;
+    cfg.warmupIterations = 1;
+    cfg.measuredIterations = 1;
+    return cfg;
+}
+
+std::vector<SweepRow>
+runSweep(const std::vector<core::ExperimentConfig>& configs)
+{
+    std::vector<SweepRow> rows;
+    rows.reserve(configs.size());
+    for (const auto& cfg : configs) {
+        SweepRow row;
+        row.model = cfg.model.name;
+        std::string label = cfg.par.label();
+        if (cfg.train.actRecompute)
+            label += "+act";
+        if (cfg.train.ccOverlap)
+            label += "+cc";
+        if (cfg.train.microbatchSize != 1)
+            label += " mb" + std::to_string(cfg.train.microbatchSize);
+        row.variant = label;
+        row.result = core::Experiment::run(cfg);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::map<std::string, double>
+bestEfficiencyPerModel(const std::vector<SweepRow>& rows)
+{
+    std::map<std::string, double> best;
+    for (const auto& row : rows) {
+        if (!row.result.feasible)
+            continue;
+        double& b = best[row.model];
+        b = std::max(b, row.result.tokensPerJoule);
+    }
+    return best;
+}
+
+void
+printSystemMetrics(const std::vector<SweepRow>& rows)
+{
+    auto best = bestEfficiencyPerModel(rows);
+    TextTable t({"model", "config", "eff(norm)", "tok/s", "avgP(W)",
+                 "pkP(W)", "avgT(C)", "pkT(C)", "clk(GHz)",
+                 "throttle"});
+    std::string last_model;
+    for (const auto& row : rows) {
+        if (!last_model.empty() && row.model != last_model)
+            t.addSeparator();
+        last_model = row.model;
+        const auto& r = row.result;
+        if (!r.feasible) {
+            t.addRow({row.model, row.variant, "OOM", "-", "-", "-",
+                      "-", "-", "-", "-"});
+            continue;
+        }
+        t.addRow({row.model, row.variant,
+                  formatFixed(r.tokensPerJoule / best[row.model], 3),
+                  formatFixed(r.tokensPerSecond, 0),
+                  formatFixed(r.avgPowerW, 0),
+                  formatFixed(r.peakPowerW, 0),
+                  formatFixed(r.avgTempC, 1),
+                  formatFixed(r.peakTempC, 1),
+                  formatFixed(r.avgClockGhz, 2),
+                  formatFixed(100.0 * r.throttleRatio, 1) + "%"});
+    }
+    t.print();
+}
+
+void
+printBreakdown(const std::string& title,
+               const std::vector<SweepRow>& rows)
+{
+    std::printf("%s\n", title.c_str());
+    std::vector<std::string> cols = {"model", "config", "total"};
+    for (std::size_t i = 0; i < hw::kNumKernelClasses; ++i)
+        cols.push_back(
+            hw::kernelClassName(static_cast<hw::KernelClass>(i)));
+    TextTable t(cols);
+    for (const auto& row : rows) {
+        if (!row.result.feasible) {
+            std::vector<std::string> cells = {row.model, row.variant,
+                                              "OOM"};
+            cells.resize(cols.size(), "-");
+            t.addRow(cells);
+            continue;
+        }
+        const auto& b = row.result.meanBreakdown;
+        std::vector<std::string> cells = {row.model, row.variant,
+                                          fmtSec(b.total())};
+        for (std::size_t i = 0; i < hw::kNumKernelClasses; ++i) {
+            double s = b.seconds[i];
+            cells.push_back(
+                s > 0.0 ? strprintf("%.0f%%", 100.0 * s / b.total())
+                        : "-");
+        }
+        t.addRow(cells);
+    }
+    t.print();
+}
+
+std::string
+fmtSec(double s)
+{
+    return formatSeconds(s);
+}
+
+} // namespace benchutil
+} // namespace charllm

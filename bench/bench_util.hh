@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: standard
+ * experiment row printing, per-model efficiency normalization (the
+ * paper normalizes efficiency to each model's best configuration),
+ * and sweep drivers.
+ */
+
+#ifndef CHARLLM_BENCH_BENCH_UTIL_HH
+#define CHARLLM_BENCH_BENCH_UTIL_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/catalog.hh"
+#include "core/cluster.hh"
+#include "core/experiment.hh"
+
+namespace charllm {
+namespace benchutil {
+
+/** Print the bench banner: which figure/table this regenerates. */
+void banner(const std::string& exp_id, const std::string& what);
+
+/** Default measurement settings for sweeps (1 warmup, 1 measured). */
+core::ExperimentConfig sweepConfig(const core::ClusterSpec& cluster,
+                                   const model::TransformerConfig& m,
+                                   const parallel::ParallelConfig& par);
+
+/** One row of a (possibly infeasible) experiment outcome. */
+struct SweepRow
+{
+    std::string model;
+    std::string variant; //!< e.g. "TP2-PP16+act"
+    core::ExperimentResult result;
+};
+
+/**
+ * Run a sweep over configurations, skipping infeasible ones (they are
+ * reported as such, mirroring the paper's config screening).
+ */
+std::vector<SweepRow>
+runSweep(const std::vector<core::ExperimentConfig>& configs);
+
+/**
+ * Normalize tokens-per-joule per model, best configuration == 1.0
+ * (paper Figs. 4/9/10/13/14 convention).
+ */
+std::map<std::string, double>
+bestEfficiencyPerModel(const std::vector<SweepRow>& rows);
+
+/**
+ * Render the standard system-metrics table the paper's power/thermal
+ * figures report: efficiency (normalized), avg/peak power, avg/peak
+ * temperature, avg clock, throttle ratio.
+ */
+void printSystemMetrics(const std::vector<SweepRow>& rows);
+
+/** Render a per-kernel-class breakdown table (seconds and shares). */
+void printBreakdown(const std::string& title,
+                    const std::vector<SweepRow>& rows);
+
+/** Format seconds with 3 significant digits. */
+std::string fmtSec(double s);
+
+} // namespace benchutil
+} // namespace charllm
+
+#endif // CHARLLM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,16 @@
+# Example applications. Defined via include() from the top-level
+# CMakeLists so the binaries land in build/examples/ with nothing else.
+
+function(charllm_add_example name)
+    add_executable(${name} ${CMAKE_SOURCE_DIR}/examples/${name}.cpp)
+    target_link_libraries(${name} PRIVATE
+        charllm_core charllm_scale charllm_telemetry)
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/examples)
+endfunction()
+
+charllm_add_example(quickstart)
+charllm_add_example(parallelism_explorer)
+charllm_add_example(thermal_aware_training)
+charllm_add_example(cluster_monitor)
+charllm_add_example(scaling_planner)

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Parallelism explorer: given a model and a cluster, sweep the
+ * paper's candidate parallelism configurations (screening out those
+ * that do not fit HBM, exactly as Sec. 3.1 does), rank them by
+ * throughput and energy efficiency, and report the system-level
+ * signature of each — the workflow a practitioner would use to pick
+ * a deployment configuration.
+ *
+ * Usage: parallelism_explorer [gpt175|gpt30|llama70|mix22|mix7]
+ *                             [h200|h100|mi250]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <algorithm>
+
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "core/catalog.hh"
+#include "core/cluster.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace charllm;
+
+int
+main(int argc, char** argv)
+{
+    const char* model_key = argc > 1 ? argv[1] : "mix22";
+    const char* cluster_key = argc > 2 ? argv[2] : "h200";
+
+    model::TransformerConfig m;
+    if (!std::strcmp(model_key, "gpt175"))
+        m = model::gpt3_175b();
+    else if (!std::strcmp(model_key, "gpt30"))
+        m = model::gpt3_30b();
+    else if (!std::strcmp(model_key, "llama70"))
+        m = model::llama3_70b();
+    else if (!std::strcmp(model_key, "mix7"))
+        m = model::mixtral_8x7b();
+    else
+        m = model::mixtral_8x22b();
+
+    core::ClusterSpec cluster;
+    if (!std::strcmp(cluster_key, "h100"))
+        cluster = core::h100Cluster();
+    else if (!std::strcmp(cluster_key, "mi250"))
+        cluster = core::mi250Cluster();
+    else
+        cluster = core::h200Cluster();
+
+    std::printf("Exploring %s on %d x %s ...\n\n", m.name.c_str(),
+                cluster.numGpus(), cluster.gpu.name.c_str());
+
+    struct Entry
+    {
+        std::string label;
+        core::ExperimentResult result;
+    };
+    std::vector<Entry> entries;
+    for (const auto& par : core::paperConfigs(m, cluster)) {
+        for (bool act : {false, true}) {
+            core::ExperimentConfig cfg;
+            cfg.cluster = cluster;
+            cfg.model = m;
+            cfg.par = par;
+            cfg.train.actRecompute = act;
+            cfg.warmupIterations = 1;
+            cfg.measuredIterations = 1;
+            // Only add the recompute variant when it changes
+            // feasibility or the layout is deep-pipelined.
+            if (act && core::Experiment::fits({cfg.cluster, cfg.model,
+                                               cfg.par, {}}) &&
+                par.pp < 16)
+                continue;
+            Entry e;
+            e.label = par.label() + (act ? "+act" : "");
+            e.result = core::Experiment::run(cfg);
+            entries.push_back(std::move(e));
+        }
+    }
+
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) {
+        return a.result.tokensPerSecond > b.result.tokensPerSecond;
+    });
+
+    TextTable t({"rank", "config", "tokens/s", "tokens/J", "iter(s)",
+                 "avgP(W)", "pkT(C)", "throttle", "comm share"});
+    int rank = 1;
+    for (const auto& e : entries) {
+        const auto& r = e.result;
+        if (!r.feasible) {
+            t.addRow({"-", e.label, "OOM", "-", "-", "-", "-", "-",
+                      "-"});
+            continue;
+        }
+        double comm = r.meanBreakdown.commTotal();
+        t.addRow({std::to_string(rank++), e.label,
+                  formatFixed(r.tokensPerSecond, 0),
+                  formatFixed(r.tokensPerJoule, 3),
+                  formatFixed(r.avgIterationSeconds, 2),
+                  formatFixed(r.avgPowerW, 0),
+                  formatFixed(r.peakTempC, 1),
+                  formatFixed(100.0 * r.throttleRatio, 1) + "%",
+                  strprintf("%.0f%%", 100.0 * comm /
+                                          r.meanBreakdown.total())});
+    }
+    t.print();
+
+    // Export the sweep for downstream tooling (plotting, regression
+    // tracking), the way the paper's artifact populates results/.
+    std::vector<core::ExperimentResult> results;
+    for (const auto& e : entries)
+        results.push_back(e.result);
+    std::string out = std::string("explorer_") + model_key + "_" +
+                      cluster_key + ".csv";
+    if (core::summaryCsv(results).writeTo(out))
+        std::printf("\nwrote %s\n", out.c_str());
+    std::printf("Tip: compare clusters by re-running with "
+                "'h100'/'mi250' as the second argument.\n");
+    return 0;
+}

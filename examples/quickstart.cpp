@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quickstart: simulate training GPT3-30B on the 4-node H200 cluster
+ * under TP8-PP4 and print the headline metrics the paper reports —
+ * throughput, energy per token, power/thermal envelope, throttling,
+ * and the per-kernel-class time breakdown.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "core/catalog.hh"
+#include "core/cluster.hh"
+#include "core/experiment.hh"
+#include "model/transformer_config.hh"
+
+using namespace charllm;
+
+int
+main()
+{
+    core::ExperimentConfig cfg;
+    cfg.cluster = core::h200Cluster();
+    cfg.model = model::gpt3_30b();
+    cfg.par = parallel::ParallelConfig::forWorld(
+        cfg.cluster.numGpus(), /*tp=*/8, /*pp=*/4);
+    cfg.train.microbatchSize = 1;
+    cfg.train.globalBatchSize = 128;
+    cfg.warmupIterations = 2;
+    cfg.measuredIterations = 3;
+
+    std::printf("Running %s ...\n\n", cfg.label().c_str());
+    core::ExperimentResult r = core::Experiment::run(cfg);
+    if (!r.feasible) {
+        std::printf("configuration does not fit in HBM\n");
+        return 1;
+    }
+
+    TextTable summary({"metric", "value"});
+    summary.addRow({"iteration time",
+                    formatSeconds(r.avgIterationSeconds)});
+    summary.addRow({"throughput",
+                    strprintf("%.0f tokens/s", r.tokensPerSecond)});
+    summary.addRow({"energy / token",
+                    strprintf("%.2f J", r.energyPerTokenJ)});
+    summary.addRow({"avg GPU power",
+                    strprintf("%.0f W", r.avgPowerW)});
+    summary.addRow({"peak GPU power",
+                    strprintf("%.0f W", r.peakPowerW)});
+    summary.addRow({"avg / peak temp",
+                    strprintf("%.1f / %.1f C", r.avgTempC,
+                              r.peakTempC)});
+    summary.addRow({"avg clock",
+                    strprintf("%.2f GHz", r.avgClockGhz)});
+    summary.addRow({"throttle ratio",
+                    strprintf("%.1f%%", 100.0 * r.throttleRatio)});
+    summary.print();
+
+    std::printf("\nPer-kernel-class time (rank mean, per iteration):\n");
+    TextTable breakdown({"kernel class", "time", "share"});
+    double total = r.meanBreakdown.total();
+    for (std::size_t i = 0; i < hw::kNumKernelClasses; ++i) {
+        auto cls = static_cast<hw::KernelClass>(i);
+        double t = r.meanBreakdown[cls];
+        if (t <= 0.0)
+            continue;
+        breakdown.addRow({hw::kernelClassName(cls), formatSeconds(t),
+                          strprintf("%.1f%%", 100.0 * t / total)});
+    }
+    breakdown.print();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Scaling planner: measures a DP=1 baseline on the simulated cluster
+ * and projects iteration time to thousands of GPUs across interconnect
+ * bandwidths (the paper's Sec. 7.1 methodology) — answering "how much
+ * network do I need before buying more GPUs?".
+ */
+
+#include <cstdio>
+
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "core/cluster.hh"
+#include "core/experiment.hh"
+#include "parallel/memory_planner.hh"
+#include "scale/projector.hh"
+
+using namespace charllm;
+
+int
+main()
+{
+    auto cluster = core::h200Cluster();
+    auto m = model::gpt3_175b();
+    auto par = parallel::ParallelConfig::forWorld(32, 2, 16);
+
+    core::ExperimentConfig cfg;
+    cfg.cluster = cluster;
+    cfg.model = m;
+    cfg.par = par;
+    cfg.train.actRecompute = true;
+    cfg.warmupIterations = 1;
+    cfg.measuredIterations = 1;
+    std::printf("Measuring the DP=1 baseline: %s ...\n\n",
+                cfg.label().c_str());
+    auto r = core::Experiment::run(cfg);
+    if (!r.feasible) {
+        std::printf("baseline does not fit\n");
+        return 1;
+    }
+
+    scale::ProjectionInput in;
+    in.computeSeconds = r.meanBreakdown.computeTotal();
+    in.intraCommSeconds = r.meanBreakdown[hw::KernelClass::AllReduce];
+    in.interCommSeconds = r.meanBreakdown[hw::KernelClass::SendRecv];
+    parallel::MemoryPlanner planner(m, par);
+    in.gradBytesPerGpu = planner.paramsPerGpu(1) * 2.0;
+    in.baseGpus = 32;
+    in.gpusPerNode = 8;
+    in.tokensPerIteration = r.tokensPerIteration;
+    in.nodeBandwidth = cluster.network.nicBw;
+    in.messageLatency = cluster.network.interLatency;
+    scale::Projector proj(in);
+
+    TextTable t({"GPUs", "100G iter(s)", "100G scaling",
+                 "400G iter(s)", "400G scaling", "800G iter(s)",
+                 "800G scaling"});
+    for (int dp : {1, 4, 16, 64, 256}) {
+        auto p1 = proj.project(dp, 1.0);
+        auto p4 = proj.project(dp, 4.0);
+        auto p8 = proj.project(dp, 8.0);
+        t.addRow({std::to_string(p1.totalGpus),
+                  formatFixed(p1.iterationSeconds, 2),
+                  formatFixed(p1.strongScalingEfficiency, 3),
+                  formatFixed(p4.iterationSeconds, 2),
+                  formatFixed(p4.strongScalingEfficiency, 3),
+                  formatFixed(p8.iterationSeconds, 2),
+                  formatFixed(p8.strongScalingEfficiency, 3)});
+    }
+    t.print();
+    std::printf("\nScaling = achieved/ideal speedup vs the measured "
+                "DP=1 baseline.\n");
+    return 0;
+}

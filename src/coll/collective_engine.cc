@@ -1,0 +1,300 @@
+#include "coll/collective_engine.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "net/calibration.hh"
+
+namespace charllm {
+namespace coll {
+
+namespace {
+
+/** Shared completion latch for the flows of one collective. */
+struct Latch
+{
+    int remaining = 0;
+    std::function<void()> onComplete;
+
+    void
+    arrive()
+    {
+        if (--remaining == 0 && onComplete)
+            onComplete();
+    }
+};
+
+} // namespace
+
+CollectiveEngine::CollectiveEngine(sim::Simulator& simulator,
+                                   net::FlowNetwork& netw)
+    : sim(simulator), network(netw)
+{
+}
+
+double
+CollectiveEngine::wireBytesPerRank(const CollectiveRequest& request)
+{
+    auto n = static_cast<double>(request.ranks.size());
+    if (n <= 1.0)
+        return 0.0;
+    switch (request.kind) {
+      case CollectiveKind::AllReduce:
+        return 2.0 * request.bytes * (n - 1.0) / n;
+      case CollectiveKind::AllGather:
+      case CollectiveKind::ReduceScatter:
+        return request.bytes * (n - 1.0) / n;
+      case CollectiveKind::AllToAll:
+        return request.bytes * (n - 1.0) / n;
+      case CollectiveKind::SendRecv:
+        return request.bytes;
+      case CollectiveKind::Barrier:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+void
+CollectiveEngine::run(CollectiveRequest request)
+{
+    ++runCount;
+    auto n = static_cast<int>(request.ranks.size());
+    CHARLLM_ASSERT(n >= 1, "collective with no ranks");
+    CHARLLM_ASSERT(request.bytes >= 0.0, "negative collective payload");
+
+    if (n == 1) {
+        // Degenerate single-rank group: completes after launch latency.
+        sim.schedule(sim::toTicks(net::calib::kIntraNodeLatencySec),
+                     [cb = std::move(request.onComplete)] {
+            if (cb)
+                cb();
+        });
+        return;
+    }
+
+    if (shouldRunHierarchically(request)) {
+        runHierarchical(request);
+        return;
+    }
+
+    switch (request.kind) {
+      case CollectiveKind::AllReduce:
+        runRing(request, wireBytesPerRank(request), 2 * (n - 1));
+        break;
+      case CollectiveKind::AllGather:
+      case CollectiveKind::ReduceScatter:
+        runRing(request, wireBytesPerRank(request), n - 1);
+        break;
+      case CollectiveKind::Barrier:
+        runRing(request, 0.0, 2 * (n - 1));
+        break;
+      case CollectiveKind::AllToAll:
+        runAllToAll(request);
+        break;
+      case CollectiveKind::SendRecv:
+        runSendRecv(request);
+        break;
+    }
+}
+
+void
+CollectiveEngine::runRing(const CollectiveRequest& request,
+                          double per_rank_bytes, int steps)
+{
+    // Ring order follows sorted device ids, which matches how NCCL
+    // builds rings over consecutive ranks: node-boundary hops are the
+    // slow links and become the collective's bottleneck.
+    std::vector<int> ring = request.ranks;
+    std::sort(ring.begin(), ring.end());
+    auto n = static_cast<int>(ring.size());
+
+    auto latch = std::make_shared<Latch>();
+    latch->remaining = n;
+    latch->onComplete = request.onComplete;
+
+    const auto& topo = network.topology();
+    for (int i = 0; i < n; ++i) {
+        int src = ring[static_cast<std::size_t>(i)];
+        int dst = ring[static_cast<std::size_t>((i + 1) % n)];
+        // The flow's own start latency covers the first step; the
+        // remaining algorithm steps (times back-to-back launches) add
+        // pipeline latency on top.
+        int launches = std::max(request.messages, 1);
+        double extra = (steps * launches - 1) *
+                       topo.messageLatency(src, dst);
+        if (!request.chunked)
+            extra += net::calib::kUnchunkedHandshakeSec * launches;
+        network.transfer(src, dst, per_rank_bytes,
+                         [latch] { latch->arrive(); }, extra);
+    }
+}
+
+void
+CollectiveEngine::runAllToAll(const CollectiveRequest& request)
+{
+    auto n = static_cast<int>(request.ranks.size());
+    double per_pair = request.bytes / static_cast<double>(n);
+
+    auto latch = std::make_shared<Latch>();
+    latch->remaining = n * (n - 1);
+    latch->onComplete = request.onComplete;
+
+    const auto& topo = network.topology();
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            int src = request.ranks[static_cast<std::size_t>(i)];
+            int dst = request.ranks[static_cast<std::size_t>(j)];
+            int launches = std::max(request.messages, 1);
+            double extra = (launches - 1) *
+                           topo.messageLatency(src, dst);
+            if (!request.chunked)
+                extra += net::calib::kUnchunkedHandshakeSec * launches;
+            network.transfer(src, dst, per_pair,
+                             [latch] { latch->arrive(); }, extra);
+        }
+    }
+}
+
+bool
+CollectiveEngine::shouldRunHierarchically(
+    const CollectiveRequest& req) const
+{
+    if (!req.topologyAware)
+        return false;
+    if (req.kind != CollectiveKind::AllReduce &&
+        req.kind != CollectiveKind::AllGather &&
+        req.kind != CollectiveKind::ReduceScatter)
+        return false;
+    // Needs multiple members on at least one node AND more than one
+    // node; otherwise the flat ring is already optimal.
+    const auto& topo = network.topology();
+    std::map<int, int> per_node;
+    for (int r : req.ranks)
+        ++per_node[topo.nodeOf(r)];
+    if (per_node.size() < 2)
+        return false;
+    for (const auto& [node, count] : per_node) {
+        if (count > 1)
+            return true;
+    }
+    return false;
+}
+
+void
+CollectiveEngine::runHierarchical(const CollectiveRequest& request)
+{
+    const auto& topo = network.topology();
+
+    // Partition the (sorted) group by node. Members per node must be
+    // uniform for shard-aligned inter-node rings; fall back to flat
+    // execution otherwise.
+    std::vector<int> sorted = request.ranks;
+    std::sort(sorted.begin(), sorted.end());
+    std::map<int, std::vector<int>> by_node;
+    for (int r : sorted)
+        by_node[topo.nodeOf(r)].push_back(r);
+    std::size_t local = by_node.begin()->second.size();
+    for (const auto& [node, members] : by_node) {
+        if (members.size() != local) {
+            CollectiveRequest flat = request;
+            flat.topologyAware = false;
+            run(std::move(flat));
+            return;
+        }
+    }
+    auto n_nodes = by_node.size();
+
+    // Phase volumes. AllGather skips the leading reduce-scatter;
+    // ReduceScatter skips the trailing all-gather.
+    bool has_rs = request.kind != CollectiveKind::AllGather;
+    bool has_ag = request.kind != CollectiveKind::ReduceScatter;
+
+    auto intra_groups = std::make_shared<
+        std::vector<std::vector<int>>>();
+    for (const auto& [node, members] : by_node)
+        intra_groups->push_back(members);
+    // Inter-node rings: the k-th member of every node exchanges the
+    // k-th shard.
+    auto inter_groups = std::make_shared<
+        std::vector<std::vector<int>>>();
+    for (std::size_t k = 0; k < local; ++k) {
+        std::vector<int> ring;
+        for (const auto& [node, members] : by_node)
+            ring.push_back(members[k]);
+        inter_groups->push_back(ring);
+    }
+
+    auto launch_phase =
+        [this](const std::vector<std::vector<int>>& groups,
+               CollectiveKind kind, double bytes, bool chunked,
+               int messages, std::function<void()> done) {
+        auto latch = std::make_shared<Latch>();
+        latch->remaining = static_cast<int>(groups.size());
+        latch->onComplete = std::move(done);
+        for (const auto& g : groups) {
+            CollectiveRequest sub;
+            sub.kind = kind;
+            sub.ranks = g;
+            sub.bytes = bytes;
+            sub.chunked = chunked;
+            sub.messages = messages;
+            sub.onComplete = [latch] { latch->arrive(); };
+            run(std::move(sub));
+        }
+    };
+
+    double bytes = request.bytes;
+    bool chunked = request.chunked;
+    int messages = request.messages;
+    auto on_complete = request.onComplete;
+    double shard = bytes / static_cast<double>(local);
+    CollectiveKind inter_kind =
+        request.kind == CollectiveKind::AllReduce
+            ? CollectiveKind::AllReduce
+            : request.kind;
+
+    auto phase3 = [=, this] {
+        if (!has_ag) {
+            if (on_complete)
+                on_complete();
+            return;
+        }
+        launch_phase(*intra_groups, CollectiveKind::AllGather, bytes,
+                     chunked, messages, on_complete);
+    };
+    auto phase2 = [=, this] {
+        if (n_nodes < 2) {
+            phase3();
+            return;
+        }
+        launch_phase(*inter_groups, inter_kind, shard, chunked,
+                     messages, phase3);
+    };
+    if (has_rs) {
+        launch_phase(*intra_groups, CollectiveKind::ReduceScatter,
+                     bytes, chunked, messages, phase2);
+    } else {
+        phase2();
+    }
+}
+
+void
+CollectiveEngine::runSendRecv(const CollectiveRequest& request)
+{
+    CHARLLM_ASSERT(request.ranks.size() == 2,
+                   "SendRecv needs exactly {src, dst}");
+    double extra = request.chunked
+                       ? 0.0
+                       : net::calib::kUnchunkedHandshakeSec;
+    network.transfer(request.ranks[0], request.ranks[1], request.bytes,
+                     [cb = request.onComplete] {
+        if (cb)
+            cb();
+    }, extra);
+}
+
+} // namespace coll
+} // namespace charllm

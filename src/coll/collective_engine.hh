@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Executes collective operations as sets of concurrent flows on the
+ * FlowNetwork. Ring-based collectives are modelled as one steady-state
+ * phase per rank carrying the algorithm's total wire volume — this
+ * preserves per-link traffic, node-boundary bottlenecks, and
+ * contention, while keeping the event count tractable.
+ */
+
+#ifndef CHARLLM_COLL_COLLECTIVE_ENGINE_HH
+#define CHARLLM_COLL_COLLECTIVE_ENGINE_HH
+
+#include <memory>
+
+#include "coll/collective.hh"
+#include "net/flow_network.hh"
+
+namespace charllm {
+namespace coll {
+
+/**
+ * Collective executor. Stateless between invocations; each request is
+ * turned into flows immediately.
+ */
+class CollectiveEngine
+{
+  public:
+    CollectiveEngine(sim::Simulator& sim, net::FlowNetwork& network);
+
+    /** Launch a collective; the request's callback fires when done. */
+    void run(CollectiveRequest request);
+
+    /**
+     * Total bytes each rank puts on the wire for the request
+     * (algorithm-dependent; used by tests and traffic accounting).
+     */
+    static double wireBytesPerRank(const CollectiveRequest& request);
+
+    std::uint64_t numCollectivesRun() const { return runCount; }
+
+    /** Whether a request qualifies for hierarchical execution. */
+    bool shouldRunHierarchically(const CollectiveRequest& req) const;
+
+  private:
+    void runRing(const CollectiveRequest& request, double per_rank_bytes,
+                 int steps);
+    void runAllToAll(const CollectiveRequest& request);
+    void runSendRecv(const CollectiveRequest& request);
+
+    /**
+     * Hierarchical ring collective: intra-node reduce-scatter,
+     * inter-node shard exchange across node peers, intra-node
+     * all-gather. Phases chain; the request's callback fires after
+     * the last phase.
+     */
+    void runHierarchical(const CollectiveRequest& request);
+
+    sim::Simulator& sim;
+    net::FlowNetwork& network;
+    std::uint64_t runCount = 0;
+};
+
+} // namespace coll
+} // namespace charllm
+
+#endif // CHARLLM_COLL_COLLECTIVE_ENGINE_HH

@@ -1,0 +1,50 @@
+#include "coll/cost_model.hh"
+
+#include "common/logging.hh"
+
+namespace charllm {
+namespace coll {
+
+double
+ringAllReduceSeconds(int n, double bytes, double bandwidth,
+                     double latency)
+{
+    CHARLLM_ASSERT(n >= 1 && bandwidth > 0.0, "bad allreduce params");
+    if (n == 1)
+        return 0.0;
+    double steps = 2.0 * (n - 1);
+    double wire = 2.0 * bytes * (n - 1) / n;
+    return steps * latency + wire / bandwidth;
+}
+
+double
+ringAllGatherSeconds(int n, double bytes, double bandwidth,
+                     double latency)
+{
+    CHARLLM_ASSERT(n >= 1 && bandwidth > 0.0, "bad allgather params");
+    if (n == 1)
+        return 0.0;
+    double steps = static_cast<double>(n - 1);
+    double wire = bytes * (n - 1) / n;
+    return steps * latency + wire / bandwidth;
+}
+
+double
+allToAllSeconds(int n, double bytes, double bandwidth, double latency)
+{
+    CHARLLM_ASSERT(n >= 1 && bandwidth > 0.0, "bad alltoall params");
+    if (n == 1)
+        return 0.0;
+    double wire = bytes * (n - 1) / n;
+    return latency + wire / bandwidth;
+}
+
+double
+hierarchicalAllReduceSeconds(int nodes, double bytes,
+                             double node_bandwidth, double latency)
+{
+    return ringAllReduceSeconds(nodes, bytes, node_bandwidth, latency);
+}
+
+} // namespace coll
+} // namespace charllm

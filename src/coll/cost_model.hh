@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Analytic alpha-beta cost models for collectives on a flat network.
+ * Used by the datacenter-scale projector (paper Sec. 7.1 follows the
+ * same methodology with Astra-Sim) and by tests as a reference for the
+ * flow-level simulation.
+ */
+
+#ifndef CHARLLM_COLL_COST_MODEL_HH
+#define CHARLLM_COLL_COST_MODEL_HH
+
+#include <cstddef>
+
+namespace charllm {
+namespace coll {
+
+/**
+ * Ring AllReduce of @p bytes across @p n ranks over links of
+ * @p bandwidth (bytes/s) with per-step latency @p latency (s).
+ * 2(n-1) steps, each moving bytes/n per rank.
+ */
+double ringAllReduceSeconds(int n, double bytes, double bandwidth,
+                            double latency);
+
+/** Ring AllGather/ReduceScatter: (n-1) steps of bytes/n. */
+double ringAllGatherSeconds(int n, double bytes, double bandwidth,
+                            double latency);
+
+/**
+ * Direct-exchange AllToAll: each rank sends bytes/n to every peer; the
+ * per-rank egress volume is bytes*(n-1)/n serialized over its port.
+ */
+double allToAllSeconds(int n, double bytes, double bandwidth,
+                       double latency);
+
+/**
+ * Hierarchical AllReduce across @p nodes where each node contributes
+ * one aggregated rank: reduce-scatter + all-gather over the inter-node
+ * fabric at @p node_bandwidth per node.
+ */
+double hierarchicalAllReduceSeconds(int nodes, double bytes,
+                                    double node_bandwidth,
+                                    double latency);
+
+} // namespace coll
+} // namespace charllm
+
+#endif // CHARLLM_COLL_COST_MODEL_HH

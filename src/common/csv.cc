@@ -1,0 +1,102 @@
+#include "common/csv.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace charllm {
+
+std::string
+CsvWriter::escape(const std::string& value)
+{
+    bool needs_quotes = value.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return value;
+    std::string quoted = "\"";
+    for (char c : value) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::header(const std::vector<std::string>& cols)
+{
+    CHARLLM_ASSERT(!haveHeader, "CSV header already set");
+    columns = cols.size();
+    haveHeader = true;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+        if (i)
+            out << ',';
+        out << escape(cols[i]);
+    }
+    out << '\n';
+}
+
+void
+CsvWriter::beginRow()
+{
+    CHARLLM_ASSERT(current.empty(), "previous CSV row not finished");
+}
+
+void
+CsvWriter::cell(const std::string& value)
+{
+    current.push_back(escape(value));
+}
+
+void
+CsvWriter::cell(double value)
+{
+    current.push_back(formatDouble(value));
+}
+
+void
+CsvWriter::cell(std::uint64_t value)
+{
+    current.push_back(std::to_string(value));
+}
+
+void
+CsvWriter::cell(int value)
+{
+    current.push_back(std::to_string(value));
+}
+
+void
+CsvWriter::endRow()
+{
+    CHARLLM_ASSERT(!haveHeader || current.size() == columns,
+                   "CSV row has ", current.size(), " cells, expected ",
+                   columns);
+    for (std::size_t i = 0; i < current.size(); ++i) {
+        if (i)
+            out << ',';
+        out << current[i];
+    }
+    out << '\n';
+    current.clear();
+    ++rows;
+}
+
+std::string
+CsvWriter::str() const
+{
+    return out.str();
+}
+
+bool
+CsvWriter::writeTo(const std::string& path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << out.str();
+    return static_cast<bool>(f);
+}
+
+} // namespace charllm

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be bit-for-bit reproducible across runs, so all
+ * stochastic components (MoE routing imbalance, sensor jitter) draw from
+ * explicitly seeded Rng instances rather than global std engines.
+ */
+
+#ifndef CHARLLM_COMMON_RNG_HH
+#define CHARLLM_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace charllm {
+
+/**
+ * SplitMix64-based generator: tiny state, excellent statistical quality
+ * for simulation purposes, and trivially seedable per component.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    gaussian()
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    }
+
+    /** Normal with given mean and standard deviation. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        return mean + stddev * gaussian();
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace charllm
+
+#endif // CHARLLM_COMMON_RNG_HH

@@ -1,0 +1,161 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace charllm {
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    total += x;
+    double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+}
+
+void
+RunningStats::merge(const RunningStats& other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    double na = static_cast<double>(n);
+    double nb = static_cast<double>(other.n);
+    double delta = other.mu - mu;
+    double combined = na + nb;
+    m2 += other.m2 + delta * delta * na * nb / combined;
+    mu = (na * mu + nb * other.mu) / combined;
+    n += other.n;
+    total += other.total;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::variance() const
+{
+    return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+TimeWeightedStats::accumulate(double until)
+{
+    double dt = until - lastTime;
+    CHARLLM_ASSERT(dt >= -1e-12, "time went backwards in TimeWeightedStats");
+    if (dt > 0.0) {
+        weighted += lastValue * dt;
+        totalTime += dt;
+        segments.emplace_back(lastValue, dt);
+        lo = std::min(lo, lastValue);
+        hi = std::max(hi, lastValue);
+    }
+}
+
+void
+TimeWeightedStats::update(double time, double value)
+{
+    if (hasSample) {
+        accumulate(time);
+    } else {
+        hasSample = true;
+    }
+    lastTime = time;
+    lastValue = value;
+}
+
+void
+TimeWeightedStats::finish(double time)
+{
+    if (!hasSample)
+        return;
+    accumulate(time);
+    lastTime = time;
+}
+
+double
+TimeWeightedStats::mean() const
+{
+    return totalTime > 0.0 ? weighted / totalTime : lastValue;
+}
+
+double
+TimeWeightedStats::fractionBelow(double threshold) const
+{
+    if (totalTime <= 0.0)
+        return 0.0;
+    double below = 0.0;
+    for (const auto& [value, dt] : segments) {
+        if (value < threshold)
+            below += dt;
+    }
+    return below / totalTime;
+}
+
+Histogram::Histogram(double lo_, double hi_, std::size_t bins)
+    : lo(lo_), hi(hi_), counts(bins, 0.0)
+{
+    CHARLLM_ASSERT(bins > 0 && hi_ > lo_, "invalid histogram bounds");
+}
+
+void
+Histogram::add(double x, double weight)
+{
+    double frac = (x - lo) / (hi - lo);
+    auto bin = static_cast<std::ptrdiff_t>(
+        frac * static_cast<double>(counts.size()));
+    bin = std::clamp<std::ptrdiff_t>(
+        bin, 0, static_cast<std::ptrdiff_t>(counts.size()) - 1);
+    counts[static_cast<std::size_t>(bin)] += weight;
+    total += weight;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo + (hi - lo) * static_cast<double>(i) /
+           static_cast<double>(counts.size());
+}
+
+double
+Histogram::binHigh(std::size_t i) const
+{
+    return binLow(i + 1);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total <= 0.0)
+        return lo;
+    double target = q * total;
+    double seen = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        seen += counts[i];
+        if (seen >= target)
+            return binHigh(i);
+    }
+    return hi;
+}
+
+} // namespace charllm

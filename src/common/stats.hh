@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Statistics accumulators used by the telemetry and reporting layers.
+ */
+
+#ifndef CHARLLM_COMMON_STATS_HH
+#define CHARLLM_COMMON_STATS_HH
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace charllm {
+
+/**
+ * Streaming scalar statistics (Welford's algorithm): mean, variance,
+ * min, max, count — without storing the samples.
+ */
+class RunningStats
+{
+  public:
+    void add(double x);
+    void merge(const RunningStats& other);
+    void reset();
+
+    std::size_t count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double sum() const { return total; }
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    double total = 0.0;
+};
+
+/**
+ * Time-weighted statistics for piecewise-constant signals (power, clock):
+ * each value holds from the previous update time to the current one.
+ * Used for average power, throttling ratios, etc.
+ */
+class TimeWeightedStats
+{
+  public:
+    /**
+     * Record that the signal took @p value starting at @p time (seconds).
+     * The previously recorded value is weighted by the elapsed interval.
+     */
+    void update(double time, double value);
+
+    /** Close the last interval at @p time without changing the value. */
+    void finish(double time);
+
+    double mean() const;
+    double min() const { return hasSample ? lo : 0.0; }
+    double max() const { return hasSample ? hi : 0.0; }
+    double duration() const { return totalTime; }
+
+    /** Fraction of observed time during which value < threshold. */
+    double fractionBelow(double threshold) const;
+
+  private:
+    void accumulate(double until);
+
+    bool hasSample = false;
+    double lastTime = 0.0;
+    double lastValue = 0.0;
+    double weighted = 0.0;
+    double totalTime = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    // Piecewise (value, duration) pairs for threshold queries.
+    std::vector<std::pair<double, double>> segments;
+};
+
+/** Fixed-bin histogram over [lo, hi); out-of-range samples clamp. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x, double weight = 1.0);
+
+    std::size_t numBins() const { return counts.size(); }
+    double binLow(std::size_t i) const;
+    double binHigh(std::size_t i) const;
+    double binCount(std::size_t i) const { return counts[i]; }
+    double totalWeight() const { return total; }
+
+    /** Smallest x such that at least q of the weight lies below it. */
+    double quantile(double q) const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<double> counts;
+    double total = 0.0;
+};
+
+} // namespace charllm
+
+#endif // CHARLLM_COMMON_STATS_HH

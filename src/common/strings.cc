@@ -1,0 +1,98 @@
+#include "common/strings.hh"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace charllm {
+
+std::string
+formatDouble(double value, int max_precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", max_precision, value);
+    return buf;
+}
+
+std::string
+formatFixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    static const char* suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+    double v = std::fabs(bytes);
+    int idx = 0;
+    while (v >= 1024.0 && idx < 5) {
+        v /= 1024.0;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s",
+                  bytes < 0 ? -v : v, suffixes[idx]);
+    return buf;
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    char buf[64];
+    double v = std::fabs(seconds);
+    if (v >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+    else if (v >= 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+    else if (v >= 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+    return buf;
+}
+
+std::string
+formatBandwidth(double bytes_per_sec)
+{
+    char buf[64];
+    double v = std::fabs(bytes_per_sec);
+    if (v >= 1e9)
+        std::snprintf(buf, sizeof(buf), "%.2f GB/s", bytes_per_sec / 1e9);
+    else if (v >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2f MB/s", bytes_per_sec / 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f KB/s", bytes_per_sec / 1e3);
+    return buf;
+}
+
+std::string
+join(const std::vector<std::string>& parts, const std::string& sep)
+{
+    std::string result;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            result += sep;
+        result += parts[i];
+    }
+    return result;
+}
+
+std::string
+strprintf(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string result(static_cast<std::size_t>(len), '\0');
+    std::vsnprintf(result.data(), result.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return result;
+}
+
+} // namespace charllm

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * String formatting helpers shared by reports, tables, and CSV output.
+ */
+
+#ifndef CHARLLM_COMMON_STRINGS_HH
+#define CHARLLM_COMMON_STRINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace charllm {
+
+/** Compact double formatting: trims trailing zeros ("1.5", "3", "0.25"). */
+std::string formatDouble(double value, int max_precision = 6);
+
+/** Fixed-precision formatting ("12.34"). */
+std::string formatFixed(double value, int precision);
+
+/** Human-readable byte count ("1.50 GiB"). */
+std::string formatBytes(double bytes);
+
+/** Human-readable duration from seconds ("12.3 ms"). */
+std::string formatSeconds(double seconds);
+
+/** Human-readable rate from bytes/second ("25.0 GB/s"). */
+std::string formatBandwidth(double bytes_per_sec);
+
+/** Join the parts with a separator. */
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace charllm
+
+#endif // CHARLLM_COMMON_STRINGS_HH

@@ -1,0 +1,114 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace charllm {
+
+namespace {
+const std::vector<std::string> kSeparatorSentinel = {"\x01sep"};
+} // namespace
+
+TextTable::TextTable(std::vector<std::string> columns)
+    : header(std::move(columns))
+{
+    CHARLLM_ASSERT(!header.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    CHARLLM_ASSERT(row.size() == header.size(),
+                   "row has ", row.size(), " cells, expected ",
+                   header.size());
+    body.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    body.push_back(kSeparatorSentinel);
+}
+
+bool
+TextTable::looksNumeric(const std::string& cell)
+{
+    if (cell.empty())
+        return false;
+    std::size_t i = 0;
+    if (cell[0] == '-' || cell[0] == '+')
+        i = 1;
+    bool digit = false;
+    for (; i < cell.size(); ++i) {
+        char c = cell[i];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            digit = true;
+        } else if (c != '.' && c != 'e' && c != 'E' && c != '-' &&
+                   c != '+' && c != '%' && c != 'x') {
+            return false;
+        }
+    }
+    return digit;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> width(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto& row : body) {
+        if (row == kSeparatorSentinel)
+            continue;
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto emit_rule = [&](std::ostringstream& os) {
+        os << '+';
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            os << std::string(width[c] + 2, '-') << '+';
+        }
+        os << '\n';
+    };
+    auto emit_row = [&](std::ostringstream& os,
+                        const std::vector<std::string>& row) {
+        os << '|';
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const std::string& cell = row[c];
+            std::size_t pad = width[c] - cell.size();
+            if (looksNumeric(cell)) {
+                os << ' ' << std::string(pad, ' ') << cell << ' ';
+            } else {
+                os << ' ' << cell << std::string(pad, ' ') << ' ';
+            }
+            os << '|';
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    emit_rule(os);
+    emit_row(os, header);
+    emit_rule(os);
+    for (const auto& row : body) {
+        if (row == kSeparatorSentinel)
+            emit_rule(os);
+        else
+            emit_row(os, row);
+    }
+    emit_rule(os);
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace charllm

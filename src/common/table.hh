@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ASCII table printer used by the bench binaries to render the paper's
+ * tables/figure series as aligned text.
+ */
+
+#ifndef CHARLLM_COMMON_TABLE_HH
+#define CHARLLM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace charllm {
+
+/**
+ * Simple column-aligned table. Columns are sized to the widest cell;
+ * numeric cells are right-aligned, text cells left-aligned.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> columns);
+
+    /** Append a fully-populated row (must match the column count). */
+    void addRow(std::vector<std::string> row);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    static bool looksNumeric(const std::string& cell);
+
+    std::vector<std::string> header;
+    // A row with a single empty sentinel marks a separator.
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace charllm
+
+#endif // CHARLLM_COMMON_TABLE_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Unit conventions and conversion helpers used across the simulator.
+ *
+ * Conventions:
+ *  - simulated time: nanoseconds, stored in sim::Tick (uint64_t);
+ *    floating-point seconds are used only at model boundaries
+ *  - data volumes: bytes (double where fractional rates are involved)
+ *  - bandwidth: bytes per second
+ *  - power: watts; energy: joules; temperature: degrees Celsius
+ *  - compute: FLOPs (double, since workloads exceed 2^64 comfortably only
+ *    in aggregate; per-kernel counts fit but we keep double throughout)
+ */
+
+#ifndef CHARLLM_COMMON_UNITS_HH
+#define CHARLLM_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace charllm {
+namespace units {
+
+// ---- data sizes -----------------------------------------------------------
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * kKiB;
+constexpr double kGiB = 1024.0 * kMiB;
+constexpr double kKB = 1e3;
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+
+// ---- bandwidth (bytes/second) --------------------------------------------
+constexpr double kGBps = 1e9;
+
+/** Convert a link rate quoted in Gbit/s to bytes/second. */
+constexpr double
+gbitPerSec(double gbit)
+{
+    return gbit * 1e9 / 8.0;
+}
+
+// ---- time -----------------------------------------------------------------
+constexpr double kUs = 1e-6;
+constexpr double kMs = 1e-3;
+
+// ---- compute --------------------------------------------------------------
+constexpr double kTFLOP = 1e12;
+constexpr double kPFLOP = 1e15;
+
+} // namespace units
+} // namespace charllm
+
+#endif // CHARLLM_COMMON_UNITS_HH

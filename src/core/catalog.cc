@@ -1,0 +1,66 @@
+#include "core/catalog.hh"
+
+namespace charllm {
+namespace core {
+
+int
+maxExpertParallel(const model::TransformerConfig& model, int dp)
+{
+    if (!model.isMoe())
+        return 1;
+    for (int e = std::min(model.numExperts, 8); e >= 1; --e) {
+        if (dp % e == 0 && model.numExperts % e == 0)
+            return e;
+    }
+    return 1;
+}
+
+std::vector<parallel::ParallelConfig>
+paperConfigs(const model::TransformerConfig& model,
+             const ClusterSpec& cluster, int global_batch)
+{
+    int world = cluster.numGpus();
+    int gpn = cluster.network.gpusPerNode;
+    std::vector<parallel::ParallelConfig> configs;
+
+    auto try_add = [&](int tp, int pp, bool fsdp) {
+        if (tp > gpn || tp * pp > world)
+            return;
+        if (pp > model.numLayers)
+            return;
+        if (world % (tp * pp) != 0)
+            return;
+        int dp = world / (tp * pp);
+        if (global_batch % dp != 0)
+            return;
+        int ep = fsdp ? 1 : maxExpertParallel(model, dp);
+        parallel::ParallelConfig c =
+            parallel::ParallelConfig::forWorld(world, tp, pp, ep,
+                                               fsdp);
+        for (const auto& existing : configs) {
+            if (existing.label() == c.label())
+                return;
+        }
+        configs.push_back(c);
+    };
+
+    if (model.isMoe()) {
+        // Expert-parallel sweep: widest EP (TP1) through TP-heavy.
+        try_add(1, 4, false);
+        try_add(2, 4, false);
+        try_add(4, 4, false);
+        try_add(4, 1, false);
+        try_add(8, 4, false);
+        try_add(8, 2, false);
+    } else {
+        try_add(8, 4, false);
+        try_add(4, 8, false);
+        try_add(2, 16, false);
+        try_add(1, 32, false);
+        try_add(8, 1, true); // TP8-FSDP
+    }
+    return configs;
+}
+
+} // namespace core
+} // namespace charllm

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Catalog of the parallelism configurations the paper sweeps for each
+ * (model, cluster) pair (Sec. 3.1: minimal model parallelism to fit,
+ * TP confined within a node, plus the TP8-FSDP 2D layout).
+ */
+
+#ifndef CHARLLM_CORE_CATALOG_HH
+#define CHARLLM_CORE_CATALOG_HH
+
+#include <vector>
+
+#include "core/cluster.hh"
+#include "model/transformer_config.hh"
+#include "parallel/parallel_config.hh"
+
+namespace charllm {
+namespace core {
+
+/**
+ * The paper's configuration set for a model on a cluster: dense
+ * models sweep TP8-PP4 .. TP1-PP32 plus TP8-FSDP; MoE models sweep
+ * expert-parallel widths against TP. Configurations that do not
+ * divide the cluster or the batch are dropped (memory feasibility is
+ * screened later by Experiment).
+ */
+std::vector<parallel::ParallelConfig>
+paperConfigs(const model::TransformerConfig& model,
+             const ClusterSpec& cluster, int global_batch = 128);
+
+/** Largest expert-parallel width dividing both dp and the experts. */
+int maxExpertParallel(const model::TransformerConfig& model, int dp);
+
+} // namespace core
+} // namespace charllm
+
+#endif // CHARLLM_CORE_CATALOG_HH

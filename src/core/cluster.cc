@@ -1,0 +1,56 @@
+#include "core/cluster.hh"
+
+namespace charllm {
+namespace core {
+
+ClusterSpec
+h200Cluster(int num_nodes, double nic_gbps)
+{
+    ClusterSpec c;
+    c.name = "H200";
+    c.gpu = hw::h200Spec();
+    c.chassis = hw::hgxLayout();
+    c.network = net::Topology::hgxParams(num_nodes, nic_gbps);
+    c.numNodes = num_nodes;
+    return c;
+}
+
+ClusterSpec
+h100Cluster(int num_nodes, double nic_gbps)
+{
+    ClusterSpec c;
+    c.name = "H100";
+    c.gpu = hw::h100Spec();
+    c.chassis = hw::hgxLayout();
+    c.network = net::Topology::hgxParams(num_nodes, nic_gbps);
+    c.numNodes = num_nodes;
+    return c;
+}
+
+ClusterSpec
+mi250Cluster(int num_nodes, double nic_gbps)
+{
+    ClusterSpec c;
+    c.name = "MI250";
+    c.gpu = hw::mi250GcdSpec();
+    c.chassis = hw::mi250Layout();
+    c.network = net::Topology::mi250Params(num_nodes, nic_gbps);
+    c.numNodes = num_nodes;
+    return c;
+}
+
+ClusterSpec
+oneGpuPerNodeCluster(const ClusterSpec& base, int num_nodes)
+{
+    ClusterSpec c = base;
+    c.name = base.name + "-1gpu";
+    c.network = net::Topology::oneGpuPerNode(base.network, num_nodes);
+    c.numNodes = num_nodes;
+    // One device per node: a trivial single-slot chassis.
+    c.chassis.slots.resize(1);
+    c.chassis.slots[0] = hw::SlotLayout{};
+    return c;
+}
+
+} // namespace core
+} // namespace charllm

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Cluster presets matching the paper's three testbeds (Table 3):
+ * 4x HGX H200, 8x HGX H100, and 4x MI250 nodes, all on 100 Gbps
+ * InfiniBand, plus the 1-GPU-per-node variant of Figure 8.
+ */
+
+#ifndef CHARLLM_CORE_CLUSTER_HH
+#define CHARLLM_CORE_CLUSTER_HH
+
+#include <string>
+
+#include "hw/chassis.hh"
+#include "hw/gpu_spec.hh"
+#include "net/topology.hh"
+
+namespace charllm {
+namespace core {
+
+/** A complete hardware description of one cluster. */
+struct ClusterSpec
+{
+    std::string name;
+    hw::GpuSpec gpu;
+    hw::ChassisLayout chassis;
+    net::Topology::Params network;
+    int numNodes = 0;
+
+    int
+    numGpus() const
+    {
+        return numNodes * network.gpusPerNode;
+    }
+};
+
+/** 4 nodes x 8 H200 (scale-up testbed). */
+ClusterSpec h200Cluster(int num_nodes = 4, double nic_gbps = 100.0);
+
+/** 8 nodes x 8 H100 (scale-out testbed). */
+ClusterSpec h100Cluster(int num_nodes = 8, double nic_gbps = 100.0);
+
+/** 4 nodes x 4 MI250 (8 logical GCDs per node). */
+ClusterSpec mi250Cluster(int num_nodes = 4, double nic_gbps = 100.0);
+
+/** 1-GPU-per-node variant of @p base across @p num_nodes (Fig. 8). */
+ClusterSpec oneGpuPerNodeCluster(const ClusterSpec& base,
+                                 int num_nodes = 4);
+
+} // namespace core
+} // namespace charllm
+
+#endif // CHARLLM_CORE_CLUSTER_HH

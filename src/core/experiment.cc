@@ -1,0 +1,191 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+
+#include "coll/collective_engine.hh"
+#include "common/logging.hh"
+#include "hw/platform.hh"
+#include "net/flow_network.hh"
+#include "parallel/rank_mapper.hh"
+#include "runtime/engine.hh"
+#include "runtime/program_builder.hh"
+#include "sim/simulator.hh"
+
+namespace charllm {
+namespace core {
+
+std::string
+ExperimentConfig::label() const
+{
+    std::string s = model.name + " " + cluster.name + " " + par.label();
+    if (train.actRecompute)
+        s += "+act";
+    if (train.ccOverlap)
+        s += "+cc";
+    if (train.inference)
+        s += " (inference)";
+    if (train.microbatchSize != 1)
+        s += " mb" + std::to_string(train.microbatchSize);
+    return s;
+}
+
+namespace {
+
+parallel::MemoryOptions
+memoryOptionsFor(const ExperimentConfig& cfg, int microbatches)
+{
+    parallel::MemoryOptions mo;
+    mo.microbatchSize = cfg.train.microbatchSize;
+    mo.microbatchesInFlight = std::min(microbatches, cfg.par.pp);
+    mo.actRecompute = cfg.train.actRecompute;
+    mo.zero1 = cfg.train.zero1 && !cfg.model.isMoe();
+    mo.inference = cfg.train.inference;
+    return mo;
+}
+
+} // namespace
+
+bool
+Experiment::fits(const ExperimentConfig& config)
+{
+    config.par.validate();
+    int per_replica = config.train.globalBatchSize / config.par.dp;
+    int microbatches =
+        std::max(1, per_replica / config.train.microbatchSize);
+    parallel::MemoryPlanner planner(config.model, config.par);
+    return planner.fits(config.cluster.gpu.memoryBytes,
+                        memoryOptionsFor(config, microbatches));
+}
+
+ExperimentResult
+Experiment::run(const ExperimentConfig& config)
+{
+    ExperimentConfig cfg = config;
+    cfg.par.validate();
+    CHARLLM_ASSERT(cfg.par.worldSize() == cfg.cluster.numGpus(),
+                   "parallel world (", cfg.par.worldSize(),
+                   ") != cluster size (", cfg.cluster.numGpus(), ")");
+    // The paper disables ZeRO-1 for MoE models (NeMo/Megatron limits).
+    if (cfg.model.isMoe())
+        cfg.train.zero1 = false;
+
+    ExperimentResult result;
+    result.label = cfg.label();
+
+    int per_replica = cfg.train.globalBatchSize / cfg.par.dp;
+    int microbatches =
+        std::max(1, per_replica / cfg.train.microbatchSize);
+    parallel::MemoryPlanner planner(cfg.model, cfg.par);
+    auto memory_opts = memoryOptionsFor(cfg, microbatches);
+    result.memory = planner.worstStage(memory_opts);
+    if (cfg.checkMemory &&
+        !planner.fits(cfg.cluster.gpu.memoryBytes, memory_opts)) {
+        result.feasible = false;
+        return result;
+    }
+
+    // ---- build the full simulation stack -------------------------------
+    sim::Simulator simulator;
+    net::Topology topology(cfg.cluster.network);
+    hw::Platform platform(simulator, cfg.cluster.gpu,
+                          cfg.cluster.chassis, cfg.cluster.numNodes);
+    net::FlowNetwork network(simulator, topology);
+    coll::CollectiveEngine collectives(simulator, network);
+
+    parallel::RankMapper mapper(cfg.par);
+    if (!cfg.devicePermutation.empty())
+        mapper.setDevicePermutation(cfg.devicePermutation);
+
+    runtime::ProgramBuilder builder(cfg.model, mapper, cfg.train);
+    runtime::EngineOptions engine_opts;
+    engine_opts.warmupIterations = cfg.warmupIterations;
+    engine_opts.measuredIterations = cfg.measuredIterations;
+    runtime::TrainingEngine engine(platform, network, collectives,
+                                   builder, engine_opts);
+
+    std::unique_ptr<telemetry::Sampler> sampler;
+    if (cfg.enableSampler) {
+        sampler = std::make_unique<telemetry::Sampler>(
+            platform, network, cfg.samplePeriodSec);
+    }
+    std::shared_ptr<telemetry::KernelTrace> trace;
+    if (cfg.enableTrace) {
+        trace = std::make_shared<telemetry::KernelTrace>();
+        engine.setTraceSink([trace](int dev, hw::KernelClass cls,
+                                    const char* name, double start,
+                                    double dur) {
+            trace->record(dev, cls, name, start, dur);
+        });
+    }
+
+    for (const auto& [node, watts] : cfg.nodePowerCaps)
+        platform.capNodePower(node, watts);
+    platform.start();
+    engine.run();
+
+    // ---- collect metrics --------------------------------------------------
+    result.iterationSeconds = engine.iterationSeconds();
+    result.avgIterationSeconds = engine.avgIterationSeconds();
+    result.tokensPerIteration = builder.tokensPerIteration();
+    result.tokensPerSecond =
+        result.tokensPerIteration / result.avgIterationSeconds;
+    result.measureStartSec = engine.measureStartSeconds();
+
+    double iters = static_cast<double>(cfg.measuredIterations);
+    RunningStats power_avg, temp_avg, clock_avg, throttle_avg;
+    for (int i = 0; i < platform.numGpus(); ++i) {
+        const hw::Gpu& gpu = platform.gpu(i);
+        GpuResult g;
+        g.avgPowerW = gpu.powerStats().mean();
+        g.peakPowerW = gpu.powerStats().max();
+        g.avgTempC = gpu.tempStats().mean();
+        g.peakTempC = gpu.tempStats().max();
+        g.avgClockGhz = gpu.clockStats().mean() *
+                        gpu.spec().nominalClockGhz;
+        g.throttleRatio = gpu.throttleRatio();
+        g.avgOccupancy = gpu.occupancyStats().mean();
+        g.avgWarps = gpu.warpStats().mean();
+        g.avgThreadblocks = gpu.threadblockStats().mean();
+        g.energyJ = gpu.energyJoules();
+        g.pcieBytes = gpu.trafficBytes(hw::TrafficClass::Pcie) / iters;
+        hw::TrafficClass up = cfg.cluster.network.chiplet
+                                  ? hw::TrafficClass::Xgmi
+                                  : hw::TrafficClass::NvLink;
+        g.scaleUpBytes = gpu.trafficBytes(up) / iters;
+        g.breakdown = gpu.breakdown();
+        for (double& s : g.breakdown.seconds)
+            s /= iters;
+
+        result.totalEnergyJ += g.energyJ;
+        result.meanBreakdown.merge(g.breakdown);
+        result.peakPowerW = std::max(result.peakPowerW, g.peakPowerW);
+        result.peakTempC = std::max(result.peakTempC, g.peakTempC);
+        power_avg.add(g.avgPowerW);
+        temp_avg.add(g.avgTempC);
+        clock_avg.add(g.avgClockGhz);
+        throttle_avg.add(g.throttleRatio);
+        result.gpus.push_back(std::move(g));
+    }
+    for (double& s : result.meanBreakdown.seconds)
+        s /= static_cast<double>(platform.numGpus());
+    result.avgPowerW = power_avg.mean();
+    result.avgTempC = temp_avg.mean();
+    result.avgClockGhz = clock_avg.mean();
+    result.throttleRatio = throttle_avg.mean();
+
+    double tokens_measured = result.tokensPerIteration * iters;
+    result.energyPerTokenJ = result.totalEnergyJ / tokens_measured;
+    result.tokensPerJoule = tokens_measured / result.totalEnergyJ;
+
+    if (sampler) {
+        result.series.reserve(
+            static_cast<std::size_t>(platform.numGpus()));
+        for (int i = 0; i < platform.numGpus(); ++i)
+            result.series.push_back(sampler->series(i));
+    }
+    result.trace = trace;
+    return result;
+}
+
+} // namespace core
+} // namespace charllm

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The experiment API: run one (cluster, model, parallelism, options)
+ * combination end-to-end on the simulator and collect every metric
+ * the paper reports — throughput, energy efficiency, per-kernel-class
+ * breakdowns, per-GPU power/thermal/clock statistics, throttle
+ * ratios, traffic counters, and optional telemetry time series.
+ */
+
+#ifndef CHARLLM_CORE_EXPERIMENT_HH
+#define CHARLLM_CORE_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hh"
+#include "model/transformer_config.hh"
+#include "parallel/memory_planner.hh"
+#include "parallel/parallel_config.hh"
+#include "runtime/options.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/trace.hh"
+
+namespace charllm {
+namespace core {
+
+/** Full experiment description. */
+struct ExperimentConfig
+{
+    ClusterSpec cluster;
+    model::TransformerConfig model;
+    parallel::ParallelConfig par;
+    runtime::TrainOptions train;
+
+    int warmupIterations = 2;
+    int measuredIterations = 3;
+
+    /** Thermal-aware placement: logical rank -> device (empty = id). */
+    std::vector<int> devicePermutation;
+
+    /**
+     * Fault injection: (node, watts-per-GPU) power caps applied
+     * before training starts — models the node-level power-delivery
+     * failure the paper describes (GPUs running >4x slower and
+     * straggling the whole pipeline).
+     */
+    std::vector<std::pair<int, double>> nodePowerCaps;
+
+    bool enableSampler = false;
+    double samplePeriodSec = 0.01;
+    bool enableTrace = false;
+
+    /** Reject configurations that do not fit HBM (paper Sec. 3.1). */
+    bool checkMemory = true;
+
+    /** Paper-style label: "<model> <cluster> <parallelism>[+opts]". */
+    std::string label() const;
+};
+
+/** Per-GPU measured statistics over the post-warmup window. */
+struct GpuResult
+{
+    double avgPowerW = 0.0;
+    double peakPowerW = 0.0;
+    double avgTempC = 0.0;
+    double peakTempC = 0.0;
+    double avgClockGhz = 0.0;
+    double throttleRatio = 0.0;
+    double avgOccupancy = 0.0;
+    double avgWarps = 0.0;
+    double avgThreadblocks = 0.0;
+    double energyJ = 0.0;
+    double pcieBytes = 0.0;
+    double scaleUpBytes = 0.0; //!< NVLink or xGMI
+    hw::KernelTimeBreakdown breakdown; //!< per measured iteration
+};
+
+/** Aggregated experiment outcome. */
+struct ExperimentResult
+{
+    std::string label;
+    bool feasible = true;
+    parallel::MemoryBreakdown memory;
+
+    std::vector<double> iterationSeconds;
+    double avgIterationSeconds = 0.0;
+    double tokensPerIteration = 0.0;
+    double tokensPerSecond = 0.0;
+
+    double totalEnergyJ = 0.0;
+    double energyPerTokenJ = 0.0;
+    double tokensPerJoule = 0.0; //!< the paper's "efficiency"
+
+    std::vector<GpuResult> gpus;
+    hw::KernelTimeBreakdown meanBreakdown; //!< rank-mean per iteration
+
+    double avgPowerW = 0.0;
+    double peakPowerW = 0.0;
+    double avgTempC = 0.0;
+    double peakTempC = 0.0;
+    double avgClockGhz = 0.0;
+    double throttleRatio = 0.0;
+
+    double measureStartSec = 0.0;
+    /** Telemetry series per GPU (empty unless enableSampler). */
+    std::vector<std::vector<telemetry::Sample>> series;
+    /** Kernel trace (null unless enableTrace). */
+    std::shared_ptr<telemetry::KernelTrace> trace;
+};
+
+/** Runs experiments. Stateless; each run builds a fresh simulator. */
+class Experiment
+{
+  public:
+    static ExperimentResult run(const ExperimentConfig& config);
+
+    /**
+     * Check feasibility (HBM fit) without running; mirrors the memory
+     * screen the run() call applies.
+     */
+    static bool fits(const ExperimentConfig& config);
+};
+
+} // namespace core
+} // namespace charllm
+
+#endif // CHARLLM_CORE_EXPERIMENT_HH

@@ -1,0 +1,157 @@
+#include "core/report.hh"
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/strings.hh"
+
+namespace charllm {
+namespace core {
+
+CsvWriter
+summaryCsv(const std::vector<ExperimentResult>& results)
+{
+    CsvWriter csv;
+    csv.header({"label", "feasible", "iteration_s", "tokens_per_s",
+                "tokens_per_j", "energy_per_token_j", "avg_power_w",
+                "peak_power_w", "avg_temp_c", "peak_temp_c",
+                "avg_clock_ghz", "throttle_ratio",
+                "memory_per_gpu_gb"});
+    for (const auto& r : results) {
+        csv.beginRow();
+        csv.cell(r.label);
+        csv.cell(r.feasible ? 1 : 0);
+        csv.cell(r.avgIterationSeconds);
+        csv.cell(r.tokensPerSecond);
+        csv.cell(r.tokensPerJoule);
+        csv.cell(r.energyPerTokenJ);
+        csv.cell(r.avgPowerW);
+        csv.cell(r.peakPowerW);
+        csv.cell(r.avgTempC);
+        csv.cell(r.peakTempC);
+        csv.cell(r.avgClockGhz);
+        csv.cell(r.throttleRatio);
+        csv.cell(r.memory.total() / 1e9);
+        csv.endRow();
+    }
+    return csv;
+}
+
+CsvWriter
+gpuMetricsCsv(const ExperimentResult& result)
+{
+    CsvWriter csv;
+    csv.header({"gpu", "avg_power_w", "peak_power_w", "avg_temp_c",
+                "peak_temp_c", "avg_clock_ghz", "throttle_ratio",
+                "avg_occupancy", "avg_warps", "avg_threadblocks",
+                "energy_j", "pcie_bytes", "scaleup_bytes",
+                "compute_s", "comm_s"});
+    for (std::size_t i = 0; i < result.gpus.size(); ++i) {
+        const auto& g = result.gpus[i];
+        csv.beginRow();
+        csv.cell(static_cast<int>(i));
+        csv.cell(g.avgPowerW);
+        csv.cell(g.peakPowerW);
+        csv.cell(g.avgTempC);
+        csv.cell(g.peakTempC);
+        csv.cell(g.avgClockGhz);
+        csv.cell(g.throttleRatio);
+        csv.cell(g.avgOccupancy);
+        csv.cell(g.avgWarps);
+        csv.cell(g.avgThreadblocks);
+        csv.cell(g.energyJ);
+        csv.cell(g.pcieBytes);
+        csv.cell(g.scaleUpBytes);
+        csv.cell(g.breakdown.computeTotal());
+        csv.cell(g.breakdown.commTotal());
+        csv.endRow();
+    }
+    return csv;
+}
+
+CsvWriter
+breakdownCsv(const ExperimentResult& result)
+{
+    CsvWriter csv;
+    csv.header({"kernel_class", "rank_mean_seconds", "share"});
+    double total = result.meanBreakdown.total();
+    for (std::size_t i = 0; i < hw::kNumKernelClasses; ++i) {
+        auto cls = static_cast<hw::KernelClass>(i);
+        double s = result.meanBreakdown[cls];
+        if (s <= 0.0)
+            continue;
+        csv.beginRow();
+        csv.cell(std::string(hw::kernelClassName(cls)));
+        csv.cell(s);
+        csv.cell(total > 0.0 ? s / total : 0.0);
+        csv.endRow();
+    }
+    return csv;
+}
+
+CsvWriter
+seriesCsv(const ExperimentResult& result)
+{
+    CsvWriter csv;
+    csv.header({"time_s", "gpu", "power_w", "temp_c", "clock_ghz",
+                "occupancy", "pcie_bps", "scaleup_bps"});
+    for (std::size_t g = 0; g < result.series.size(); ++g) {
+        for (const auto& s : result.series[g]) {
+            csv.beginRow();
+            csv.cell(s.time);
+            csv.cell(static_cast<int>(g));
+            csv.cell(s.powerWatts);
+            csv.cell(s.tempC);
+            csv.cell(s.clockGhz);
+            csv.cell(s.occupancy);
+            csv.cell(s.pcieRate);
+            csv.cell(s.scaleUpRate);
+            csv.endRow();
+        }
+    }
+    return csv;
+}
+
+std::string
+toJson(const ExperimentResult& result)
+{
+    std::ostringstream os;
+    os << "{\"label\":\"" << result.label << "\""
+       << ",\"feasible\":" << (result.feasible ? "true" : "false")
+       << ",\"iteration_s\":" << formatDouble(result.avgIterationSeconds)
+       << ",\"tokens_per_s\":" << formatDouble(result.tokensPerSecond)
+       << ",\"tokens_per_j\":" << formatDouble(result.tokensPerJoule)
+       << ",\"avg_power_w\":" << formatDouble(result.avgPowerW)
+       << ",\"peak_power_w\":" << formatDouble(result.peakPowerW)
+       << ",\"avg_temp_c\":" << formatDouble(result.avgTempC)
+       << ",\"peak_temp_c\":" << formatDouble(result.peakTempC)
+       << ",\"throttle_ratio\":" << formatDouble(result.throttleRatio)
+       << ",\"gpus\":" << result.gpus.size() << "}";
+    return os.str();
+}
+
+std::vector<std::string>
+writeReports(const ExperimentResult& result,
+             const std::string& directory, const std::string& stem)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(directory, ec);
+    if (ec)
+        return {};
+    std::vector<std::string> written;
+    auto emit = [&](const std::string& suffix, const CsvWriter& csv) {
+        std::string path = directory + "/" + stem + suffix;
+        if (csv.writeTo(path))
+            written.push_back(path);
+    };
+    emit("_summary.csv", summaryCsv({result}));
+    emit("_gpus.csv", gpuMetricsCsv(result));
+    emit("_breakdown.csv", breakdownCsv(result));
+    if (!result.series.empty())
+        emit("_series.csv", seriesCsv(result));
+    return written;
+}
+
+} // namespace core
+} // namespace charllm

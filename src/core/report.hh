@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Result exporters. The paper's artifact emits per-GPU telemetry CSVs
+ * and summary tables that its visualization scripts consume; these
+ * helpers produce the equivalent machine-readable outputs from
+ * ExperimentResult so downstream tooling (plotting, regression
+ * tracking) can be pointed at the simulator.
+ */
+
+#ifndef CHARLLM_CORE_REPORT_HH
+#define CHARLLM_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "core/experiment.hh"
+
+namespace charllm {
+namespace core {
+
+/**
+ * One row per experiment: label, feasibility, timing, throughput,
+ * energy, and cluster-level power/thermal aggregates.
+ */
+CsvWriter summaryCsv(const std::vector<ExperimentResult>& results);
+
+/** Per-GPU metrics of one experiment (one row per device). */
+CsvWriter gpuMetricsCsv(const ExperimentResult& result);
+
+/** Per-kernel-class breakdown of one experiment (one row per class). */
+CsvWriter breakdownCsv(const ExperimentResult& result);
+
+/** Telemetry time series (only when the sampler was enabled). */
+CsvWriter seriesCsv(const ExperimentResult& result);
+
+/** Compact single-experiment JSON summary (flat object). */
+std::string toJson(const ExperimentResult& result);
+
+/**
+ * Write every applicable report of @p result into @p directory
+ * (created if needed), with file names derived from @p stem.
+ * Returns the paths written; empty on I/O failure.
+ */
+std::vector<std::string> writeReports(const ExperimentResult& result,
+                                      const std::string& directory,
+                                      const std::string& stem);
+
+} // namespace core
+} // namespace charllm
+
+#endif // CHARLLM_CORE_REPORT_HH

@@ -1,0 +1,106 @@
+#include "core/thermal_placement.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace charllm {
+namespace core {
+
+std::vector<int>
+coolnessOrder(const hw::ChassisLayout& chassis)
+{
+    std::vector<int> order(chassis.slots.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        const auto& sa = chassis.slots[static_cast<std::size_t>(a)];
+        const auto& sb = chassis.slots[static_cast<std::size_t>(b)];
+        if (sa.airflowRow != sb.airflowRow)
+            return sa.airflowRow < sb.airflowRow;
+        return sa.resistanceScale < sb.resistanceScale;
+    });
+    return order;
+}
+
+PlacementPlan
+coldFirstPlacement(const ClusterSpec& cluster,
+                   const parallel::ParallelConfig& par)
+{
+    par.validate();
+    CHARLLM_ASSERT(par.dp == 1,
+                   "thermal-aware placement requires dp == 1");
+    int gpn = cluster.network.gpusPerNode;
+    CHARLLM_ASSERT(gpn % par.tp == 0, "tp must divide gpus per node");
+    int stages_per_node = gpn / par.tp;
+    CHARLLM_ASSERT(par.pp == cluster.numNodes * stages_per_node,
+                   "pp must cover the cluster exactly");
+
+    std::vector<int> cool = coolnessOrder(cluster.chassis);
+    PlacementPlan plan;
+    plan.devicePermutation.resize(
+        static_cast<std::size_t>(par.worldSize()));
+    plan.coldStage.assign(static_cast<std::size_t>(par.pp), false);
+
+    for (int node = 0; node < cluster.numNodes; ++node) {
+        // Stages resident on this node, ordered by weight: the
+        // output-head stage (globally last) is the heaviest, then
+        // earlier stages first (they hold more in-flight work under
+        // 1F1B). Heaviest stages claim the coldest slot groups.
+        std::vector<int> stages(
+            static_cast<std::size_t>(stages_per_node));
+        std::iota(stages.begin(), stages.end(),
+                  node * stages_per_node);
+        std::stable_sort(stages.begin(), stages.end(),
+                         [&](int a, int b) {
+            bool a_head = a == par.pp - 1;
+            bool b_head = b == par.pp - 1;
+            if (a_head != b_head)
+                return a_head;
+            return a < b;
+        });
+        for (int q = 0;
+             q < static_cast<int>(stages.size()); ++q) {
+            int pp_idx = stages[static_cast<std::size_t>(q)];
+            // First half of the coolness order = intake row.
+            bool cold = q < stages_per_node / 2 ||
+                        stages_per_node == 1;
+            plan.coldStage[static_cast<std::size_t>(pp_idx)] = cold;
+            for (int tp_idx = 0; tp_idx < par.tp; ++tp_idx) {
+                int rank = tp_idx + par.tp * pp_idx; // dp == 1
+                int slot = cool[static_cast<std::size_t>(
+                    q * par.tp + tp_idx)];
+                plan.devicePermutation[static_cast<std::size_t>(
+                    rank)] = node * gpn + slot;
+            }
+        }
+    }
+    return plan;
+}
+
+std::vector<int>
+asymmetricStageLayers(const PlacementPlan& plan, int num_layers,
+                      int delta)
+{
+    auto pp = static_cast<int>(plan.coldStage.size());
+    CHARLLM_ASSERT(pp > 0 && num_layers % pp == 0,
+                   "layers must divide evenly before skewing");
+    int cold_count = 0;
+    for (bool c : plan.coldStage)
+        cold_count += c ? 1 : 0;
+    CHARLLM_ASSERT(cold_count * 2 == pp,
+                   "asymmetric skew expects half the stages cold");
+    int base = num_layers / pp;
+    std::vector<int> layers(static_cast<std::size_t>(pp), base);
+    for (int s = 0; s < pp; ++s) {
+        layers[static_cast<std::size_t>(s)] +=
+            plan.coldStage[static_cast<std::size_t>(s)] ? delta
+                                                        : -delta;
+        CHARLLM_ASSERT(layers[static_cast<std::size_t>(s)] > 0,
+                       "stage with no layers after skew");
+    }
+    return layers;
+}
+
+} // namespace core
+} // namespace charllm

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Thermal-aware pipeline placement (paper Sec. 6): cluster cold and
+ * hot devices into separate pipeline stages, run the heavier stages
+ * on cold devices, and optionally shift layers from hot to cold
+ * stages (asymmetric allocation, the paper's 19/21 and 11/13 splits).
+ */
+
+#ifndef CHARLLM_CORE_THERMAL_PLACEMENT_HH
+#define CHARLLM_CORE_THERMAL_PLACEMENT_HH
+
+#include <vector>
+
+#include "core/cluster.hh"
+#include "parallel/parallel_config.hh"
+
+namespace charllm {
+namespace core {
+
+/** Output of the thermal-aware placement policy. */
+struct PlacementPlan
+{
+    /** Logical rank -> device permutation. */
+    std::vector<int> devicePermutation;
+
+    /** Which pipeline stages landed on the cold (intake-row) slots. */
+    std::vector<bool> coldStage;
+};
+
+/** Coolness-sorted node-local slot order (coldest first). */
+std::vector<int> coolnessOrder(const hw::ChassisLayout& chassis);
+
+/**
+ * Cluster hot and cold devices into separate pipeline stages
+ * ("Symmetric" in Fig. 21). Within each node, the heavier stage —
+ * the output-head stage when present, otherwise the earlier stage —
+ * is placed on the intake-row (cold) slots. Requires dp == 1 and
+ * tp dividing gpus-per-node; pp must cover the cluster.
+ */
+PlacementPlan coldFirstPlacement(const ClusterSpec& cluster,
+                                 const parallel::ParallelConfig& par);
+
+/**
+ * Asymmetric layer allocation ("Asymmetric" in Fig. 21): move
+ * @p delta layers from each hot stage to a cold partner, given the
+ * plan's stage coloring. Fatal if the skew cannot keep totals.
+ */
+std::vector<int> asymmetricStageLayers(const PlacementPlan& plan,
+                                       int num_layers, int delta = 1);
+
+} // namespace core
+} // namespace charllm
+
+#endif // CHARLLM_CORE_THERMAL_PLACEMENT_HH

@@ -1,0 +1,82 @@
+#include "hw/chassis.hh"
+
+#include "hw/calibration.hh"
+
+namespace charllm {
+namespace hw {
+
+ChassisLayout
+hgxLayout()
+{
+    // Device enumeration does not follow airflow order on real HGX
+    // baseboards: even-numbered devices sit in the intake row, odd-
+    // numbered ones directly behind them at the exhaust. Consecutive
+    // device groups (the default parallelism mapping) are therefore
+    // thermally mixed, which is what the thermal-aware placement of
+    // Sec. 6 exploits.
+    ChassisLayout layout;
+    layout.name = "HGX";
+    layout.preheatScale = 1.0;
+    layout.slots.resize(8);
+    for (int i = 0; i < 8; i += 2) {
+        layout.slots[i].airflowRow = 0;
+    }
+    for (int i = 1; i < 8; i += 2) {
+        SlotLayout& slot = layout.slots[i];
+        slot.airflowRow = 1;
+        // Direct upstream neighbour plus lateral mixing from the rest
+        // of the front row.
+        slot.upstream.emplace_back(i - 1, 1.0);
+        for (int j = 0; j < 8; j += 2) {
+            if (j != i - 1)
+                slot.upstream.emplace_back(j, calib::kRowMixing);
+        }
+    }
+    return layout;
+}
+
+ChassisLayout
+mi250Layout()
+{
+    ChassisLayout layout;
+    layout.name = "MI250-OAM";
+    layout.preheatScale = calib::kMi250PreheatScale;
+    layout.slots.resize(8);
+    // Packages: (0,1) (2,3) front row; (4,5) (6,7) rear row.
+    for (int pkg = 0; pkg < 4; ++pkg) {
+        int base = pkg * 2;
+        bool rear = pkg >= 2;
+        for (int g = 0; g < 2; ++g) {
+            SlotLayout& slot = layout.slots[base + g];
+            slot.airflowRow = rear ? 1 : 0;
+            slot.packagePeer = base + (1 - g);
+            // Second GCD of each package sits downstream within the
+            // shared heatsink airflow and on the warmer end of the
+            // cold plate, giving it both preheated inlet air and a
+            // worse junction-to-inlet resistance.
+            if (g == 1) {
+                slot.upstream.emplace_back(base, 1.5);
+                slot.resistanceScale = 1.25;
+            }
+        }
+        if (rear) {
+            // Rear packages are downstream of the front package in the
+            // same column, with lateral mixing from the other column.
+            int front_base = (pkg - 2) * 2;
+            int other_front = front_base == 0 ? 2 : 0;
+            for (int g = 0; g < 2; ++g) {
+                SlotLayout& slot = layout.slots[base + g];
+                slot.upstream.emplace_back(front_base, 0.8);
+                slot.upstream.emplace_back(front_base + 1, 0.8);
+                slot.upstream.emplace_back(other_front,
+                                           calib::kRowMixing);
+                slot.upstream.emplace_back(other_front + 1,
+                                           calib::kRowMixing);
+            }
+        }
+    }
+    return layout;
+}
+
+} // namespace hw
+} // namespace charllm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Chassis airflow layouts (paper Figure 16). Front-to-back airflow
+ * means rear devices inhale air preheated by the devices in front of
+ * them; MI250 packages additionally couple their two GCDs thermally.
+ */
+
+#ifndef CHARLLM_HW_CHASSIS_HH
+#define CHARLLM_HW_CHASSIS_HH
+
+#include <string>
+#include <vector>
+
+namespace charllm {
+namespace hw {
+
+/** Airflow/cooling description for one device slot within a node. */
+struct SlotLayout
+{
+    /** Airflow row, 0 = intake (coolest) increasing toward exhaust. */
+    int airflowRow = 0;
+
+    /**
+     * Node-local indices of devices directly upstream (their heat
+     * raises this slot's inlet temperature), with per-source weights.
+     */
+    std::vector<std::pair<int, double>> upstream;
+
+    /** Node-local index of the package-sharing peer GCD, or -1. */
+    int packagePeer = -1;
+
+    /**
+     * Multiplier on the junction-to-inlet thermal resistance; >1 for
+     * slots with a disadvantaged heatsink position (e.g. the
+     * downstream GCD within an MI250 package).
+     */
+    double resistanceScale = 1.0;
+};
+
+/** Per-node airflow/cooling layout. */
+struct ChassisLayout
+{
+    std::string name;
+    std::vector<SlotLayout> slots;
+    /** Scale applied to the global preheat coefficient. */
+    double preheatScale = 1.0;
+
+    int gpusPerNode() const { return static_cast<int>(slots.size()); }
+};
+
+/**
+ * NVIDIA HGX baseboard: 8 SXM modules in two airflow rows of four.
+ * Devices 0-3 sit near the intake, devices 4-7 near the exhaust and
+ * directly downstream of their front-row counterparts, with some
+ * lateral mixing.
+ */
+ChassisLayout hgxLayout();
+
+/**
+ * MI250 node: 4 OAM packages (2 GCDs each -> 8 logical devices) in two
+ * airflow rows of two packages. Within a package the second GCD is
+ * slightly downstream of the first, giving the measured 5-10 degC
+ * intra-package skew.
+ */
+ChassisLayout mi250Layout();
+
+} // namespace hw
+} // namespace charllm
+
+#endif // CHARLLM_HW_CHASSIS_HH

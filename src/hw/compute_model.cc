@@ -1,0 +1,55 @@
+#include "hw/compute_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "hw/calibration.hh"
+
+namespace charllm {
+namespace hw {
+
+ComputeModel::ComputeModel(const GpuSpec& spec) : gpuSpec(spec)
+{
+    CHARLLM_ASSERT(spec.peakFlops > 0 && spec.hbmBandwidth > 0,
+                   "invalid GpuSpec for ComputeModel");
+}
+
+double
+ComputeModel::efficiency(const ComputeWork& work) const
+{
+    double per_kernel =
+        work.flops / static_cast<double>(std::max(work.kernels, 1));
+    double eff = calib::kMaxMfu * per_kernel /
+                 (per_kernel + calib::kMfuKneeFlops);
+    if (work.cls == KernelClass::Attention)
+        eff *= calib::kAttentionEffScale;
+    return std::max(eff, 0.01);
+}
+
+double
+ComputeModel::duration(const ComputeWork& work, double clock_rel) const
+{
+    CHARLLM_ASSERT(clock_rel > 0.0, "non-positive clock");
+    double flop_time = work.flops /
+                       (gpuSpec.peakFlops * efficiency(work) * clock_rel);
+    // HBM bandwidth is decoupled from the core clock domain.
+    double mem_time = work.hbmBytes / gpuSpec.hbmBandwidth;
+    return std::max(flop_time, mem_time) +
+           calib::kKernelOverheadSec *
+               static_cast<double>(std::max(work.kernels, 1));
+}
+
+double
+ComputeModel::smUtilization(const ComputeWork& work) const
+{
+    double flop_time = work.flops /
+                       (gpuSpec.peakFlops * efficiency(work));
+    double mem_time = work.hbmBytes / gpuSpec.hbmBandwidth;
+    double busy = std::max(flop_time, mem_time);
+    if (busy <= 0.0)
+        return 0.0;
+    return std::clamp(flop_time / busy, 0.05, 1.0);
+}
+
+} // namespace hw
+} // namespace charllm

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Roofline compute-timing model with size-dependent achieved efficiency.
+ */
+
+#ifndef CHARLLM_HW_COMPUTE_MODEL_HH
+#define CHARLLM_HW_COMPUTE_MODEL_HH
+
+#include "hw/gpu_spec.hh"
+#include "hw/kernel.hh"
+
+namespace charllm {
+namespace hw {
+
+/** Workload description of one compute operator. */
+struct ComputeWork
+{
+    KernelClass cls = KernelClass::Gemm;
+    double flops = 0.0;    //!< floating-point operations (total)
+    double hbmBytes = 0.0; //!< DRAM traffic (read+write)
+
+    /**
+     * Number of device kernels the operator decomposes into (e.g. one
+     * per transformer layer when the runtime fuses a stage). Achieved
+     * efficiency is governed by per-kernel work, and launch overhead
+     * is paid per kernel.
+     */
+    int kernels = 1;
+};
+
+/**
+ * Times compute kernels against a GpuSpec. The achieved fraction of
+ * peak (MFU) saturates with per-kernel work, which is what makes small
+ * TP-sliced kernels and microbatch-1 execution inefficient (paper
+ * Secs. 4.2 and 5).
+ */
+class ComputeModel
+{
+  public:
+    explicit ComputeModel(const GpuSpec& spec);
+
+    /**
+     * Achieved efficiency (fraction of peak FLOPs) for a kernel of the
+     * given class and size.
+     */
+    double efficiency(const ComputeWork& work) const;
+
+    /**
+     * Kernel duration in seconds at relative clock @p clock_rel
+     * (1.0 = nominal). Includes launch overhead; memory-bound kernels
+     * are limited by HBM bandwidth (which does not scale with core
+     * clock).
+     */
+    double duration(const ComputeWork& work, double clock_rel) const;
+
+    /**
+     * Average SM utilization proxy in [0,1] for the kernel: the ratio
+     * of flop-limited time to total time (memory-bound kernels occupy
+     * SMs poorly).
+     */
+    double smUtilization(const ComputeWork& work) const;
+
+    const GpuSpec& spec() const { return gpuSpec; }
+
+  private:
+    GpuSpec gpuSpec;
+};
+
+} // namespace hw
+} // namespace charllm
+
+#endif // CHARLLM_HW_COMPUTE_MODEL_HH

@@ -1,0 +1,55 @@
+#include "hw/dvfs.hh"
+
+#include <algorithm>
+
+#include "hw/calibration.hh"
+
+namespace charllm {
+namespace hw {
+
+DvfsGovernor::DvfsGovernor(const GpuSpec& s) : spec(s) {}
+
+void
+DvfsGovernor::reset()
+{
+    clock = 1.0;
+    reason = ThrottleReason::None;
+}
+
+double
+DvfsGovernor::evaluate(double temp_c, double power_w, bool compute_bound)
+{
+    using namespace calib;
+
+    double min_rel = spec.minRel();
+    double boost_rel = spec.boostRel();
+
+    if (temp_c >= spec.throttleTempC) {
+        // Hard thermal slowdown: step down proportionally to the
+        // overshoot so deep excursions recover quickly.
+        double overshoot = temp_c - spec.throttleTempC;
+        double steps = 1.0 + overshoot / 2.0;
+        clock = std::max(min_rel, clock - kClockStepRel * steps);
+        reason = ThrottleReason::Thermal;
+    } else if (power_w > spec.tdpWatts) {
+        clock = std::max(min_rel, clock - kClockStepRel);
+        reason = ThrottleReason::PowerCap;
+    } else if (temp_c >= spec.targetTempC) {
+        // Soft zone: ease toward a clock that holds the setpoint.
+        if (clock > 1.0)
+            clock = std::max(1.0, clock - kClockStepRel);
+        reason = ThrottleReason::None;
+    } else if (temp_c < spec.throttleTempC - kThermalHysteresisC) {
+        double ceiling = compute_bound ? boost_rel : 1.0;
+        if (clock < ceiling)
+            clock = std::min(ceiling, clock + kClockStepRel);
+        else if (clock > ceiling)
+            clock = std::max(ceiling, clock - kClockStepRel);
+        reason = ThrottleReason::None;
+    }
+    clock = std::clamp(clock, min_rel, boost_rel);
+    return clock;
+}
+
+} // namespace hw
+} // namespace charllm

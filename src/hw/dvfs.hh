@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Clock governor: thermal and power-cap throttling with hysteresis,
+ * plus opportunistic boost when cool and compute-bound.
+ */
+
+#ifndef CHARLLM_HW_DVFS_HH
+#define CHARLLM_HW_DVFS_HH
+
+#include "hw/gpu_spec.hh"
+
+namespace charllm {
+namespace hw {
+
+/** Why the governor most recently limited the clock. */
+enum class ThrottleReason
+{
+    None,
+    Thermal,
+    PowerCap,
+};
+
+/**
+ * Per-GPU DVFS governor. Evaluated periodically with the device's
+ * current temperature, power draw, and workload character; returns a
+ * relative clock (1.0 = nominal).
+ */
+class DvfsGovernor
+{
+  public:
+    explicit DvfsGovernor(const GpuSpec& spec);
+
+    /**
+     * One governor evaluation.
+     *
+     * @param temp_c current junction temperature
+     * @param power_w current board power
+     * @param compute_bound whether the active workload is SM-heavy
+     *        (eligible for boost clocks when thermal headroom exists)
+     * @return new relative clock in [minRel, boostRel]
+     */
+    double evaluate(double temp_c, double power_w, bool compute_bound);
+
+    double clockRel() const { return clock; }
+    ThrottleReason lastReason() const { return reason; }
+
+    /** Reset to nominal clock. */
+    void reset();
+
+  private:
+    GpuSpec spec;
+    double clock = 1.0;
+    ThrottleReason reason = ThrottleReason::None;
+};
+
+} // namespace hw
+} // namespace charllm
+
+#endif // CHARLLM_HW_DVFS_HH

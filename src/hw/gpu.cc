@@ -1,0 +1,249 @@
+#include "hw/gpu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "hw/calibration.hh"
+
+namespace charllm {
+namespace hw {
+
+namespace {
+
+/** Per-kernel-class activity profile for power/occupancy modelling. */
+struct ActivityProfile
+{
+    double powerActivity; //!< fraction of idle..TDP range at full tilt
+    double occupancy;     //!< scheduler-slot occupancy contribution
+    double warpsPerSm;    //!< resident warps (relative scale)
+    double threadblocks;  //!< resident threadblocks (relative scale)
+};
+
+const ActivityProfile&
+profileFor(KernelClass cls)
+{
+    using namespace calib;
+    static const ActivityProfile profiles[kNumKernelClasses] = {
+        /* Gemm          */ {kComputePowerActivity, 0.70, 10.0, 1200.0},
+        /* Attention     */ {kAttentionPowerActivity, 0.76, 12.0, 950.0},
+        /* MoeGemm       */ {kComputePowerActivity, 0.68, 10.0, 1100.0},
+        /* Recompute     */ {0.90, 0.70, 10.0, 1200.0},
+        /* Optimizer     */ {kMemboundPowerActivity, 0.50, 6.0, 620.0},
+        /* AllReduce     */ {kCommPowerActivity, 0.88, 3.0, 140.0},
+        /* AllGather     */ {0.36, 0.85, 3.0, 130.0},
+        /* ReduceScatter */ {0.36, 0.85, 3.0, 130.0},
+        /* AllToAll      */ {0.33, 0.80, 2.5, 110.0},
+        /* SendRecv      */ {0.25, 0.45, 1.5, 60.0},
+    };
+    return profiles[static_cast<std::size_t>(cls)];
+}
+
+} // namespace
+
+Gpu::Gpu(int global_id, const GpuSpec& spec)
+    : globalId(global_id),
+      gpuSpec(spec),
+      compute(spec),
+      governor(spec),
+      tempC(calib::kRoomTempC),
+      powerCapW(spec.tdpWatts)
+{
+    currentPower = computePower();
+    powerTw.update(0.0, currentPower);
+    tempTw.update(0.0, tempC);
+    clockTw.update(0.0, governor.clockRel());
+    occTw.update(0.0, 0.0);
+    warpTw.update(0.0, 0.0);
+    blockTw.update(0.0, 0.0);
+}
+
+std::uint64_t
+Gpu::kernelBegin(KernelClass cls, double sm_util, double now)
+{
+    std::uint64_t token = nextToken++;
+    active.emplace(token, ActiveKernel{cls, sm_util});
+    if (isComputeClass(cls))
+        ++activeComputeCount;
+    else
+        ++activeCommCount;
+    refresh(now);
+    return token;
+}
+
+void
+Gpu::kernelEnd(std::uint64_t token, double now)
+{
+    auto it = active.find(token);
+    CHARLLM_ASSERT(it != active.end(), "unknown kernel token ", token);
+    if (isComputeClass(it->second.cls))
+        --activeComputeCount;
+    else
+        --activeCommCount;
+    active.erase(it);
+    refresh(now);
+}
+
+void
+Gpu::addKernelTime(KernelClass cls, double seconds)
+{
+    kernelTime[cls] += seconds;
+}
+
+double
+Gpu::occupancy() const
+{
+    double occ = 0.0;
+    for (const auto& [token, k] : active) {
+        const auto& p = profileFor(k.cls);
+        double contribution = p.occupancy;
+        if (isComputeClass(k.cls))
+            contribution *= std::max(k.smUtil, 0.3);
+        occ = std::max(occ, contribution);
+    }
+    return std::min(occ, 1.0);
+}
+
+double
+Gpu::warpsPerSm() const
+{
+    double warps = 0.0;
+    for (const auto& [token, k] : active)
+        warps += profileFor(k.cls).warpsPerSm;
+    return warps;
+}
+
+double
+Gpu::threadblocks() const
+{
+    double blocks = 0.0;
+    for (const auto& [token, k] : active)
+        blocks += profileFor(k.cls).threadblocks;
+    return blocks;
+}
+
+double
+Gpu::computePower() const
+{
+    using namespace calib;
+    double compute_act = 0.0;
+    double comm_act = 0.0;
+    for (const auto& [token, k] : active) {
+        const auto& p = profileFor(k.cls);
+        if (isComputeClass(k.cls)) {
+            // Memory-bound kernels draw less core power.
+            double act = p.powerActivity *
+                         (0.55 + 0.45 * std::max(k.smUtil, 0.0));
+            compute_act = std::max(compute_act, act);
+        } else {
+            comm_act = std::max(comm_act, p.powerActivity);
+        }
+    }
+    // Overlapped compute+comm stacks activity (burst region), capped.
+    double act = compute_act + 0.55 * comm_act;
+    act = std::min(act, 1.20);
+
+    double clk = governor.clockRel();
+    double dynamic_range = gpuSpec.tdpWatts - gpuSpec.idleWatts;
+    double p = gpuSpec.idleWatts +
+               dynamic_range * act * std::pow(clk, kClockPowerExp);
+    return std::min(p, kPeakPowerCap * gpuSpec.tdpWatts);
+}
+
+void
+Gpu::refresh(double now)
+{
+    CHARLLM_ASSERT(now + 1e-12 >= lastEnergyTime,
+                   "gpu time went backwards");
+    double dt = now - lastEnergyTime;
+    if (dt > 0.0) {
+        energy += currentPower * dt;
+        lastEnergyTime = now;
+    }
+    currentPower = computePower();
+    powerTw.update(now, currentPower);
+    clockTw.update(now, governor.clockRel());
+    occTw.update(now, occupancy());
+    warpTw.update(now, warpsPerSm());
+    blockTw.update(now, threadblocks());
+}
+
+bool
+Gpu::thermalUpdate(double temp_c, double now)
+{
+    tempC = temp_c;
+    tempTw.update(now, tempC);
+    double before = governor.clockRel();
+    bool compute_bound = activeComputeCount > 0 &&
+                         activeComputeCount >= activeCommCount;
+    // Enforce an explicit power cap (e.g. injected node fault) by
+    // treating it as the TDP the governor sees.
+    double effective_power = currentPower;
+    if (powerCapW < gpuSpec.tdpWatts) {
+        effective_power =
+            currentPower + (gpuSpec.tdpWatts - powerCapW);
+    }
+    governor.evaluate(tempC, effective_power, compute_bound);
+    double after = governor.clockRel();
+    if (after != before) {
+        refresh(now);
+        return true;
+    }
+    return false;
+}
+
+void
+Gpu::addTraffic(TrafficClass cls, double bytes)
+{
+    traffic[static_cast<std::size_t>(cls)] += bytes;
+}
+
+double
+Gpu::trafficBytes(TrafficClass cls) const
+{
+    return traffic[static_cast<std::size_t>(cls)];
+}
+
+double
+Gpu::throttleRatio() const
+{
+    return clockTw.fractionBelow(calib::kThrottleClockThresholdRel);
+}
+
+void
+Gpu::finishStats(double now)
+{
+    refresh(now);
+    powerTw.finish(now);
+    tempTw.finish(now);
+    clockTw.finish(now);
+    occTw.finish(now);
+    warpTw.finish(now);
+    blockTw.finish(now);
+}
+
+void
+Gpu::resetStats(double now)
+{
+    refresh(now);
+    energy = 0.0;
+    lastEnergyTime = now;
+    for (double& t : traffic)
+        t = 0.0;
+    kernelTime = KernelTimeBreakdown();
+    powerTw = TimeWeightedStats();
+    tempTw = TimeWeightedStats();
+    clockTw = TimeWeightedStats();
+    occTw = TimeWeightedStats();
+    warpTw = TimeWeightedStats();
+    blockTw = TimeWeightedStats();
+    powerTw.update(now, currentPower);
+    tempTw.update(now, tempC);
+    clockTw.update(now, governor.clockRel());
+    occTw.update(now, occupancy());
+    warpTw.update(now, warpsPerSm());
+    blockTw.update(now, threadblocks());
+}
+
+} // namespace hw
+} // namespace charllm

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The simulated GPU device: activity tracking, power computation,
+ * energy integration, DVFS state, traffic counters, and telemetry
+ * statistics. Temperature is owned by the ThermalModel and pushed in.
+ */
+
+#ifndef CHARLLM_HW_GPU_HH
+#define CHARLLM_HW_GPU_HH
+
+#include <cstdint>
+#include <map>
+
+#include "common/stats.hh"
+#include "hw/compute_model.hh"
+#include "hw/dvfs.hh"
+#include "hw/gpu_spec.hh"
+#include "hw/kernel.hh"
+
+namespace charllm {
+namespace hw {
+
+/** Interconnect classes for per-GPU traffic accounting (Figure 5). */
+enum class TrafficClass
+{
+    NvLink,
+    Xgmi,
+    Pcie,
+    InfiniBand,
+    NumClasses
+};
+
+constexpr std::size_t kNumTrafficClasses =
+    static_cast<std::size_t>(TrafficClass::NumClasses);
+
+inline const char*
+trafficClassName(TrafficClass t)
+{
+    switch (t) {
+      case TrafficClass::NvLink: return "NVLink";
+      case TrafficClass::Xgmi: return "xGMI";
+      case TrafficClass::Pcie: return "PCIe";
+      case TrafficClass::InfiniBand: return "InfiniBand";
+      default: return "?";
+    }
+}
+
+/**
+ * One simulated accelerator. The runtime engine reports kernel
+ * begin/end; the platform drives thermal/governor ticks. All times are
+ * floating-point simulated seconds (converted at the sim boundary).
+ */
+class Gpu
+{
+  public:
+    Gpu(int global_id, const GpuSpec& spec);
+
+    int id() const { return globalId; }
+    const GpuSpec& spec() const { return gpuSpec; }
+    const ComputeModel& computeModel() const { return compute; }
+
+    // ---- activity (runtime engine side) --------------------------------
+    /**
+     * Register the start of a kernel; returns a token for kernelEnd.
+     * @param sm_util SM utilization in [0,1] for compute kernels
+     *        (ignored for communication classes).
+     */
+    std::uint64_t kernelBegin(KernelClass cls, double sm_util, double now);
+
+    /** Register the end of the kernel identified by @p token. */
+    void kernelEnd(std::uint64_t token, double now);
+
+    /** Accumulate per-class busy time for breakdown reporting. */
+    void addKernelTime(KernelClass cls, double seconds);
+
+    // ---- device state ----------------------------------------------------
+    double clockRel() const { return governor.clockRel(); }
+    double clockGhz() const
+    {
+        return gpuSpec.nominalClockGhz * governor.clockRel();
+    }
+    double temperature() const { return tempC; }
+    double power() const { return currentPower; }
+    double energyJoules() const { return energy; }
+    ThrottleReason throttleReason() const { return governor.lastReason(); }
+
+    /** Whether any compute-class kernel is currently active. */
+    bool computeActive() const { return activeComputeCount > 0; }
+    /** Whether any communication-class kernel is currently active. */
+    bool commActive() const { return activeCommCount > 0; }
+
+    /** Instantaneous occupancy / warp / threadblock gauges (Fig. 20). */
+    double occupancy() const;
+    double warpsPerSm() const;
+    double threadblocks() const;
+
+    // ---- platform side -----------------------------------------------------
+    /**
+     * Push a new junction temperature from the thermal model and run
+     * the DVFS governor. Returns true if the clock changed (so in-
+     * flight compute kernels must be re-timed).
+     */
+    bool thermalUpdate(double temp_c, double now);
+
+    /**
+     * Override the power limit (models node-level power delivery
+     * faults; pass spec TDP to restore).
+     */
+    void setPowerCap(double watts) { powerCapW = watts; }
+    double powerCap() const { return powerCapW; }
+
+    // ---- traffic counters ---------------------------------------------------
+    void addTraffic(TrafficClass cls, double bytes);
+    double trafficBytes(TrafficClass cls) const;
+
+    // ---- statistics -----------------------------------------------------------
+    const KernelTimeBreakdown& breakdown() const { return kernelTime; }
+    const TimeWeightedStats& powerStats() const { return powerTw; }
+    const TimeWeightedStats& tempStats() const { return tempTw; }
+    const TimeWeightedStats& clockStats() const { return clockTw; }
+    const TimeWeightedStats& occupancyStats() const { return occTw; }
+    const TimeWeightedStats& warpStats() const { return warpTw; }
+    const TimeWeightedStats& threadblockStats() const { return blockTw; }
+
+    /** Time-weighted fraction of time spent below nominal clock. */
+    double throttleRatio() const;
+
+    /** Close all statistics intervals at @p now (end of measurement). */
+    void finishStats(double now);
+
+    /** Discard accumulated statistics/energy (end of warmup). */
+    void resetStats(double now);
+
+  private:
+    struct ActiveKernel
+    {
+        KernelClass cls;
+        double smUtil;
+    };
+
+    /** Recompute power from current activity/clock and restat. */
+    void refresh(double now);
+
+    /** Instantaneous power for the current activity set. */
+    double computePower() const;
+
+    int globalId;
+    GpuSpec gpuSpec;
+    ComputeModel compute;
+    DvfsGovernor governor;
+
+    std::uint64_t nextToken = 1;
+    std::map<std::uint64_t, ActiveKernel> active;
+    int activeComputeCount = 0;
+    int activeCommCount = 0;
+
+    double tempC;
+    double currentPower;
+    double powerCapW;
+    double energy = 0.0;
+    double lastEnergyTime = 0.0;
+
+    double traffic[kNumTrafficClasses] = {};
+    KernelTimeBreakdown kernelTime;
+
+    TimeWeightedStats powerTw;
+    TimeWeightedStats tempTw;
+    TimeWeightedStats clockTw;
+    TimeWeightedStats occTw;
+    TimeWeightedStats warpTw;
+    TimeWeightedStats blockTw;
+};
+
+} // namespace hw
+} // namespace charllm
+
+#endif // CHARLLM_HW_GPU_HH

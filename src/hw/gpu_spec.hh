@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Static hardware specifications of the evaluated accelerators
+ * (paper Table 3), plus derived electrical/thermal parameters.
+ */
+
+#ifndef CHARLLM_HW_GPU_SPEC_HH
+#define CHARLLM_HW_GPU_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hh"
+
+namespace charllm {
+namespace hw {
+
+/** Accelerator vendor/architecture family. */
+enum class GpuArch
+{
+    Hopper, //!< NVIDIA H100 / H200
+    Cdna2,  //!< AMD MI250 (chiplet: two GCDs per package)
+};
+
+/**
+ * Per-device (logical GPU) specification. For MI250 the logical device
+ * is one GCD; the package relationship is captured by the chassis
+ * layout, not here.
+ */
+struct GpuSpec
+{
+    std::string name;       //!< e.g. "H200"
+    GpuArch arch = GpuArch::Hopper;
+
+    double memoryBytes = 0;     //!< HBM capacity
+    double peakFlops = 0;       //!< peak FP16/BF16 FLOP/s (dense)
+    double hbmBandwidth = 0;    //!< HBM bytes/s
+    double tdpWatts = 0;        //!< board power limit
+    double idleWatts = 0;       //!< idle power draw
+
+    double nominalClockGhz = 0; //!< clock at which peakFlops is quoted
+    double boostClockGhz = 0;   //!< opportunistic boost ceiling
+    double minClockGhz = 0;     //!< deepest throttle state
+
+    double throttleTempC = 0;   //!< HW slowdown threshold
+    double targetTempC = 0;     //!< governor setpoint (start easing off)
+    double shutdownTempC = 0;   //!< never reached in sane configs
+
+    /**
+     * Junction-to-inlet thermal resistance (degC per watt). Chiplet
+     * GCDs concentrate power in a smaller die area and run at higher
+     * junction temperatures per watt than SXM modules.
+     */
+    double thermalResistance = 0.068;
+
+    bool chipletGcd = false;    //!< logical device is one GCD of a package
+
+    /** Relative clock of the boost ceiling (vs nominal). */
+    double boostRel() const { return boostClockGhz / nominalClockGhz; }
+
+    /** Relative clock of the deepest throttle state (vs nominal). */
+    double minRel() const { return minClockGhz / nominalClockGhz; }
+};
+
+/** NVIDIA H100 SXM (HGX H100 board). */
+GpuSpec h100Spec();
+
+/** NVIDIA H200 SXM (HGX H200 board). */
+GpuSpec h200Spec();
+
+/** One GCD of an AMD MI250 OAM package. */
+GpuSpec mi250GcdSpec();
+
+} // namespace hw
+} // namespace charllm
+
+#endif // CHARLLM_HW_GPU_SPEC_HH

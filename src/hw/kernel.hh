@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Kernel taxonomy shared by the runtime (which emits kernels), the
+ * hardware models (which price them), and telemetry (which reports
+ * per-class breakdowns like the paper's Figures 3/7/8/11/15).
+ */
+
+#ifndef CHARLLM_HW_KERNEL_HH
+#define CHARLLM_HW_KERNEL_HH
+
+#include <array>
+#include <string>
+
+namespace charllm {
+namespace hw {
+
+/** Classes of work a GPU executes, matching the paper's breakdowns. */
+enum class KernelClass
+{
+    Gemm,          //!< dense matmul (QKV/proj/MLP)
+    Attention,     //!< attention score/context kernels
+    MoeGemm,       //!< expert FFN matmuls
+    Recompute,     //!< activation recomputation (extra forward work)
+    Optimizer,     //!< optimizer step / weight update
+    AllReduce,     //!< TP / DP allreduce
+    AllGather,     //!< FSDP / ZeRO gather
+    ReduceScatter, //!< FSDP / ZeRO scatter
+    AllToAll,      //!< MoE expert dispatch/combine
+    SendRecv,      //!< pipeline P2P
+    NumClasses
+};
+
+constexpr std::size_t kNumKernelClasses =
+    static_cast<std::size_t>(KernelClass::NumClasses);
+
+/** Human-readable kernel class name. */
+inline const char*
+kernelClassName(KernelClass k)
+{
+    switch (k) {
+      case KernelClass::Gemm: return "GEMM";
+      case KernelClass::Attention: return "Attention";
+      case KernelClass::MoeGemm: return "MoE-GEMM";
+      case KernelClass::Recompute: return "Recompute";
+      case KernelClass::Optimizer: return "Optimizer";
+      case KernelClass::AllReduce: return "AllReduce";
+      case KernelClass::AllGather: return "AllGather";
+      case KernelClass::ReduceScatter: return "ReduceScatter";
+      case KernelClass::AllToAll: return "AllToAll";
+      case KernelClass::SendRecv: return "SendRecv";
+      default: return "?";
+    }
+}
+
+/** True for classes executed on SMs (vs. communication engines). */
+inline bool
+isComputeClass(KernelClass k)
+{
+    switch (k) {
+      case KernelClass::Gemm:
+      case KernelClass::Attention:
+      case KernelClass::MoeGemm:
+      case KernelClass::Recompute:
+      case KernelClass::Optimizer:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Per-class accumulator used for kernel-time breakdowns. */
+struct KernelTimeBreakdown
+{
+    std::array<double, kNumKernelClasses> seconds{};
+
+    double&
+    operator[](KernelClass k)
+    {
+        return seconds[static_cast<std::size_t>(k)];
+    }
+
+    double
+    operator[](KernelClass k) const
+    {
+        return seconds[static_cast<std::size_t>(k)];
+    }
+
+    double
+    total() const
+    {
+        double t = 0.0;
+        for (double s : seconds)
+            t += s;
+        return t;
+    }
+
+    double
+    computeTotal() const
+    {
+        double t = 0.0;
+        for (std::size_t i = 0; i < kNumKernelClasses; ++i) {
+            if (isComputeClass(static_cast<KernelClass>(i)))
+                t += seconds[i];
+        }
+        return t;
+    }
+
+    double commTotal() const { return total() - computeTotal(); }
+
+    void
+    merge(const KernelTimeBreakdown& other)
+    {
+        for (std::size_t i = 0; i < kNumKernelClasses; ++i)
+            seconds[i] += other.seconds[i];
+    }
+};
+
+} // namespace hw
+} // namespace charllm
+
+#endif // CHARLLM_HW_KERNEL_HH

@@ -1,0 +1,87 @@
+#include "hw/thermal_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "hw/calibration.hh"
+
+namespace charllm {
+namespace hw {
+
+ThermalModel::ThermalModel(const ChassisLayout& layout, int num_nodes,
+                           double resistance)
+    : chassis(layout), nodes(num_nodes),
+      rTheta(resistance > 0.0 ? resistance : calib::kThermalResistance)
+{
+    CHARLLM_ASSERT(num_nodes > 0 && !layout.slots.empty(),
+                   "invalid thermal layout");
+    temps.assign(static_cast<std::size_t>(num_nodes) *
+                     layout.slots.size(),
+                 calib::kRoomTempC);
+}
+
+double
+ThermalModel::inletTemperature(int i,
+                               const std::vector<double>& powers) const
+{
+    int per_node = chassis.gpusPerNode();
+    int node = i / per_node;
+    int slot = i % per_node;
+    double inlet = calib::kRoomTempC;
+    double coeff = calib::kPreheatCoeffCPerW * chassis.preheatScale;
+    for (const auto& [up_slot, weight] : chassis.slots[slot].upstream) {
+        int up = node * per_node + up_slot;
+        inlet += coeff * weight * powers[up];
+    }
+    return inlet;
+}
+
+void
+ThermalModel::step(double dt, const std::vector<double>& powers)
+{
+    CHARLLM_ASSERT(powers.size() == temps.size(),
+                   "power vector size mismatch");
+    using namespace calib;
+    int per_node = chassis.gpusPerNode();
+    std::vector<double> next = temps;
+    for (std::size_t i = 0; i < temps.size(); ++i) {
+        int node = static_cast<int>(i) / per_node;
+        int slot = static_cast<int>(i) % per_node;
+        double inlet = inletTemperature(static_cast<int>(i), powers);
+        double target = inlet + powers[i] * rTheta *
+                                    chassis.slots[slot].resistanceScale;
+        double dT = dt / kThermalTauSec * (target - temps[i]);
+        // Chiplet package coupling: heat flows toward the cooler GCD.
+        int peer_slot = chassis.slots[slot].packagePeer;
+        if (peer_slot >= 0) {
+            std::size_t peer =
+                static_cast<std::size_t>(node * per_node + peer_slot);
+            dT += dt * kPackageCouplingPerSec *
+                  (temps[peer] - temps[i]);
+        }
+        next[i] = temps[i] + dT;
+    }
+    temps.swap(next);
+}
+
+double
+ThermalModel::steadyState(int i, const std::vector<double>& powers) const
+{
+    // Ignores package coupling (second-order for steady state since the
+    // exchange term vanishes as both GCDs approach their own targets).
+    int slot = i % chassis.gpusPerNode();
+    return inletTemperature(i, powers) +
+           powers[i] * rTheta * chassis.slots[slot].resistanceScale;
+}
+
+void
+ThermalModel::warmStart(const std::vector<double>& powers)
+{
+    CHARLLM_ASSERT(powers.size() == temps.size(),
+                   "power vector size mismatch");
+    for (std::size_t i = 0; i < temps.size(); ++i)
+        temps[i] = steadyState(static_cast<int>(i), powers);
+}
+
+} // namespace hw
+} // namespace charllm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Lumped RC thermal network for a cluster of GPUs with airflow-derived
+ * inlet coupling (front-to-back preheat) and intra-package coupling on
+ * chiplet devices.
+ *
+ * Per device i:
+ *   C dT_i/dt = P_i - (T_i - T_in,i) / R
+ *   T_in,i    = T_room + preheat * sum_j w_ij P_j      (upstream j)
+ * plus, for GCD pairs, a conductive exchange term proportional to the
+ * peer temperature difference.
+ */
+
+#ifndef CHARLLM_HW_THERMAL_MODEL_HH
+#define CHARLLM_HW_THERMAL_MODEL_HH
+
+#include <vector>
+
+#include "hw/chassis.hh"
+
+namespace charllm {
+namespace hw {
+
+/**
+ * Thermal state integrator. The model owns only temperatures; power is
+ * supplied each step by the caller (the Platform).
+ */
+class ThermalModel
+{
+  public:
+    /**
+     * @param layout per-node airflow layout (replicated per node)
+     * @param num_nodes number of identical nodes
+     * @param resistance junction-to-inlet thermal resistance (degC/W);
+     *        <= 0 selects the calibration default
+     */
+    ThermalModel(const ChassisLayout& layout, int num_nodes,
+                 double resistance = 0.0);
+
+    int numDevices() const { return static_cast<int>(temps.size()); }
+
+    /** Current junction temperature of device @p i. */
+    double temperature(int i) const { return temps[i]; }
+
+    /** Inlet temperature of device @p i given current powers. */
+    double inletTemperature(int i, const std::vector<double>& powers) const;
+
+    /**
+     * Advance all temperatures by @p dt seconds given instantaneous
+     * powers (watts) per device.
+     */
+    void step(double dt, const std::vector<double>& powers);
+
+    /**
+     * Analytical steady-state temperature for device @p i under
+     * constant powers (used by tests and for fast warm starts).
+     */
+    double steadyState(int i, const std::vector<double>& powers) const;
+
+    /** Jump every device to its steady state for the given powers. */
+    void warmStart(const std::vector<double>& powers);
+
+    const ChassisLayout& layout() const { return chassis; }
+
+  private:
+    ChassisLayout chassis;
+    int nodes;
+    double rTheta;
+    std::vector<double> temps;
+};
+
+} // namespace hw
+} // namespace charllm
+
+#endif // CHARLLM_HW_THERMAL_MODEL_HH

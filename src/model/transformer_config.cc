@@ -1,0 +1,150 @@
+#include "model/transformer_config.hh"
+
+namespace charllm {
+namespace model {
+
+TransformerConfig
+gpt3_175b()
+{
+    TransformerConfig c;
+    c.name = "GPT3-175B";
+    c.numLayers = 96;
+    c.hiddenSize = 12288;
+    c.numHeads = 96;
+    c.numQueryGroups = 96;
+    c.ffnHiddenSize = 4 * 12288;
+    c.vocabSize = 50257;
+    c.seqLength = 2048;
+    c.swiGlu = false;
+    return c;
+}
+
+TransformerConfig
+gpt3_30b()
+{
+    TransformerConfig c;
+    c.name = "GPT3-30B";
+    c.numLayers = 48;
+    c.hiddenSize = 7168;
+    c.numHeads = 56;
+    c.numQueryGroups = 56;
+    c.ffnHiddenSize = 4 * 7168;
+    c.vocabSize = 50257;
+    c.seqLength = 2048;
+    c.swiGlu = false;
+    return c;
+}
+
+TransformerConfig
+gpt3_13b()
+{
+    TransformerConfig c;
+    c.name = "GPT3-13B";
+    c.numLayers = 40;
+    c.hiddenSize = 5120;
+    c.numHeads = 40;
+    c.numQueryGroups = 40;
+    c.ffnHiddenSize = 4 * 5120;
+    c.vocabSize = 50257;
+    c.seqLength = 2048;
+    c.swiGlu = false;
+    return c;
+}
+
+TransformerConfig
+llama3_70b()
+{
+    TransformerConfig c;
+    c.name = "Llama3-70B";
+    c.numLayers = 80;
+    c.hiddenSize = 8192;
+    c.numHeads = 64;
+    c.numQueryGroups = 8;
+    c.ffnHiddenSize = 28672;
+    c.vocabSize = 128256;
+    c.seqLength = 4096;
+    c.swiGlu = true;
+    return c;
+}
+
+TransformerConfig
+llama3_30b()
+{
+    // Proportionally scaled-down Llama-3 used on the MI250 cluster
+    // (paper Sec. 3.2 scales models to ~30B preserving ratios).
+    TransformerConfig c;
+    c.name = "Llama3-30B";
+    c.numLayers = 60;
+    c.hiddenSize = 6144;
+    c.numHeads = 48;
+    c.numQueryGroups = 8;
+    c.ffnHiddenSize = 21504;
+    c.vocabSize = 128256;
+    c.seqLength = 4096;
+    c.swiGlu = true;
+    return c;
+}
+
+TransformerConfig
+mixtral_8x22b()
+{
+    TransformerConfig c;
+    c.name = "Mixtral-8x22B";
+    c.numLayers = 56;
+    c.hiddenSize = 6144;
+    c.numHeads = 48;
+    c.numQueryGroups = 8;
+    c.ffnHiddenSize = 16384;
+    c.vocabSize = 32768;
+    c.seqLength = 4096;
+    c.swiGlu = true;
+    c.numExperts = 8;
+    c.topK = 2;
+    return c;
+}
+
+TransformerConfig
+mixtral_8x7b()
+{
+    TransformerConfig c;
+    c.name = "Mixtral-8x7B";
+    c.numLayers = 32;
+    c.hiddenSize = 4096;
+    c.numHeads = 32;
+    c.numQueryGroups = 8;
+    c.ffnHiddenSize = 14336;
+    c.vocabSize = 32000;
+    c.seqLength = 4096;
+    c.swiGlu = true;
+    c.numExperts = 8;
+    c.topK = 2;
+    return c;
+}
+
+TransformerConfig
+mixtral_4x7b()
+{
+    // Reduced Mixtral used in the 1-GPU-per-node study (Fig. 8).
+    TransformerConfig c = mixtral_8x7b();
+    c.name = "Mixtral-4x7B";
+    c.numExperts = 4;
+    return c;
+}
+
+std::vector<TransformerConfig>
+table1Models()
+{
+    return {gpt3_175b(), gpt3_30b(), llama3_70b(), llama3_30b(),
+            mixtral_8x22b(), mixtral_8x7b()};
+}
+
+TransformerConfig
+withLora(TransformerConfig base, int rank)
+{
+    base.loraRank = rank;
+    base.name += "-LoRA";
+    return base;
+}
+
+} // namespace model
+} // namespace charllm

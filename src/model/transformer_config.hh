@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Architecture description of the evaluated language models
+ * (paper Table 1, plus the reduced variants used in Figure 8 and on
+ * the AMD cluster).
+ */
+
+#ifndef CHARLLM_MODEL_TRANSFORMER_CONFIG_HH
+#define CHARLLM_MODEL_TRANSFORMER_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+namespace charllm {
+namespace model {
+
+/**
+ * Decoder-only transformer configuration covering dense, grouped-query
+ * attention, SwiGLU, and Mixture-of-Experts variants.
+ */
+struct TransformerConfig
+{
+    std::string name;
+
+    int numLayers = 0;
+    int hiddenSize = 0;
+    int numHeads = 0;
+    int numQueryGroups = 0; //!< == numHeads for MHA; fewer for GQA
+    int ffnHiddenSize = 0;
+    int vocabSize = 0;
+    int seqLength = 0;
+    bool swiGlu = false;    //!< 3-matrix gated MLP (Llama/Mixtral)
+
+    // Mixture-of-Experts (0 experts => dense).
+    int numExperts = 0;
+    int topK = 0;
+
+    // LoRA fine-tuning (0 => full training).
+    int loraRank = 0;
+
+    bool isMoe() const { return numExperts > 0; }
+    bool isLora() const { return loraRank > 0; }
+
+    /** Bytes per element of weights/activations (BF16). */
+    static constexpr double kBytesPerElement = 2.0;
+};
+
+/** @name Model zoo (paper Table 1 + reduced variants) @{ */
+TransformerConfig gpt3_175b();
+TransformerConfig gpt3_30b();
+TransformerConfig gpt3_13b();
+TransformerConfig llama3_70b();
+TransformerConfig llama3_30b();
+TransformerConfig mixtral_8x22b();
+TransformerConfig mixtral_8x7b();
+TransformerConfig mixtral_4x7b();
+/** @} */
+
+/** All Table 1 models (full-size set used on the NVIDIA clusters). */
+std::vector<TransformerConfig> table1Models();
+
+/** Apply a LoRA adapter configuration to a base model. */
+TransformerConfig withLora(TransformerConfig base, int rank);
+
+} // namespace model
+} // namespace charllm
+
+#endif // CHARLLM_MODEL_TRANSFORMER_CONFIG_HH

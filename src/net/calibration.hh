@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Network-model calibration constants (single set for all experiments).
+ */
+
+#ifndef CHARLLM_NET_CALIBRATION_HH
+#define CHARLLM_NET_CALIBRATION_HH
+
+namespace charllm {
+namespace net {
+namespace calib {
+
+// Per-message end-to-end software+hardware latency. These include the
+// NCCL/RCCL kernel launch and rendezvous cost, which is why many small
+// un-chunked SendRecv messages underutilize bandwidth (paper Sec. 4.2).
+constexpr double kIntraNodeLatencySec = 7.0e-6;
+constexpr double kInterNodeLatencySec = 18.0e-6;
+
+// Protocol efficiency: fraction of link capacity achievable by a
+// single well-formed stream (headers, flits, flow-control).
+constexpr double kProtocolEfficiency = 0.92;
+
+// Chunk size used by chunked/pipelined collectives. Messages larger
+// than this are split and pipelined so the per-message latency is paid
+// once, not per chunk.
+constexpr double kCollectiveChunkBytes = 4.0 * 1024 * 1024;
+
+// Un-chunked sparse SendRecv (the TP+PP interaction the paper calls
+// out) issues whole-tensor messages with no pipelining; each message
+// additionally pays a rendezvous handshake.
+constexpr double kUnchunkedHandshakeSec = 10.0e-6;
+
+// Local (same-GPU) copy bandwidth used for degenerate self-transfers.
+constexpr double kLocalCopyBandwidth = 1.2e12;
+
+} // namespace calib
+} // namespace net
+} // namespace charllm
+
+#endif // CHARLLM_NET_CALIBRATION_HH

@@ -1,0 +1,223 @@
+#include "net/flow_network.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "net/calibration.hh"
+
+namespace charllm {
+namespace net {
+
+namespace {
+constexpr double kEpsBytes = 0.5;
+} // namespace
+
+FlowNetwork::FlowNetwork(sim::Simulator& simulator, const Topology& topology)
+    : sim(simulator), topo(topology),
+      linkByteCount(topology.links().size(), 0.0)
+{
+}
+
+FlowNetwork::FlowId
+FlowNetwork::transfer(int src, int dst, double bytes,
+                      std::function<void()> on_complete,
+                      double extra_latency)
+{
+    CHARLLM_ASSERT(bytes >= 0.0, "negative transfer size");
+    FlowId id = nextId++;
+    double latency = extra_latency;
+
+    if (src == dst) {
+        // Degenerate local copy: never enters the link graph.
+        double duration = latency +
+                          bytes / calib::kLocalCopyBandwidth;
+        sim.schedule(sim::toTicks(duration),
+                     [cb = std::move(on_complete)] { cb(); });
+        return id;
+    }
+
+    latency += topo.messageLatency(src, dst);
+    if (bytes <= 0.0) {
+        sim.schedule(sim::toTicks(latency),
+                     [cb = std::move(on_complete)] { cb(); });
+        return id;
+    }
+
+    // The flow joins the network after its launch/transport latency.
+    sim.schedule(sim::toTicks(latency),
+                 [this, id, src, dst, bytes,
+                  cb = std::move(on_complete)]() mutable {
+        double now = sim.nowSeconds();
+        progress(now);
+        Flow flow;
+        flow.src = src;
+        flow.dst = dst;
+        flow.route = topo.route(src, dst);
+        flow.bytesRemaining = bytes;
+        flow.onComplete = std::move(cb);
+        active.emplace(id, std::move(flow));
+        recompute(now);
+    });
+    return id;
+}
+
+void
+FlowNetwork::progress(double now)
+{
+    double dt = now - lastProgress;
+    if (dt <= 0.0) {
+        lastProgress = std::max(lastProgress, now);
+        return;
+    }
+    for (auto& [id, flow] : active) {
+        double moved = std::min(flow.rate * dt, flow.bytesRemaining);
+        if (moved <= 0.0)
+            continue;
+        flow.bytesRemaining -= moved;
+        for (LinkId l : flow.route) {
+            linkByteCount[static_cast<std::size_t>(l)] += moved;
+            const LinkSpec& spec = topo.link(l);
+            if (spec.ownerGpu >= 0 && sink)
+                sink(spec.ownerGpu, spec.cls, moved);
+        }
+    }
+    lastProgress = now;
+}
+
+void
+FlowNetwork::recompute(double now)
+{
+    // Max-min fair allocation by progressive filling.
+    std::size_t num_links = topo.links().size();
+    std::vector<double> remaining(num_links);
+    std::vector<int> flows_on(num_links, 0);
+    for (std::size_t l = 0; l < num_links; ++l) {
+        remaining[l] = topo.link(static_cast<LinkId>(l)).capacity *
+                       calib::kProtocolEfficiency;
+    }
+    for (auto& [id, flow] : active) {
+        flow.rate = -1.0; // unfixed marker
+        for (LinkId l : flow.route)
+            ++flows_on[static_cast<std::size_t>(l)];
+    }
+
+    std::size_t unfixed = active.size();
+    while (unfixed > 0) {
+        // Find the bottleneck link: minimal fair share.
+        double best_share = std::numeric_limits<double>::infinity();
+        for (std::size_t l = 0; l < num_links; ++l) {
+            if (flows_on[l] > 0) {
+                double share = remaining[l] /
+                               static_cast<double>(flows_on[l]);
+                best_share = std::min(best_share, share);
+            }
+        }
+        CHARLLM_ASSERT(std::isfinite(best_share),
+                       "unfixed flow crosses no contended link");
+        // Fix every unfixed flow whose bottleneck this is. One pass:
+        // fix flows crossing any link at the minimal share.
+        std::size_t fixed_this_round = 0;
+        for (auto& [id, flow] : active) {
+            if (flow.rate >= 0.0)
+                continue;
+            bool at_bottleneck = false;
+            for (LinkId l : flow.route) {
+                auto li = static_cast<std::size_t>(l);
+                double share = remaining[li] /
+                               static_cast<double>(flows_on[li]);
+                if (share <= best_share * (1.0 + 1e-9)) {
+                    at_bottleneck = true;
+                    break;
+                }
+            }
+            if (!at_bottleneck)
+                continue;
+            flow.rate = best_share;
+            ++fixed_this_round;
+            for (LinkId l : flow.route) {
+                auto li = static_cast<std::size_t>(l);
+                remaining[li] -= best_share;
+                remaining[li] = std::max(remaining[li], 0.0);
+                --flows_on[li];
+            }
+        }
+        CHARLLM_ASSERT(fixed_this_round > 0,
+                       "max-min allocation made no progress");
+        unfixed -= fixed_this_round;
+    }
+
+    // Schedule the earliest completion.
+    completionEvent.cancel();
+    if (active.empty())
+        return;
+    double earliest = std::numeric_limits<double>::infinity();
+    for (const auto& [id, flow] : active) {
+        if (flow.rate > 0.0) {
+            earliest = std::min(earliest,
+                                flow.bytesRemaining / flow.rate);
+        }
+    }
+    CHARLLM_ASSERT(std::isfinite(earliest), "active flow with zero rate");
+    // Round up a tick so the flow is guaranteed drained at the event.
+    sim::Tick when = sim.now() + sim::toTicks(earliest) + 1;
+    completionEvent = sim.scheduleAt(when, [this] {
+        onCompletionEvent();
+    });
+    (void)now;
+}
+
+void
+FlowNetwork::onCompletionEvent()
+{
+    double now = sim.nowSeconds();
+    progress(now);
+    std::vector<std::function<void()>> callbacks;
+    for (auto it = active.begin(); it != active.end();) {
+        if (it->second.bytesRemaining <= kEpsBytes) {
+            callbacks.push_back(std::move(it->second.onComplete));
+            it = active.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    recompute(now);
+    // Run completions after the network state is consistent; callbacks
+    // may start new transfers re-entrantly.
+    for (auto& cb : callbacks)
+        cb();
+}
+
+double
+FlowNetwork::gpuRate(int gpu, hw::TrafficClass cls) const
+{
+    double rate = 0.0;
+    for (const auto& [id, flow] : active) {
+        for (LinkId l : flow.route) {
+            const LinkSpec& spec = topo.link(l);
+            if (spec.ownerGpu == gpu && spec.cls == cls) {
+                rate += std::max(flow.rate, 0.0);
+                break; // count each flow once per GPU
+            }
+        }
+    }
+    return rate;
+}
+
+double
+FlowNetwork::linkUtilization(LinkId id) const
+{
+    double used = 0.0;
+    for (const auto& [fid, flow] : active) {
+        for (LinkId l : flow.route) {
+            if (l == id)
+                used += std::max(flow.rate, 0.0);
+        }
+    }
+    const LinkSpec& spec = topo.link(id);
+    return spec.capacity > 0.0 ? used / spec.capacity : 0.0;
+}
+
+} // namespace net
+} // namespace charllm

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Flow-level network simulation with max-min fair bandwidth sharing.
+ *
+ * Every in-flight transfer is a flow over a fixed route of directional
+ * links. Whenever the flow set changes, link rates are re-allocated by
+ * progressive filling (water-filling): the most contended link fixes
+ * its flows at an equal share, capacity is subtracted, and the process
+ * repeats. This is what produces the paper's PCIe/NIC contention and
+ * the skew between ranks that share interfaces.
+ */
+
+#ifndef CHARLLM_NET_FLOW_NETWORK_HH
+#define CHARLLM_NET_FLOW_NETWORK_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/topology.hh"
+#include "sim/simulator.hh"
+
+namespace charllm {
+namespace net {
+
+/**
+ * Event-driven flow network. Transfers complete via callback after a
+ * per-message latency plus a contention-dependent serialization time.
+ */
+class FlowNetwork
+{
+  public:
+    using FlowId = std::uint64_t;
+    /** Receives per-GPU byte attribution as flows progress. */
+    using TrafficSink =
+        std::function<void(int gpu, hw::TrafficClass cls, double bytes)>;
+
+    FlowNetwork(sim::Simulator& sim, const Topology& topo);
+
+    void setTrafficSink(TrafficSink sink_fn) { sink = std::move(sink_fn); }
+
+    /**
+     * Start a point-to-point transfer of @p bytes from @p src to
+     * @p dst. @p on_complete fires when the last byte arrives.
+     * @p extra_latency adds protocol overhead (e.g. un-chunked
+     * rendezvous handshakes) on top of the topology's base latency.
+     */
+    FlowId transfer(int src, int dst, double bytes,
+                    std::function<void()> on_complete,
+                    double extra_latency = 0.0);
+
+    /** Instantaneous aggregate rate seen at a GPU's ports, by class. */
+    double gpuRate(int gpu, hw::TrafficClass cls) const;
+
+    /** Cumulative bytes carried by a link. */
+    double
+    linkBytes(LinkId id) const
+    {
+        return linkByteCount[static_cast<std::size_t>(id)];
+    }
+
+    /** Instantaneous utilization (0..1) of a link. */
+    double linkUtilization(LinkId id) const;
+
+    std::size_t numActiveFlows() const { return active.size(); }
+    std::uint64_t numFlowsStarted() const { return nextId - 1; }
+
+    const Topology& topology() const { return topo; }
+
+  private:
+    struct Flow
+    {
+        int src = 0;
+        int dst = 0;
+        std::vector<LinkId> route;
+        double bytesRemaining = 0.0;
+        double rate = 0.0;
+        std::function<void()> onComplete;
+    };
+
+    /** Advance all active flows to the current time. */
+    void progress(double now);
+
+    /** Re-run max-min allocation and schedule the next completion. */
+    void recompute(double now);
+
+    /** Fired by the event queue when the earliest flow should finish. */
+    void onCompletionEvent();
+
+    sim::Simulator& sim;
+    const Topology& topo;
+    TrafficSink sink;
+
+    std::map<FlowId, Flow> active;
+    double lastProgress = 0.0;
+    sim::EventHandle completionEvent;
+    std::vector<double> linkByteCount;
+    FlowId nextId = 1;
+};
+
+} // namespace net
+} // namespace charllm
+
+#endif // CHARLLM_NET_FLOW_NETWORK_HH

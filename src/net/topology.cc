@@ -1,0 +1,146 @@
+#include "net/topology.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "common/units.hh"
+#include "net/calibration.hh"
+
+namespace charllm {
+namespace net {
+
+Topology::Params
+Topology::hgxParams(int num_nodes, double nic_gbps)
+{
+    Params p;
+    p.numNodes = num_nodes;
+    p.gpusPerNode = 8;
+    p.chiplet = false;
+    p.nvlinkBw = 450.0 * units::kGB;          // NVLink4, per direction
+    p.pcieBw = 64.0 * units::kGB;             // PCIe Gen5 x16
+    p.nicBw = units::gbitPerSec(nic_gbps);    // shared per node
+    p.intraLatency = calib::kIntraNodeLatencySec;
+    p.interLatency = calib::kInterNodeLatencySec;
+    return p;
+}
+
+Topology::Params
+Topology::mi250Params(int num_nodes, double nic_gbps)
+{
+    Params p;
+    p.numNodes = num_nodes;
+    p.gpusPerNode = 8; // 4 packages x 2 GCDs
+    p.chiplet = true;
+    p.xgmiPackageBw = 300.0 * units::kGB;     // in-package GCD pair
+    p.xgmiPortBw = 100.0 * units::kGB;        // cross-package per GCD
+    p.pcieBw = 32.0 * units::kGB;             // PCIe Gen4 x16
+    p.nicBw = units::gbitPerSec(nic_gbps);
+    p.intraLatency = calib::kIntraNodeLatencySec * 1.2;
+    p.interLatency = calib::kInterNodeLatencySec;
+    return p;
+}
+
+Topology::Params
+Topology::oneGpuPerNode(Params base, int num_nodes)
+{
+    base.numNodes = num_nodes;
+    base.gpusPerNode = 1;
+    return base;
+}
+
+LinkId
+Topology::addLink(const std::string& name, double capacity,
+                  hw::TrafficClass cls, int owner_gpu)
+{
+    LinkSpec spec;
+    spec.name = name;
+    spec.capacity = capacity;
+    spec.cls = cls;
+    spec.ownerGpu = owner_gpu;
+    linkSpecs.push_back(std::move(spec));
+    return static_cast<LinkId>(linkSpecs.size() - 1);
+}
+
+Topology::Topology(const Params& params) : cfg(params)
+{
+    CHARLLM_ASSERT(cfg.numNodes >= 1 && cfg.gpusPerNode >= 1,
+                   "topology needs at least one GPU");
+    int n = numGpus();
+    scaleUpOut.resize(n, -1);
+    scaleUpIn.resize(n, -1);
+    pcieOut.resize(n, -1);
+    pcieIn.resize(n, -1);
+    nicOut.resize(cfg.numNodes, -1);
+    nicIn.resize(cfg.numNodes, -1);
+
+    hw::TrafficClass up_cls = intraClass();
+    double port_bw = cfg.chiplet ? cfg.xgmiPortBw : cfg.nvlinkBw;
+
+    for (int g = 0; g < n; ++g) {
+        if (cfg.gpusPerNode > 1) {
+            scaleUpOut[g] = addLink(
+                strprintf("gpu%d.%s.out", g,
+                          cfg.chiplet ? "xgmi" : "nvlink"),
+                port_bw, up_cls, g);
+            scaleUpIn[g] = addLink(
+                strprintf("gpu%d.%s.in", g,
+                          cfg.chiplet ? "xgmi" : "nvlink"),
+                port_bw, up_cls, g);
+        }
+        pcieOut[g] = addLink(strprintf("gpu%d.pcie.out", g),
+                             cfg.pcieBw, hw::TrafficClass::Pcie, g);
+        pcieIn[g] = addLink(strprintf("gpu%d.pcie.in", g),
+                            cfg.pcieBw, hw::TrafficClass::Pcie, g);
+    }
+    for (int node = 0; node < cfg.numNodes; ++node) {
+        nicOut[node] = addLink(strprintf("node%d.nic.out", node),
+                               cfg.nicBw, hw::TrafficClass::InfiniBand,
+                               -1);
+        nicIn[node] = addLink(strprintf("node%d.nic.in", node),
+                              cfg.nicBw, hw::TrafficClass::InfiniBand,
+                              -1);
+    }
+    if (cfg.chiplet) {
+        int packages = n / 2;
+        pkgLink.resize(packages, -1);
+        for (int pkg = 0; pkg < packages; ++pkg) {
+            pkgLink[pkg] = addLink(strprintf("pkg%d.xgmi", pkg),
+                                   cfg.xgmiPackageBw,
+                                   hw::TrafficClass::Xgmi, pkg * 2);
+        }
+    }
+}
+
+std::vector<LinkId>
+Topology::route(int src, int dst) const
+{
+    CHARLLM_ASSERT(src != dst, "route to self");
+    CHARLLM_ASSERT(src >= 0 && src < numGpus() && dst >= 0 &&
+                       dst < numGpus(),
+                   "gpu id out of range");
+    std::vector<LinkId> path;
+    if (sameNode(src, dst)) {
+        if (samePackage(src, dst)) {
+            // Direct in-package GCD link (shared by both directions;
+            // xGMI in-package bandwidth is ample so this is benign).
+            path.push_back(pkgLink[static_cast<std::size_t>(src / 2)]);
+        } else {
+            path.push_back(scaleUpOut[static_cast<std::size_t>(src)]);
+            path.push_back(scaleUpIn[static_cast<std::size_t>(dst)]);
+        }
+    } else {
+        path.push_back(pcieOut[static_cast<std::size_t>(src)]);
+        path.push_back(nicOut[static_cast<std::size_t>(nodeOf(src))]);
+        path.push_back(nicIn[static_cast<std::size_t>(nodeOf(dst))]);
+        path.push_back(pcieIn[static_cast<std::size_t>(dst)]);
+    }
+    return path;
+}
+
+double
+Topology::messageLatency(int src, int dst) const
+{
+    return sameNode(src, dst) ? cfg.intraLatency : cfg.interLatency;
+}
+
+} // namespace net
+} // namespace charllm

@@ -1,0 +1,56 @@
+#include "parallel/parallel_config.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace charllm {
+namespace parallel {
+
+std::string
+ParallelConfig::label() const
+{
+    std::string s;
+    if (ep > 1)
+        s += strprintf("EP%d-", ep);
+    s += strprintf("TP%d", tp);
+    if (fsdp) {
+        s += strprintf("-FSDP%d", dp);
+    } else {
+        s += strprintf("-PP%d", pp);
+        if (dp > 1)
+            s += strprintf("-DP%d", dp);
+    }
+    return s;
+}
+
+void
+ParallelConfig::validate() const
+{
+    CHARLLM_ASSERT(tp >= 1 && pp >= 1 && dp >= 1 && ep >= 1,
+                   "non-positive parallel width");
+    CHARLLM_ASSERT(dp % ep == 0,
+                   "expert parallelism (", ep,
+                   ") must divide data parallelism (", dp, ")");
+    if (fsdp)
+        CHARLLM_ASSERT(pp == 1, "FSDP configs use pp == 1");
+}
+
+ParallelConfig
+ParallelConfig::forWorld(int world_size, int tp, int pp, int ep,
+                         bool fsdp)
+{
+    CHARLLM_ASSERT(tp * pp > 0 && world_size % (tp * pp) == 0,
+                   "world size ", world_size,
+                   " not divisible by tp*pp = ", tp * pp);
+    ParallelConfig c;
+    c.tp = tp;
+    c.pp = pp;
+    c.dp = world_size / (tp * pp);
+    c.ep = ep;
+    c.fsdp = fsdp;
+    c.validate();
+    return c;
+}
+
+} // namespace parallel
+} // namespace charllm

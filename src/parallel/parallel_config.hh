@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Parallelism configuration: tensor / pipeline / data / expert widths
+ * and the FSDP flavour of the data dimension. Naming follows the
+ * paper: "EP<e>-TP<t>-PP<p>", with DP filling the remaining devices.
+ */
+
+#ifndef CHARLLM_PARALLEL_PARALLEL_CONFIG_HH
+#define CHARLLM_PARALLEL_PARALLEL_CONFIG_HH
+
+#include <string>
+
+namespace charllm {
+namespace parallel {
+
+/**
+ * A parallelism layout. worldSize() == tp * dp * pp; expert
+ * parallelism (ep) partitions the data-parallel dimension, matching
+ * Megatron-Core's TP -> EP -> DP -> PP rank ordering.
+ */
+struct ParallelConfig
+{
+    int tp = 1; //!< tensor-parallel width
+    int pp = 1; //!< pipeline-parallel depth
+    int dp = 1; //!< data-parallel replicas
+    int ep = 1; //!< expert-parallel width (divides dp)
+    bool fsdp = false; //!< data dimension runs FSDP (sharded params)
+
+    int worldSize() const { return tp * dp * pp; }
+
+    /** Paper-style label, e.g. "EP8-TP1-PP4" or "TP8-FSDP4". */
+    std::string label() const;
+
+    /** Validate divisibility constraints; fatal on violation. */
+    void validate() const;
+
+    /**
+     * Construct a config for @p world_size GPUs from the
+     * model-parallel widths, deriving dp = world / (tp*pp).
+     */
+    static ParallelConfig forWorld(int world_size, int tp, int pp,
+                                   int ep = 1, bool fsdp = false);
+};
+
+} // namespace parallel
+} // namespace charllm
+
+#endif // CHARLLM_PARALLEL_PARALLEL_CONFIG_HH

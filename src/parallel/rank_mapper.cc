@@ -1,0 +1,163 @@
+#include "parallel/rank_mapper.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace charllm {
+namespace parallel {
+
+RankMapper::RankMapper(const ParallelConfig& config) : cfg(config)
+{
+    cfg.validate();
+    devicePerm.resize(static_cast<std::size_t>(cfg.worldSize()));
+    std::iota(devicePerm.begin(), devicePerm.end(), 0);
+    deviceRank = devicePerm;
+}
+
+void
+RankMapper::setDevicePermutation(std::vector<int> perm)
+{
+    CHARLLM_ASSERT(static_cast<int>(perm.size()) == cfg.worldSize(),
+                   "permutation size mismatch");
+    devicePerm = std::move(perm);
+    deviceRank.assign(devicePerm.size(), -1);
+    for (std::size_t r = 0; r < devicePerm.size(); ++r) {
+        int dev = devicePerm[r];
+        CHARLLM_ASSERT(dev >= 0 && dev < cfg.worldSize() &&
+                           deviceRank[static_cast<std::size_t>(dev)] ==
+                               -1,
+                       "invalid device permutation");
+        deviceRank[static_cast<std::size_t>(dev)] =
+            static_cast<int>(r);
+    }
+}
+
+int
+RankMapper::deviceOf(int rank) const
+{
+    return devicePerm[static_cast<std::size_t>(rank)];
+}
+
+int
+RankMapper::rankOf(int device) const
+{
+    return deviceRank[static_cast<std::size_t>(device)];
+}
+
+RankCoords
+RankMapper::coordsOf(int rank) const
+{
+    // Rank layout (fastest to slowest): tp, dp (with ep as its inner
+    // sub-blocks), pp.
+    RankCoords c;
+    c.tpIdx = rank % cfg.tp;
+    c.dpIdx = (rank / cfg.tp) % cfg.dp;
+    c.ppIdx = rank / (cfg.tp * cfg.dp);
+    return c;
+}
+
+int
+RankMapper::rankFromCoords(const RankCoords& coords) const
+{
+    return coords.tpIdx + cfg.tp * (coords.dpIdx + cfg.dp * coords.ppIdx);
+}
+
+std::vector<int>
+RankMapper::tpGroupDevices(int rank) const
+{
+    RankCoords c = coordsOf(rank);
+    std::vector<int> devices;
+    devices.reserve(static_cast<std::size_t>(cfg.tp));
+    for (int t = 0; t < cfg.tp; ++t) {
+        RankCoords peer = c;
+        peer.tpIdx = t;
+        devices.push_back(deviceOf(rankFromCoords(peer)));
+    }
+    return devices;
+}
+
+std::vector<int>
+RankMapper::dpGroupDevices(int rank) const
+{
+    RankCoords c = coordsOf(rank);
+    std::vector<int> devices;
+    devices.reserve(static_cast<std::size_t>(cfg.dp));
+    for (int d = 0; d < cfg.dp; ++d) {
+        RankCoords peer = c;
+        peer.dpIdx = d;
+        devices.push_back(deviceOf(rankFromCoords(peer)));
+    }
+    return devices;
+}
+
+std::vector<int>
+RankMapper::epGroupDevices(int rank) const
+{
+    RankCoords c = coordsOf(rank);
+    int block = (c.dpIdx / cfg.ep) * cfg.ep;
+    std::vector<int> devices;
+    devices.reserve(static_cast<std::size_t>(cfg.ep));
+    for (int e = 0; e < cfg.ep; ++e) {
+        RankCoords peer = c;
+        peer.dpIdx = block + e;
+        devices.push_back(deviceOf(rankFromCoords(peer)));
+    }
+    return devices;
+}
+
+std::vector<int>
+RankMapper::ppGroupDevices(int rank) const
+{
+    RankCoords c = coordsOf(rank);
+    std::vector<int> devices;
+    devices.reserve(static_cast<std::size_t>(cfg.pp));
+    for (int p = 0; p < cfg.pp; ++p) {
+        RankCoords peer = c;
+        peer.ppIdx = p;
+        devices.push_back(deviceOf(rankFromCoords(peer)));
+    }
+    return devices;
+}
+
+int
+RankMapper::nextStageDevice(int rank) const
+{
+    RankCoords c = coordsOf(rank);
+    if (c.ppIdx + 1 >= cfg.pp)
+        return -1;
+    RankCoords peer = c;
+    ++peer.ppIdx;
+    return deviceOf(rankFromCoords(peer));
+}
+
+int
+RankMapper::prevStageDevice(int rank) const
+{
+    RankCoords c = coordsOf(rank);
+    if (c.ppIdx == 0)
+        return -1;
+    RankCoords peer = c;
+    --peer.ppIdx;
+    return deviceOf(rankFromCoords(peer));
+}
+
+double
+RankMapper::nodeLocality(const std::vector<int>& devices,
+                         int gpus_per_node)
+{
+    if (devices.size() < 2)
+        return 1.0;
+    std::size_t same = 0, total = 0;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        for (std::size_t j = i + 1; j < devices.size(); ++j) {
+            ++total;
+            if (devices[i] / gpus_per_node == devices[j] / gpus_per_node)
+                ++same;
+        }
+    }
+    return static_cast<double>(same) / static_cast<double>(total);
+}
+
+} // namespace parallel
+} // namespace charllm

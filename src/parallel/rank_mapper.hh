@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Rank-to-device mapping and communication-group construction in the
+ * Megatron/NeMo order TP -> EP -> DP -> PP (paper Sec. 3.1): tensor
+ * ranks vary fastest across consecutive device ids, pipeline stages
+ * slowest. This ordering is what decides whether TP/EP groups stay
+ * inside a node.
+ */
+
+#ifndef CHARLLM_PARALLEL_RANK_MAPPER_HH
+#define CHARLLM_PARALLEL_RANK_MAPPER_HH
+
+#include <vector>
+
+#include "parallel/parallel_config.hh"
+
+namespace charllm {
+namespace parallel {
+
+/** Logical coordinates of one rank. */
+struct RankCoords
+{
+    int tpIdx = 0;
+    int dpIdx = 0;
+    int ppIdx = 0;
+
+    bool
+    operator==(const RankCoords& o) const
+    {
+        return tpIdx == o.tpIdx && dpIdx == o.dpIdx && ppIdx == o.ppIdx;
+    }
+};
+
+/**
+ * Maps logical ranks to devices and enumerates communication groups.
+ * An optional device permutation supports thermal-aware placement
+ * (Sec. 6): logical rank r executes on device devicePerm[r].
+ */
+class RankMapper
+{
+  public:
+    explicit RankMapper(const ParallelConfig& config);
+
+    /** Install a custom rank -> device permutation. */
+    void setDevicePermutation(std::vector<int> perm);
+
+    const ParallelConfig& config() const { return cfg; }
+    int worldSize() const { return cfg.worldSize(); }
+
+    /** Device executing logical rank @p rank. */
+    int deviceOf(int rank) const;
+
+    /** Logical rank executing on device @p device. */
+    int rankOf(int device) const;
+
+    RankCoords coordsOf(int rank) const;
+    int rankFromCoords(const RankCoords& coords) const;
+
+    /** Expert-parallel index of a rank (subgroup of its DP block). */
+    int epIdxOf(int rank) const { return coordsOf(rank).dpIdx % cfg.ep; }
+
+    /** @name Communication groups (device ids, ascending rank order)
+     * @{ */
+    std::vector<int> tpGroupDevices(int rank) const;
+    std::vector<int> dpGroupDevices(int rank) const;
+    std::vector<int> epGroupDevices(int rank) const;
+    std::vector<int> ppGroupDevices(int rank) const;
+    /** @} */
+
+    /** Device of the next/previous pipeline stage peer (-1 if none). */
+    int nextStageDevice(int rank) const;
+    int prevStageDevice(int rank) const;
+
+    /**
+     * Fraction of a group's rank pairs that live on the same node
+     * (locality score used for topology-awareness analysis).
+     */
+    static double nodeLocality(const std::vector<int>& devices,
+                               int gpus_per_node);
+
+  private:
+    ParallelConfig cfg;
+    std::vector<int> devicePerm; //!< rank -> device
+    std::vector<int> deviceRank; //!< device -> rank
+};
+
+} // namespace parallel
+} // namespace charllm
+
+#endif // CHARLLM_PARALLEL_RANK_MAPPER_HH

@@ -1,0 +1,418 @@
+#include "runtime/engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "hw/calibration.hh"
+
+namespace charllm {
+namespace runtime {
+
+namespace {
+
+inline std::uint64_t
+instanceKey(int group_id, std::uint64_t seq)
+{
+    return (static_cast<std::uint64_t>(group_id) << 32) | seq;
+}
+
+inline std::uint64_t
+channelKey(int src, int dst)
+{
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(dst);
+}
+
+} // namespace
+
+TrainingEngine::TrainingEngine(hw::Platform& platform,
+                               net::FlowNetwork& netw,
+                               coll::CollectiveEngine& collectives,
+                               const ProgramBuilder& program_builder,
+                               const EngineOptions& options)
+    : plat(platform), network(netw), coll(collectives),
+      builder(program_builder), opts(options)
+{
+    CHARLLM_ASSERT(opts.measuredIterations >= 1,
+                   "need at least one measured iteration");
+    plat.setClockListener([this](int dev, double clk) {
+        onClockChange(dev, clk);
+    });
+    network.setTrafficSink(
+        [this](int gpu, hw::TrafficClass cls, double bytes) {
+        plat.gpu(gpu).addTraffic(cls, bytes);
+    });
+}
+
+double
+TrainingEngine::avgIterationSeconds() const
+{
+    CHARLLM_ASSERT(!measured.empty(), "no measured iterations");
+    double total = 0.0;
+    for (double t : measured)
+        total += t;
+    return total / static_cast<double>(measured.size());
+}
+
+void
+TrainingEngine::emitTrace(int dev, hw::KernelClass cls, const char* name,
+                          double start, double dur)
+{
+    if (trace)
+        trace(dev, cls, name, start, dur);
+}
+
+void
+TrainingEngine::run()
+{
+    totalIterations = opts.warmupIterations + opts.measuredIterations;
+    iteration = 0;
+    if (opts.warmupIterations == 0)
+        measureStart = plat.simulator().nowSeconds();
+    startIteration();
+    plat.simulator().run();
+    if (!finished) {
+        for (int dev = 0; dev < program.worldSize(); ++dev) {
+            const auto& st = ranks[static_cast<std::size_t>(dev)];
+            if (!st.done) {
+                const auto& ops =
+                    program.deviceOps[static_cast<std::size_t>(dev)];
+                std::size_t at = st.pc > 0 ? st.pc - 1 : 0;
+                CHARLLM_FATAL("schedule deadlock: device ", dev,
+                              " stuck at op ", at, " (",
+                              at < ops.size() ? ops[at].name : "end",
+                              ") of ", ops.size());
+            }
+        }
+        CHARLLM_PANIC("engine did not finish but all ranks done");
+    }
+    plat.finishStats();
+}
+
+void
+TrainingEngine::startIteration()
+{
+    program = builder.build(iteration);
+    int world = program.worldSize();
+    CHARLLM_ASSERT(world == plat.numGpus(),
+                   "program world size != platform size");
+    CHARLLM_ASSERT(instances.empty(),
+                   "collective instances leaked across iterations");
+    ranks.assign(static_cast<std::size_t>(world), RankState());
+    inFlight.assign(static_cast<std::size_t>(world), std::nullopt);
+    groupSeq.assign(static_cast<std::size_t>(world),
+                    std::vector<std::uint64_t>(program.groups.size(),
+                                               0));
+    channels.clear();
+    ranksRemaining = world;
+    iterStart = plat.simulator().nowSeconds();
+    for (int dev = 0; dev < world; ++dev)
+        advance(dev);
+}
+
+void
+TrainingEngine::finishIteration()
+{
+    double now = plat.simulator().nowSeconds();
+    double dur = now - iterStart;
+    if (iteration >= opts.warmupIterations)
+        measured.push_back(dur);
+    if (iteration == opts.warmupIterations - 1) {
+        // Warmup complete: discard thermal-settling statistics, as the
+        // paper discards its first 10 iterations.
+        plat.resetStats();
+        measureStart = now;
+    }
+    ++iteration;
+    if (iteration < totalIterations)
+        startIteration();
+    else
+        finished = true;
+}
+
+void
+TrainingEngine::advance(int dev)
+{
+    auto& st = ranks[static_cast<std::size_t>(dev)];
+    CHARLLM_ASSERT(!st.done, "advancing a finished rank");
+    const auto& ops = program.deviceOps[static_cast<std::size_t>(dev)];
+    while (st.pc < ops.size()) {
+        const Op& op = ops[st.pc];
+        ++st.pc;
+        switch (op.type) {
+          case OpType::Compute:
+            startCompute(dev, op);
+            return;
+          case OpType::Collective:
+            joinCollective(dev, op);
+            if (!op.async)
+                return;
+            break;
+          case OpType::Send:
+            issueSend(dev, op);
+            break;
+          case OpType::Recv:
+            if (!tryRecv(dev, op))
+                return;
+            break;
+          case OpType::Drain:
+            if (st.outstandingAsync > 0) {
+                st.draining = true;
+                return;
+            }
+            break;
+        }
+    }
+    rankDone(dev);
+}
+
+double
+TrainingEngine::computeRate(int dev) const
+{
+    const hw::Gpu& gpu = plat.gpu(dev);
+    double rate = gpu.clockRel();
+    if (gpu.commActive())
+        rate /= hw::calib::kOverlapComputePenalty;
+    return std::max(rate, 1e-3);
+}
+
+void
+TrainingEngine::startCompute(int dev, const Op& op)
+{
+    hw::Gpu& gpu = plat.gpu(dev);
+    double now = plat.simulator().nowSeconds();
+    hw::ComputeWork work{op.cls, op.flops, op.hbmBytes, op.kernels};
+    double nominal = gpu.computeModel().duration(work, 1.0);
+    double sm_util = gpu.computeModel().smUtilization(work);
+
+    InFlightCompute fl;
+    fl.remainingNominal = nominal;
+    fl.rate = computeRate(dev);
+    fl.lastUpdate = now;
+    fl.startTime = now;
+    fl.cls = op.cls;
+    fl.name = op.name;
+    fl.gpuToken = gpu.kernelBegin(op.cls, sm_util, now);
+    fl.completion = plat.simulator().schedule(
+        sim::toTicks(nominal / fl.rate), [this, dev] {
+        finishCompute(dev);
+    });
+    inFlight[static_cast<std::size_t>(dev)] = std::move(fl);
+}
+
+void
+TrainingEngine::finishCompute(int dev)
+{
+    auto& slot = inFlight[static_cast<std::size_t>(dev)];
+    CHARLLM_ASSERT(slot.has_value(), "spurious compute completion");
+    double now = plat.simulator().nowSeconds();
+    hw::Gpu& gpu = plat.gpu(dev);
+    gpu.kernelEnd(slot->gpuToken, now);
+    gpu.addKernelTime(slot->cls, now - slot->startTime);
+    emitTrace(dev, slot->cls, slot->name, slot->startTime,
+              now - slot->startTime);
+    slot.reset();
+    advance(dev);
+}
+
+void
+TrainingEngine::onClockChange(int dev, double clock_rel)
+{
+    (void)clock_rel;
+    retimeCompute(dev);
+}
+
+void
+TrainingEngine::retimeCompute(int dev)
+{
+    auto& slot = inFlight[static_cast<std::size_t>(dev)];
+    if (!slot.has_value())
+        return;
+    double now = plat.simulator().nowSeconds();
+    double elapsed = now - slot->lastUpdate;
+    slot->remainingNominal =
+        std::max(0.0, slot->remainingNominal - elapsed * slot->rate);
+    slot->rate = computeRate(dev);
+    slot->lastUpdate = now;
+    slot->completion.cancel();
+    slot->completion = plat.simulator().schedule(
+        sim::toTicks(slot->remainingNominal / slot->rate),
+        [this, dev] { finishCompute(dev); });
+}
+
+void
+TrainingEngine::joinCollective(int dev, const Op& op)
+{
+    auto& seq = groupSeq[static_cast<std::size_t>(dev)]
+                        [static_cast<std::size_t>(op.groupId)];
+    std::uint64_t key = instanceKey(op.groupId, seq++);
+    auto& inst = instances[key];
+    double now = plat.simulator().nowSeconds();
+    hw::Gpu& gpu = plat.gpu(dev);
+    std::uint64_t token = gpu.kernelBegin(op.cls, 0.0, now);
+    inst.arrivals.emplace_back(dev, now);
+    inst.tokens.emplace_back(dev, token);
+    inst.async = op.async;
+    inst.cls = op.cls;
+    inst.name = op.name;
+    if (op.async)
+        ++ranks[static_cast<std::size_t>(dev)].outstandingAsync;
+
+    const auto& group =
+        program.groups[static_cast<std::size_t>(op.groupId)];
+    if (inst.arrivals.size() == group.size()) {
+        // Last member arrived: launch the collective. The op metadata
+        // is identical across members; use this op's.
+        coll::CollectiveRequest req;
+        req.kind = op.ckind;
+        req.ranks = group;
+        req.bytes = op.bytes;
+        req.chunked = op.chunked;
+        req.messages = op.messages;
+        req.topologyAware = op.topologyAware;
+        // Overlapped collectives contend with concurrent compute for
+        // memory/SM resources (paper Sec. 4.3).
+        if (inst.async) {
+            for (int member : group) {
+                if (plat.gpu(member).computeActive()) {
+                    req.bytes *= hw::calib::kOverlapCommPenalty;
+                    break;
+                }
+            }
+        }
+        req.onComplete = [this, key] { onCollectiveDone(key); };
+        inst.issued = true;
+        coll.run(std::move(req));
+    }
+}
+
+void
+TrainingEngine::onCollectiveDone(std::uint64_t key)
+{
+    auto it = instances.find(key);
+    CHARLLM_ASSERT(it != instances.end(), "unknown collective instance");
+    CollectiveInstance inst = std::move(it->second);
+    instances.erase(it);
+    double now = plat.simulator().nowSeconds();
+
+    for (std::size_t i = 0; i < inst.arrivals.size(); ++i) {
+        int dev = inst.arrivals[i].first;
+        double arr = inst.arrivals[i].second;
+        hw::Gpu& gpu = plat.gpu(dev);
+        // Token order matches arrival order. Per-rank collective time
+        // runs from that rank's arrival to the group's completion, so
+        // stragglers inflate their peers' communication time exactly
+        // as NCCL kernel timings do on real systems.
+        gpu.kernelEnd(inst.tokens[i].second, now);
+        gpu.addKernelTime(inst.cls, now - arr);
+        emitTrace(dev, inst.cls, inst.name, arr, now - arr);
+        // Contention relief: concurrent compute regains full rate.
+        retimeCompute(dev);
+    }
+    for (const auto& [dev, arr] : inst.arrivals) {
+        auto& st = ranks[static_cast<std::size_t>(dev)];
+        if (inst.async) {
+            CHARLLM_ASSERT(st.outstandingAsync > 0,
+                           "async underflow");
+            --st.outstandingAsync;
+            if (st.draining && st.outstandingAsync == 0) {
+                st.draining = false;
+                advance(dev);
+            }
+        } else {
+            advance(dev);
+        }
+    }
+}
+
+void
+TrainingEngine::issueSend(int dev, const Op& op)
+{
+    double now = plat.simulator().nowSeconds();
+    std::uint64_t ckey = channelKey(dev, op.peerDevice);
+    Channel& ch = channels[ckey];
+    std::uint64_t seq = ch.sendSeq++;
+
+    hw::Gpu& gpu = plat.gpu(dev);
+    std::uint64_t token = gpu.kernelBegin(hw::KernelClass::SendRecv,
+                                          0.0, now);
+    ++ranks[static_cast<std::size_t>(dev)].outstandingAsync;
+
+    coll::CollectiveRequest req;
+    req.kind = coll::CollectiveKind::SendRecv;
+    req.ranks = {dev, op.peerDevice};
+    req.bytes = op.bytes;
+    req.chunked = op.chunked;
+    int dst = op.peerDevice;
+    const char* name = op.name;
+    req.onComplete = [this, dev, dst, ckey, seq, token, now, name] {
+        double done = plat.simulator().nowSeconds();
+        // Sender side bookkeeping.
+        hw::Gpu& src_gpu = plat.gpu(dev);
+        src_gpu.kernelEnd(token, done);
+        src_gpu.addKernelTime(hw::KernelClass::SendRecv, done - now);
+        emitTrace(dev, hw::KernelClass::SendRecv, name, now,
+                  done - now);
+        retimeCompute(dev);
+        auto& sst = ranks[static_cast<std::size_t>(dev)];
+        CHARLLM_ASSERT(sst.outstandingAsync > 0, "send underflow");
+        --sst.outstandingAsync;
+        if (sst.draining && sst.outstandingAsync == 0) {
+            sst.draining = false;
+            advance(dev);
+        }
+        // Receiver side: wake a blocked recv or buffer the arrival.
+        Channel& channel = channels[ckey];
+        if (channel.waiting &&
+            std::get<0>(*channel.waiting) == seq) {
+            auto [wseq, arr, rx_token] = *channel.waiting;
+            channel.waiting.reset();
+            hw::Gpu& dst_gpu = plat.gpu(dst);
+            dst_gpu.kernelEnd(rx_token, done);
+            dst_gpu.addKernelTime(hw::KernelClass::SendRecv,
+                                  done - arr);
+            emitTrace(dst, hw::KernelClass::SendRecv, "recv", arr,
+                      done - arr);
+            advance(dst);
+        } else {
+            channel.ready.emplace(seq, done);
+        }
+    };
+    coll.run(std::move(req));
+}
+
+bool
+TrainingEngine::tryRecv(int dev, const Op& op)
+{
+    std::uint64_t ckey = channelKey(op.peerDevice, dev);
+    Channel& ch = channels[ckey];
+    std::uint64_t seq = ch.recvSeq++;
+    auto it = ch.ready.find(seq);
+    if (it != ch.ready.end()) {
+        // Data already arrived: the receive completes immediately.
+        ch.ready.erase(it);
+        return true;
+    }
+    CHARLLM_ASSERT(!ch.waiting.has_value(),
+                   "multiple blocked receivers on one channel");
+    double now = plat.simulator().nowSeconds();
+    std::uint64_t token = plat.gpu(dev).kernelBegin(
+        hw::KernelClass::SendRecv, 0.0, now);
+    ch.waiting = std::make_tuple(seq, now, token);
+    return false;
+}
+
+void
+TrainingEngine::rankDone(int dev)
+{
+    auto& st = ranks[static_cast<std::size_t>(dev)];
+    CHARLLM_ASSERT(st.outstandingAsync == 0,
+                   "rank finished with outstanding async work");
+    st.done = true;
+    if (--ranksRemaining == 0)
+        finishIteration();
+}
+
+} // namespace runtime
+} // namespace charllm

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The training engine: executes per-rank operator programs on the
+ * simulated hardware (compute timing with DVFS feedback, collectives
+ * and P2P over the contended flow network, overlap semantics), and
+ * records iteration timings.
+ */
+
+#ifndef CHARLLM_RUNTIME_ENGINE_HH
+#define CHARLLM_RUNTIME_ENGINE_HH
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "coll/collective_engine.hh"
+#include "hw/platform.hh"
+#include "net/flow_network.hh"
+#include "runtime/program_builder.hh"
+
+namespace charllm {
+namespace runtime {
+
+/** Measurement controls. */
+struct EngineOptions
+{
+    int warmupIterations = 2;  //!< discarded (thermal settling)
+    int measuredIterations = 3;
+};
+
+/**
+ * Executes ProgramBuilder schedules. One engine instance runs one
+ * experiment: warmup + measured iterations, chained inside a single
+ * simulator run so thermal state persists across iterations.
+ */
+class TrainingEngine
+{
+  public:
+    /** Kernel-trace callback: (device, class, name, start_s, dur_s). */
+    using TraceSink = std::function<void(int, hw::KernelClass,
+                                         const char*, double, double)>;
+
+    TrainingEngine(hw::Platform& platform, net::FlowNetwork& network,
+                   coll::CollectiveEngine& collectives,
+                   const ProgramBuilder& builder,
+                   const EngineOptions& options);
+
+    void setTraceSink(TraceSink sink) { trace = std::move(sink); }
+
+    /**
+     * Run all iterations to completion. The platform must have been
+     * start()ed by the caller. Fatal on schedule deadlock.
+     */
+    void run();
+
+    /** Wall-clock (simulated) seconds of each measured iteration. */
+    const std::vector<double>& iterationSeconds() const
+    {
+        return measured;
+    }
+
+    double avgIterationSeconds() const;
+
+    /** Simulated time at which measurement began (post warmup). */
+    double measureStartSeconds() const { return measureStart; }
+
+  private:
+    struct RankState
+    {
+        std::size_t pc = 0;
+        int outstandingAsync = 0;
+        bool draining = false;
+        bool done = false;
+    };
+
+    struct InFlightCompute
+    {
+        double remainingNominal = 0.0; //!< seconds at nominal clock
+        double rate = 1.0;             //!< current relative clock
+        double lastUpdate = 0.0;
+        double startTime = 0.0;
+        std::uint64_t gpuToken = 0;
+        hw::KernelClass cls;
+        const char* name = "";
+        sim::EventHandle completion;
+    };
+
+    struct CollectiveInstance
+    {
+        std::vector<std::pair<int, double>> arrivals; //!< (dev, time)
+        std::vector<std::pair<int, std::uint64_t>> tokens;
+        bool async = false;
+        bool issued = false;
+        hw::KernelClass cls = hw::KernelClass::AllReduce;
+        const char* name = "";
+    };
+
+    struct Channel
+    {
+        std::uint64_t sendSeq = 0;
+        std::uint64_t recvSeq = 0;
+        // Sends whose data has fully arrived, by sequence number.
+        std::map<std::uint64_t, double> ready;
+        // Blocked receiver (seq, arrival time, gpu token).
+        std::optional<std::tuple<std::uint64_t, double, std::uint64_t>>
+            waiting;
+    };
+
+    void startIteration();
+    void finishIteration();
+    void advance(int dev);
+    void startCompute(int dev, const Op& op);
+    void finishCompute(int dev);
+    void onClockChange(int dev, double clock_rel);
+
+    /**
+     * Effective progress rate of compute on a device: relative clock,
+     * divided by the contention penalty while communication kernels
+     * share the device (cc-overlap / eager P2P).
+     */
+    double computeRate(int dev) const;
+
+    /** Re-time the in-flight compute op after a rate change. */
+    void retimeCompute(int dev);
+    void joinCollective(int dev, const Op& op);
+    void issueCollective(std::uint64_t key);
+    void onCollectiveDone(std::uint64_t key);
+    void issueSend(int dev, const Op& op);
+    bool tryRecv(int dev, const Op& op);
+    void rankDone(int dev);
+    void emitTrace(int dev, hw::KernelClass cls, const char* name,
+                   double start, double dur);
+
+    hw::Platform& plat;
+    net::FlowNetwork& network;
+    coll::CollectiveEngine& coll;
+    const ProgramBuilder& builder;
+    EngineOptions opts;
+    TraceSink trace;
+
+    Program program;
+    std::vector<RankState> ranks;
+    std::vector<std::optional<InFlightCompute>> inFlight;
+    // Collective instances keyed by (groupId << 32 | seq).
+    std::map<std::uint64_t, CollectiveInstance> instances;
+    std::vector<std::vector<std::uint64_t>> groupSeq; //!< [dev][group]
+    std::map<std::uint64_t, Channel> channels; //!< (src << 32 | dst)
+
+    int iteration = 0;
+    int totalIterations = 0;
+    int ranksRemaining = 0;
+    double iterStart = 0.0;
+    double measureStart = 0.0;
+    std::vector<double> measured;
+    bool finished = false;
+};
+
+} // namespace runtime
+} // namespace charllm
+
+#endif // CHARLLM_RUNTIME_ENGINE_HH

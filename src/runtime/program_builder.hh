@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Builds per-rank operator programs from (model, parallelism,
+ * options): 1F1B or interleaved (virtual-stage) pipeline schedules,
+ * Megatron TP collectives, MoE expert all-to-all, FSDP
+ * gather/scatter, ZeRO-1 optimizer steps, activation recomputation,
+ * and compute-communication overlap.
+ */
+
+#ifndef CHARLLM_RUNTIME_PROGRAM_BUILDER_HH
+#define CHARLLM_RUNTIME_PROGRAM_BUILDER_HH
+
+#include <map>
+
+#include "common/rng.hh"
+#include "model/analytics.hh"
+#include "parallel/rank_mapper.hh"
+#include "runtime/op.hh"
+#include "runtime/options.hh"
+
+namespace charllm {
+namespace runtime {
+
+/**
+ * Program construction. One builder per experiment; build() is called
+ * once per iteration (MoE routing imbalance is re-drawn per
+ * iteration, everything else is deterministic).
+ */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder(const model::TransformerConfig& model_config,
+                   const parallel::RankMapper& mapper,
+                   const TrainOptions& options);
+
+    /** Microbatches per data-parallel replica per iteration. */
+    int numMicrobatches() const { return microbatches; }
+
+    /** Tokens processed per iteration across the whole cluster. */
+    double tokensPerIteration() const;
+
+    /** Transformer layers on pipeline stage @p stage (1F1B mode). */
+    int layersOnStage(int stage) const;
+
+    /** Layers per virtual chunk under interleaved scheduling. */
+    double layersPerChunk() const;
+
+    /** Build the schedule for iteration @p iteration. */
+    Program build(int iteration) const;
+
+    /**
+     * Analytic bubble fraction: (pp-1)/(v*m + pp-1) — the classic
+     * 1F1B value for v == 1.
+     */
+    double pipelineBubbleFraction() const;
+
+  private:
+    struct BuildContext
+    {
+        Program program;
+        std::map<std::vector<int>, int> groupIds;
+        Rng rng;
+    };
+
+    int groupIdFor(BuildContext& ctx, std::vector<int> devices) const;
+
+    /** Device hosting pipeline stage @p stage of @p rank's pipe. */
+    int deviceAtStage(int rank, int stage) const;
+
+    void emitForward(BuildContext& ctx, int rank, int mb,
+                     int chunk) const;
+    void emitBackward(BuildContext& ctx, int rank, int mb, int chunk,
+                      bool overlap_grad_bucket,
+                      int bucket_count) const;
+    void emitIterationTail(BuildContext& ctx, int rank) const;
+    void emitRank(BuildContext& ctx, int rank) const;
+    void emitRankInterleaved(BuildContext& ctx, int rank) const;
+
+    /** Trainable gradient bytes per GPU on this rank's stage. */
+    double gradBytesPerGpu(int stage) const;
+    double stageParamBytes(int stage) const;
+
+    model::TransformerConfig cfg;
+    model::ModelAnalytics analytics;
+    const parallel::RankMapper& map;
+    TrainOptions opts;
+    int microbatches;
+    double tokensPerMicrobatch;
+};
+
+} // namespace runtime
+} // namespace charllm
+
+#endif // CHARLLM_RUNTIME_PROGRAM_BUILDER_HH

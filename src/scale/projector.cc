@@ -1,0 +1,67 @@
+#include "scale/projector.hh"
+
+#include "coll/cost_model.hh"
+#include "common/logging.hh"
+
+namespace charllm {
+namespace scale {
+
+Projector::Projector(const ProjectionInput& input) : in(input)
+{
+    CHARLLM_ASSERT(in.baseGpus >= 1 && in.tokensPerIteration > 0.0 &&
+                       in.nodeBandwidth > 0.0,
+                   "invalid projection input");
+}
+
+ProjectionPoint
+Projector::project(int dp, double bandwidth_multiplier) const
+{
+    CHARLLM_ASSERT(dp >= 1 && bandwidth_multiplier > 0.0,
+                   "invalid projection point");
+    ProjectionPoint p;
+    p.dp = dp;
+    p.totalGpus = in.baseGpus * dp;
+
+    double d = static_cast<double>(dp);
+    // Fixed global batch: each replica handles 1/dp of the tokens.
+    p.computeSeconds = in.computeSeconds / d;
+    double intra = in.intraCommSeconds / d;
+    double inter = in.interCommSeconds / (d * bandwidth_multiplier);
+    p.commSeconds = intra + inter;
+
+    // DP gradient AllReduce. The datacenter-scale what-if assumes a
+    // rail-optimized fabric with one NIC per GPU (the paper's
+    // projection follows the same convention via Astra-Sim), so each
+    // DP ring sees the full (scaled) link bandwidth.
+    if (dp > 1) {
+        double ring_bw = in.nodeBandwidth * bandwidth_multiplier;
+        p.allReduceSeconds = coll::ringAllReduceSeconds(
+            dp, in.gradBytesPerGpu, ring_bw, in.messageLatency);
+    }
+
+    p.iterationSeconds =
+        p.computeSeconds + p.commSeconds + p.allReduceSeconds;
+    p.tokensPerSecond = in.tokensPerIteration / p.iterationSeconds;
+    p.perGpuTokensPerSecond =
+        p.tokensPerSecond / static_cast<double>(p.totalGpus);
+
+    double base_time = in.computeSeconds + in.intraCommSeconds +
+                       in.interCommSeconds;
+    double ideal_time = base_time / d;
+    p.strongScalingEfficiency = ideal_time / p.iterationSeconds;
+    return p;
+}
+
+std::vector<ProjectionPoint>
+Projector::sweep(const std::vector<int>& dps,
+                 double bandwidth_multiplier) const
+{
+    std::vector<ProjectionPoint> points;
+    points.reserve(dps.size());
+    for (int dp : dps)
+        points.push_back(project(dp, bandwidth_multiplier));
+    return points;
+}
+
+} // namespace scale
+} // namespace charllm

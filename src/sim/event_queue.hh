@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Discrete-event kernel: a time-ordered queue of cancellable events.
+ *
+ * Ticks are integer nanoseconds of simulated time. Events scheduled for
+ * the same tick fire in scheduling order (FIFO), which keeps runs
+ * deterministic regardless of heap internals.
+ */
+
+#ifndef CHARLLM_SIM_EVENT_QUEUE_HH
+#define CHARLLM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace charllm {
+namespace sim {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** One simulated second, in ticks. */
+constexpr Tick kTicksPerSecond = 1'000'000'000ULL;
+
+/** Convert floating-point seconds to ticks (rounding to nearest). */
+inline Tick
+toTicks(double seconds)
+{
+    CHARLLM_ASSERT(seconds >= 0.0, "negative delay: ", seconds);
+    return static_cast<Tick>(seconds * 1e9 + 0.5);
+}
+
+/** Convert ticks to floating-point seconds. */
+inline double
+toSeconds(Tick ticks)
+{
+    return static_cast<double>(ticks) * 1e-9;
+}
+
+class EventQueue;
+
+/**
+ * Handle to a scheduled event; allows cancellation. Handles are cheap
+ * shared references to the event record.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** True if the event is still pending (not fired, not cancelled). */
+    bool pending() const { return record && !record->done; }
+
+    /** Cancel the event if still pending. */
+    void cancel();
+
+    /** Scheduled firing time; only meaningful while pending. */
+    Tick when() const { return record ? record->when : 0; }
+
+  private:
+    friend class EventQueue;
+
+    struct Record
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        std::function<void()> fn;
+        bool done = false;
+        std::size_t* liveCounter = nullptr;
+    };
+
+    explicit EventHandle(std::shared_ptr<Record> r) : record(std::move(r)) {}
+
+    std::shared_ptr<Record> record;
+};
+
+inline void
+EventHandle::cancel()
+{
+    if (record && !record->done) {
+        record->done = true;
+        if (record->liveCounter)
+            --*record->liveCounter;
+    }
+}
+
+/**
+ * The event queue itself. Not thread-safe: the simulator is
+ * single-threaded by design (determinism beats parallel speed at this
+ * scale).
+ */
+class EventQueue
+{
+  public:
+    /** Current simulated time. */
+    Tick now() const { return currentTick; }
+
+    /** Schedule @p fn to run at absolute time @p when (>= now). */
+    EventHandle
+    scheduleAt(Tick when, std::function<void()> fn)
+    {
+        CHARLLM_ASSERT(when >= currentTick,
+                       "scheduling into the past: ", when, " < ",
+                       currentTick);
+        auto record = std::make_shared<EventHandle::Record>();
+        record->when = when;
+        record->seq = nextSeq++;
+        record->fn = std::move(fn);
+        record->liveCounter = &liveCount;
+        heap.push(record);
+        ++liveCount;
+        return EventHandle(record);
+    }
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    EventHandle
+    schedule(Tick delay, std::function<void()> fn)
+    {
+        return scheduleAt(currentTick + delay, std::move(fn));
+    }
+
+    /** Any live events pending? */
+    bool empty() const { return liveCount == 0; }
+
+    std::size_t numPending() const { return liveCount; }
+
+    /**
+     * Pop and run the next live event; returns false if none remain.
+     * Cancelled events are discarded silently.
+     */
+    bool
+    runOne()
+    {
+        while (!heap.empty()) {
+            auto record = heap.top();
+            heap.pop();
+            if (record->done)
+                continue;
+            record->done = true;
+            --liveCount;
+            currentTick = record->when;
+            record->fn();
+            return true;
+        }
+        return false;
+    }
+
+    /** Run events with time <= @p until; advance the clock to @p until. */
+    void
+    runUntil(Tick until)
+    {
+        while (true) {
+            while (!heap.empty() && heap.top()->done)
+                heap.pop();
+            if (heap.empty() || heap.top()->when > until)
+                break;
+            runOne();
+        }
+        if (until > currentTick)
+            currentTick = until;
+    }
+
+    /** Run until no live events remain. */
+    void
+    runAll()
+    {
+        while (runOne()) {
+        }
+    }
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const std::shared_ptr<EventHandle::Record>& a,
+                   const std::shared_ptr<EventHandle::Record>& b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    Tick currentTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::size_t liveCount = 0;
+    std::priority_queue<std::shared_ptr<EventHandle::Record>,
+                        std::vector<std::shared_ptr<EventHandle::Record>>,
+                        Later>
+        heap;
+};
+
+} // namespace sim
+} // namespace charllm
+
+#endif // CHARLLM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Simulator facade: owns the event queue and provides periodic tickers
+ * (used for thermal integration and telemetry sampling) plus run control.
+ */
+
+#ifndef CHARLLM_SIM_SIMULATOR_HH
+#define CHARLLM_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace charllm {
+namespace sim {
+
+/**
+ * Top-level simulation context. Components hold a reference and use it
+ * to schedule work; the driver calls run().
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    EventQueue& queue() { return events; }
+
+    Tick now() const { return events.now(); }
+    double nowSeconds() const { return toSeconds(events.now()); }
+
+    EventHandle
+    schedule(Tick delay, std::function<void()> fn)
+    {
+        return events.schedule(delay, std::move(fn));
+    }
+
+    EventHandle
+    scheduleAt(Tick when, std::function<void()> fn)
+    {
+        return events.scheduleAt(when, std::move(fn));
+    }
+
+    /**
+     * Register a periodic ticker firing every @p period ticks, starting
+     * one period from now. Tickers keep firing while other live events
+     * exist; they stop themselves once the rest of the simulation has
+     * drained, so runAll() terminates.
+     */
+    void
+    every(Tick period, std::function<void()> fn)
+    {
+        CHARLLM_ASSERT(period > 0, "ticker period must be positive");
+        tickers.push_back(std::make_shared<Ticker>(
+            Ticker{period, std::move(fn), EventHandle()}));
+        armTicker(tickers.back());
+    }
+
+    /** Number of registered periodic tickers. */
+    std::size_t numTickers() const { return tickers.size(); }
+
+    /**
+     * Run the simulation until no non-ticker work remains. Periodic
+     * tickers re-arm only while other events are pending.
+     */
+    void
+    run()
+    {
+        while (events.runOne()) {
+        }
+    }
+
+    /** Run until simulated time @p until. */
+    void
+    runUntil(Tick until)
+    {
+        events.runUntil(until);
+    }
+
+  private:
+    struct Ticker
+    {
+        Tick period;
+        std::function<void()> fn;
+        EventHandle handle;
+    };
+
+    void
+    armTicker(const std::shared_ptr<Ticker>& t)
+    {
+        ++pendingTickerEvents;
+        t->handle = events.schedule(t->period, [this, t] {
+            --pendingTickerEvents;
+            t->fn();
+            // Re-arm only while non-ticker work remains; otherwise
+            // tickers would keep the simulation (and each other)
+            // alive forever.
+            if (events.numPending() > pendingTickerEvents)
+                armTicker(t);
+        });
+    }
+
+    EventQueue events;
+    std::vector<std::shared_ptr<Ticker>> tickers;
+    std::size_t pendingTickerEvents = 0;
+};
+
+} // namespace sim
+} // namespace charllm
+
+#endif // CHARLLM_SIM_SIMULATOR_HH

@@ -1,0 +1,85 @@
+#include "telemetry/sampler.hh"
+
+#include "common/logging.hh"
+
+namespace charllm {
+namespace telemetry {
+
+Sampler::Sampler(hw::Platform& platform, net::FlowNetwork& netw,
+                 double period_s)
+    : plat(platform), network(netw), periodSec(period_s)
+{
+    CHARLLM_ASSERT(period_s > 0.0, "non-positive sample period");
+    perGpu.resize(static_cast<std::size_t>(plat.numGpus()));
+    plat.simulator().every(sim::toTicks(period_s),
+                           [this] { sampleNow(); });
+}
+
+void
+Sampler::sampleNow()
+{
+    double now = plat.simulator().nowSeconds();
+    hw::TrafficClass up =
+        network.topology().params().chiplet ? hw::TrafficClass::Xgmi
+                                            : hw::TrafficClass::NvLink;
+    for (int i = 0; i < plat.numGpus(); ++i) {
+        const hw::Gpu& gpu = plat.gpu(i);
+        Sample s;
+        s.time = now;
+        s.powerWatts = gpu.power();
+        s.tempC = gpu.temperature();
+        s.clockGhz = gpu.clockGhz();
+        s.occupancy = gpu.occupancy();
+        s.pcieRate = network.gpuRate(i, hw::TrafficClass::Pcie);
+        s.scaleUpRate = network.gpuRate(i, up);
+        perGpu[static_cast<std::size_t>(i)].push_back(s);
+    }
+}
+
+void
+Sampler::clear()
+{
+    for (auto& v : perGpu)
+        v.clear();
+}
+
+const std::vector<Sample>&
+Sampler::series(int gpu) const
+{
+    return perGpu[static_cast<std::size_t>(gpu)];
+}
+
+std::size_t
+Sampler::numSamples() const
+{
+    std::size_t n = 0;
+    for (const auto& v : perGpu)
+        n += v.size();
+    return n;
+}
+
+CsvWriter
+Sampler::toCsv() const
+{
+    CsvWriter csv;
+    csv.header({"time_s", "gpu", "power_w", "temp_c", "clock_ghz",
+                "occupancy", "pcie_bps", "scaleup_bps"});
+    for (std::size_t g = 0; g < perGpu.size(); ++g) {
+        for (const Sample& s : perGpu[g]) {
+            csv.beginRow();
+            csv.cell(s.time);
+            csv.cell(static_cast<int>(g));
+            csv.cell(s.powerWatts);
+            csv.cell(s.tempC);
+            csv.cell(s.clockGhz);
+            csv.cell(s.occupancy);
+            csv.cell(s.pcieRate);
+            csv.cell(s.scaleUpRate);
+            csv.endRow();
+        }
+    }
+    return csv;
+}
+
+} // namespace telemetry
+} // namespace charllm

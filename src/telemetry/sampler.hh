@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Zeus-like telemetry sampler: periodically records per-GPU power,
+ * temperature, clock, occupancy, and instantaneous interconnect rates
+ * (the paper's modified Zeus collects exactly this set via NVML /
+ * AMD-SMI; here the quantities come from the simulation models).
+ */
+
+#ifndef CHARLLM_TELEMETRY_SAMPLER_HH
+#define CHARLLM_TELEMETRY_SAMPLER_HH
+
+#include <vector>
+
+#include "common/csv.hh"
+#include "hw/platform.hh"
+#include "net/flow_network.hh"
+
+namespace charllm {
+namespace telemetry {
+
+/** One telemetry sample of one GPU. */
+struct Sample
+{
+    double time = 0.0;        //!< simulated seconds
+    double powerWatts = 0.0;
+    double tempC = 0.0;
+    double clockGhz = 0.0;
+    double occupancy = 0.0;
+    double pcieRate = 0.0;    //!< bytes/s through the GPU's PCIe port
+    double scaleUpRate = 0.0; //!< bytes/s through NVLink/xGMI ports
+};
+
+/**
+ * Periodic sampler. Construct before the engine runs; samples
+ * accumulate for the lifetime of the simulation.
+ */
+class Sampler
+{
+  public:
+    /**
+     * @param period_s sampling period in simulated seconds (the
+     *        paper's Zeus extension samples at ~10 ms granularity)
+     */
+    Sampler(hw::Platform& platform, net::FlowNetwork& network,
+            double period_s = 0.01);
+
+    /** Take one sample of every GPU now (also driven by the ticker). */
+    void sampleNow();
+
+    /** Discard all samples collected so far (e.g. after warmup). */
+    void clear();
+
+    const std::vector<Sample>& series(int gpu) const;
+    double period() const { return periodSec; }
+    std::size_t numSamples() const;
+
+    /** Export all series as a Zeus-style CSV. */
+    CsvWriter toCsv() const;
+
+  private:
+    hw::Platform& plat;
+    net::FlowNetwork& network;
+    double periodSec;
+    std::vector<std::vector<Sample>> perGpu;
+};
+
+} // namespace telemetry
+} // namespace charllm
+
+#endif // CHARLLM_TELEMETRY_SAMPLER_HH

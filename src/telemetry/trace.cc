@@ -1,0 +1,51 @@
+#include "telemetry/trace.hh"
+
+#include <sstream>
+
+namespace charllm {
+namespace telemetry {
+
+std::vector<TraceEvent>
+KernelTrace::forDevice(int device) const
+{
+    std::vector<TraceEvent> out;
+    for (const auto& e : events) {
+        if (e.device == device)
+            out.push_back(e);
+    }
+    return out;
+}
+
+hw::KernelTimeBreakdown
+KernelTrace::breakdown(int device, double from) const
+{
+    hw::KernelTimeBreakdown b;
+    for (const auto& e : events) {
+        if (e.device == device && e.startSec >= from)
+            b[e.cls] += e.durSec;
+    }
+    return b;
+}
+
+std::string
+KernelTrace::toChromeJson() const
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto& e : events) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"" << e.name << "\",\"cat\":\""
+           << hw::kernelClassName(e.cls)
+           << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.device
+           << ",\"ts\":" << e.startSec * 1e6
+           << ",\"dur\":" << e.durSec * 1e6 << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace telemetry
+} // namespace charllm

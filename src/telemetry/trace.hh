@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Chakra-style kernel trace: per-device kernel events with class,
+ * name, start, and duration, exportable as Chrome trace JSON. The
+ * paper collects execution traces with the Chakra profiler; this is
+ * the simulation-side equivalent.
+ */
+
+#ifndef CHARLLM_TELEMETRY_TRACE_HH
+#define CHARLLM_TELEMETRY_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/kernel.hh"
+
+namespace charllm {
+namespace telemetry {
+
+/** One traced kernel execution. */
+struct TraceEvent
+{
+    int device = 0;
+    hw::KernelClass cls = hw::KernelClass::Gemm;
+    std::string name;
+    double startSec = 0.0;
+    double durSec = 0.0;
+};
+
+/**
+ * Kernel trace sink. Wire record() into
+ * TrainingEngine::setTraceSink.
+ */
+class KernelTrace
+{
+  public:
+    void
+    record(int device, hw::KernelClass cls, const char* name,
+           double start, double dur)
+    {
+        events.push_back(TraceEvent{device, cls, name, start, dur});
+    }
+
+    void clear() { events.clear(); }
+
+    const std::vector<TraceEvent>& all() const { return events; }
+    std::size_t size() const { return events.size(); }
+
+    /** Events of one device, in recorded order. */
+    std::vector<TraceEvent> forDevice(int device) const;
+
+    /** Per-class busy time for one device over [from, inf). */
+    hw::KernelTimeBreakdown breakdown(int device,
+                                      double from = 0.0) const;
+
+    /** Serialize as Chrome trace ("traceEvents") JSON. */
+    std::string toChromeJson() const;
+
+  private:
+    std::vector<TraceEvent> events;
+};
+
+} // namespace telemetry
+} // namespace charllm
+
+#endif // CHARLLM_TELEMETRY_TRACE_HH

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit tests for the common utility library: statistics accumulators,
+ * CSV writing, string formatting, RNG determinism, and table printing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/csv.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace {
+
+using namespace charllm;
+
+// ---- RunningStats ----------------------------------------------------------
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanMinMaxSum)
+{
+    RunningStats s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStats, VarianceMatchesTwoPass)
+{
+    RunningStats s;
+    std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    double mean = 0.0;
+    for (double x : xs) {
+        s.add(x);
+        mean += x;
+    }
+    mean /= static_cast<double>(xs.size());
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= static_cast<double>(xs.size() - 1);
+    EXPECT_NEAR(s.variance(), var, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        double x = std::sin(i) * 10.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, empty;
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    RunningStats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+// ---- TimeWeightedStats -----------------------------------------------------
+
+TEST(TimeWeightedStats, PiecewiseMean)
+{
+    TimeWeightedStats tw;
+    tw.update(0.0, 10.0); // 10 for 1s
+    tw.update(1.0, 20.0); // 20 for 3s
+    tw.finish(4.0);
+    EXPECT_NEAR(tw.mean(), (10.0 * 1.0 + 20.0 * 3.0) / 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(tw.min(), 10.0);
+    EXPECT_DOUBLE_EQ(tw.max(), 20.0);
+    EXPECT_DOUBLE_EQ(tw.duration(), 4.0);
+}
+
+TEST(TimeWeightedStats, FractionBelowThreshold)
+{
+    TimeWeightedStats tw;
+    tw.update(0.0, 1.0);  // nominal for 2s
+    tw.update(2.0, 0.8);  // throttled for 1s
+    tw.update(3.0, 1.0);  // nominal for 1s
+    tw.finish(4.0);
+    EXPECT_NEAR(tw.fractionBelow(0.99), 0.25, 1e-12);
+    EXPECT_NEAR(tw.fractionBelow(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(tw.fractionBelow(2.0), 1.0, 1e-12);
+}
+
+TEST(TimeWeightedStats, ZeroDurationUpdatesIgnored)
+{
+    TimeWeightedStats tw;
+    tw.update(1.0, 5.0);
+    tw.update(1.0, 7.0); // same instant: no weight for value 5
+    tw.finish(2.0);
+    EXPECT_NEAR(tw.mean(), 7.0, 1e-12);
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+TEST(Histogram, BinningAndQuantiles)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 10.0);
+    EXPECT_DOUBLE_EQ(h.binCount(0), 1.0);
+    EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+    EXPECT_NEAR(h.quantile(1.0), 10.0, 1e-12);
+}
+
+TEST(Histogram, OutOfRangeClamps)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(7.0);
+    EXPECT_DOUBLE_EQ(h.binCount(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCount(3), 1.0);
+}
+
+// ---- CsvWriter -------------------------------------------------------------
+
+TEST(CsvWriter, BasicRows)
+{
+    CsvWriter w;
+    w.header({"a", "b"});
+    w.beginRow();
+    w.cell(1.5);
+    w.cell(std::string("x"));
+    w.endRow();
+    EXPECT_EQ(w.str(), "a,b\n1.5,x\n");
+    EXPECT_EQ(w.numRows(), 1u);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters)
+{
+    CsvWriter w;
+    w.header({"v"});
+    w.beginRow();
+    w.cell(std::string("hello, \"world\""));
+    w.endRow();
+    EXPECT_EQ(w.str(), "v\n\"hello, \"\"world\"\"\"\n");
+}
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42), c(43);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(rng.gaussian(5.0, 2.0));
+    EXPECT_NEAR(s.mean(), 5.0, 0.1);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+// ---- strings/units ---------------------------------------------------------
+
+TEST(Strings, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(1536.0), "1.50 KiB");
+    EXPECT_EQ(formatBytes(2.0 * units::kGiB), "2.00 GiB");
+}
+
+TEST(Strings, FormatSeconds)
+{
+    EXPECT_EQ(formatSeconds(0.0123), "12.300 ms");
+    EXPECT_EQ(formatSeconds(2.5), "2.500 s");
+    EXPECT_EQ(formatSeconds(4.2e-6), "4.200 us");
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+    EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(Units, GbitConversion)
+{
+    EXPECT_DOUBLE_EQ(units::gbitPerSec(100.0), 12.5e9);
+}
+
+// ---- TextTable -------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1.5"});
+    t.addRow({"b", "100"});
+    std::string r = t.render();
+    EXPECT_NE(r.find("| alpha |"), std::string::npos);
+    EXPECT_NE(r.find("1.5"), std::string::npos);
+    // Numeric column right-aligned: "100" ends at same offset as "1.5".
+    EXPECT_NE(r.find("  100 |"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Tests for the core experiment layer: cluster presets (Table 3),
+ * configuration catalog, the Experiment API's metric accounting, the
+ * memory screen, and thermal-aware placement plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/catalog.hh"
+#include "core/cluster.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "core/thermal_placement.hh"
+
+#include <fstream>
+
+namespace {
+
+using namespace charllm;
+using namespace charllm::core;
+
+/** Small model so experiment-level tests stay fast. */
+model::TransformerConfig
+smallModel()
+{
+    model::TransformerConfig c;
+    c.name = "Small-3B";
+    c.numLayers = 16;
+    c.hiddenSize = 2560;
+    c.numHeads = 20;
+    c.numQueryGroups = 20;
+    c.ffnHiddenSize = 4 * 2560;
+    c.vocabSize = 32000;
+    c.seqLength = 1024;
+    return c;
+}
+
+// ---- clusters -----------------------------------------------------------------
+
+TEST(Cluster, PresetsMatchTable3)
+{
+    auto h200 = h200Cluster();
+    EXPECT_EQ(h200.numGpus(), 32);
+    EXPECT_EQ(h200.numNodes, 4);
+    EXPECT_NEAR(h200.gpu.memoryBytes, 141e9, 1e6);
+
+    auto h100 = h100Cluster();
+    EXPECT_EQ(h100.numGpus(), 64);
+    EXPECT_EQ(h100.numNodes, 8);
+    EXPECT_NEAR(h100.gpu.memoryBytes, 80e9, 1e6);
+
+    auto mi250 = mi250Cluster();
+    EXPECT_EQ(mi250.numGpus(), 32);
+    EXPECT_TRUE(mi250.network.chiplet);
+    EXPECT_TRUE(mi250.gpu.chipletGcd);
+
+    // Identical NIC provisioning (100 Gbps IB) across clusters.
+    EXPECT_DOUBLE_EQ(h200.network.nicBw, 12.5e9);
+    EXPECT_DOUBLE_EQ(mi250.network.nicBw, 12.5e9);
+}
+
+TEST(Cluster, OneGpuPerNodeVariant)
+{
+    auto one = oneGpuPerNodeCluster(h200Cluster(), 4);
+    EXPECT_EQ(one.numGpus(), 4);
+    EXPECT_EQ(one.network.gpusPerNode, 1);
+    EXPECT_EQ(one.chassis.gpusPerNode(), 1);
+}
+
+// ---- catalog -------------------------------------------------------------------
+
+TEST(Catalog, DenseConfigsMatchPaperSet)
+{
+    auto configs = paperConfigs(model::gpt3_175b(), h200Cluster());
+    std::vector<std::string> labels;
+    for (const auto& c : configs)
+        labels.push_back(c.label());
+    EXPECT_NE(std::find(labels.begin(), labels.end(), "TP8-PP4"),
+              labels.end());
+    EXPECT_NE(std::find(labels.begin(), labels.end(), "TP2-PP16"),
+              labels.end());
+    EXPECT_NE(std::find(labels.begin(), labels.end(), "TP1-PP32"),
+              labels.end());
+    EXPECT_NE(std::find(labels.begin(), labels.end(), "TP8-FSDP4"),
+              labels.end());
+}
+
+TEST(Catalog, MoeConfigsIncludeEp8Tp1)
+{
+    auto configs = paperConfigs(model::mixtral_8x22b(), h200Cluster());
+    bool found = false;
+    for (const auto& c : configs)
+        found |= c.label() == "EP8-TP1-PP4-DP8";
+    EXPECT_TRUE(found);
+}
+
+TEST(Catalog, MaxExpertParallelDividesBoth)
+{
+    EXPECT_EQ(maxExpertParallel(model::mixtral_8x22b(), 8), 8);
+    EXPECT_EQ(maxExpertParallel(model::mixtral_8x22b(), 6), 2);
+    EXPECT_EQ(maxExpertParallel(model::mixtral_4x7b(), 8), 4);
+    EXPECT_EQ(maxExpertParallel(model::gpt3_175b(), 8), 1);
+}
+
+// ---- experiment ------------------------------------------------------------------
+
+struct CoreFixture : ::testing::Test
+{
+    ExperimentConfig
+    smallConfig(int tp, int pp)
+    {
+        ExperimentConfig cfg;
+        cfg.cluster = h200Cluster(1);
+        cfg.model = smallModel();
+        cfg.par = parallel::ParallelConfig::forWorld(8, tp, pp);
+        cfg.train.globalBatchSize = 16;
+        cfg.warmupIterations = 1;
+        cfg.measuredIterations = 2;
+        return cfg;
+    }
+};
+
+TEST_F(CoreFixture, MetricsAreConsistent)
+{
+    auto r = Experiment::run(smallConfig(2, 4));
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.iterationSeconds.size(), 2u);
+    EXPECT_GT(r.avgIterationSeconds, 0.0);
+    EXPECT_NEAR(r.tokensPerSecond,
+                r.tokensPerIteration / r.avgIterationSeconds, 1e-6);
+    EXPECT_NEAR(r.tokensPerJoule * r.energyPerTokenJ, 1.0, 1e-9);
+    EXPECT_EQ(r.gpus.size(), 8u);
+    EXPECT_GE(r.peakPowerW, r.avgPowerW);
+    EXPECT_GE(r.peakTempC, r.avgTempC);
+    // Energy equals the sum of per-GPU energies.
+    double sum = 0.0;
+    for (const auto& g : r.gpus)
+        sum += g.energyJ;
+    EXPECT_NEAR(sum, r.totalEnergyJ, 1e-6 * sum);
+}
+
+TEST_F(CoreFixture, LabelEncodesOptions)
+{
+    auto cfg = smallConfig(2, 4);
+    cfg.train.actRecompute = true;
+    cfg.train.ccOverlap = true;
+    cfg.train.microbatchSize = 2;
+    EXPECT_EQ(cfg.label(), "Small-3B H200 TP2-PP4+act+cc mb2");
+}
+
+TEST_F(CoreFixture, InfeasibleConfigRejected)
+{
+    auto cfg = smallConfig(1, 1);
+    cfg.model = model::gpt3_175b(); // 350 GB of weights on one GPU
+    cfg.par = parallel::ParallelConfig::forWorld(8, 1, 1);
+    EXPECT_FALSE(Experiment::fits(cfg));
+    auto r = Experiment::run(cfg);
+    EXPECT_FALSE(r.feasible);
+    EXPECT_TRUE(r.iterationSeconds.empty());
+}
+
+TEST_F(CoreFixture, SamplerSeriesCollected)
+{
+    auto cfg = smallConfig(2, 4);
+    cfg.enableSampler = true;
+    cfg.samplePeriodSec = 0.005;
+    auto r = Experiment::run(cfg);
+    ASSERT_TRUE(r.feasible);
+    ASSERT_EQ(r.series.size(), 8u);
+    EXPECT_GT(r.series[0].size(), 10u);
+    // Samples carry plausible physics.
+    for (const auto& s : r.series[0]) {
+        EXPECT_GT(s.powerWatts, 50.0);
+        EXPECT_GE(s.tempC, 20.0);
+        EXPECT_GT(s.clockGhz, 0.5);
+    }
+}
+
+TEST_F(CoreFixture, TraceCollectedWhenEnabled)
+{
+    auto cfg = smallConfig(2, 4);
+    cfg.enableTrace = true;
+    auto r = Experiment::run(cfg);
+    ASSERT_TRUE(r.feasible);
+    ASSERT_NE(r.trace, nullptr);
+    EXPECT_GT(r.trace->size(), 100u);
+    // Breakdown from trace after warmup matches engine accounting to
+    // first order (same classes populated).
+    auto b = r.trace->breakdown(0, r.measureStartSec);
+    EXPECT_GT(b.computeTotal(), 0.0);
+}
+
+TEST_F(CoreFixture, BreakdownPerIterationScaling)
+{
+    // Doubling measured iterations must not change the per-iteration
+    // breakdown (it is normalized).
+    auto cfg = smallConfig(2, 4);
+    auto r1 = Experiment::run(cfg);
+    cfg.measuredIterations = 4;
+    auto r2 = Experiment::run(cfg);
+    EXPECT_NEAR(r1.meanBreakdown.total(), r2.meanBreakdown.total(),
+                r1.meanBreakdown.total() * 0.1);
+}
+
+TEST_F(CoreFixture, RecomputeAppearsInBreakdown)
+{
+    auto cfg = smallConfig(1, 4);
+    cfg.train.actRecompute = true;
+    auto r = Experiment::run(cfg);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_GT(r.meanBreakdown[hw::KernelClass::Recompute], 0.0);
+}
+
+TEST_F(CoreFixture, DeterministicResults)
+{
+    auto a = Experiment::run(smallConfig(2, 4));
+    auto b = Experiment::run(smallConfig(2, 4));
+    EXPECT_DOUBLE_EQ(a.avgIterationSeconds, b.avgIterationSeconds);
+    EXPECT_DOUBLE_EQ(a.totalEnergyJ, b.totalEnergyJ);
+}
+
+TEST_F(CoreFixture, RearGpusRunHotter)
+{
+    // Sustained uniform load long enough for the thermal RC network
+    // (tau = 6 s) to develop the front/rear differential.
+    auto cfg = smallConfig(8, 1);
+    cfg.train.globalBatchSize = 512;
+    cfg.warmupIterations = 2;
+    auto r = Experiment::run(cfg);
+    ASSERT_TRUE(r.feasible);
+    // Odd device ids sit at the exhaust (interleaved HGX rows).
+    double front = 0.0, rear = 0.0;
+    for (int i = 0; i < 8; i += 2)
+        front += r.gpus[static_cast<std::size_t>(i)].avgTempC;
+    for (int i = 1; i < 8; i += 2)
+        rear += r.gpus[static_cast<std::size_t>(i)].avgTempC;
+    EXPECT_GT(rear / 4.0, front / 4.0 + 3.0);
+}
+
+// ---- thermal placement --------------------------------------------------------
+
+TEST(ThermalPlacement, PermutationIsValid)
+{
+    auto cluster = h200Cluster();
+    auto par = parallel::ParallelConfig::forWorld(32, 4, 8);
+    auto plan = coldFirstPlacement(cluster, par);
+    ASSERT_EQ(plan.devicePermutation.size(), 32u);
+    std::vector<int> sorted = plan.devicePermutation;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThermalPlacement, StagesAreThermallyUniform)
+{
+    auto cluster = h200Cluster();
+    auto par = parallel::ParallelConfig::forWorld(32, 4, 8);
+    auto plan = coldFirstPlacement(cluster, par);
+    // Every stage's 4 devices share one airflow row.
+    for (int pp_idx = 0; pp_idx < 8; ++pp_idx) {
+        int row = -1;
+        for (int tp_idx = 0; tp_idx < 4; ++tp_idx) {
+            int dev = plan.devicePermutation[static_cast<std::size_t>(
+                tp_idx + 4 * pp_idx)];
+            int slot_row =
+                cluster.chassis.slots[static_cast<std::size_t>(
+                                          dev % 8)]
+                    .airflowRow;
+            if (row < 0)
+                row = slot_row;
+            EXPECT_EQ(slot_row, row) << "stage " << pp_idx;
+        }
+        EXPECT_EQ(plan.coldStage[static_cast<std::size_t>(pp_idx)],
+                  row == 0);
+    }
+}
+
+TEST(ThermalPlacement, HeadStageIsCold)
+{
+    auto cluster = h200Cluster();
+    auto par = parallel::ParallelConfig::forWorld(32, 4, 8);
+    auto plan = coldFirstPlacement(cluster, par);
+    EXPECT_TRUE(plan.coldStage[7]);
+}
+
+TEST(ThermalPlacement, AsymmetricLayersPreserveTotal)
+{
+    auto cluster = h200Cluster();
+    auto par = parallel::ParallelConfig::forWorld(32, 4, 8);
+    auto plan = coldFirstPlacement(cluster, par);
+    auto layers = asymmetricStageLayers(plan, 96, 1);
+    EXPECT_EQ(std::accumulate(layers.begin(), layers.end(), 0), 96);
+    for (int s = 0; s < 8; ++s) {
+        EXPECT_EQ(layers[static_cast<std::size_t>(s)],
+                  plan.coldStage[static_cast<std::size_t>(s)] ? 13
+                                                              : 11);
+    }
+}
+
+TEST(ThermalPlacement, CoolnessOrderPutsIntakeFirst)
+{
+    auto order = coolnessOrder(hw::hgxLayout());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)] % 2, 0);
+}
+
+
+// ---- report exporters -----------------------------------------------------
+
+TEST_F(CoreFixture, ReportCsvExports)
+{
+    auto cfg = smallConfig(2, 4);
+    cfg.enableSampler = true;
+    auto r = Experiment::run(cfg);
+    ASSERT_TRUE(r.feasible);
+
+    auto summary = summaryCsv({r, r});
+    EXPECT_EQ(summary.numRows(), 2u);
+    EXPECT_NE(summary.str().find("tokens_per_s"), std::string::npos);
+    EXPECT_NE(summary.str().find(r.label), std::string::npos);
+
+    auto gpus = gpuMetricsCsv(r);
+    EXPECT_EQ(gpus.numRows(), 8u);
+
+    auto breakdown = breakdownCsv(r);
+    EXPECT_GE(breakdown.numRows(), 3u); // GEMM, Attention, comm...
+
+    auto series = seriesCsv(r);
+    EXPECT_GT(series.numRows(), 8u);
+}
+
+TEST_F(CoreFixture, ReportJsonWellFormed)
+{
+    auto r = Experiment::run(smallConfig(2, 4));
+    std::string json = toJson(r);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"feasible\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"gpus\":8"), std::string::npos);
+}
+
+TEST_F(CoreFixture, WriteReportsCreatesFiles)
+{
+    auto cfg = smallConfig(2, 4);
+    auto r = Experiment::run(cfg);
+    auto paths = writeReports(r, "/tmp/charllm_report_test", "t24");
+    ASSERT_EQ(paths.size(), 3u); // no sampler -> no series file
+    for (const auto& p : paths) {
+        std::ifstream f(p);
+        EXPECT_TRUE(f.good()) << p;
+    }
+}
+
+} // namespace

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Unit tests for the hardware models: compute roofline, power,
+ * RC thermal network with airflow preheat, DVFS governor, and the GPU
+ * device aggregate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/calibration.hh"
+#include "hw/chassis.hh"
+#include "hw/compute_model.hh"
+#include "hw/dvfs.hh"
+#include "hw/gpu.hh"
+#include "hw/gpu_spec.hh"
+#include "hw/platform.hh"
+#include "hw/thermal_model.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace charllm;
+using namespace charllm::hw;
+
+// ---- specs -----------------------------------------------------------------
+
+TEST(GpuSpec, Table3Values)
+{
+    GpuSpec h100 = h100Spec();
+    GpuSpec h200 = h200Spec();
+    GpuSpec gcd = mi250GcdSpec();
+
+    EXPECT_NEAR(h100.memoryBytes, 80e9, 1e6);
+    EXPECT_NEAR(h200.memoryBytes, 141e9, 1e6);
+    EXPECT_NEAR(gcd.memoryBytes, 64e9, 1e6);
+
+    // H200 = H100 compute with more/faster memory.
+    EXPECT_DOUBLE_EQ(h100.peakFlops, h200.peakFlops);
+    EXPECT_GT(h200.hbmBandwidth, h100.hbmBandwidth);
+
+    EXPECT_DOUBLE_EQ(h100.tdpWatts, 700.0);
+    EXPECT_DOUBLE_EQ(gcd.tdpWatts, 250.0); // half of the 500 W package
+    EXPECT_TRUE(gcd.chipletGcd);
+    EXPECT_FALSE(h100.chipletGcd);
+}
+
+// ---- compute model ---------------------------------------------------------
+
+TEST(ComputeModel, EfficiencyIncreasesWithWork)
+{
+    ComputeModel m(h100Spec());
+    ComputeWork small{KernelClass::Gemm, 1e10, 0.0};
+    ComputeWork large{KernelClass::Gemm, 1e13, 0.0};
+    EXPECT_LT(m.efficiency(small), m.efficiency(large));
+    EXPECT_LE(m.efficiency(large), calib::kMaxMfu);
+}
+
+TEST(ComputeModel, AttentionLessEfficientThanGemm)
+{
+    ComputeModel m(h100Spec());
+    ComputeWork gemm{KernelClass::Gemm, 1e12, 0.0};
+    ComputeWork attn{KernelClass::Attention, 1e12, 0.0};
+    EXPECT_GT(m.efficiency(gemm), m.efficiency(attn));
+}
+
+TEST(ComputeModel, DurationScalesInverselyWithClock)
+{
+    ComputeModel m(h100Spec());
+    ComputeWork w{KernelClass::Gemm, 5e12, 0.0};
+    double full = m.duration(w, 1.0);
+    double slow = m.duration(w, 0.5);
+    // Roughly 2x slower at half clock (launch overhead dilutes a bit).
+    EXPECT_GT(slow, 1.8 * full);
+}
+
+TEST(ComputeModel, MemoryBoundKernelsIgnoreClock)
+{
+    ComputeModel m(h100Spec());
+    // Tiny flops, huge memory traffic: HBM-bound.
+    ComputeWork w{KernelClass::Optimizer, 1e9, 2e12};
+    EXPECT_NEAR(m.duration(w, 1.0), m.duration(w, 0.6), 1e-9);
+    EXPECT_LT(m.smUtilization(w), 0.2);
+}
+
+TEST(ComputeModel, RooflineCrossover)
+{
+    ComputeModel m(h100Spec());
+    // Compute-bound kernel dominated by flop time.
+    ComputeWork cb{KernelClass::Gemm, 1e13, 1e9};
+    double t = m.duration(cb, 1.0) - calib::kKernelOverheadSec;
+    double flop_time = 1e13 / (h100Spec().peakFlops *
+                               m.efficiency(cb));
+    EXPECT_NEAR(t, flop_time, 1e-9);
+    EXPECT_GT(m.smUtilization(cb), 0.9);
+}
+
+// ---- DVFS ------------------------------------------------------------------
+
+TEST(Dvfs, ThrottlesWhenHot)
+{
+    GpuSpec spec = h100Spec();
+    DvfsGovernor g(spec);
+    double before = g.clockRel();
+    g.evaluate(spec.throttleTempC + 2.0, 400.0, true);
+    EXPECT_LT(g.clockRel(), before);
+    EXPECT_EQ(g.lastReason(), ThrottleReason::Thermal);
+}
+
+TEST(Dvfs, ThrottlesOnPowerCap)
+{
+    GpuSpec spec = h100Spec();
+    DvfsGovernor g(spec);
+    g.evaluate(50.0, spec.tdpWatts + 50.0, true);
+    EXPECT_LT(g.clockRel(), 1.0);
+    EXPECT_EQ(g.lastReason(), ThrottleReason::PowerCap);
+}
+
+TEST(Dvfs, BoostsWhenCoolAndComputeBound)
+{
+    GpuSpec spec = h100Spec();
+    DvfsGovernor g(spec);
+    for (int i = 0; i < 50; ++i)
+        g.evaluate(55.0, 500.0, true);
+    EXPECT_NEAR(g.clockRel(), spec.boostRel(), 1e-9);
+}
+
+TEST(Dvfs, NoBoostWhenCommBound)
+{
+    GpuSpec spec = h100Spec();
+    DvfsGovernor g(spec);
+    for (int i = 0; i < 50; ++i)
+        g.evaluate(55.0, 300.0, false);
+    EXPECT_NEAR(g.clockRel(), 1.0, 1e-9);
+}
+
+TEST(Dvfs, RecoversWithHysteresis)
+{
+    GpuSpec spec = h100Spec();
+    DvfsGovernor g(spec);
+    g.evaluate(spec.throttleTempC + 1.0, 400.0, true);
+    double throttled = g.clockRel();
+    // Just below throttle but inside hysteresis: hold.
+    g.evaluate(spec.throttleTempC - 1.0, 400.0, true);
+    EXPECT_DOUBLE_EQ(g.clockRel(), throttled);
+    // Well below: step back up.
+    for (int i = 0; i < 100; ++i)
+        g.evaluate(spec.throttleTempC - 10.0, 400.0, false);
+    EXPECT_NEAR(g.clockRel(), 1.0, 1e-9);
+}
+
+TEST(Dvfs, ClampedToMinClock)
+{
+    GpuSpec spec = h100Spec();
+    DvfsGovernor g(spec);
+    for (int i = 0; i < 200; ++i)
+        g.evaluate(spec.throttleTempC + 10.0, 900.0, true);
+    EXPECT_NEAR(g.clockRel(), spec.minRel(), 1e-9);
+}
+
+// ---- thermal model ---------------------------------------------------------
+
+TEST(Thermal, SteadyStateMatchesAnalytic)
+{
+    ThermalModel tm(hgxLayout(), 1);
+    std::vector<double> powers(8, 400.0);
+    // Integrate long enough to converge.
+    for (int i = 0; i < 200000; ++i)
+        tm.step(0.002, powers);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_NEAR(tm.temperature(i), tm.steadyState(i, powers), 0.2);
+}
+
+TEST(Thermal, RearGpusHotterThanFront)
+{
+    ThermalModel tm(hgxLayout(), 1);
+    std::vector<double> powers(8, 600.0);
+    tm.warmStart(powers);
+    // Even devices sit at the intake, odd ones at the exhaust.
+    for (int front = 0; front < 8; front += 2) {
+        for (int rear = 1; rear < 8; rear += 2)
+            EXPECT_GT(tm.temperature(rear),
+                      tm.temperature(front) + 5.0);
+    }
+}
+
+TEST(Thermal, PreheatProportionalToUpstreamPower)
+{
+    ThermalModel tm(hgxLayout(), 1);
+    std::vector<double> low(8, 100.0), high(8, 700.0);
+    double rise_low = tm.inletTemperature(5, low) - calib::kRoomTempC;
+    double rise_high = tm.inletTemperature(5, high) - calib::kRoomTempC;
+    EXPECT_NEAR(rise_high / rise_low, 7.0, 1e-9);
+}
+
+TEST(Thermal, StepRespondsWithTimeConstant)
+{
+    ThermalModel tm(hgxLayout(), 1);
+    std::vector<double> powers(8, 0.0);
+    powers[0] = 500.0;
+    // After one time constant, ~63% of the way to steady state.
+    double target = tm.steadyState(0, powers);
+    double start = tm.temperature(0);
+    int steps = static_cast<int>(calib::kThermalTauSec / 0.001);
+    for (int i = 0; i < steps; ++i)
+        tm.step(0.001, powers);
+    double progress = (tm.temperature(0) - start) / (target - start);
+    EXPECT_NEAR(progress, 0.632, 0.02);
+}
+
+TEST(Thermal, PackageCouplingPullsGcdsTogether)
+{
+    ThermalModel tm(mi250Layout(), 1);
+    std::vector<double> powers(8, 0.0);
+    powers[0] = 250.0; // only GCD 0 busy; GCD 1 idle but same package
+    for (int i = 0; i < 60000; ++i)
+        tm.step(0.002, powers);
+    double hot = tm.temperature(0);
+    double peer = tm.temperature(1);
+    double far = tm.temperature(2);
+    EXPECT_GT(peer, far + 2.0); // peer warmed through the package
+    EXPECT_LT(peer, hot);       // but still cooler than the busy GCD
+}
+
+TEST(Thermal, Mi250IntraPackageSkew)
+{
+    // Under uniform load the downstream GCD of each package runs
+    // hotter (paper reports 5-10 degC skew).
+    ThermalModel tm(mi250Layout(), 1);
+    std::vector<double> powers(8, 220.0);
+    tm.warmStart(powers);
+    for (int i = 0; i < 120000; ++i)
+        tm.step(0.002, powers);
+    for (int pkg = 0; pkg < 4; ++pkg) {
+        double skew = tm.temperature(pkg * 2 + 1) -
+                      tm.temperature(pkg * 2);
+        EXPECT_GT(skew, 0.5);
+        EXPECT_LT(skew, 12.0);
+    }
+}
+
+TEST(Thermal, MultiNodeIndependence)
+{
+    ThermalModel tm(hgxLayout(), 2);
+    std::vector<double> powers(16, 0.0);
+    for (int i = 0; i < 8; ++i)
+        powers[i] = 700.0; // node 0 busy, node 1 idle
+    tm.warmStart(powers);
+    for (int i = 8; i < 16; ++i)
+        EXPECT_NEAR(tm.temperature(i), calib::kRoomTempC, 0.5);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_GT(tm.temperature(i), 60.0);
+}
+
+// ---- chassis layouts -------------------------------------------------------
+
+TEST(Chassis, HgxFrontRowHasNoUpstream)
+{
+    ChassisLayout l = hgxLayout();
+    ASSERT_EQ(l.gpusPerNode(), 8);
+    for (int i = 0; i < 8; i += 2) {
+        EXPECT_TRUE(l.slots[i].upstream.empty());
+        EXPECT_EQ(l.slots[i].airflowRow, 0);
+    }
+    for (int i = 1; i < 8; i += 2) {
+        EXPECT_FALSE(l.slots[i].upstream.empty());
+        EXPECT_EQ(l.slots[i].airflowRow, 1);
+    }
+}
+
+TEST(Chassis, Mi250PackagePeersAreSymmetric)
+{
+    ChassisLayout l = mi250Layout();
+    for (int i = 0; i < 8; ++i) {
+        int peer = l.slots[i].packagePeer;
+        ASSERT_GE(peer, 0);
+        EXPECT_EQ(l.slots[peer].packagePeer, i);
+    }
+}
+
+// ---- Gpu device ------------------------------------------------------------
+
+TEST(Gpu, IdlePowerAtRest)
+{
+    Gpu gpu(0, h100Spec());
+    EXPECT_NEAR(gpu.power(), h100Spec().idleWatts, 1.0);
+}
+
+TEST(Gpu, PowerRisesWithComputeKernel)
+{
+    Gpu gpu(0, h100Spec());
+    double idle = gpu.power();
+    auto tok = gpu.kernelBegin(KernelClass::Gemm, 1.0, 0.0);
+    EXPECT_GT(gpu.power(), idle + 300.0);
+    gpu.kernelEnd(tok, 1.0);
+    EXPECT_NEAR(gpu.power(), idle, 1.0);
+}
+
+TEST(Gpu, CommKernelsDrawLessThanCompute)
+{
+    Gpu g1(0, h100Spec()), g2(1, h100Spec());
+    auto t1 = g1.kernelBegin(KernelClass::Gemm, 1.0, 0.0);
+    auto t2 = g2.kernelBegin(KernelClass::AllReduce, 0.0, 0.0);
+    EXPECT_GT(g1.power(), g2.power() + 100.0);
+    g1.kernelEnd(t1, 1.0);
+    g2.kernelEnd(t2, 1.0);
+}
+
+TEST(Gpu, OverlapBurstsAboveSingleActivity)
+{
+    Gpu gpu(0, h100Spec());
+    auto tc = gpu.kernelBegin(KernelClass::Gemm, 1.0, 0.0);
+    double compute_only = gpu.power();
+    auto tm = gpu.kernelBegin(KernelClass::AllReduce, 0.0, 0.0);
+    EXPECT_GT(gpu.power(), compute_only);
+    EXPECT_LE(gpu.power(),
+              hw::calib::kPeakPowerCap * h100Spec().tdpWatts + 1e-9);
+    gpu.kernelEnd(tm, 1.0);
+    gpu.kernelEnd(tc, 2.0);
+}
+
+TEST(Gpu, EnergyIntegratesOverTime)
+{
+    Gpu gpu(0, h100Spec());
+    auto tok = gpu.kernelBegin(KernelClass::Gemm, 1.0, 0.0);
+    double p = gpu.power();
+    gpu.kernelEnd(tok, 2.0);
+    EXPECT_NEAR(gpu.energyJoules(), p * 2.0, 1e-6);
+}
+
+TEST(Gpu, ThrottleRatioTracksClock)
+{
+    Gpu gpu(0, h100Spec());
+    // Force a thermal excursion above the throttle point.
+    gpu.thermalUpdate(90.0, 0.0);
+    EXPECT_LT(gpu.clockRel(), 1.0);
+    gpu.thermalUpdate(90.0, 1.0);
+    gpu.finishStats(2.0);
+    EXPECT_GT(gpu.throttleRatio(), 0.4);
+}
+
+TEST(Gpu, OccupancyHighForCommLowWarps)
+{
+    Gpu gpu(0, h100Spec());
+    auto tok = gpu.kernelBegin(KernelClass::AllReduce, 0.0, 0.0);
+    EXPECT_GT(gpu.occupancy(), 0.8);
+    EXPECT_LT(gpu.warpsPerSm(), 5.0);
+    gpu.kernelEnd(tok, 1.0);
+    auto tok2 = gpu.kernelBegin(KernelClass::Gemm, 1.0, 1.0);
+    EXPECT_GT(gpu.warpsPerSm(), 5.0);
+    EXPECT_GT(gpu.threadblocks(), 500.0);
+    gpu.kernelEnd(tok2, 2.0);
+}
+
+TEST(Gpu, TrafficCountersAccumulate)
+{
+    Gpu gpu(0, h100Spec());
+    gpu.addTraffic(TrafficClass::Pcie, 1e9);
+    gpu.addTraffic(TrafficClass::Pcie, 2e9);
+    gpu.addTraffic(TrafficClass::NvLink, 5e9);
+    EXPECT_DOUBLE_EQ(gpu.trafficBytes(TrafficClass::Pcie), 3e9);
+    EXPECT_DOUBLE_EQ(gpu.trafficBytes(TrafficClass::NvLink), 5e9);
+    gpu.resetStats(1.0);
+    EXPECT_DOUBLE_EQ(gpu.trafficBytes(TrafficClass::Pcie), 0.0);
+}
+
+// ---- platform integration --------------------------------------------------
+
+TEST(Platform, BusyGpusHeatUpAndEventuallyThrottle)
+{
+    sim::Simulator s;
+    Platform plat(s, h100Spec(), hgxLayout(), 1);
+    plat.start();
+    // Pin all GPUs at full compute activity for 60 simulated seconds.
+    std::vector<std::uint64_t> toks;
+    for (int i = 0; i < plat.numGpus(); ++i)
+        toks.push_back(plat.gpu(i).kernelBegin(KernelClass::Gemm, 1.0,
+                                               0.0));
+    s.schedule(sim::toTicks(60.0), [] {});
+    s.run();
+    // Rear GPUs (odd ids) should run hotter than front (even ids).
+    double front = plat.gpu(0).temperature();
+    double rear = plat.gpu(1).temperature();
+    EXPECT_GT(rear, front + 5.0);
+    // Rear GPUs heavily loaded at 700 W-class power hit throttle.
+    EXPECT_GT(rear, h100Spec().targetTempC - 10.0);
+    for (int i = 0; i < plat.numGpus(); ++i)
+        plat.gpu(i).kernelEnd(toks[static_cast<std::size_t>(i)],
+                              s.nowSeconds());
+}
+
+TEST(Platform, NodePowerCapForcesThrottle)
+{
+    sim::Simulator s;
+    Platform plat(s, h100Spec(), hgxLayout(), 2);
+    plat.start();
+    plat.capNodePower(1, 300.0); // node-level power fault
+    for (int i = 0; i < plat.numGpus(); ++i)
+        plat.gpu(i).kernelBegin(KernelClass::Gemm, 1.0, 0.0);
+    s.schedule(sim::toTicks(10.0), [] {});
+    s.run();
+    // Node 1 GPUs should be clocked below node 0 GPUs.
+    EXPECT_LT(plat.gpu(8).clockRel() + 0.05, plat.gpu(0).clockRel());
+}
+
+TEST(Platform, ClockListenerFires)
+{
+    sim::Simulator s;
+    Platform plat(s, h100Spec(), hgxLayout(), 1);
+    int changes = 0;
+    plat.setClockListener([&](int, double) { ++changes; });
+    plat.start();
+    for (int i = 0; i < plat.numGpus(); ++i)
+        plat.gpu(i).kernelBegin(KernelClass::Gemm, 1.0, 0.0);
+    s.schedule(sim::toTicks(30.0), [] {});
+    s.run();
+    EXPECT_GT(changes, 0);
+}
+
+} // namespace

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Unit tests for the network substrate: topology construction and
+ * routing, and the max-min fair flow network (sharing, contention,
+ * latency, counters).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/calibration.hh"
+#include "net/flow_network.hh"
+#include "net/topology.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace charllm;
+using namespace charllm::net;
+
+// ---- topology --------------------------------------------------------------
+
+TEST(Topology, HgxShape)
+{
+    Topology topo(Topology::hgxParams(4));
+    EXPECT_EQ(topo.numGpus(), 32);
+    EXPECT_EQ(topo.numNodes(), 4);
+    EXPECT_TRUE(topo.sameNode(0, 7));
+    EXPECT_FALSE(topo.sameNode(7, 8));
+    EXPECT_EQ(topo.nodeOf(31), 3);
+    EXPECT_EQ(topo.intraClass(), hw::TrafficClass::NvLink);
+}
+
+TEST(Topology, IntraNodeRouteUsesNvlink)
+{
+    Topology topo(Topology::hgxParams(2));
+    auto route = topo.route(0, 3);
+    ASSERT_EQ(route.size(), 2u);
+    for (LinkId l : route)
+        EXPECT_EQ(topo.link(l).cls, hw::TrafficClass::NvLink);
+    EXPECT_EQ(topo.link(route[0]).ownerGpu, 0);
+    EXPECT_EQ(topo.link(route[1]).ownerGpu, 3);
+}
+
+TEST(Topology, InterNodeRouteCrossesPcieAndNic)
+{
+    Topology topo(Topology::hgxParams(2));
+    auto route = topo.route(0, 9);
+    ASSERT_EQ(route.size(), 4u);
+    EXPECT_EQ(topo.link(route[0]).cls, hw::TrafficClass::Pcie);
+    EXPECT_EQ(topo.link(route[1]).cls, hw::TrafficClass::InfiniBand);
+    EXPECT_EQ(topo.link(route[2]).cls, hw::TrafficClass::InfiniBand);
+    EXPECT_EQ(topo.link(route[3]).cls, hw::TrafficClass::Pcie);
+}
+
+TEST(Topology, ChipletPackageRouting)
+{
+    Topology topo(Topology::mi250Params(1));
+    EXPECT_TRUE(topo.samePackage(0, 1));
+    EXPECT_FALSE(topo.samePackage(1, 2));
+    auto in_pkg = topo.route(0, 1);
+    ASSERT_EQ(in_pkg.size(), 1u);
+    EXPECT_EQ(topo.link(in_pkg[0]).cls, hw::TrafficClass::Xgmi);
+    auto cross_pkg = topo.route(0, 2);
+    EXPECT_EQ(cross_pkg.size(), 2u);
+}
+
+TEST(Topology, InterNodeLatencyHigher)
+{
+    Topology topo(Topology::hgxParams(2));
+    EXPECT_GT(topo.messageLatency(0, 8), topo.messageLatency(0, 1));
+}
+
+TEST(Topology, OneGpuPerNodeVariant)
+{
+    auto params = Topology::oneGpuPerNode(Topology::hgxParams(4), 4);
+    Topology topo(params);
+    EXPECT_EQ(topo.numGpus(), 4);
+    EXPECT_EQ(topo.gpusPerNode(), 1);
+    // Every pair crosses nodes; NIC dedicated per GPU.
+    auto route = topo.route(0, 1);
+    EXPECT_EQ(route.size(), 4u);
+}
+
+// ---- flow network ----------------------------------------------------------
+
+struct NetFixture : ::testing::Test
+{
+    sim::Simulator sim;
+};
+
+TEST_F(NetFixture, SingleFlowGetsFullLinkRate)
+{
+    Topology topo(Topology::hgxParams(1));
+    FlowNetwork netw(sim, topo);
+    double done_at = -1.0;
+    double bytes = 4.5e9; // ~10 ms over a 450 GB/s NVLink
+    netw.transfer(0, 1, bytes, [&] { done_at = sim.nowSeconds(); });
+    sim.run();
+    double expected = topo.params().intraLatency +
+                      bytes / (topo.params().nvlinkBw *
+                               calib::kProtocolEfficiency);
+    EXPECT_NEAR(done_at, expected, expected * 0.01);
+}
+
+TEST_F(NetFixture, TwoFlowsShareBottleneckFairly)
+{
+    Topology topo(Topology::hgxParams(2));
+    FlowNetwork netw(sim, topo);
+    // Both flows cross node0 -> node1 through the shared NIC.
+    double t1 = -1, t2 = -1;
+    double bytes = 1.25e9; // 100 ms alone over a 12.5 GB/s NIC
+    netw.transfer(0, 8, bytes, [&] { t1 = sim.nowSeconds(); });
+    netw.transfer(1, 9, bytes, [&] { t2 = sim.nowSeconds(); });
+    sim.run();
+    double alone = bytes / (topo.params().nicBw *
+                            calib::kProtocolEfficiency);
+    // Shared: each takes ~2x the solo time.
+    EXPECT_NEAR(t1, 2.0 * alone, alone * 0.05);
+    EXPECT_NEAR(t2, 2.0 * alone, alone * 0.05);
+}
+
+TEST_F(NetFixture, NonOverlappingFlowsDoNotContend)
+{
+    Topology topo(Topology::hgxParams(1));
+    FlowNetwork netw(sim, topo);
+    double t1 = -1, t2 = -1;
+    double bytes = 4.5e9;
+    netw.transfer(0, 1, bytes, [&] { t1 = sim.nowSeconds(); });
+    netw.transfer(2, 3, bytes, [&] { t2 = sim.nowSeconds(); });
+    sim.run();
+    double solo = topo.params().intraLatency +
+                  bytes / (topo.params().nvlinkBw *
+                           calib::kProtocolEfficiency);
+    EXPECT_NEAR(t1, solo, solo * 0.02);
+    EXPECT_NEAR(t2, solo, solo * 0.02);
+}
+
+TEST_F(NetFixture, MaxMinUnevenAllocation)
+{
+    // Flow A crosses the NIC (12.5 GB/s); flow B shares only the PCIe
+    // link of GPU 0 with A. B should get the PCIe leftovers, far more
+    // than A's NIC-limited share... but both share gpu0.pcie.out, so
+    // max-min gives B (pcie_cap - nic_share) if B is pcie-bound.
+    Topology topo(Topology::hgxParams(2));
+    FlowNetwork netw(sim, topo);
+    int done = 0;
+    // A: 0 -> 8 (crosses NIC). B: also from 0 -> 9 (crosses same NIC!)
+    // Instead, B: 1 -> 8 shares only NIC; use intra flow for clean test:
+    // B': 0 -> 1 via NVLink shares nothing with A.
+    double t_a = -1, t_b = -1;
+    netw.transfer(0, 8, 1.25e9, [&] { t_a = sim.nowSeconds(); ++done; });
+    netw.transfer(0, 1, 1.25e9, [&] { t_b = sim.nowSeconds(); ++done; });
+    sim.run();
+    EXPECT_EQ(done, 2);
+    // NVLink flow finishes much earlier than NIC flow.
+    EXPECT_LT(t_b * 10.0, t_a);
+}
+
+TEST_F(NetFixture, LatencyOnlyForZeroBytes)
+{
+    Topology topo(Topology::hgxParams(2));
+    FlowNetwork netw(sim, topo);
+    double t = -1;
+    netw.transfer(0, 8, 0.0, [&] { t = sim.nowSeconds(); });
+    sim.run();
+    EXPECT_NEAR(t, topo.params().interLatency, 1e-9);
+}
+
+TEST_F(NetFixture, SelfTransferUsesLocalCopy)
+{
+    Topology topo(Topology::hgxParams(1));
+    FlowNetwork netw(sim, topo);
+    double t = -1;
+    double bytes = 1.2e9;
+    netw.transfer(3, 3, bytes, [&] { t = sim.nowSeconds(); });
+    sim.run();
+    EXPECT_NEAR(t, bytes / calib::kLocalCopyBandwidth, 1e-4);
+}
+
+TEST_F(NetFixture, ExtraLatencyDelaysCompletion)
+{
+    Topology topo(Topology::hgxParams(1));
+    FlowNetwork netw(sim, topo);
+    double t0 = -1, t1 = -1;
+    netw.transfer(0, 1, 1e6, [&] { t0 = sim.nowSeconds(); });
+    sim.run();
+    sim::Simulator sim2;
+    FlowNetwork netw2(sim2, topo);
+    netw2.transfer(0, 1, 1e6, [&] { t1 = sim2.nowSeconds(); }, 5e-3);
+    sim2.run();
+    EXPECT_NEAR(t1 - t0, 5e-3, 1e-5);
+}
+
+TEST_F(NetFixture, TrafficSinkAttributesBytes)
+{
+    Topology topo(Topology::hgxParams(2));
+    FlowNetwork netw(sim, topo);
+    double pcie_bytes_gpu0 = 0.0;
+    double nvlink_bytes_gpu0 = 0.0;
+    netw.setTrafficSink([&](int gpu, hw::TrafficClass cls, double b) {
+        if (gpu == 0 && cls == hw::TrafficClass::Pcie)
+            pcie_bytes_gpu0 += b;
+        if (gpu == 0 && cls == hw::TrafficClass::NvLink)
+            nvlink_bytes_gpu0 += b;
+    });
+    netw.transfer(0, 8, 1e8, [] {});
+    netw.transfer(0, 1, 1e8, [] {});
+    sim.run();
+    EXPECT_NEAR(pcie_bytes_gpu0, 1e8, 1.0);
+    EXPECT_NEAR(nvlink_bytes_gpu0, 1e8, 1.0);
+}
+
+TEST_F(NetFixture, LinkByteCountersMatchVolume)
+{
+    Topology topo(Topology::hgxParams(2));
+    FlowNetwork netw(sim, topo);
+    netw.transfer(0, 8, 2e8, [] {});
+    sim.run();
+    auto route = topo.route(0, 8);
+    for (LinkId l : route)
+        EXPECT_NEAR(netw.linkBytes(l), 2e8, 1.0);
+}
+
+TEST_F(NetFixture, ManyFlowsAllComplete)
+{
+    Topology topo(Topology::hgxParams(4));
+    FlowNetwork netw(sim, topo);
+    int completions = 0;
+    int expected = 0;
+    for (int src = 0; src < 32; ++src) {
+        for (int k = 1; k <= 3; ++k) {
+            int dst = (src + k * 7) % 32;
+            if (dst == src)
+                continue;
+            ++expected;
+            netw.transfer(src, dst, 1e7 * (1 + k),
+                          [&] { ++completions; });
+        }
+    }
+    sim.run();
+    EXPECT_EQ(completions, expected);
+    EXPECT_EQ(netw.numActiveFlows(), 0u);
+}
+
+TEST_F(NetFixture, GpuRateReflectsActiveFlows)
+{
+    Topology topo(Topology::hgxParams(2));
+    FlowNetwork netw(sim, topo);
+    netw.transfer(0, 8, 1.25e9, [] {});
+    // Probe after the flow activates.
+    double observed = -1.0;
+    sim.schedule(sim::toTicks(0.01), [&] {
+        observed = netw.gpuRate(0, hw::TrafficClass::Pcie);
+    });
+    sim.run();
+    // NIC-limited: ~12.5 GB/s * protocol efficiency.
+    EXPECT_NEAR(observed,
+                topo.params().nicBw * calib::kProtocolEfficiency,
+                topo.params().nicBw * 0.1);
+}
+
+TEST_F(NetFixture, DeterministicCompletionOrder)
+{
+    auto run_once = [] {
+        sim::Simulator s;
+        Topology topo(Topology::hgxParams(2));
+        FlowNetwork netw(s, topo);
+        std::vector<int> order;
+        for (int i = 0; i < 10; ++i) {
+            netw.transfer(i % 8, 8 + (i % 8), 1e7 * (i + 1),
+                          [&order, i] { order.push_back(i); });
+        }
+        s.run();
+        return order;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace

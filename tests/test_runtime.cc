@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Tests for the runtime: program construction (1F1B structure,
+ * optimization toggles, FSDP/MoE/LoRA emission) and end-to-end engine
+ * behaviour on a small model (determinism, recompute and overlap
+ * effects, pipeline bubbles, straggler propagation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coll/collective_engine.hh"
+#include "core/cluster.hh"
+#include "hw/platform.hh"
+#include "net/flow_network.hh"
+#include "runtime/engine.hh"
+#include "runtime/program_builder.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace charllm;
+using namespace charllm::runtime;
+
+/** Small, fast model for engine tests. */
+model::TransformerConfig
+tinyModel()
+{
+    model::TransformerConfig c;
+    c.name = "Tiny-1B";
+    c.numLayers = 8;
+    c.hiddenSize = 2048;
+    c.numHeads = 16;
+    c.numQueryGroups = 16;
+    c.ffnHiddenSize = 8192;
+    c.vocabSize = 32000;
+    c.seqLength = 1024;
+    return c;
+}
+
+model::TransformerConfig
+tinyMoe()
+{
+    model::TransformerConfig c = tinyModel();
+    c.name = "Tiny-MoE";
+    c.numExperts = 8;
+    c.topK = 2;
+    return c;
+}
+
+int
+countOps(const Program& p, OpType type)
+{
+    int n = 0;
+    for (const auto& ops : p.deviceOps) {
+        for (const auto& op : ops) {
+            if (op.type == type)
+                ++n;
+        }
+    }
+    return n;
+}
+
+int
+countClass(const Program& p, hw::KernelClass cls)
+{
+    int n = 0;
+    for (const auto& ops : p.deviceOps) {
+        for (const auto& op : ops) {
+            if (op.cls == cls)
+                ++n;
+        }
+    }
+    return n;
+}
+
+// ---- builder ----------------------------------------------------------------
+
+TEST(Builder, MicrobatchAccounting)
+{
+    parallel::RankMapper map(parallel::ParallelConfig::forWorld(8, 2,
+                                                                2));
+    TrainOptions opts;
+    opts.globalBatchSize = 64;
+    opts.microbatchSize = 2;
+    ProgramBuilder b(tinyModel(), map, opts);
+    // dp = 2 -> 32 samples per replica -> 16 microbatches.
+    EXPECT_EQ(b.numMicrobatches(), 16);
+    EXPECT_DOUBLE_EQ(b.tokensPerIteration(), 64.0 * 1024.0);
+}
+
+TEST(Builder, BubbleFractionFormula)
+{
+    parallel::RankMapper map(parallel::ParallelConfig::forWorld(8, 1,
+                                                                4));
+    TrainOptions opts;
+    opts.globalBatchSize = 32;
+    opts.microbatchSize = 1;
+    ProgramBuilder b(tinyModel(), map, opts);
+    // dp = 2, m = 16, p = 4: (4-1)/(16+4-1).
+    EXPECT_NEAR(b.pipelineBubbleFraction(), 3.0 / 19.0, 1e-12);
+}
+
+TEST(Builder, FirstAndLastStageSkipBoundaryP2p)
+{
+    parallel::RankMapper map(parallel::ParallelConfig::forWorld(4, 1,
+                                                                4));
+    TrainOptions opts;
+    opts.globalBatchSize = 8;
+    ProgramBuilder b(tinyModel(), map, opts);
+    Program p = b.build(0);
+    // Stage 0 (device 0) never receives forward activations.
+    for (const auto& op : p.deviceOps[0]) {
+        if (op.type == OpType::Recv)
+            EXPECT_STREQ(op.name, "recv-bwd");
+        if (op.type == OpType::Send)
+            EXPECT_STREQ(op.name, "send-fwd");
+    }
+    // Last stage (device 3) computes the head.
+    bool has_head = false;
+    for (const auto& op : p.deviceOps[3])
+        has_head |= std::string(op.name) == "fwd-head";
+    EXPECT_TRUE(has_head);
+    for (const auto& op : p.deviceOps[0]) {
+        EXPECT_NE(std::string(op.name), "fwd-head");
+    }
+}
+
+TEST(Builder, SendRecvCountsMatch1F1B)
+{
+    parallel::RankMapper map(parallel::ParallelConfig::forWorld(4, 1,
+                                                                4));
+    TrainOptions opts;
+    opts.globalBatchSize = 8; // m = 8
+    ProgramBuilder b(tinyModel(), map, opts);
+    Program p = b.build(0);
+    // Each stage boundary carries m fwd + m bwd messages; 3
+    // boundaries -> 48 sends and 48 recvs total.
+    EXPECT_EQ(countOps(p, OpType::Send), 48);
+    EXPECT_EQ(countOps(p, OpType::Recv), 48);
+}
+
+TEST(Builder, TpPlusPpEmitsUnchunkedSendRecv)
+{
+    parallel::RankMapper map(parallel::ParallelConfig::forWorld(8, 2,
+                                                                4));
+    TrainOptions opts;
+    opts.globalBatchSize = 8;
+    ProgramBuilder b(tinyModel(), map, opts);
+    Program p = b.build(0);
+    for (const auto& ops : p.deviceOps) {
+        for (const auto& op : ops) {
+            if (op.type == OpType::Send)
+                EXPECT_FALSE(op.chunked); // tp > 1: sparse slices
+        }
+    }
+    // Pure PP chunks normally.
+    parallel::RankMapper map1(parallel::ParallelConfig::forWorld(4, 1,
+                                                                 4));
+    ProgramBuilder b1(tinyModel(), map1, opts);
+    Program p1 = b1.build(0);
+    for (const auto& ops : p1.deviceOps) {
+        for (const auto& op : ops) {
+            if (op.type == OpType::Send)
+                EXPECT_TRUE(op.chunked);
+        }
+    }
+}
+
+TEST(Builder, RecomputeAddsRecomputeOps)
+{
+    parallel::RankMapper map(parallel::ParallelConfig::forWorld(4, 1,
+                                                                4));
+    TrainOptions opts;
+    opts.globalBatchSize = 8;
+    ProgramBuilder base(tinyModel(), map, opts);
+    EXPECT_EQ(countClass(base.build(0), hw::KernelClass::Recompute), 0);
+    opts.actRecompute = true;
+    ProgramBuilder act(tinyModel(), map, opts);
+    // One recompute per backward per rank: 4 ranks x 8 microbatches.
+    EXPECT_EQ(countClass(act.build(0), hw::KernelClass::Recompute), 32);
+}
+
+TEST(Builder, CcOverlapMarksAsyncAndDrains)
+{
+    parallel::RankMapper map(parallel::ParallelConfig::forWorld(8, 4,
+                                                                2));
+    TrainOptions opts;
+    opts.globalBatchSize = 8;
+    opts.ccOverlap = true;
+    ProgramBuilder b(tinyModel(), map, opts);
+    Program p = b.build(0);
+    int async_colls = 0;
+    for (const auto& ops : p.deviceOps) {
+        for (const auto& op : ops) {
+            if (op.type == OpType::Collective && op.async)
+                ++async_colls;
+        }
+    }
+    EXPECT_GT(async_colls, 0);
+    EXPECT_GT(countOps(p, OpType::Drain), p.worldSize()); // cc drains
+}
+
+TEST(Builder, MoeEmitsAllToAll)
+{
+    parallel::RankMapper map(
+        parallel::ParallelConfig::forWorld(8, 1, 1, 8));
+    TrainOptions opts;
+    opts.globalBatchSize = 8;
+    ProgramBuilder b(tinyMoe(), map, opts);
+    Program p = b.build(0);
+    // fwd 2 + bwd 2 per microbatch per rank; m = 1 per replica.
+    EXPECT_EQ(countClass(p, hw::KernelClass::AllToAll), 8 * 4);
+    // Dense model emits none.
+    ProgramBuilder d(tinyModel(), map, opts);
+    EXPECT_EQ(countClass(d.build(0), hw::KernelClass::AllToAll), 0);
+}
+
+TEST(Builder, FsdpEmitsGatherAndScatter)
+{
+    parallel::RankMapper map(
+        parallel::ParallelConfig::forWorld(8, 2, 1, 1, true));
+    TrainOptions opts;
+    opts.globalBatchSize = 8; // dp = 4 -> m = 2
+    ProgramBuilder b(tinyModel(), map, opts);
+    Program p = b.build(0);
+    EXPECT_EQ(countClass(p, hw::KernelClass::AllGather), 8 * 2);
+    EXPECT_EQ(countClass(p, hw::KernelClass::ReduceScatter), 8 * 2);
+}
+
+TEST(Builder, InferenceIsForwardOnly)
+{
+    parallel::RankMapper map(parallel::ParallelConfig::forWorld(4, 1,
+                                                                4));
+    TrainOptions opts;
+    opts.globalBatchSize = 8;
+    opts.inference = true;
+    ProgramBuilder b(tinyModel(), map, opts);
+    Program p = b.build(0);
+    EXPECT_EQ(countClass(p, hw::KernelClass::Optimizer), 0);
+    for (const auto& ops : p.deviceOps) {
+        for (const auto& op : ops)
+            EXPECT_NE(std::string(op.name), "bwd-mlp");
+    }
+}
+
+TEST(Builder, AsymmetricStageLayersRespected)
+{
+    parallel::RankMapper map(parallel::ParallelConfig::forWorld(4, 1,
+                                                                4));
+    TrainOptions opts;
+    opts.globalBatchSize = 8;
+    opts.stageLayers = {3, 1, 3, 1};
+    ProgramBuilder b(tinyModel(), map, opts);
+    EXPECT_EQ(b.layersOnStage(0), 3);
+    EXPECT_EQ(b.layersOnStage(1), 1);
+    // Stage 0 forward compute carries 3x the flops of stage 1.
+    Program p = b.build(0);
+    double f0 = 0, f1 = 0;
+    for (const auto& op : p.deviceOps[0]) {
+        if (std::string(op.name) == "fwd-attn")
+            f0 = op.flops;
+    }
+    for (const auto& op : p.deviceOps[1]) {
+        if (std::string(op.name) == "fwd-attn")
+            f1 = op.flops;
+    }
+    EXPECT_NEAR(f0, 3.0 * f1, 1e-6 * f0);
+}
+
+TEST(Builder, LoraShrinksGradTraffic)
+{
+    parallel::RankMapper map(parallel::ParallelConfig::forWorld(8, 1,
+                                                                1));
+    TrainOptions opts;
+    opts.globalBatchSize = 8;
+    auto grad_bytes = [&](const model::TransformerConfig& m) {
+        ProgramBuilder b(m, map, opts);
+        Program p = b.build(0);
+        for (const auto& op : p.deviceOps[0]) {
+            if (std::string(op.name) == "dp-grad-sync")
+                return op.bytes;
+        }
+        return -1.0;
+    };
+    double full = grad_bytes(tinyModel());
+    double lora = grad_bytes(model::withLora(tinyModel(), 16));
+    ASSERT_GT(full, 0.0);
+    ASSERT_GT(lora, 0.0);
+    EXPECT_LT(lora * 20.0, full);
+}
+
+// ---- engine integration -----------------------------------------------------
+
+struct EngineFixture : ::testing::Test
+{
+    /** Run a tiny experiment and return average iteration seconds. */
+    double
+    runTiny(const model::TransformerConfig& m, int tp, int pp, int ep,
+            TrainOptions opts, int cap_node = -1,
+            double cap_watts = 0.0)
+    {
+        core::ClusterSpec cluster = core::h200Cluster(1);
+        sim::Simulator simulator;
+        net::Topology topo(cluster.network);
+        hw::Platform plat(simulator, cluster.gpu, cluster.chassis,
+                          cluster.numNodes);
+        net::FlowNetwork netw(simulator, topo);
+        coll::CollectiveEngine colls(simulator, netw);
+        parallel::RankMapper map(
+            parallel::ParallelConfig::forWorld(8, tp, pp, ep));
+        ProgramBuilder builder(m, map, opts);
+        EngineOptions eopts;
+        eopts.warmupIterations = 1;
+        eopts.measuredIterations = 2;
+        TrainingEngine engine(plat, netw, colls, builder, eopts);
+        if (cap_node >= 0)
+            plat.capNodePower(cap_node, cap_watts);
+        plat.start();
+        engine.run();
+        return engine.avgIterationSeconds();
+    }
+};
+
+TEST_F(EngineFixture, RunsToCompletionAllLayouts)
+{
+    TrainOptions opts;
+    opts.globalBatchSize = 16;
+    EXPECT_GT(runTiny(tinyModel(), 8, 1, 1, opts), 0.0);
+    EXPECT_GT(runTiny(tinyModel(), 1, 8, 1, opts), 0.0);
+    EXPECT_GT(runTiny(tinyModel(), 2, 4, 1, opts), 0.0);
+    EXPECT_GT(runTiny(tinyModel(), 2, 2, 2, opts), 0.0);
+    EXPECT_GT(runTiny(tinyMoe(), 1, 1, 8, opts), 0.0);
+}
+
+TEST_F(EngineFixture, DeterministicAcrossRuns)
+{
+    TrainOptions opts;
+    opts.globalBatchSize = 16;
+    double a = runTiny(tinyModel(), 2, 4, 1, opts);
+    double b = runTiny(tinyModel(), 2, 4, 1, opts);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(EngineFixture, RecomputeSlowsIteration)
+{
+    TrainOptions opts;
+    opts.globalBatchSize = 16;
+    double base = runTiny(tinyModel(), 1, 8, 1, opts);
+    opts.actRecompute = true;
+    double act = runTiny(tinyModel(), 1, 8, 1, opts);
+    EXPECT_GT(act, base * 1.05);
+}
+
+TEST_F(EngineFixture, CcOverlapHelpsDataParallel)
+{
+    // DP with distributed optimizer benefits from overlapping the
+    // gradient sync (the paper's Llama3-70B observation).
+    TrainOptions opts;
+    opts.globalBatchSize = 32;
+    opts.zero1 = true;
+    double base = runTiny(tinyModel(), 2, 1, 1, opts); // dp = 4
+    opts.ccOverlap = true;
+    double cc = runTiny(tinyModel(), 2, 1, 1, opts);
+    EXPECT_LT(cc, base);
+}
+
+TEST_F(EngineFixture, MoreMicrobatchesShrinkBubbleOverhead)
+{
+    // With pp = 8 and everything else fixed, more microbatches mean a
+    // proportionally smaller pipeline bubble.
+    TrainOptions opts;
+    opts.globalBatchSize = 8; // m = 8
+    double few = runTiny(tinyModel(), 1, 8, 1, opts);
+    opts.globalBatchSize = 32; // m = 32: 4x work, less than 4x time
+    double many = runTiny(tinyModel(), 1, 8, 1, opts);
+    EXPECT_LT(many, 4.0 * few);
+}
+
+TEST_F(EngineFixture, PowerCappedNodeCreatesStraggler)
+{
+    TrainOptions opts;
+    opts.globalBatchSize = 16;
+    double healthy = runTiny(tinyModel(), 8, 1, 1, opts);
+    double faulty = runTiny(tinyModel(), 8, 1, 1, opts, 0, 220.0);
+    // Node-level power fault throttles everyone in the TP group.
+    EXPECT_GT(faulty, healthy * 1.1);
+}
+
+TEST_F(EngineFixture, InferenceFasterThanTraining)
+{
+    TrainOptions opts;
+    opts.globalBatchSize = 16;
+    double train = runTiny(tinyModel(), 2, 4, 1, opts);
+    opts.inference = true;
+    double infer = runTiny(tinyModel(), 2, 4, 1, opts);
+    EXPECT_LT(infer * 1.5, train);
+}
+
+
+// ---- interleaved (virtual-stage) scheduling ---------------------------------
+
+TEST(Interleaved, BubbleFractionShrinksWithVirtualStages)
+{
+    parallel::RankMapper map(parallel::ParallelConfig::forWorld(4, 1,
+                                                                4));
+    TrainOptions opts;
+    opts.globalBatchSize = 8; // m = 8
+    ProgramBuilder v1(tinyModel(), map, opts);
+    opts.virtualStages = 2;
+    ProgramBuilder v2(tinyModel(), map, opts);
+    EXPECT_NEAR(v1.pipelineBubbleFraction(), 3.0 / 11.0, 1e-12);
+    EXPECT_NEAR(v2.pipelineBubbleFraction(), 3.0 / 19.0, 1e-12);
+    EXPECT_DOUBLE_EQ(v2.layersPerChunk(), 1.0);
+}
+
+TEST(Interleaved, DoublesBoundaryMessages)
+{
+    parallel::RankMapper map(parallel::ParallelConfig::forWorld(4, 1,
+                                                                4));
+    TrainOptions opts;
+    opts.globalBatchSize = 8;
+    ProgramBuilder v1(tinyModel(), map, opts);
+    int sends_v1 = countOps(v1.build(0), OpType::Send);
+    opts.virtualStages = 2;
+    ProgramBuilder v2(tinyModel(), map, opts);
+    int sends_v2 = countOps(v2.build(0), OpType::Send);
+    // v=2: boundaries grow from 3 to 7 per direction per microbatch.
+    EXPECT_GT(sends_v2, 2 * sends_v1);
+}
+
+TEST(Interleaved, HeadOnlyOnLastVirtualStage)
+{
+    parallel::RankMapper map(parallel::ParallelConfig::forWorld(4, 1,
+                                                                4));
+    TrainOptions opts;
+    opts.globalBatchSize = 8;
+    opts.virtualStages = 2;
+    ProgramBuilder b(tinyModel(), map, opts);
+    Program p = b.build(0);
+    // Last virtual stage (chunk 1, stage 3) lives on device 3.
+    for (int dev = 0; dev < 4; ++dev) {
+        int heads = 0;
+        for (const auto& op : p.deviceOps[static_cast<std::size_t>(
+                 dev)]) {
+            if (std::string(op.name) == "fwd-head")
+                ++heads;
+        }
+        EXPECT_EQ(heads, dev == 3 ? 8 : 0) << "device " << dev;
+    }
+}
+
+struct InterleavedEngine : EngineFixture
+{
+};
+
+TEST_F(InterleavedEngine, ReducesIterationTimeAtSmallMicrobatchCount)
+{
+    TrainOptions opts;
+    opts.globalBatchSize = 8; // m = 8 = pp: large bubble
+    double base = runTiny(tinyModel(), 1, 8, 1, opts);
+    opts.virtualStages = 2; // 8 layers / (8*2) ... needs pp 4
+    // pp 8 with v 2 needs 16 chunks > 8 layers; use pp 4.
+    TrainOptions opts4;
+    opts4.globalBatchSize = 8;
+    double base4 = runTiny(tinyModel(), 1, 4, 1, opts4);
+    opts4.virtualStages = 2;
+    double inter4 = runTiny(tinyModel(), 1, 4, 1, opts4);
+    EXPECT_LT(inter4, base4);
+    (void)base;
+}
+
+TEST_F(InterleavedEngine, DeterministicAndComposesWithOptimizations)
+{
+    TrainOptions opts;
+    opts.globalBatchSize = 16;
+    opts.virtualStages = 2;
+    opts.actRecompute = true;
+    opts.ccOverlap = true;
+    double a = runTiny(tinyModel(), 2, 4, 1, opts);
+    double b = runTiny(tinyModel(), 2, 4, 1, opts);
+    EXPECT_GT(a, 0.0);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(InterleavedEngine, WorksWithMoEExpertParallelism)
+{
+    TrainOptions opts;
+    opts.globalBatchSize = 16;
+    opts.virtualStages = 2;
+    EXPECT_GT(runTiny(tinyMoe(), 1, 2, 2, opts), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the datacenter-scale projector (paper Sec. 7.1
+ * methodology) — DP scaling arithmetic, bandwidth sensitivity, and
+ * strong-scaling behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scale/projector.hh"
+
+namespace {
+
+using namespace charllm::scale;
+
+ProjectionInput
+baseInput()
+{
+    ProjectionInput in;
+    in.computeSeconds = 20.0;
+    in.intraCommSeconds = 3.0;
+    in.interCommSeconds = 2.0;
+    in.gradBytesPerGpu = 10e9;
+    in.baseGpus = 32;
+    in.gpusPerNode = 8;
+    in.tokensPerIteration = 262144.0;
+    in.nodeBandwidth = 12.5e9;
+    in.messageLatency = 18e-6;
+    return in;
+}
+
+TEST(Projector, Dp1HasNoAllReduce)
+{
+    Projector p(baseInput());
+    auto point = p.project(1);
+    EXPECT_DOUBLE_EQ(point.allReduceSeconds, 0.0);
+    EXPECT_NEAR(point.iterationSeconds, 25.0, 1e-9);
+    EXPECT_DOUBLE_EQ(point.strongScalingEfficiency, 1.0);
+    EXPECT_EQ(point.totalGpus, 32);
+}
+
+TEST(Projector, ComputeDividesByDp)
+{
+    Projector p(baseInput());
+    auto point = p.project(8);
+    EXPECT_NEAR(point.computeSeconds, 20.0 / 8.0, 1e-12);
+    EXPECT_EQ(point.totalGpus, 256);
+}
+
+TEST(Projector, AllReduceGrowsWithDp)
+{
+    Projector p(baseInput());
+    EXPECT_LT(p.project(2).allReduceSeconds,
+              p.project(64).allReduceSeconds);
+}
+
+TEST(Projector, StrongScalingDegradesAtLargeDp)
+{
+    Projector p(baseInput());
+    auto small = p.project(2);
+    auto large = p.project(256); // 8K GPUs
+    EXPECT_GT(small.strongScalingEfficiency,
+              large.strongScalingEfficiency);
+    EXPECT_LT(large.strongScalingEfficiency, 0.5);
+}
+
+TEST(Projector, StrongScalingCollapseMatchesPaperScale)
+{
+    // Paper: at 100 Gbps, strong scaling drops by up to ~9.7x vs
+    // ideal at 8K GPUs; at 800 Gbps it recovers by up to ~4.2x.
+    Projector p(baseInput());
+    auto at100 = p.project(256, 1.0);
+    double collapse = 1.0 / at100.strongScalingEfficiency;
+    EXPECT_GT(collapse, 4.0);
+    EXPECT_LT(collapse, 25.0);
+    auto at800 = p.project(256, 8.0);
+    double recovery = at800.strongScalingEfficiency /
+                      at100.strongScalingEfficiency;
+    EXPECT_GT(recovery, 2.0);
+    EXPECT_LT(recovery, 9.0);
+}
+
+TEST(Projector, BandwidthMultiplierShrinksInterComm)
+{
+    Projector p(baseInput());
+    auto slow = p.project(4, 1.0);
+    auto fast = p.project(4, 8.0);
+    EXPECT_LT(fast.iterationSeconds, slow.iterationSeconds);
+    EXPECT_LT(fast.allReduceSeconds, slow.allReduceSeconds);
+}
+
+TEST(Projector, PerGpuThroughputDecreasesWithScale)
+{
+    Projector p(baseInput());
+    EXPECT_GT(p.project(1).perGpuTokensPerSecond,
+              p.project(64).perGpuTokensPerSecond);
+}
+
+TEST(Projector, TotalThroughputStillImprovesModerately)
+{
+    Projector p(baseInput());
+    EXPECT_GT(p.project(8).tokensPerSecond,
+              p.project(1).tokensPerSecond);
+}
+
+TEST(Projector, SweepPreservesOrder)
+{
+    Projector p(baseInput());
+    auto points = p.sweep({1, 4, 16, 64, 256});
+    ASSERT_EQ(points.size(), 5u);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GT(points[i].totalGpus, points[i - 1].totalGpus);
+        EXPECT_LE(points[i].strongScalingEfficiency,
+                  points[i - 1].strongScalingEfficiency + 1e-9);
+    }
+}
+
+} // namespace

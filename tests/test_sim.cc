@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, cancellation,
+ * determinism, periodic tickers, and run control.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace charllm;
+using namespace charllm::sim;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(30, [&] { order.push_back(3); });
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.scheduleAt(100, [&order, i] { order.push_back(i); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool fired = false;
+    auto h = q.scheduleAt(10, [&] { fired = true; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    q.runAll();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelUpdatesPendingCount)
+{
+    EventQueue q;
+    auto a = q.scheduleAt(1, [] {});
+    auto b = q.scheduleAt(2, [] {});
+    EXPECT_EQ(q.numPending(), 2u);
+    a.cancel();
+    EXPECT_EQ(q.numPending(), 1u);
+    a.cancel(); // double-cancel is a no-op
+    EXPECT_EQ(q.numPending(), 1u);
+    q.runAll();
+    EXPECT_EQ(q.numPending(), 0u);
+    (void)b;
+}
+
+TEST(EventQueue, ScheduleFromWithinEvent)
+{
+    EventQueue q;
+    std::vector<Tick> times;
+    q.scheduleAt(5, [&] {
+        times.push_back(q.now());
+        q.schedule(7, [&] { times.push_back(q.now()); });
+    });
+    q.runAll();
+    EXPECT_EQ(times, (std::vector<Tick>{5, 12}));
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutEvents)
+{
+    EventQueue q;
+    q.runUntil(500);
+    EXPECT_EQ(q.now(), 500u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    int fired = 0;
+    q.scheduleAt(10, [&] { ++fired; });
+    q.scheduleAt(20, [&] { ++fired; });
+    q.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 15u);
+    q.runAll();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, TickConversionRoundTrips)
+{
+    EXPECT_EQ(toTicks(1.0), kTicksPerSecond);
+    EXPECT_EQ(toTicks(1e-9), 1u);
+    EXPECT_DOUBLE_EQ(toSeconds(2'500'000'000ULL), 2.5);
+    EXPECT_EQ(toTicks(toSeconds(123456789ULL)), 123456789ULL);
+}
+
+TEST(Simulator, PeriodicTickerFiresWhileWorkRemains)
+{
+    Simulator s;
+    int ticks = 0;
+    s.every(toTicks(0.001), [&] { ++ticks; });
+    // A long-running chain of work events spanning 10 ms.
+    bool finished = false;
+    std::function<void(int)> chain = [&](int remaining) {
+        if (remaining == 0) {
+            finished = true;
+            return;
+        }
+        s.schedule(toTicks(0.002), [&, remaining] {
+            chain(remaining - 1);
+        });
+    };
+    chain(5);
+    s.run();
+    EXPECT_TRUE(finished);
+    // Ticker fires roughly once per ms across the 10 ms of work.
+    EXPECT_GE(ticks, 8);
+    EXPECT_LE(ticks, 12);
+}
+
+TEST(Simulator, TickerDoesNotKeepSimulationAlive)
+{
+    Simulator s;
+    int ticks = 0;
+    s.every(toTicks(0.001), [&] { ++ticks; });
+    s.schedule(toTicks(0.0005), [] {});
+    s.run(); // must terminate
+    EXPECT_LE(ticks, 2);
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        Simulator s;
+        std::vector<Tick> log;
+        for (int i = 0; i < 20; ++i) {
+            s.schedule(toTicks(0.001 * (20 - i)), [&log, &s] {
+                log.push_back(s.now());
+            });
+        }
+        s.run();
+        return log;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
