@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_airflow.dir/bench/bench_ablation_airflow.cc.o"
+  "CMakeFiles/bench_ablation_airflow.dir/bench/bench_ablation_airflow.cc.o.d"
+  "bench/bench_ablation_airflow"
+  "bench/bench_ablation_airflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_airflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

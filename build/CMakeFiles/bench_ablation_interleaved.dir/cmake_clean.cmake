@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interleaved.dir/bench/bench_ablation_interleaved.cc.o"
+  "CMakeFiles/bench_ablation_interleaved.dir/bench/bench_ablation_interleaved.cc.o.d"
+  "bench/bench_ablation_interleaved"
+  "bench/bench_ablation_interleaved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interleaved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

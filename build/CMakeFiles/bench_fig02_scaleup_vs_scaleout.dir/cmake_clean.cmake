@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_scaleup_vs_scaleout.dir/bench/bench_fig02_scaleup_vs_scaleout.cc.o"
+  "CMakeFiles/bench_fig02_scaleup_vs_scaleout.dir/bench/bench_fig02_scaleup_vs_scaleout.cc.o.d"
+  "bench/bench_fig02_scaleup_vs_scaleout"
+  "bench/bench_fig02_scaleup_vs_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_scaleup_vs_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_kernel_time.dir/bench/bench_fig03_kernel_time.cc.o"
+  "CMakeFiles/bench_fig03_kernel_time.dir/bench/bench_fig03_kernel_time.cc.o.d"
+  "bench/bench_fig03_kernel_time"
+  "bench/bench_fig03_kernel_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_kernel_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_power_thermal_freq.dir/bench/bench_fig04_power_thermal_freq.cc.o"
+  "CMakeFiles/bench_fig04_power_thermal_freq.dir/bench/bench_fig04_power_thermal_freq.cc.o.d"
+  "bench/bench_fig04_power_thermal_freq"
+  "bench/bench_fig04_power_thermal_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_power_thermal_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

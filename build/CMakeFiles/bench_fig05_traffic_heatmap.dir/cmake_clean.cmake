@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_traffic_heatmap.dir/bench/bench_fig05_traffic_heatmap.cc.o"
+  "CMakeFiles/bench_fig05_traffic_heatmap.dir/bench/bench_fig05_traffic_heatmap.cc.o.d"
+  "bench/bench_fig05_traffic_heatmap"
+  "bench/bench_fig05_traffic_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_traffic_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_pcie_timeseries.dir/bench/bench_fig06_pcie_timeseries.cc.o"
+  "CMakeFiles/bench_fig06_pcie_timeseries.dir/bench/bench_fig06_pcie_timeseries.cc.o.d"
+  "bench/bench_fig06_pcie_timeseries"
+  "bench/bench_fig06_pcie_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_pcie_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

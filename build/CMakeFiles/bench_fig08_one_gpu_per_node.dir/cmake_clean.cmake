@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_one_gpu_per_node.dir/bench/bench_fig08_one_gpu_per_node.cc.o"
+  "CMakeFiles/bench_fig08_one_gpu_per_node.dir/bench/bench_fig08_one_gpu_per_node.cc.o.d"
+  "bench/bench_fig08_one_gpu_per_node"
+  "bench/bench_fig08_one_gpu_per_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_one_gpu_per_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

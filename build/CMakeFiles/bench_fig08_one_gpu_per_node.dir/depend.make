@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_one_gpu_per_node.
+# This may be replaced when dependencies are built.

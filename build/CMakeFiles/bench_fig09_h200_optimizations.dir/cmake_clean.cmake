@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_h200_optimizations.dir/bench/bench_fig09_h200_optimizations.cc.o"
+  "CMakeFiles/bench_fig09_h200_optimizations.dir/bench/bench_fig09_h200_optimizations.cc.o.d"
+  "bench/bench_fig09_h200_optimizations"
+  "bench/bench_fig09_h200_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_h200_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

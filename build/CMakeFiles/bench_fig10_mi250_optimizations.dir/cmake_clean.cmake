@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_mi250_optimizations.dir/bench/bench_fig10_mi250_optimizations.cc.o"
+  "CMakeFiles/bench_fig10_mi250_optimizations.dir/bench/bench_fig10_mi250_optimizations.cc.o.d"
+  "bench/bench_fig10_mi250_optimizations"
+  "bench/bench_fig10_mi250_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_mi250_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cc_overlap_ranks.dir/bench/bench_fig11_cc_overlap_ranks.cc.o"
+  "CMakeFiles/bench_fig11_cc_overlap_ranks.dir/bench/bench_fig11_cc_overlap_ranks.cc.o.d"
+  "bench/bench_fig11_cc_overlap_ranks"
+  "bench/bench_fig11_cc_overlap_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cc_overlap_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_lora.dir/bench/bench_fig12_lora.cc.o"
+  "CMakeFiles/bench_fig12_lora.dir/bench/bench_fig12_lora.cc.o.d"
+  "bench/bench_fig12_lora"
+  "bench/bench_fig12_lora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_lora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_h200_microbatch.dir/bench/bench_fig13_h200_microbatch.cc.o"
+  "CMakeFiles/bench_fig13_h200_microbatch.dir/bench/bench_fig13_h200_microbatch.cc.o.d"
+  "bench/bench_fig13_h200_microbatch"
+  "bench/bench_fig13_h200_microbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_h200_microbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_mi250_microbatch.dir/bench/bench_fig14_mi250_microbatch.cc.o"
+  "CMakeFiles/bench_fig14_mi250_microbatch.dir/bench/bench_fig14_mi250_microbatch.cc.o.d"
+  "bench/bench_fig14_mi250_microbatch"
+  "bench/bench_fig14_mi250_microbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_mi250_microbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

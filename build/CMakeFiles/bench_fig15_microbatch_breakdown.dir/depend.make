@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig15_microbatch_breakdown.
+# This may be replaced when dependencies are built.

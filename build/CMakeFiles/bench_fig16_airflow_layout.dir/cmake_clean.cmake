@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_airflow_layout.dir/bench/bench_fig16_airflow_layout.cc.o"
+  "CMakeFiles/bench_fig16_airflow_layout.dir/bench/bench_fig16_airflow_layout.cc.o.d"
+  "bench/bench_fig16_airflow_layout"
+  "bench/bench_fig16_airflow_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_airflow_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

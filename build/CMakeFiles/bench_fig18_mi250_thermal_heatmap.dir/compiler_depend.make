@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig18_mi250_thermal_heatmap.
+# This may be replaced when dependencies are built.

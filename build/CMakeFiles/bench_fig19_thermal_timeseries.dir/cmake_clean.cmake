@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_thermal_timeseries.dir/bench/bench_fig19_thermal_timeseries.cc.o"
+  "CMakeFiles/bench_fig19_thermal_timeseries.dir/bench/bench_fig19_thermal_timeseries.cc.o.d"
+  "bench/bench_fig19_thermal_timeseries"
+  "bench/bench_fig19_thermal_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_thermal_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

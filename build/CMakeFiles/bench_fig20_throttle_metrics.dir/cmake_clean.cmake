@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_throttle_metrics.dir/bench/bench_fig20_throttle_metrics.cc.o"
+  "CMakeFiles/bench_fig20_throttle_metrics.dir/bench/bench_fig20_throttle_metrics.cc.o.d"
+  "bench/bench_fig20_throttle_metrics"
+  "bench/bench_fig20_throttle_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_throttle_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_thermal_placement.dir/bench/bench_fig21_thermal_placement.cc.o"
+  "CMakeFiles/bench_fig21_thermal_placement.dir/bench/bench_fig21_thermal_placement.cc.o.d"
+  "bench/bench_fig21_thermal_placement"
+  "bench/bench_fig21_thermal_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_thermal_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

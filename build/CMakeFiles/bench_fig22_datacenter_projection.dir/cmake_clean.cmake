@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_datacenter_projection.dir/bench/bench_fig22_datacenter_projection.cc.o"
+  "CMakeFiles/bench_fig22_datacenter_projection.dir/bench/bench_fig22_datacenter_projection.cc.o.d"
+  "bench/bench_fig22_datacenter_projection"
+  "bench/bench_fig22_datacenter_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_datacenter_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

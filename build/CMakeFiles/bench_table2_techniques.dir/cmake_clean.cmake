@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_techniques.dir/bench/bench_table2_techniques.cc.o"
+  "CMakeFiles/bench_table2_techniques.dir/bench/bench_table2_techniques.cc.o.d"
+  "bench/bench_table2_techniques"
+  "bench/bench_table2_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

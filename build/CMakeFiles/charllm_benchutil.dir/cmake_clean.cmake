@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charllm_benchutil.dir/bench/bench_util.cc.o"
+  "CMakeFiles/charllm_benchutil.dir/bench/bench_util.cc.o.d"
+  "libcharllm_benchutil.a"
+  "libcharllm_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charllm_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

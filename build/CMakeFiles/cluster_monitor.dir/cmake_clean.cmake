@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_monitor.dir/examples/cluster_monitor.cpp.o"
+  "CMakeFiles/cluster_monitor.dir/examples/cluster_monitor.cpp.o.d"
+  "examples/cluster_monitor"
+  "examples/cluster_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_planner.dir/examples/scaling_planner.cpp.o"
+  "CMakeFiles/scaling_planner.dir/examples/scaling_planner.cpp.o.d"
+  "examples/scaling_planner"
+  "examples/scaling_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

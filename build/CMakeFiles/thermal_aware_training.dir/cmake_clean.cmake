@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_aware_training.dir/examples/thermal_aware_training.cpp.o"
+  "CMakeFiles/thermal_aware_training.dir/examples/thermal_aware_training.cpp.o.d"
+  "examples/thermal_aware_training"
+  "examples/thermal_aware_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_aware_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

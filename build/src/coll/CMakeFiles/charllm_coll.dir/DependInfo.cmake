@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/collective_engine.cc" "src/coll/CMakeFiles/charllm_coll.dir/collective_engine.cc.o" "gcc" "src/coll/CMakeFiles/charllm_coll.dir/collective_engine.cc.o.d"
+  "/root/repo/src/coll/cost_model.cc" "src/coll/CMakeFiles/charllm_coll.dir/cost_model.cc.o" "gcc" "src/coll/CMakeFiles/charllm_coll.dir/cost_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/charllm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/charllm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/charllm_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

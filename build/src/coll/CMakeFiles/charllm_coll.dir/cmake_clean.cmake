@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charllm_coll.dir/collective_engine.cc.o"
+  "CMakeFiles/charllm_coll.dir/collective_engine.cc.o.d"
+  "CMakeFiles/charllm_coll.dir/cost_model.cc.o"
+  "CMakeFiles/charllm_coll.dir/cost_model.cc.o.d"
+  "libcharllm_coll.a"
+  "libcharllm_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charllm_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charllm_common.dir/csv.cc.o"
+  "CMakeFiles/charllm_common.dir/csv.cc.o.d"
+  "CMakeFiles/charllm_common.dir/stats.cc.o"
+  "CMakeFiles/charllm_common.dir/stats.cc.o.d"
+  "CMakeFiles/charllm_common.dir/strings.cc.o"
+  "CMakeFiles/charllm_common.dir/strings.cc.o.d"
+  "CMakeFiles/charllm_common.dir/table.cc.o"
+  "CMakeFiles/charllm_common.dir/table.cc.o.d"
+  "libcharllm_common.a"
+  "libcharllm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charllm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charllm_core.dir/catalog.cc.o"
+  "CMakeFiles/charllm_core.dir/catalog.cc.o.d"
+  "CMakeFiles/charllm_core.dir/cluster.cc.o"
+  "CMakeFiles/charllm_core.dir/cluster.cc.o.d"
+  "CMakeFiles/charllm_core.dir/experiment.cc.o"
+  "CMakeFiles/charllm_core.dir/experiment.cc.o.d"
+  "CMakeFiles/charllm_core.dir/report.cc.o"
+  "CMakeFiles/charllm_core.dir/report.cc.o.d"
+  "CMakeFiles/charllm_core.dir/thermal_placement.cc.o"
+  "CMakeFiles/charllm_core.dir/thermal_placement.cc.o.d"
+  "libcharllm_core.a"
+  "libcharllm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charllm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/chassis.cc" "src/hw/CMakeFiles/charllm_hw.dir/chassis.cc.o" "gcc" "src/hw/CMakeFiles/charllm_hw.dir/chassis.cc.o.d"
+  "/root/repo/src/hw/compute_model.cc" "src/hw/CMakeFiles/charllm_hw.dir/compute_model.cc.o" "gcc" "src/hw/CMakeFiles/charllm_hw.dir/compute_model.cc.o.d"
+  "/root/repo/src/hw/dvfs.cc" "src/hw/CMakeFiles/charllm_hw.dir/dvfs.cc.o" "gcc" "src/hw/CMakeFiles/charllm_hw.dir/dvfs.cc.o.d"
+  "/root/repo/src/hw/gpu.cc" "src/hw/CMakeFiles/charllm_hw.dir/gpu.cc.o" "gcc" "src/hw/CMakeFiles/charllm_hw.dir/gpu.cc.o.d"
+  "/root/repo/src/hw/gpu_spec.cc" "src/hw/CMakeFiles/charllm_hw.dir/gpu_spec.cc.o" "gcc" "src/hw/CMakeFiles/charllm_hw.dir/gpu_spec.cc.o.d"
+  "/root/repo/src/hw/platform.cc" "src/hw/CMakeFiles/charllm_hw.dir/platform.cc.o" "gcc" "src/hw/CMakeFiles/charllm_hw.dir/platform.cc.o.d"
+  "/root/repo/src/hw/thermal_model.cc" "src/hw/CMakeFiles/charllm_hw.dir/thermal_model.cc.o" "gcc" "src/hw/CMakeFiles/charllm_hw.dir/thermal_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/charllm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charllm_hw.dir/chassis.cc.o"
+  "CMakeFiles/charllm_hw.dir/chassis.cc.o.d"
+  "CMakeFiles/charllm_hw.dir/compute_model.cc.o"
+  "CMakeFiles/charllm_hw.dir/compute_model.cc.o.d"
+  "CMakeFiles/charllm_hw.dir/dvfs.cc.o"
+  "CMakeFiles/charllm_hw.dir/dvfs.cc.o.d"
+  "CMakeFiles/charllm_hw.dir/gpu.cc.o"
+  "CMakeFiles/charllm_hw.dir/gpu.cc.o.d"
+  "CMakeFiles/charllm_hw.dir/gpu_spec.cc.o"
+  "CMakeFiles/charllm_hw.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/charllm_hw.dir/platform.cc.o"
+  "CMakeFiles/charllm_hw.dir/platform.cc.o.d"
+  "CMakeFiles/charllm_hw.dir/thermal_model.cc.o"
+  "CMakeFiles/charllm_hw.dir/thermal_model.cc.o.d"
+  "libcharllm_hw.a"
+  "libcharllm_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charllm_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcharllm_hw.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/analytics.cc" "src/model/CMakeFiles/charllm_model.dir/analytics.cc.o" "gcc" "src/model/CMakeFiles/charllm_model.dir/analytics.cc.o.d"
+  "/root/repo/src/model/transformer_config.cc" "src/model/CMakeFiles/charllm_model.dir/transformer_config.cc.o" "gcc" "src/model/CMakeFiles/charllm_model.dir/transformer_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/charllm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charllm_model.dir/analytics.cc.o"
+  "CMakeFiles/charllm_model.dir/analytics.cc.o.d"
+  "CMakeFiles/charllm_model.dir/transformer_config.cc.o"
+  "CMakeFiles/charllm_model.dir/transformer_config.cc.o.d"
+  "libcharllm_model.a"
+  "libcharllm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charllm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charllm_net.dir/flow_network.cc.o"
+  "CMakeFiles/charllm_net.dir/flow_network.cc.o.d"
+  "CMakeFiles/charllm_net.dir/topology.cc.o"
+  "CMakeFiles/charllm_net.dir/topology.cc.o.d"
+  "libcharllm_net.a"
+  "libcharllm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charllm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

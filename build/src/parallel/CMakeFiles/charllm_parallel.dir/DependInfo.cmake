@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/memory_planner.cc" "src/parallel/CMakeFiles/charllm_parallel.dir/memory_planner.cc.o" "gcc" "src/parallel/CMakeFiles/charllm_parallel.dir/memory_planner.cc.o.d"
+  "/root/repo/src/parallel/parallel_config.cc" "src/parallel/CMakeFiles/charllm_parallel.dir/parallel_config.cc.o" "gcc" "src/parallel/CMakeFiles/charllm_parallel.dir/parallel_config.cc.o.d"
+  "/root/repo/src/parallel/rank_mapper.cc" "src/parallel/CMakeFiles/charllm_parallel.dir/rank_mapper.cc.o" "gcc" "src/parallel/CMakeFiles/charllm_parallel.dir/rank_mapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/charllm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/charllm_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charllm_parallel.dir/memory_planner.cc.o"
+  "CMakeFiles/charllm_parallel.dir/memory_planner.cc.o.d"
+  "CMakeFiles/charllm_parallel.dir/parallel_config.cc.o"
+  "CMakeFiles/charllm_parallel.dir/parallel_config.cc.o.d"
+  "CMakeFiles/charllm_parallel.dir/rank_mapper.cc.o"
+  "CMakeFiles/charllm_parallel.dir/rank_mapper.cc.o.d"
+  "libcharllm_parallel.a"
+  "libcharllm_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charllm_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

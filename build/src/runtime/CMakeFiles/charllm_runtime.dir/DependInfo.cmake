@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/engine.cc" "src/runtime/CMakeFiles/charllm_runtime.dir/engine.cc.o" "gcc" "src/runtime/CMakeFiles/charllm_runtime.dir/engine.cc.o.d"
+  "/root/repo/src/runtime/program_builder.cc" "src/runtime/CMakeFiles/charllm_runtime.dir/program_builder.cc.o" "gcc" "src/runtime/CMakeFiles/charllm_runtime.dir/program_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/charllm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/charllm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/charllm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/charllm_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/charllm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/charllm_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

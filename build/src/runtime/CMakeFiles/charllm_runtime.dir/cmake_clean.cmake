@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charllm_runtime.dir/engine.cc.o"
+  "CMakeFiles/charllm_runtime.dir/engine.cc.o.d"
+  "CMakeFiles/charllm_runtime.dir/program_builder.cc.o"
+  "CMakeFiles/charllm_runtime.dir/program_builder.cc.o.d"
+  "libcharllm_runtime.a"
+  "libcharllm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charllm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charllm_scale.dir/projector.cc.o"
+  "CMakeFiles/charllm_scale.dir/projector.cc.o.d"
+  "libcharllm_scale.a"
+  "libcharllm_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charllm_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

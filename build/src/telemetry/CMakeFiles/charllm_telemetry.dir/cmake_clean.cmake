@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charllm_telemetry.dir/sampler.cc.o"
+  "CMakeFiles/charllm_telemetry.dir/sampler.cc.o.d"
+  "CMakeFiles/charllm_telemetry.dir/simnvml.cc.o"
+  "CMakeFiles/charllm_telemetry.dir/simnvml.cc.o.d"
+  "CMakeFiles/charllm_telemetry.dir/trace.cc.o"
+  "CMakeFiles/charllm_telemetry.dir/trace.cc.o.d"
+  "libcharllm_telemetry.a"
+  "libcharllm_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charllm_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/test_properties.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/charllm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/charllm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/charllm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/charllm_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/charllm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/charllm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/charllm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/charllm_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/charllm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scale/CMakeFiles/charllm_scale.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
