@@ -48,5 +48,6 @@ set_target_properties(bench_micro_engine PROPERTIES
 charllm_add_bench(bench_ablation_topology)
 charllm_add_bench(bench_ablation_airflow)
 charllm_add_bench(bench_ablation_straggler)
+charllm_add_bench(bench_ablation_faults)
 charllm_add_bench(bench_ablation_interleaved)
 charllm_add_bench(bench_ablation_chunking)

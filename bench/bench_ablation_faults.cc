@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation: fault-injection scenario catalog. Real fleets are not
+ * healthy (paper Sec. 1/7): one hot inlet, one flapping IB link, an
+ * ECC retry storm, or a node fail-stop all bend cluster-wide step
+ * time through synchronous parallelism. This bench runs each preset
+ * scenario on an H100 pod and reports the realized degradation plus
+ * what the telemetry attributes it to.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/strings.hh"
+#include "faults/scenarios.hh"
+#include "net/topology.hh"
+
+using namespace charllm;
+
+int
+main()
+{
+    benchutil::banner("Ablation",
+                      "Fault scenarios -> step-time degradation "
+                      "(GPT3-30B, H100, TP8-PP4)");
+
+    auto cluster = core::h100Cluster(4); // 32 GPUs
+    auto par = parallel::ParallelConfig::forWorld(32, 8, 4);
+    net::Topology topo(cluster.network);
+    const double window = 40.0; // covers warmup + measured iterations
+
+    struct Row
+    {
+        std::string name;
+        faults::FaultScenario scenario;
+        bool remap = false;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"healthy", {}, false});
+    rows.push_back({"straggler gpu5 @50%",
+                    faults::scenarios::straggler(5, 0.5), false});
+    rows.push_back({"hot inlet gpu0 +14C",
+                    faults::scenarios::hotInlet(0, 14.0), false});
+    rows.push_back({"degraded pod (inlet+flap)",
+                    faults::scenarios::degradedPod(topo, window),
+                    false});
+    rows.push_back({"ecc storm gpu5",
+                    faults::scenarios::eccStorm(5, 0.01, 0.1, window),
+                    false});
+    rows.push_back({"fail-stop gpu5 (+2s restart)",
+                    faults::scenarios::failStop(5, 2.0, 0.0), false});
+    rows.push_back({"fail-stop gpu5 + remap",
+                    faults::scenarios::failStop(5, 2.0, 0.0), true});
+
+    TextTable t({"scenario", "iter(s)", "slowdown", "events",
+                 "gpu0 peakT", "throttle"});
+    double healthy_iter = 0.0;
+    for (const auto& row : rows) {
+        auto cfg = benchutil::sweepConfig(cluster, model::gpt3_30b(),
+                                          par);
+        cfg.faultScenario = row.scenario;
+        cfg.elasticRemap = row.remap;
+        auto r = core::Experiment::run(cfg);
+        if (!r.feasible)
+            continue;
+        if (row.scenario.empty())
+            healthy_iter = r.avgIterationSeconds;
+        t.addRow({row.name, benchutil::fmtSec(r.avgIterationSeconds),
+                  strprintf("%.2fx",
+                            r.avgIterationSeconds / healthy_iter),
+                  strprintf("%zu", r.faultLog.size()),
+                  formatFixed(r.gpus[0].peakTempC, 1) + " C",
+                  strprintf("%.0f%%", 100.0 * r.throttleRatio)});
+    }
+    t.print();
+    std::printf(
+        "\nExpected: the straggler and fail-stop rows degrade the\n"
+        "most (the whole synchronous job runs at the slow device's\n"
+        "pace); the flapping IB link stretches pipeline sends; the\n"
+        "ECC storm adds jittery per-iteration stalls; the hot inlet\n"
+        "mainly shows up as higher temperature/throttle residency on\n"
+        "its GPU. Elastic re-mapping swaps inside the node (keeping\n"
+        "TP groups intact), so with node-wide pipeline stages it is\n"
+        "placement-neutral rather than a win.\n");
+    return 0;
+}

@@ -4,6 +4,7 @@
 
 #include "coll/collective_engine.hh"
 #include "common/logging.hh"
+#include "faults/fault_injector.hh"
 #include "hw/platform.hh"
 #include "net/flow_network.hh"
 #include "parallel/rank_mapper.hh"
@@ -103,10 +104,24 @@ Experiment::run(const ExperimentConfig& config)
     runtime::TrainingEngine engine(platform, network, collectives,
                                    builder, engine_opts);
 
+    std::unique_ptr<faults::FaultInjector> injector;
+    if (!cfg.faultScenario.empty()) {
+        injector = std::make_unique<faults::FaultInjector>(
+            simulator, platform, network);
+        injector->attachEngine(engine);
+        if (cfg.elasticRemap)
+            injector->attachMapper(mapper);
+    }
+
     std::unique_ptr<telemetry::Sampler> sampler;
     if (cfg.enableSampler) {
         sampler = std::make_unique<telemetry::Sampler>(
             platform, network, cfg.samplePeriodSec);
+        if (injector) {
+            auto* inj = injector.get();
+            sampler->setFaultAnnotator(
+                [inj](int gpu) { return inj->activeGpuFault(gpu); });
+        }
     }
     std::shared_ptr<telemetry::KernelTrace> trace;
     if (cfg.enableTrace) {
@@ -120,6 +135,8 @@ Experiment::run(const ExperimentConfig& config)
 
     for (const auto& [node, watts] : cfg.nodePowerCaps)
         platform.capNodePower(node, watts);
+    if (injector)
+        injector->apply(cfg.faultScenario);
     platform.start();
     engine.run();
 
@@ -184,6 +201,23 @@ Experiment::run(const ExperimentConfig& config)
             result.series.push_back(sampler->series(i));
     }
     result.trace = trace;
+    if (injector) {
+        result.faultLog = injector->log();
+        if (trace) {
+            for (const auto& r : result.faultLog) {
+                int dev = r.target;
+                if (r.kind == faults::FaultKind::LinkDerate ||
+                    r.kind == faults::FaultKind::LinkFlap) {
+                    dev = topology.link(r.target).ownerGpu;
+                }
+                trace->recordFault(dev, faults::faultKindName(r.kind),
+                                   r.startSec,
+                                   r.endSec >= r.startSec
+                                       ? r.endSec - r.startSec
+                                       : -1.0);
+            }
+        }
+    }
     return result;
 }
 

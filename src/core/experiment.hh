@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/cluster.hh"
+#include "faults/fault.hh"
 #include "model/transformer_config.hh"
 #include "parallel/memory_planner.hh"
 #include "parallel/parallel_config.hh"
@@ -46,6 +47,17 @@ struct ExperimentConfig
      * straggling the whole pipeline).
      */
     std::vector<std::pair<int, double>> nodePowerCaps;
+
+    /**
+     * Deterministic degradation events (stragglers, flapping links,
+     * hot inlets, ECC storms, fail-stops) injected into the run. See
+     * faults::scenarios for presets. Empty = healthy fleet.
+     */
+    faults::FaultScenario faultScenario;
+
+    /** On GpuFailStop faults, re-map the dead device's ranks to the
+     * highest-id healthy device (takes effect next iteration). */
+    bool elasticRemap = false;
 
     bool enableSampler = false;
     double samplePeriodSec = 0.01;
@@ -107,6 +119,8 @@ struct ExperimentResult
     std::vector<std::vector<telemetry::Sample>> series;
     /** Kernel trace (null unless enableTrace). */
     std::shared_ptr<telemetry::KernelTrace> trace;
+    /** Realized fault intervals (empty unless a scenario was set). */
+    std::vector<faults::FaultRecord> faultLog;
 };
 
 /** Runs experiments. Stateless; each run builds a fresh simulator. */

@@ -1,0 +1,87 @@
+#include "faults/scenarios.hh"
+
+namespace charllm {
+namespace faults {
+namespace scenarios {
+
+FaultScenario
+straggler(int gpu, double factor, double start_s)
+{
+    FaultScenario s;
+    s.name = "straggler";
+    s.faults.push_back(FaultSpec{FaultKind::GpuSlowdown, gpu, start_s,
+                                 0.0, factor, 0.0, 0.5});
+    return s;
+}
+
+FaultScenario
+failStop(int gpu, double restart_cost_s, double start_s)
+{
+    FaultScenario s;
+    s.name = "fail-stop";
+    s.faults.push_back(FaultSpec{FaultKind::GpuFailStop, gpu, start_s,
+                                 0.0, restart_cost_s, 0.0, 0.5});
+    return s;
+}
+
+FaultScenario
+hotInlet(int gpu, double deg_c, double start_s)
+{
+    FaultScenario s;
+    s.name = "hot-inlet";
+    s.faults.push_back(FaultSpec{FaultKind::HotInlet, gpu, start_s,
+                                 0.0, deg_c, 0.0, 0.5});
+    return s;
+}
+
+FaultScenario
+fanFailure(int gpu, double r_scale, double start_s)
+{
+    FaultScenario s;
+    s.name = "fan-failure";
+    s.faults.push_back(FaultSpec{FaultKind::FanFailure, gpu, start_s,
+                                 0.0, r_scale, 0.0, 0.5});
+    return s;
+}
+
+FaultScenario
+flappingLink(net::LinkId link, double derate, double period_s,
+             double window_s, double start_s)
+{
+    FaultScenario s;
+    s.name = "flapping-link";
+    s.faults.push_back(FaultSpec{FaultKind::LinkFlap, link, start_s,
+                                 window_s, derate, period_s, 0.4});
+    return s;
+}
+
+FaultScenario
+eccStorm(int gpu, double base_stall_s, double period_s,
+         double window_s, double start_s)
+{
+    FaultScenario s;
+    s.name = "ecc-storm";
+    s.faults.push_back(FaultSpec{FaultKind::EccStall, gpu, start_s,
+                                 window_s, base_stall_s, period_s, 0.5});
+    return s;
+}
+
+FaultScenario
+degradedPod(const net::Topology& topo, double window_s)
+{
+    FaultScenario s;
+    s.name = "degraded-pod";
+    // Thermal leg: GPU 0 breathes hot-aisle air for the whole run.
+    s.faults.push_back(FaultSpec{FaultKind::HotInlet, 0, 0.0, 0.0,
+                                 14.0, 0.0, 0.5});
+    // Network leg: node 0's IB egress flaps between 100% and 25%
+    // capacity, roughly 20 cycles across the window.
+    s.faults.push_back(FaultSpec{FaultKind::LinkFlap,
+                                 topo.nicOutLink(0), 0.0, window_s,
+                                 0.25, window_s / 20.0, 0.4});
+    return s;
+}
+
+} // namespace scenarios
+} // namespace faults
+} // namespace charllm

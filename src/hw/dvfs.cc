@@ -34,20 +34,36 @@ DvfsGovernor::evaluate(double temp_c, double power_w, bool compute_bound)
     } else if (power_w > spec.tdpWatts) {
         clock = std::max(min_rel, clock - kClockStepRel);
         reason = ThrottleReason::PowerCap;
-    } else if (temp_c >= spec.targetTempC) {
-        // Soft zone: ease toward a clock that holds the setpoint.
+    } else if (temp_c >= spec.throttleTempC - kThermalHysteresisC) {
+        // Hysteresis band just under the throttle point: hold the
+        // derated clock (only boost clocks keep easing toward nominal).
         if (clock > 1.0)
             clock = std::max(1.0, clock - kClockStepRel);
-        reason = ThrottleReason::None;
-    } else if (temp_c < spec.throttleTempC - kThermalHysteresisC) {
+    } else if (temp_c >= spec.targetTempC) {
+        // Soft zone: ease toward nominal from either side. Recovery
+        // toward 1.0 must happen here too, otherwise a clock throttled
+        // below nominal is stuck while the temperature sits between the
+        // setpoint and the hysteresis band (recovery dead zone).
+        if (clock > 1.0)
+            clock = std::max(1.0, clock - kClockStepRel);
+        else if (clock < 1.0)
+            clock = std::min(1.0, clock + kClockStepRel);
+    } else {
         double ceiling = compute_bound ? boost_rel : 1.0;
         if (clock < ceiling)
             clock = std::min(ceiling, clock + kClockStepRel);
         else if (clock > ceiling)
             clock = std::max(ceiling, clock - kClockStepRel);
-        reason = ThrottleReason::None;
     }
     clock = std::clamp(clock, min_rel, boost_rel);
+    // While the clock is still below nominal the device remains
+    // residency-wise throttled: keep attributing the derate to its
+    // cause instead of reporting None (which undercounted throttle
+    // time in Fig. 20-style metrics).
+    if (clock >= 1.0)
+        reason = ThrottleReason::None;
+    else if (reason == ThrottleReason::None)
+        reason = ThrottleReason::Thermal;
     return clock;
 }
 

@@ -12,13 +12,27 @@
 namespace charllm {
 namespace hw {
 
-/** Why the governor most recently limited the clock. */
+/** Why the device's clock is currently limited. */
 enum class ThrottleReason
 {
     None,
     Thermal,
     PowerCap,
+    Fault, //!< injected degradation (straggler, fail-stop derate)
 };
+
+/** Human-readable throttle-reason label. */
+inline const char*
+throttleReasonName(ThrottleReason r)
+{
+    switch (r) {
+      case ThrottleReason::None: return "none";
+      case ThrottleReason::Thermal: return "thermal";
+      case ThrottleReason::PowerCap: return "power-cap";
+      case ThrottleReason::Fault: return "fault";
+      default: return "?";
+    }
+}
 
 /**
  * Per-GPU DVFS governor. Evaluated periodically with the device's

@@ -52,7 +52,7 @@ Gpu::Gpu(int global_id, const GpuSpec& spec)
     currentPower = computePower();
     powerTw.update(0.0, currentPower);
     tempTw.update(0.0, tempC);
-    clockTw.update(0.0, governor.clockRel());
+    clockTw.update(0.0, clockRel());
     occTw.update(0.0, 0.0);
     warpTw.update(0.0, 0.0);
     blockTw.update(0.0, 0.0);
@@ -143,7 +143,7 @@ Gpu::computePower() const
     double act = compute_act + 0.55 * comm_act;
     act = std::min(act, 1.20);
 
-    double clk = governor.clockRel();
+    double clk = clockRel();
     double dynamic_range = gpuSpec.tdpWatts - gpuSpec.idleWatts;
     double p = gpuSpec.idleWatts +
                dynamic_range * act * std::pow(clk, kClockPowerExp);
@@ -162,7 +162,7 @@ Gpu::refresh(double now)
     }
     currentPower = computePower();
     powerTw.update(now, currentPower);
-    clockTw.update(now, governor.clockRel());
+    clockTw.update(now, clockRel());
     occTw.update(now, occupancy());
     warpTw.update(now, warpsPerSm());
     blockTw.update(now, threadblocks());
@@ -173,7 +173,7 @@ Gpu::thermalUpdate(double temp_c, double now)
 {
     tempC = temp_c;
     tempTw.update(now, tempC);
-    double before = governor.clockRel();
+    double before = clockRel();
     bool compute_bound = activeComputeCount > 0 &&
                          activeComputeCount >= activeCommCount;
     // Enforce an explicit power cap (e.g. injected node fault) by
@@ -184,12 +184,24 @@ Gpu::thermalUpdate(double temp_c, double now)
             currentPower + (gpuSpec.tdpWatts - powerCapW);
     }
     governor.evaluate(tempC, effective_power, compute_bound);
-    double after = governor.clockRel();
+    double after = clockRel();
     if (after != before) {
         refresh(now);
         return true;
     }
     return false;
+}
+
+bool
+Gpu::setSlowdown(double factor, double now)
+{
+    CHARLLM_ASSERT(factor > 0.0 && factor <= 1.0,
+                   "slowdown factor must be in (0, 1]: ", factor);
+    if (factor == slowdown)
+        return false;
+    slowdown = factor;
+    refresh(now);
+    return true;
 }
 
 void
@@ -239,7 +251,7 @@ Gpu::resetStats(double now)
     blockTw = TimeWeightedStats();
     powerTw.update(now, currentPower);
     tempTw.update(now, tempC);
-    clockTw.update(now, governor.clockRel());
+    clockTw.update(now, clockRel());
     occTw.update(now, occupancy());
     warpTw.update(now, warpsPerSm());
     blockTw.update(now, threadblocks());

@@ -74,15 +74,22 @@ class Gpu
     void addKernelTime(KernelClass cls, double seconds);
 
     // ---- device state ----------------------------------------------------
-    double clockRel() const { return governor.clockRel(); }
+    /** Effective relative clock: governor clock x injected slowdown. */
+    double clockRel() const { return governor.clockRel() * slowdown; }
     double clockGhz() const
     {
-        return gpuSpec.nominalClockGhz * governor.clockRel();
+        return gpuSpec.nominalClockGhz * clockRel();
     }
     double temperature() const { return tempC; }
     double power() const { return currentPower; }
     double energyJoules() const { return energy; }
-    ThrottleReason throttleReason() const { return governor.lastReason(); }
+    ThrottleReason
+    throttleReason() const
+    {
+        if (slowdown < 1.0)
+            return ThrottleReason::Fault;
+        return governor.lastReason();
+    }
 
     /** Whether any compute-class kernel is currently active. */
     bool computeActive() const { return activeComputeCount > 0; }
@@ -108,6 +115,15 @@ class Gpu
      */
     void setPowerCap(double watts) { powerCapW = watts; }
     double powerCap() const { return powerCapW; }
+
+    /**
+     * Injected performance derate (fault injection): the device runs
+     * at @p factor of its governor clock until restored. Pass 1.0 to
+     * restore health. Returns true if the effective clock changed (so
+     * in-flight compute must be re-timed).
+     */
+    bool setSlowdown(double factor, double now);
+    double slowdownFactor() const { return slowdown; }
 
     // ---- traffic counters ---------------------------------------------------
     void addTraffic(TrafficClass cls, double bytes);
@@ -157,6 +173,7 @@ class Gpu
     double tempC;
     double currentPower;
     double powerCapW;
+    double slowdown = 1.0; //!< injected derate, 1.0 = healthy
     double energy = 0.0;
     double lastEnergyTime = 0.0;
 

@@ -41,6 +41,15 @@ Platform::capNodePower(int node, double watts_per_gpu)
 }
 
 void
+Platform::setGpuSlowdown(int gpu_id, double factor)
+{
+    if (gpu(gpu_id).setSlowdown(factor, sim.nowSeconds()) &&
+        clockListener) {
+        clockListener(gpu_id, gpu(gpu_id).clockRel());
+    }
+}
+
+void
 Platform::tick()
 {
     double now = sim.nowSeconds();

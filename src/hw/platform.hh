@@ -59,6 +59,12 @@ class Platform
     /** Simulate a node-level power-delivery fault: cap all its GPUs. */
     void capNodePower(int node, double watts_per_gpu);
 
+    /**
+     * Inject (or clear, with factor 1.0) a performance derate on one
+     * GPU; notifies the clock listener so in-flight work is re-timed.
+     */
+    void setGpuSlowdown(int gpu_id, double factor);
+
     /** One thermal/governor step (also used directly by tests). */
     void tick();
 

@@ -18,6 +18,45 @@ ThermalModel::ThermalModel(const ChassisLayout& layout, int num_nodes,
     temps.assign(static_cast<std::size_t>(num_nodes) *
                      layout.slots.size(),
                  calib::kRoomTempC);
+    inletOffsets.assign(temps.size(), 0.0);
+    faultRScale.assign(temps.size(), 1.0);
+}
+
+void
+ThermalModel::setInletOffset(int i, double deg_c)
+{
+    CHARLLM_ASSERT(i >= 0 && static_cast<std::size_t>(i) <
+                                 inletOffsets.size(),
+                   "device id ", i, " out of range");
+    inletOffsets[static_cast<std::size_t>(i)] = deg_c;
+}
+
+double
+ThermalModel::inletOffset(int i) const
+{
+    CHARLLM_ASSERT(i >= 0 && static_cast<std::size_t>(i) <
+                                 inletOffsets.size(),
+                   "device id ", i, " out of range");
+    return inletOffsets[static_cast<std::size_t>(i)];
+}
+
+void
+ThermalModel::setResistanceScale(int i, double scale)
+{
+    CHARLLM_ASSERT(i >= 0 && static_cast<std::size_t>(i) <
+                                 faultRScale.size(),
+                   "device id ", i, " out of range");
+    CHARLLM_ASSERT(scale > 0.0, "resistance scale must be positive");
+    faultRScale[static_cast<std::size_t>(i)] = scale;
+}
+
+double
+ThermalModel::resistanceScale(int i) const
+{
+    CHARLLM_ASSERT(i >= 0 && static_cast<std::size_t>(i) <
+                                 faultRScale.size(),
+                   "device id ", i, " out of range");
+    return faultRScale[static_cast<std::size_t>(i)];
 }
 
 double
@@ -27,7 +66,8 @@ ThermalModel::inletTemperature(int i,
     int per_node = chassis.gpusPerNode();
     int node = i / per_node;
     int slot = i % per_node;
-    double inlet = calib::kRoomTempC;
+    double inlet = calib::kRoomTempC +
+                   inletOffsets[static_cast<std::size_t>(i)];
     double coeff = calib::kPreheatCoeffCPerW * chassis.preheatScale;
     for (const auto& [up_slot, weight] : chassis.slots[slot].upstream) {
         int up = node * per_node + up_slot;
@@ -49,7 +89,8 @@ ThermalModel::step(double dt, const std::vector<double>& powers)
         int slot = static_cast<int>(i) % per_node;
         double inlet = inletTemperature(static_cast<int>(i), powers);
         double target = inlet + powers[i] * rTheta *
-                                    chassis.slots[slot].resistanceScale;
+                                    chassis.slots[slot].resistanceScale *
+                                    faultRScale[i];
         double dT = dt / kThermalTauSec * (target - temps[i]);
         // Chiplet package coupling: heat flows toward the cooler GCD.
         int peer_slot = chassis.slots[slot].packagePeer;
@@ -71,7 +112,8 @@ ThermalModel::steadyState(int i, const std::vector<double>& powers) const
     // exchange term vanishes as both GCDs approach their own targets).
     int slot = i % chassis.gpusPerNode();
     return inletTemperature(i, powers) +
-           powers[i] * rTheta * chassis.slots[slot].resistanceScale;
+           powers[i] * rTheta * chassis.slots[slot].resistanceScale *
+               faultRScale[static_cast<std::size_t>(i)];
 }
 
 void

@@ -60,6 +60,22 @@ class ThermalModel
     /** Jump every device to its steady state for the given powers. */
     void warmStart(const std::vector<double>& powers);
 
+    /**
+     * Fault injection: add @p deg_c to device @p i's inlet temperature
+     * (models a machine-room hot spot / blocked cold aisle). Pass 0 to
+     * clear.
+     */
+    void setInletOffset(int i, double deg_c);
+    double inletOffset(int i) const;
+
+    /**
+     * Fault injection: multiply device @p i's junction-to-inlet
+     * thermal resistance by @p scale >= 1 (models a failed fan or
+     * degraded airflow over one heatsink). Pass 1 to restore.
+     */
+    void setResistanceScale(int i, double scale);
+    double resistanceScale(int i) const;
+
     const ChassisLayout& layout() const { return chassis; }
 
   private:
@@ -67,6 +83,8 @@ class ThermalModel
     int nodes;
     double rTheta;
     std::vector<double> temps;
+    std::vector<double> inletOffsets;    //!< injected inlet delta (degC)
+    std::vector<double> faultRScale;     //!< injected resistance scale
 };
 
 } // namespace hw

@@ -16,8 +16,24 @@ constexpr double kEpsBytes = 0.5;
 
 FlowNetwork::FlowNetwork(sim::Simulator& simulator, const Topology& topology)
     : sim(simulator), topo(topology),
-      linkByteCount(topology.links().size(), 0.0)
+      linkByteCount(topology.links().size(), 0.0),
+      linkDerate(topology.links().size(), 1.0)
 {
+}
+
+void
+FlowNetwork::setLinkDerate(LinkId id, double factor)
+{
+    CHARLLM_ASSERT(id >= 0 && static_cast<std::size_t>(id) <
+                                  linkDerate.size(),
+                   "link id ", id, " out of range [0, ",
+                   linkDerate.size(), ")");
+    CHARLLM_ASSERT(factor > 0.0 && factor <= 1.0,
+                   "link derate factor must be in (0, 1]: ", factor);
+    double now = sim.nowSeconds();
+    progress(now);
+    linkDerate[static_cast<std::size_t>(id)] = factor;
+    recompute(now);
 }
 
 FlowNetwork::FlowId
@@ -95,7 +111,7 @@ FlowNetwork::recompute(double now)
     std::vector<int> flows_on(num_links, 0);
     for (std::size_t l = 0; l < num_links; ++l) {
         remaining[l] = topo.link(static_cast<LinkId>(l)).capacity *
-                       calib::kProtocolEfficiency;
+                       calib::kProtocolEfficiency * linkDerate[l];
     }
     for (auto& [id, flow] : active) {
         flow.rate = -1.0; // unfixed marker
@@ -208,6 +224,10 @@ FlowNetwork::gpuRate(int gpu, hw::TrafficClass cls) const
 double
 FlowNetwork::linkUtilization(LinkId id) const
 {
+    CHARLLM_ASSERT(id >= 0 && static_cast<std::size_t>(id) <
+                                  topo.links().size(),
+                   "link id ", id, " out of range [0, ",
+                   topo.links().size(), ")");
     double used = 0.0;
     for (const auto& [fid, flow] : active) {
         for (LinkId l : flow.route) {

@@ -53,10 +53,31 @@ class FlowNetwork
     /** Instantaneous aggregate rate seen at a GPU's ports, by class. */
     double gpuRate(int gpu, hw::TrafficClass cls) const;
 
+    /**
+     * Derate a link to @p factor of its nominal capacity (fault
+     * injection: congestion, cable errors, a flapping port). In-flight
+     * flows are re-allocated immediately. @p factor must be in
+     * (0, 1]; pass 1.0 to restore full capacity.
+     */
+    void setLinkDerate(LinkId id, double factor);
+
+    /** Current derate factor of a link (1.0 = healthy). */
+    double
+    linkDerateFactor(LinkId id) const
+    {
+        CHARLLM_ASSERT(id >= 0 && static_cast<std::size_t>(id) <
+                                      linkDerate.size(),
+                       "link id ", id, " out of range");
+        return linkDerate[static_cast<std::size_t>(id)];
+    }
+
     /** Cumulative bytes carried by a link. */
     double
     linkBytes(LinkId id) const
     {
+        CHARLLM_ASSERT(id >= 0 && static_cast<std::size_t>(id) <
+                                      linkByteCount.size(),
+                       "link id ", id, " out of range");
         return linkByteCount[static_cast<std::size_t>(id)];
     }
 
@@ -96,6 +117,7 @@ class FlowNetwork
     double lastProgress = 0.0;
     sim::EventHandle completionEvent;
     std::vector<double> linkByteCount;
+    std::vector<double> linkDerate; //!< capacity multiplier per link
     FlowId nextId = 1;
 };
 

@@ -110,6 +110,38 @@ Topology::Topology(const Params& params) : cfg(params)
     }
 }
 
+LinkId
+Topology::nicOutLink(int node) const
+{
+    CHARLLM_ASSERT(node >= 0 && node < cfg.numNodes,
+                   "node id out of range: ", node);
+    return nicOut[static_cast<std::size_t>(node)];
+}
+
+LinkId
+Topology::nicInLink(int node) const
+{
+    CHARLLM_ASSERT(node >= 0 && node < cfg.numNodes,
+                   "node id out of range: ", node);
+    return nicIn[static_cast<std::size_t>(node)];
+}
+
+LinkId
+Topology::scaleUpOutLink(int gpu) const
+{
+    CHARLLM_ASSERT(gpu >= 0 && gpu < numGpus(),
+                   "gpu id out of range: ", gpu);
+    return scaleUpOut[static_cast<std::size_t>(gpu)];
+}
+
+LinkId
+Topology::pcieOutLink(int gpu) const
+{
+    CHARLLM_ASSERT(gpu >= 0 && gpu < numGpus(),
+                   "gpu id out of range: ", gpu);
+    return pcieOut[static_cast<std::size_t>(gpu)];
+}
+
 std::vector<LinkId>
 Topology::route(int src, int dst) const
 {

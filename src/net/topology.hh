@@ -91,6 +91,14 @@ class Topology
         return linkSpecs[static_cast<std::size_t>(id)];
     }
 
+    /** @name Named port lookup (for targeted fault injection)
+     * @{ */
+    LinkId nicOutLink(int node) const;
+    LinkId nicInLink(int node) const;
+    LinkId scaleUpOutLink(int gpu) const;
+    LinkId pcieOutLink(int gpu) const;
+    /** @} */
+
     /** Directed route from @p src GPU to @p dst GPU (src != dst). */
     std::vector<LinkId> route(int src, int dst) const;
 

@@ -33,6 +33,22 @@ RankMapper::setDevicePermutation(std::vector<int> perm)
     }
 }
 
+void
+RankMapper::swapDevices(int dev_a, int dev_b)
+{
+    CHARLLM_ASSERT(dev_a >= 0 && dev_a < cfg.worldSize() &&
+                       dev_b >= 0 && dev_b < cfg.worldSize(),
+                   "device id out of range: ", dev_a, ", ", dev_b);
+    if (dev_a == dev_b)
+        return;
+    int rank_a = rankOf(dev_a);
+    int rank_b = rankOf(dev_b);
+    devicePerm[static_cast<std::size_t>(rank_a)] = dev_b;
+    devicePerm[static_cast<std::size_t>(rank_b)] = dev_a;
+    deviceRank[static_cast<std::size_t>(dev_a)] = rank_b;
+    deviceRank[static_cast<std::size_t>(dev_b)] = rank_a;
+}
+
 int
 RankMapper::deviceOf(int rank) const
 {

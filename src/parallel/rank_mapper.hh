@@ -44,6 +44,13 @@ class RankMapper
     /** Install a custom rank -> device permutation. */
     void setDevicePermutation(std::vector<int> perm);
 
+    /**
+     * Swap the ranks mapped to two devices (elastic re-mapping after
+     * a fault): the logical program is untouched, only the placement
+     * changes, taking effect the next time a program is built.
+     */
+    void swapDevices(int dev_a, int dev_b);
+
     const ParallelConfig& config() const { return cfg; }
     int worldSize() const { return cfg.worldSize(); }
 

@@ -105,10 +105,24 @@ TrainingEngine::startIteration()
                     std::vector<std::uint64_t>(program.groups.size(),
                                                0));
     channels.clear();
+    if (pendingStall.size() != static_cast<std::size_t>(world))
+        pendingStall.assign(static_cast<std::size_t>(world), 0.0);
     ranksRemaining = world;
     iterStart = plat.simulator().nowSeconds();
-    for (int dev = 0; dev < world; ++dev)
-        advance(dev);
+    double restart = pendingRestartSec;
+    pendingRestartSec = 0.0;
+    if (restart > 0.0) {
+        // Checkpoint/restart pause: every rank begins late, and the
+        // pause counts into this iteration's measured duration.
+        plat.simulator().schedule(sim::toTicks(restart),
+                                  [this, world] {
+            for (int dev = 0; dev < world; ++dev)
+                advance(dev);
+        });
+    } else {
+        for (int dev = 0; dev < world; ++dev)
+            advance(dev);
+    }
 }
 
 void
@@ -189,13 +203,19 @@ TrainingEngine::startCompute(int dev, const Op& op)
     InFlightCompute fl;
     fl.remainingNominal = nominal;
     fl.rate = computeRate(dev);
+    double& owed = pendingStall[static_cast<std::size_t>(dev)];
+    if (owed > 0.0) {
+        // Charge stalls that hit while no compute was in flight.
+        fl.remainingNominal += owed * fl.rate;
+        owed = 0.0;
+    }
     fl.lastUpdate = now;
     fl.startTime = now;
     fl.cls = op.cls;
     fl.name = op.name;
     fl.gpuToken = gpu.kernelBegin(op.cls, sm_util, now);
     fl.completion = plat.simulator().schedule(
-        sim::toTicks(nominal / fl.rate), [this, dev] {
+        sim::toTicks(fl.remainingNominal / fl.rate), [this, dev] {
         finishCompute(dev);
     });
     inFlight[static_cast<std::size_t>(dev)] = std::move(fl);
@@ -401,6 +421,48 @@ TrainingEngine::tryRecv(int dev, const Op& op)
         hw::KernelClass::SendRecv, 0.0, now);
     ch.waiting = std::make_tuple(seq, now, token);
     return false;
+}
+
+void
+TrainingEngine::injectTransientStall(int dev, double stall_s)
+{
+    CHARLLM_ASSERT(stall_s >= 0.0, "negative stall: ", stall_s);
+    CHARLLM_ASSERT(dev >= 0 && dev < plat.numGpus(),
+                   "device id ", dev, " out of range");
+    if (stall_s <= 0.0)
+        return;
+    if (pendingStall.size() !=
+        static_cast<std::size_t>(plat.numGpus())) {
+        pendingStall.assign(static_cast<std::size_t>(plat.numGpus()),
+                            0.0);
+    }
+    if (inFlight.size() != static_cast<std::size_t>(plat.numGpus()) ||
+        !inFlight[static_cast<std::size_t>(dev)].has_value()) {
+        pendingStall[static_cast<std::size_t>(dev)] += stall_s;
+        return;
+    }
+    auto& slot = inFlight[static_cast<std::size_t>(dev)];
+    // Extend the in-flight kernel in place: fold progress to now,
+    // then add the stall at the current rate so the wall-clock pause
+    // is exactly stall_s.
+    double now = plat.simulator().nowSeconds();
+    double elapsed = now - slot->lastUpdate;
+    slot->remainingNominal =
+        std::max(0.0, slot->remainingNominal - elapsed * slot->rate);
+    slot->remainingNominal += stall_s * slot->rate;
+    slot->lastUpdate = now;
+    slot->completion.cancel();
+    slot->completion = plat.simulator().schedule(
+        sim::toTicks(slot->remainingNominal / slot->rate),
+        [this, dev] { finishCompute(dev); });
+}
+
+void
+TrainingEngine::notifyFailStop(double restart_cost_s)
+{
+    CHARLLM_ASSERT(restart_cost_s >= 0.0,
+                   "negative restart cost: ", restart_cost_s);
+    pendingRestartSec += restart_cost_s;
 }
 
 void

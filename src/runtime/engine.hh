@@ -65,6 +65,28 @@ class TrainingEngine
     /** Simulated time at which measurement began (post warmup). */
     double measureStartSeconds() const { return measureStart; }
 
+    /** @name Fault-injection hooks (driven by faults::FaultInjector)
+     * @{ */
+
+    /**
+     * Stall device @p dev for @p stall_s simulated seconds (e.g. an
+     * ECC-retry storm). An in-flight compute kernel is extended in
+     * place — its reported duration grows, exactly as real transient
+     * stalls inflate kernel times; with no compute in flight the
+     * stall is charged to the device's next compute kernel.
+     */
+    void injectTransientStall(int dev, double stall_s);
+
+    /**
+     * Model a fail-stop + checkpoint/restart: the next iteration
+     * starts only after @p restart_cost_s of global pause (checkpoint
+     * reload, process re-init, lost progress). Costs accumulate if
+     * multiple fail-stops hit before the boundary.
+     */
+    void notifyFailStop(double restart_cost_s);
+
+    /** @} */
+
   private:
     struct RankState
     {
@@ -150,6 +172,8 @@ class TrainingEngine
     int iteration = 0;
     int totalIterations = 0;
     int ranksRemaining = 0;
+    std::vector<double> pendingStall;  //!< per-device deferred stalls
+    double pendingRestartSec = 0.0;    //!< fail-stop restart debt
     double iterStart = 0.0;
     double measureStart = 0.0;
     std::vector<double> measured;

@@ -144,7 +144,11 @@ class EventQueue
             record->done = true;
             --liveCount;
             currentTick = record->when;
-            record->fn();
+            // Move the closure out so its captures are released as
+            // soon as it returns, even though cancelled-handle
+            // bookkeeping keeps the record itself alive longer.
+            auto fn = std::move(record->fn);
+            fn();
             return true;
         }
         return false;

@@ -91,9 +91,19 @@ class Simulator
     void
     armTicker(const std::shared_ptr<Ticker>& t)
     {
+        // Capture weakly: the event record already sits inside
+        // t->handle, so a strong capture would form a shared_ptr
+        // cycle (Record -> fn -> Ticker -> handle -> Record) and leak
+        // any ticker still armed when the simulation ends. The
+        // tickers vector keeps the Ticker alive for the Simulator's
+        // lifetime, so lock() only fails after teardown.
         ++pendingTickerEvents;
-        t->handle = events.schedule(t->period, [this, t] {
+        std::weak_ptr<Ticker> weak = t;
+        t->handle = events.schedule(t->period, [this, weak] {
             --pendingTickerEvents;
+            auto t = weak.lock();
+            if (!t)
+                return;
             t->fn();
             // Re-arm only while non-ticker work remains; otherwise
             // tickers would keep the simulation (and each other)

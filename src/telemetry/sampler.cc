@@ -32,6 +32,8 @@ Sampler::sampleNow()
         s.occupancy = gpu.occupancy();
         s.pcieRate = network.gpuRate(i, hw::TrafficClass::Pcie);
         s.scaleUpRate = network.gpuRate(i, up);
+        if (faultAnnotator)
+            s.fault = faultAnnotator(i);
         perGpu[static_cast<std::size_t>(i)].push_back(s);
     }
 }
@@ -46,6 +48,10 @@ Sampler::clear()
 const std::vector<Sample>&
 Sampler::series(int gpu) const
 {
+    CHARLLM_ASSERT(gpu >= 0 &&
+                       static_cast<std::size_t>(gpu) < perGpu.size(),
+                   "gpu id ", gpu, " out of range [0, ", perGpu.size(),
+                   ")");
     return perGpu[static_cast<std::size_t>(gpu)];
 }
 
@@ -63,7 +69,7 @@ Sampler::toCsv() const
 {
     CsvWriter csv;
     csv.header({"time_s", "gpu", "power_w", "temp_c", "clock_ghz",
-                "occupancy", "pcie_bps", "scaleup_bps"});
+                "occupancy", "pcie_bps", "scaleup_bps", "fault"});
     for (std::size_t g = 0; g < perGpu.size(); ++g) {
         for (const Sample& s : perGpu[g]) {
             csv.beginRow();
@@ -75,6 +81,7 @@ Sampler::toCsv() const
             csv.cell(s.occupancy);
             csv.cell(s.pcieRate);
             csv.cell(s.scaleUpRate);
+            csv.cell(std::string(s.fault));
             csv.endRow();
         }
     }

@@ -9,6 +9,7 @@
 #ifndef CHARLLM_TELEMETRY_SAMPLER_HH
 #define CHARLLM_TELEMETRY_SAMPLER_HH
 
+#include <functional>
 #include <vector>
 
 #include "common/csv.hh"
@@ -28,6 +29,7 @@ struct Sample
     double occupancy = 0.0;
     double pcieRate = 0.0;    //!< bytes/s through the GPU's PCIe port
     double scaleUpRate = 0.0; //!< bytes/s through NVLink/xGMI ports
+    const char* fault = "";   //!< active fault label ("" if healthy)
 };
 
 /**
@@ -47,6 +49,18 @@ class Sampler
     /** Take one sample of every GPU now (also driven by the ticker). */
     void sampleNow();
 
+    /**
+     * Install a cause-attribution hook: called per GPU at sample time,
+     * returning the label of the fault currently affecting it (or ""),
+     * e.g. faults::FaultInjector::activeGpuFault. The returned pointer
+     * must outlive the sampler (static-duration labels).
+     */
+    void
+    setFaultAnnotator(std::function<const char*(int)> annotator)
+    {
+        faultAnnotator = std::move(annotator);
+    }
+
     /** Discard all samples collected so far (e.g. after warmup). */
     void clear();
 
@@ -62,6 +76,7 @@ class Sampler
     net::FlowNetwork& network;
     double periodSec;
     std::vector<std::vector<Sample>> perGpu;
+    std::function<const char*(int)> faultAnnotator;
 };
 
 } // namespace telemetry

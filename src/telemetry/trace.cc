@@ -1,5 +1,6 @@
 #include "telemetry/trace.hh"
 
+#include <algorithm>
 #include <sstream>
 
 namespace charllm {
@@ -42,6 +43,23 @@ KernelTrace::toChromeJson() const
            << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.device
            << ",\"ts\":" << e.startSec * 1e6
            << ",\"dur\":" << e.durSec * 1e6 << "}";
+    }
+    // Fault overlay rows: open-ended spans are clipped to the last
+    // kernel's end so the JSON never carries negative durations.
+    double horizon = 0.0;
+    for (const auto& e : events)
+        horizon = std::max(horizon, e.startSec + e.durSec);
+    for (const auto& f : faults) {
+        double dur = f.durSec >= 0.0
+                         ? f.durSec
+                         : std::max(horizon - f.startSec, 0.0);
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"" << f.name
+           << "\",\"cat\":\"fault\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+           << f.device << ",\"ts\":" << f.startSec * 1e6
+           << ",\"dur\":" << dur * 1e6 << "}";
     }
     os << "]}";
     return os.str();

@@ -27,6 +27,15 @@ struct TraceEvent
     double durSec = 0.0;
 };
 
+/** One fault interval overlaid on the kernel timeline. */
+struct FaultSpan
+{
+    int device = 0;      //!< attributed GPU (-1 if unattributed)
+    std::string name;    //!< fault kind label
+    double startSec = 0.0;
+    double durSec = 0.0; //!< < 0 means "until end of run"
+};
+
 /**
  * Kernel trace sink. Wire record() into
  * TrainingEngine::setTraceSink.
@@ -41,9 +50,23 @@ class KernelTrace
         events.push_back(TraceEvent{device, cls, name, start, dur});
     }
 
-    void clear() { events.clear(); }
+    /** Overlay one fault interval (shown as a "fault" category row). */
+    void
+    recordFault(int device, const std::string& name, double start,
+                double dur)
+    {
+        faults.push_back(FaultSpan{device, name, start, dur});
+    }
+
+    void
+    clear()
+    {
+        events.clear();
+        faults.clear();
+    }
 
     const std::vector<TraceEvent>& all() const { return events; }
+    const std::vector<FaultSpan>& faultSpans() const { return faults; }
     std::size_t size() const { return events.size(); }
 
     /** Events of one device, in recorded order. */
@@ -58,6 +81,7 @@ class KernelTrace
 
   private:
     std::vector<TraceEvent> events;
+    std::vector<FaultSpan> faults;
 };
 
 } // namespace telemetry

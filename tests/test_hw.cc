@@ -150,6 +150,32 @@ TEST(Dvfs, RecoversWithHysteresis)
     EXPECT_NEAR(g.clockRel(), 1.0, 1e-9);
 }
 
+TEST(Dvfs, RecoversInSoftZone)
+{
+    // Regression: a throttled clock must creep back toward nominal
+    // while the temperature sits between the governor setpoint and the
+    // hysteresis band. The original soft-zone branch only pulled boost
+    // clocks down, so a derated device was stuck there forever.
+    GpuSpec spec = h100Spec();
+    DvfsGovernor g(spec);
+    g.evaluate(spec.throttleTempC + 2.0, 400.0, true);
+    ASSERT_LT(g.clockRel(), 1.0);
+    double soft =
+        0.5 * (spec.targetTempC +
+               (spec.throttleTempC - calib::kThermalHysteresisC));
+    ASSERT_GE(soft, spec.targetTempC);
+    ASSERT_LT(soft, spec.throttleTempC - calib::kThermalHysteresisC);
+    double prev = g.clockRel();
+    g.evaluate(soft, 400.0, true);
+    EXPECT_GT(g.clockRel(), prev);
+    // The residual derate keeps its cause until fully recovered.
+    EXPECT_NE(g.lastReason(), ThrottleReason::None);
+    for (int i = 0; i < 100; ++i)
+        g.evaluate(soft, 400.0, true);
+    EXPECT_NEAR(g.clockRel(), 1.0, 1e-9);
+    EXPECT_EQ(g.lastReason(), ThrottleReason::None);
+}
+
 TEST(Dvfs, ClampedToMinClock)
 {
     GpuSpec spec = h100Spec();
@@ -366,6 +392,19 @@ TEST(Gpu, TrafficCountersAccumulate)
 }
 
 // ---- platform integration --------------------------------------------------
+
+TEST(Gpu, SlowdownScalesClockAndReportsFault)
+{
+    Gpu gpu(0, h100Spec());
+    double nominal = gpu.clockGhz();
+    EXPECT_TRUE(gpu.setSlowdown(0.5, 0.0));
+    EXPECT_NEAR(gpu.clockGhz(), 0.5 * nominal, 1e-9);
+    EXPECT_EQ(gpu.throttleReason(), ThrottleReason::Fault);
+    EXPECT_FALSE(gpu.setSlowdown(0.5, 0.0)); // no-op, same factor
+    EXPECT_TRUE(gpu.setSlowdown(1.0, 0.0));
+    EXPECT_NEAR(gpu.clockGhz(), nominal, 1e-9);
+    EXPECT_EQ(gpu.throttleReason(), ThrottleReason::None);
+}
 
 TEST(Platform, BusyGpusHeatUpAndEventuallyThrottle)
 {

@@ -261,6 +261,77 @@ TEST_F(NetFixture, GpuRateReflectsActiveFlows)
                 topo.params().nicBw * 0.1);
 }
 
+TEST_F(NetFixture, ReentrantCompletionStartsNewTransfer)
+{
+    // A completion callback that immediately starts another transfer
+    // re-enters the FlowNetwork while it is finishing the first flow;
+    // allocation must stay consistent and both flows must complete.
+    Topology topo(Topology::hgxParams(1));
+    FlowNetwork netw(sim, topo);
+    double bytes = 4.5e9;
+    double first_done = -1.0, second_done = -1.0;
+    netw.transfer(0, 1, bytes, [&] {
+        first_done = sim.nowSeconds();
+        netw.transfer(1, 2, bytes,
+                      [&] { second_done = sim.nowSeconds(); });
+    });
+    sim.run();
+    double solo = topo.params().intraLatency +
+                  bytes / (topo.params().nvlinkBw *
+                           calib::kProtocolEfficiency);
+    EXPECT_NEAR(first_done, solo, solo * 0.01);
+    // Disjoint links, so the chained flow also runs at full rate.
+    EXPECT_NEAR(second_done, 2.0 * solo, solo * 0.02);
+}
+
+TEST_F(NetFixture, LinkDerateSlowsActiveFlow)
+{
+    Topology topo(Topology::hgxParams(2));
+    FlowNetwork netw(sim, topo);
+    LinkId nic = topo.nicOutLink(0);
+    double done_at = -1.0;
+    double bytes = 1.25e9; // 100 ms alone over a 12.5 GB/s NIC
+    netw.transfer(0, 8, bytes, [&] { done_at = sim.nowSeconds(); });
+    // Halve the NIC capacity mid-flight: at t = alone/2 half the bytes
+    // remain, which now take twice as long -> total = 1.5x alone.
+    double alone = bytes / (topo.params().nicBw *
+                            calib::kProtocolEfficiency);
+    sim.schedule(sim::toTicks(alone / 2.0),
+                 [&] { netw.setLinkDerate(nic, 0.5); });
+    sim.run();
+    EXPECT_NEAR(done_at, 1.5 * alone, alone * 0.05);
+    EXPECT_DOUBLE_EQ(netw.linkDerateFactor(nic), 0.5);
+}
+
+TEST_F(NetFixture, LinkDerateRestoreRecoversRate)
+{
+    Topology topo(Topology::hgxParams(2));
+    FlowNetwork netw(sim, topo);
+    LinkId nic = topo.nicOutLink(0);
+    netw.setLinkDerate(nic, 0.25);
+    double done_at = -1.0;
+    double bytes = 1.25e9;
+    netw.transfer(0, 8, bytes, [&] { done_at = sim.nowSeconds(); });
+    double alone = bytes / (topo.params().nicBw *
+                            calib::kProtocolEfficiency);
+    // Derated for the first alone/2 (completes 1/8 of the bytes),
+    // then healthy again: total = alone/2 + 7/8 * alone.
+    sim.schedule(sim::toTicks(alone / 2.0),
+                 [&] { netw.setLinkDerate(nic, 1.0); });
+    sim.run();
+    EXPECT_NEAR(done_at, alone * (0.5 + 7.0 / 8.0), alone * 0.05);
+}
+
+TEST_F(NetFixture, LinkUtilizationBoundsChecked)
+{
+    Topology topo(Topology::hgxParams(1));
+    FlowNetwork netw(sim, topo);
+    EXPECT_DEATH(netw.linkUtilization(-1), "out of range");
+    EXPECT_DEATH(
+        netw.linkUtilization(static_cast<LinkId>(topo.links().size())),
+        "out of range");
+}
+
 TEST_F(NetFixture, DeterministicCompletionOrder)
 {
     auto run_once = [] {

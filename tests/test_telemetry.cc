@@ -70,9 +70,10 @@ TEST_F(TelemetryFixture, SamplerCsvExport)
     sim.schedule(sim::toTicks(0.05), [] {});
     sim.run();
     auto csv = sampler.toCsv();
-    EXPECT_EQ(csv.numColumns(), 8u);
+    EXPECT_EQ(csv.numColumns(), 9u);
     EXPECT_GT(csv.numRows(), 8u * 3u);
     EXPECT_NE(csv.str().find("power_w"), std::string::npos);
+    EXPECT_NE(csv.str().find("fault"), std::string::npos);
 }
 
 TEST_F(TelemetryFixture, SamplerClearDropsHistory)
