@@ -40,12 +40,13 @@ runCase(const parallel::ParallelConfig& par)
     std::vector<double> times, rates;
     const auto& ref = r.series[0];
     for (std::size_t i = 0; i < ref.size(); ++i) {
-        if (ref[i].time < r.measureStartSec)
+        if (ref[i].time.value() < r.measureStartSec)
             continue;
         double sum = 0.0;
         for (int g = 0; g < 8; ++g)
-            sum += r.series[static_cast<std::size_t>(g)][i].pcieRate;
-        times.push_back(ref[i].time - r.measureStartSec);
+            sum += r.series[static_cast<std::size_t>(g)][i]
+                       .pcieRate.value();
+        times.push_back(ref[i].time.value() - r.measureStartSec);
         rates.push_back(sum);
     }
     std::size_t buckets = 40;

@@ -26,8 +26,9 @@ describe(const core::ClusterSpec& cluster, double load_watts)
     std::printf("=== %s node (%s) ===\n", cluster.gpu.name.c_str(),
                 chassis.name.c_str());
     hw::ThermalModel tm(chassis, 1, cluster.gpu.thermalResistance);
-    std::vector<double> powers(
-        static_cast<std::size_t>(chassis.gpusPerNode()), load_watts);
+    std::vector<Watts> powers(
+        static_cast<std::size_t>(chassis.gpusPerNode()),
+        Watts(load_watts));
     TextTable t({"slot", "airflow row", "pkg peer", "upstream slots",
                  "inlet(C)", "steady junction(C)"});
     for (int i = 0; i < chassis.gpusPerNode(); ++i) {
@@ -44,8 +45,9 @@ describe(const core::ClusterSpec& cluster, double load_watts)
                       ? std::to_string(slot.packagePeer)
                       : std::string("-"),
                   upstream.empty() ? "-" : upstream,
-                  formatFixed(tm.inletTemperature(i, powers), 1),
-                  formatFixed(tm.steadyState(i, powers), 1)});
+                  formatFixed(tm.inletTemperature(i, powers).value(),
+                              1),
+                  formatFixed(tm.steadyState(i, powers).value(), 1)});
     }
     t.print();
     std::printf("\n");

@@ -43,12 +43,13 @@ runCase(const model::TransformerConfig& m,
     const auto& rear = r.series[1];
     std::size_t step = std::max<std::size_t>(1, front.size() / 28);
     for (std::size_t i = 0; i < front.size(); i += step) {
-        t.addRow({formatFixed(front[i].time, 1),
-                  formatFixed(front[i].powerWatts, 0),
-                  formatFixed(rear[i].powerWatts, 0),
-                  formatFixed(front[i].tempC, 1),
-                  formatFixed(rear[i].tempC, 1),
-                  formatFixed(rear[i].tempC - front[i].tempC, 1)});
+        t.addRow({formatFixed(front[i].time.value(), 1),
+                  formatFixed(front[i].powerWatts.value(), 0),
+                  formatFixed(rear[i].powerWatts.value(), 0),
+                  formatFixed(front[i].tempC.value(), 1),
+                  formatFixed(rear[i].tempC.value(), 1),
+                  formatFixed(
+                      (rear[i].tempC - front[i].tempC).value(), 1)});
     }
     t.print();
     std::printf("\n");

@@ -51,8 +51,8 @@ project(const core::ClusterSpec& cluster,
     in.baseGpus = par.worldSize();
     in.gpusPerNode = cluster.network.gpusPerNode;
     in.tokensPerIteration = r.tokensPerIteration;
-    in.nodeBandwidth = cluster.network.nicBw;
-    in.messageLatency = cluster.network.interLatency;
+    in.nodeBandwidth = cluster.network.nicBw.value();
+    in.messageLatency = cluster.network.interLatency.value();
 
     scale::Projector proj(in);
     std::printf("=== %s, %s, %.0fG inter-node ===\n",

@@ -49,7 +49,7 @@ BM_FlowNetworkContention(benchmark::State& state)
         net::FlowNetwork netw(s, topo);
         int done = 0;
         for (int i = 0; i < state.range(0); ++i) {
-            netw.transfer(i % 32, (i * 11 + 1) % 32, 1e7,
+            netw.transfer(i % 32, (i * 11 + 1) % 32, Bytes(1e7),
                           [&done] { ++done; });
         }
         s.run();
@@ -71,7 +71,7 @@ BM_RingAllReduce(benchmark::State& state)
         coll::CollectiveRequest req;
         req.kind = coll::CollectiveKind::AllReduce;
         req.ranks = {0, 1, 2, 3, 4, 5, 6, 7};
-        req.bytes = 1e8;
+        req.bytes = Bytes(1e8);
         req.onComplete = [&done] { done = true; };
         eng.run(std::move(req));
         s.run();
@@ -84,9 +84,9 @@ void
 BM_ThermalStep(benchmark::State& state)
 {
     hw::ThermalModel tm(hw::hgxLayout(), 8);
-    std::vector<double> powers(64, 550.0);
+    std::vector<Watts> powers(64, Watts(550.0));
     for (auto _ : state)
-        tm.step(0.002, powers);
+        tm.step(Seconds(0.002), powers);
     state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_ThermalStep);

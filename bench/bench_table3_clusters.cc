@@ -33,13 +33,14 @@ main()
         return c.gpu.arch == hw::GpuArch::Hopper ? "Hopper" : "CDNA2";
     });
     row("Memory per GPU", [](const CS& c) {
-        return strprintf("%.0f GB", c.gpu.memoryBytes / 1e9);
+        return strprintf("%.0f GB", c.gpu.memoryBytes.value() / 1e9);
     });
     row("Peak FP16/BF16", [](const CS& c) {
-        return strprintf("%.2f PFLOPS", c.gpu.peakFlops / 1e15);
+        return strprintf("%.2f PFLOPS", c.gpu.peakFlops.value() / 1e15);
     });
     row("HBM bandwidth", [](const CS& c) {
-        return strprintf("%.2f TB/s", c.gpu.hbmBandwidth / 1e12);
+        return strprintf("%.2f TB/s",
+                         c.gpu.hbmBandwidth.value() / 1e12);
     });
     row("GPUs per node", [](const CS& c) {
         return std::to_string(c.network.gpusPerNode) +
@@ -52,16 +53,16 @@ main()
         return c.network.chiplet ? "xGMI" : "NVLink";
     });
     row("Intra-node BW/GPU", [](const CS& c) {
-        double bw = c.network.chiplet ? c.network.xgmiPortBw
-                                      : c.network.nvlinkBw;
-        return strprintf("%.0f GB/s", bw / 1e9);
+        BytesPerSec bw = c.network.chiplet ? c.network.xgmiPortBw
+                                           : c.network.nvlinkBw;
+        return strprintf("%.0f GB/s", bw.value() / 1e9);
     });
     row("Inter-node fabric", [](const CS& c) {
         return strprintf("%.0f Gbps IB (shared/node)",
-                         c.network.nicBw * 8.0 / 1e9);
+                         c.network.nicBw.value() * 8.0 / 1e9);
     });
     row("GPU TDP", [](const CS& c) {
-        return strprintf("%.0f W%s", c.gpu.tdpWatts,
+        return strprintf("%.0f W%s", c.gpu.tdpWatts.value(),
                          c.gpu.chipletGcd ? " /GCD (500 W pkg)" : "");
     });
     t.print();

@@ -50,7 +50,7 @@ main()
     runtime::TrainingEngine engine(platform, network, collectives,
                                    builder, eopts);
 
-    telemetry::Sampler sampler(platform, network, 0.01);
+    telemetry::Sampler sampler(platform, network, Seconds(0.01));
     telemetry::KernelTrace trace;
     engine.setTraceSink([&](int dev, hw::KernelClass cls,
                             const char* name, double start,

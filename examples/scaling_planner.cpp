@@ -48,8 +48,8 @@ main()
     in.baseGpus = 32;
     in.gpusPerNode = 8;
     in.tokensPerIteration = r.tokensPerIteration;
-    in.nodeBandwidth = cluster.network.nicBw;
-    in.messageLatency = cluster.network.interLatency;
+    in.nodeBandwidth = cluster.network.nicBw.value();
+    in.messageLatency = cluster.network.interLatency.value();
     scale::Projector proj(in);
 
     TextTable t({"GPUs", "100G iter(s)", "100G scaling",

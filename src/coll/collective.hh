@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/quantity.hh"
 #include "hw/kernel.hh"
 
 namespace charllm {
@@ -66,11 +67,11 @@ struct CollectiveRequest
     std::vector<int> ranks;
 
     /**
-     * Semantic payload in bytes: the per-rank tensor size for
+     * Semantic payload: the per-rank tensor size for
      * AllReduce/AllGather/ReduceScatter/AllToAll, or the message size
      * for SendRecv.
      */
-    double bytes = 0.0;
+    Bytes bytes;
 
     /**
      * Whether the transport pipelines the payload in chunks. NCCL

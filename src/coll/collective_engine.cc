@@ -33,12 +33,12 @@ CollectiveEngine::CollectiveEngine(sim::Simulator& simulator,
 {
 }
 
-double
+Bytes
 CollectiveEngine::wireBytesPerRank(const CollectiveRequest& request)
 {
     auto n = static_cast<double>(request.ranks.size());
     if (n <= 1.0)
-        return 0.0;
+        return Bytes(0.0);
     switch (request.kind) {
       case CollectiveKind::AllReduce:
         return 2.0 * request.bytes * (n - 1.0) / n;
@@ -50,9 +50,9 @@ CollectiveEngine::wireBytesPerRank(const CollectiveRequest& request)
       case CollectiveKind::SendRecv:
         return request.bytes;
       case CollectiveKind::Barrier:
-        return 0.0;
+        return Bytes(0.0);
     }
-    return 0.0;
+    return Bytes(0.0);
 }
 
 void
@@ -61,7 +61,8 @@ CollectiveEngine::run(CollectiveRequest request)
     ++runCount;
     auto n = static_cast<int>(request.ranks.size());
     CHARLLM_ASSERT(n >= 1, "collective with no ranks");
-    CHARLLM_ASSERT(request.bytes >= 0.0, "negative collective payload");
+    CHARLLM_ASSERT(request.bytes.value() >= 0.0,
+                   "negative collective payload");
 
     if (n == 1) {
         // Degenerate single-rank group: completes after launch latency.
@@ -87,7 +88,7 @@ CollectiveEngine::run(CollectiveRequest request)
         runRing(request, wireBytesPerRank(request), n - 1);
         break;
       case CollectiveKind::Barrier:
-        runRing(request, 0.0, 2 * (n - 1));
+        runRing(request, Bytes(0.0), 2 * (n - 1));
         break;
       case CollectiveKind::AllToAll:
         runAllToAll(request);
@@ -100,7 +101,7 @@ CollectiveEngine::run(CollectiveRequest request)
 
 void
 CollectiveEngine::runRing(const CollectiveRequest& request,
-                          double per_rank_bytes, int steps)
+                          Bytes per_rank_bytes, int steps)
 {
     // Ring order follows sorted device ids, which matches how NCCL
     // builds rings over consecutive ranks: node-boundary hops are the
@@ -121,10 +122,11 @@ CollectiveEngine::runRing(const CollectiveRequest& request,
         // remaining algorithm steps (times back-to-back launches) add
         // pipeline latency on top.
         int launches = std::max(request.messages, 1);
-        double extra = (steps * launches - 1) *
-                       topo.messageLatency(src, dst);
+        Seconds extra = (steps * launches - 1) *
+                        topo.messageLatency(src, dst);
         if (!request.chunked)
-            extra += net::calib::kUnchunkedHandshakeSec * launches;
+            extra += Seconds(net::calib::kUnchunkedHandshakeSec *
+                             launches);
         network.transfer(src, dst, per_rank_bytes,
                          [latch] { latch->arrive(); }, extra);
     }
@@ -134,7 +136,7 @@ void
 CollectiveEngine::runAllToAll(const CollectiveRequest& request)
 {
     auto n = static_cast<int>(request.ranks.size());
-    double per_pair = request.bytes / static_cast<double>(n);
+    Bytes per_pair = request.bytes / static_cast<double>(n);
 
     auto latch = std::make_shared<Latch>();
     latch->remaining = n * (n - 1);
@@ -148,10 +150,11 @@ CollectiveEngine::runAllToAll(const CollectiveRequest& request)
             int src = request.ranks[static_cast<std::size_t>(i)];
             int dst = request.ranks[static_cast<std::size_t>(j)];
             int launches = std::max(request.messages, 1);
-            double extra = (launches - 1) *
-                           topo.messageLatency(src, dst);
+            Seconds extra = (launches - 1) *
+                            topo.messageLatency(src, dst);
             if (!request.chunked)
-                extra += net::calib::kUnchunkedHandshakeSec * launches;
+                extra += Seconds(net::calib::kUnchunkedHandshakeSec *
+                                 launches);
             network.transfer(src, dst, per_pair,
                              [latch] { latch->arrive(); }, extra);
         }
@@ -229,7 +232,7 @@ CollectiveEngine::runHierarchical(const CollectiveRequest& request)
 
     auto launch_phase =
         [this](const std::vector<std::vector<int>>& groups,
-               CollectiveKind kind, double bytes, bool chunked,
+               CollectiveKind kind, Bytes bytes, bool chunked,
                int messages, std::function<void()> done) {
         auto latch = std::make_shared<Latch>();
         latch->remaining = static_cast<int>(groups.size());
@@ -246,11 +249,11 @@ CollectiveEngine::runHierarchical(const CollectiveRequest& request)
         }
     };
 
-    double bytes = request.bytes;
+    Bytes bytes = request.bytes;
     bool chunked = request.chunked;
     int messages = request.messages;
     auto on_complete = request.onComplete;
-    double shard = bytes / static_cast<double>(local);
+    Bytes shard = bytes / static_cast<double>(local);
     CollectiveKind inter_kind =
         request.kind == CollectiveKind::AllReduce
             ? CollectiveKind::AllReduce
@@ -286,9 +289,9 @@ CollectiveEngine::runSendRecv(const CollectiveRequest& request)
 {
     CHARLLM_ASSERT(request.ranks.size() == 2,
                    "SendRecv needs exactly {src, dst}");
-    double extra = request.chunked
-                       ? 0.0
-                       : net::calib::kUnchunkedHandshakeSec;
+    Seconds extra = request.chunked
+                        ? Seconds(0.0)
+                        : Seconds(net::calib::kUnchunkedHandshakeSec);
     network.transfer(request.ranks[0], request.ranks[1], request.bytes,
                      [cb = request.onComplete] {
         if (cb)

@@ -34,7 +34,7 @@ class CollectiveEngine
      * Total bytes each rank puts on the wire for the request
      * (algorithm-dependent; used by tests and traffic accounting).
      */
-    static double wireBytesPerRank(const CollectiveRequest& request);
+    static Bytes wireBytesPerRank(const CollectiveRequest& request);
 
     std::uint64_t numCollectivesRun() const { return runCount; }
 
@@ -42,7 +42,7 @@ class CollectiveEngine
     bool shouldRunHierarchically(const CollectiveRequest& req) const;
 
   private:
-    void runRing(const CollectiveRequest& request, double per_rank_bytes,
+    void runRing(const CollectiveRequest& request, Bytes per_rank_bytes,
                  int steps);
     void runAllToAll(const CollectiveRequest& request);
     void runSendRecv(const CollectiveRequest& request);

@@ -5,43 +5,47 @@
 namespace charllm {
 namespace coll {
 
-double
-ringAllReduceSeconds(int n, double bytes, double bandwidth,
-                     double latency)
+Seconds
+ringAllReduceSeconds(int n, Bytes bytes, BytesPerSec bandwidth,
+                     Seconds latency)
 {
-    CHARLLM_ASSERT(n >= 1 && bandwidth > 0.0, "bad allreduce params");
+    CHARLLM_ASSERT(n >= 1 && bandwidth.value() > 0.0,
+                   "bad allreduce params");
     if (n == 1)
-        return 0.0;
+        return Seconds(0.0);
     double steps = 2.0 * (n - 1);
-    double wire = 2.0 * bytes * (n - 1) / n;
+    Bytes wire = 2.0 * bytes * (n - 1) / n;
     return steps * latency + wire / bandwidth;
 }
 
-double
-ringAllGatherSeconds(int n, double bytes, double bandwidth,
-                     double latency)
+Seconds
+ringAllGatherSeconds(int n, Bytes bytes, BytesPerSec bandwidth,
+                     Seconds latency)
 {
-    CHARLLM_ASSERT(n >= 1 && bandwidth > 0.0, "bad allgather params");
+    CHARLLM_ASSERT(n >= 1 && bandwidth.value() > 0.0,
+                   "bad allgather params");
     if (n == 1)
-        return 0.0;
+        return Seconds(0.0);
     double steps = static_cast<double>(n - 1);
-    double wire = bytes * (n - 1) / n;
+    Bytes wire = bytes * (n - 1) / n;
     return steps * latency + wire / bandwidth;
 }
 
-double
-allToAllSeconds(int n, double bytes, double bandwidth, double latency)
+Seconds
+allToAllSeconds(int n, Bytes bytes, BytesPerSec bandwidth,
+                Seconds latency)
 {
-    CHARLLM_ASSERT(n >= 1 && bandwidth > 0.0, "bad alltoall params");
+    CHARLLM_ASSERT(n >= 1 && bandwidth.value() > 0.0,
+                   "bad alltoall params");
     if (n == 1)
-        return 0.0;
-    double wire = bytes * (n - 1) / n;
+        return Seconds(0.0);
+    Bytes wire = bytes * (n - 1) / n;
     return latency + wire / bandwidth;
 }
 
-double
-hierarchicalAllReduceSeconds(int nodes, double bytes,
-                             double node_bandwidth, double latency)
+Seconds
+hierarchicalAllReduceSeconds(int nodes, Bytes bytes,
+                             BytesPerSec node_bandwidth, Seconds latency)
 {
     return ringAllReduceSeconds(nodes, bytes, node_bandwidth, latency);
 }

@@ -11,36 +11,38 @@
 
 #include <cstddef>
 
+#include "common/quantity.hh"
+
 namespace charllm {
 namespace coll {
 
 /**
  * Ring AllReduce of @p bytes across @p n ranks over links of
- * @p bandwidth (bytes/s) with per-step latency @p latency (s).
+ * @p bandwidth with per-step latency @p latency.
  * 2(n-1) steps, each moving bytes/n per rank.
  */
-double ringAllReduceSeconds(int n, double bytes, double bandwidth,
-                            double latency);
+Seconds ringAllReduceSeconds(int n, Bytes bytes, BytesPerSec bandwidth,
+                             Seconds latency);
 
 /** Ring AllGather/ReduceScatter: (n-1) steps of bytes/n. */
-double ringAllGatherSeconds(int n, double bytes, double bandwidth,
-                            double latency);
+Seconds ringAllGatherSeconds(int n, Bytes bytes, BytesPerSec bandwidth,
+                             Seconds latency);
 
 /**
  * Direct-exchange AllToAll: each rank sends bytes/n to every peer; the
  * per-rank egress volume is bytes*(n-1)/n serialized over its port.
  */
-double allToAllSeconds(int n, double bytes, double bandwidth,
-                       double latency);
+Seconds allToAllSeconds(int n, Bytes bytes, BytesPerSec bandwidth,
+                        Seconds latency);
 
 /**
  * Hierarchical AllReduce across @p nodes where each node contributes
  * one aggregated rank: reduce-scatter + all-gather over the inter-node
  * fabric at @p node_bandwidth per node.
  */
-double hierarchicalAllReduceSeconds(int nodes, double bytes,
-                                    double node_bandwidth,
-                                    double latency);
+Seconds hierarchicalAllReduceSeconds(int nodes, Bytes bytes,
+                                     BytesPerSec node_bandwidth,
+                                     Seconds latency);
 
 } // namespace coll
 } // namespace charllm

@@ -65,6 +65,23 @@ exitPanic(const char* file, int line, const std::string& msg)
         }                                                                    \
     } while (0)
 
+/**
+ * Always-on bounds/precondition check for accessors that take indices
+ * from callers (tests, benches, tools). Unlike the C assert() idiom
+ * this is NEVER compiled out: it stays active in Release/NDEBUG builds
+ * so an out-of-range telemetry or link query aborts with context
+ * instead of reading out of bounds. Use CHARLLM_ASSERT for internal
+ * invariants; use this for argument validation on public accessors.
+ */
+#define CHARLLM_CHECK(cond, ...)                                             \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::charllm::detail::exitPanic(__FILE__, __LINE__,                 \
+                ::charllm::detail::composeMessage(                           \
+                    "check '" #cond "' failed: ", ##__VA_ARGS__));           \
+        }                                                                    \
+    } while (0)
+
 /** Advisory warning; execution continues. */
 #define CHARLLM_WARN(...)                                                    \
     std::fprintf(stderr, "warn: %s\n",                                       \

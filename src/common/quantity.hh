@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Zero-overhead strongly-typed physical quantities.
+ *
+ * Every quantity is a tag-templated wrapper over one double. The tag
+ * encodes the dimension, so mixing dimensions (passing Celsius where
+ * Watts is expected, adding Bytes to Seconds) is a compile error while
+ * the generated code is bit-identical to bare double arithmetic.
+ *
+ * Design rules:
+ *  - construction from a raw double is explicit (no silent adoption of
+ *    an unlabelled number); use the user-defined literals from
+ *    charllm::unit_literals (300.0_W, 1.5_GiB, 10.0_ms) for constants
+ *  - the raw value leaves the type system only through .value(), the
+ *    sanctioned escape hatch at CSV/trace/NVML boundaries
+ *  - only dimensionally sound operators exist:
+ *      Watts * Seconds -> Joules        Joules / Seconds -> Watts
+ *      Joules / Watts -> Seconds        Bytes / BytesPerSec -> Seconds
+ *      Bytes / Seconds -> BytesPerSec   BytesPerSec * Seconds -> Bytes
+ *      Flops / FlopsPerSec -> Seconds   Flops / Seconds -> FlopsPerSec
+ *      FlopsPerSec * Seconds -> Flops   Celsius - Celsius -> CelsiusDelta
+ *      Celsius +/- CelsiusDelta -> Celsius
+ *  - Celsius is an affine (point) type: two absolute temperatures can
+ *    be subtracted but not added, and it cannot be scaled
+ *  - same-dimension ratio (q / q) yields a plain double, as do the
+ *    dimensionless gauges (efficiency, utilization, ClockRel::value())
+ *
+ * ClockRel is the relative clock (1.0 = nominal) used by the DVFS
+ * governor and compute model; it is typed so a clock ratio cannot be
+ * confused with, say, a utilization or a derate expressed in percent.
+ */
+
+#ifndef CHARLLM_COMMON_QUANTITY_HH
+#define CHARLLM_COMMON_QUANTITY_HH
+
+#include <type_traits>
+
+namespace charllm {
+
+namespace quantity_detail {
+
+/**
+ * Dimension tags. kLinear distinguishes vector-space quantities
+ * (addable, scalable) from affine points like absolute temperature.
+ */
+struct SecondsTag      { static constexpr bool kLinear = true;  };
+struct WattsTag        { static constexpr bool kLinear = true;  };
+struct JoulesTag       { static constexpr bool kLinear = true;  };
+struct CelsiusTag      { static constexpr bool kLinear = false; };
+struct CelsiusDeltaTag { static constexpr bool kLinear = true;  };
+struct BytesTag        { static constexpr bool kLinear = true;  };
+struct BytesPerSecTag  { static constexpr bool kLinear = true;  };
+struct FlopsTag        { static constexpr bool kLinear = true;  };
+struct FlopsPerSecTag  { static constexpr bool kLinear = true;  };
+struct ClockRelTag     { static constexpr bool kLinear = true;  };
+
+} // namespace quantity_detail
+
+/**
+ * One strongly-typed quantity: a double whose dimension is carried by
+ * @p Tag. Trivially copyable and layout-identical to double, so it
+ * compiles to bare double arithmetic at any optimization level.
+ */
+template <typename Tag>
+class Quantity
+{
+  public:
+    constexpr Quantity() = default;
+    explicit constexpr Quantity(double raw) : raw_(raw) {}
+
+    /** The raw magnitude — the only exit from the type system. */
+    constexpr double value() const { return raw_; }
+
+    // ---- linear-space arithmetic (disabled for affine points) ----------
+    template <typename T = Tag>
+        requires T::kLinear
+    constexpr Quantity
+    operator+(Quantity other) const
+    {
+        return Quantity(raw_ + other.raw_);
+    }
+
+    template <typename T = Tag>
+        requires T::kLinear
+    constexpr Quantity
+    operator-(Quantity other) const
+    {
+        return Quantity(raw_ - other.raw_);
+    }
+
+    template <typename T = Tag>
+        requires T::kLinear
+    constexpr Quantity&
+    operator+=(Quantity other)
+    {
+        raw_ += other.raw_;
+        return *this;
+    }
+
+    template <typename T = Tag>
+        requires T::kLinear
+    constexpr Quantity&
+    operator-=(Quantity other)
+    {
+        raw_ -= other.raw_;
+        return *this;
+    }
+
+    template <typename T = Tag>
+        requires T::kLinear
+    constexpr Quantity
+    operator-() const
+    {
+        return Quantity(-raw_);
+    }
+
+    template <typename T = Tag>
+        requires T::kLinear
+    constexpr Quantity
+    operator*(double scale) const
+    {
+        return Quantity(raw_ * scale);
+    }
+
+    template <typename T = Tag>
+        requires T::kLinear
+    constexpr Quantity
+    operator/(double scale) const
+    {
+        return Quantity(raw_ / scale);
+    }
+
+    template <typename T = Tag>
+        requires T::kLinear
+    constexpr Quantity&
+    operator*=(double scale)
+    {
+        raw_ *= scale;
+        return *this;
+    }
+
+    template <typename T = Tag>
+        requires T::kLinear
+    constexpr Quantity&
+    operator/=(double scale)
+    {
+        raw_ /= scale;
+        return *this;
+    }
+
+    /** Same-dimension ratio: a dimensionless double. */
+    template <typename T = Tag>
+        requires T::kLinear
+    constexpr double
+    operator/(Quantity other) const
+    {
+        return raw_ / other.raw_;
+    }
+
+    // ---- comparisons (same dimension only) -----------------------------
+    friend constexpr bool
+    operator==(Quantity a, Quantity b)
+    {
+        return a.raw_ == b.raw_;
+    }
+    friend constexpr bool
+    operator!=(Quantity a, Quantity b)
+    {
+        return a.raw_ != b.raw_;
+    }
+    friend constexpr bool
+    operator<(Quantity a, Quantity b)
+    {
+        return a.raw_ < b.raw_;
+    }
+    friend constexpr bool
+    operator<=(Quantity a, Quantity b)
+    {
+        return a.raw_ <= b.raw_;
+    }
+    friend constexpr bool
+    operator>(Quantity a, Quantity b)
+    {
+        return a.raw_ > b.raw_;
+    }
+    friend constexpr bool
+    operator>=(Quantity a, Quantity b)
+    {
+        return a.raw_ >= b.raw_;
+    }
+
+  private:
+    double raw_ = 0.0;
+};
+
+template <typename Tag>
+constexpr Quantity<Tag>
+operator*(double scale, Quantity<Tag> q)
+    requires Tag::kLinear
+{
+    return q * scale;
+}
+
+// ---- quantity types --------------------------------------------------------
+using Seconds = Quantity<quantity_detail::SecondsTag>;
+using Watts = Quantity<quantity_detail::WattsTag>;
+using Joules = Quantity<quantity_detail::JoulesTag>;
+using Celsius = Quantity<quantity_detail::CelsiusTag>;
+using CelsiusDelta = Quantity<quantity_detail::CelsiusDeltaTag>;
+using Bytes = Quantity<quantity_detail::BytesTag>;
+using BytesPerSec = Quantity<quantity_detail::BytesPerSecTag>;
+using Flops = Quantity<quantity_detail::FlopsTag>;
+using FlopsPerSec = Quantity<quantity_detail::FlopsPerSecTag>;
+using ClockRel = Quantity<quantity_detail::ClockRelTag>;
+
+static_assert(std::is_trivially_copyable_v<Watts> &&
+                  std::is_trivially_copyable_v<Celsius>,
+              "quantities must stay trivially copyable");
+static_assert(sizeof(Seconds) == sizeof(double) &&
+                  sizeof(Celsius) == sizeof(double),
+              "quantities must stay layout-identical to double");
+
+// ---- cross-dimension operators ---------------------------------------------
+constexpr Joules
+operator*(Watts p, Seconds t)
+{
+    return Joules(p.value() * t.value());
+}
+constexpr Joules
+operator*(Seconds t, Watts p)
+{
+    return p * t;
+}
+constexpr Watts
+operator/(Joules e, Seconds t)
+{
+    return Watts(e.value() / t.value());
+}
+constexpr Seconds
+operator/(Joules e, Watts p)
+{
+    return Seconds(e.value() / p.value());
+}
+
+constexpr Seconds
+operator/(Bytes b, BytesPerSec r)
+{
+    return Seconds(b.value() / r.value());
+}
+constexpr BytesPerSec
+operator/(Bytes b, Seconds t)
+{
+    return BytesPerSec(b.value() / t.value());
+}
+constexpr Bytes
+operator*(BytesPerSec r, Seconds t)
+{
+    return Bytes(r.value() * t.value());
+}
+constexpr Bytes
+operator*(Seconds t, BytesPerSec r)
+{
+    return r * t;
+}
+
+constexpr Seconds
+operator/(Flops f, FlopsPerSec r)
+{
+    return Seconds(f.value() / r.value());
+}
+constexpr FlopsPerSec
+operator/(Flops f, Seconds t)
+{
+    return FlopsPerSec(f.value() / t.value());
+}
+constexpr Flops
+operator*(FlopsPerSec r, Seconds t)
+{
+    return Flops(r.value() * t.value());
+}
+constexpr Flops
+operator*(Seconds t, FlopsPerSec r)
+{
+    return r * t;
+}
+
+/** Scaling a rate by a relative clock keeps the rate's dimension. */
+constexpr FlopsPerSec
+operator*(FlopsPerSec r, ClockRel c)
+{
+    return FlopsPerSec(r.value() * c.value());
+}
+constexpr FlopsPerSec
+operator*(ClockRel c, FlopsPerSec r)
+{
+    return r * c;
+}
+
+// ---- affine temperature algebra --------------------------------------------
+constexpr CelsiusDelta
+operator-(Celsius a, Celsius b)
+{
+    return CelsiusDelta(a.value() - b.value());
+}
+constexpr Celsius
+operator+(Celsius t, CelsiusDelta d)
+{
+    return Celsius(t.value() + d.value());
+}
+constexpr Celsius
+operator+(CelsiusDelta d, Celsius t)
+{
+    return t + d;
+}
+constexpr Celsius
+operator-(Celsius t, CelsiusDelta d)
+{
+    return Celsius(t.value() - d.value());
+}
+
+// ---- user-defined literals -------------------------------------------------
+namespace unit_literals {
+
+// time
+constexpr Seconds operator""_s(long double v) { return Seconds(static_cast<double>(v)); }
+constexpr Seconds operator""_ms(long double v) { return Seconds(static_cast<double>(v) * 1e-3); }
+constexpr Seconds operator""_us(long double v) { return Seconds(static_cast<double>(v) * 1e-6); }
+// power / energy
+constexpr Watts operator""_W(long double v) { return Watts(static_cast<double>(v)); }
+constexpr Joules operator""_J(long double v) { return Joules(static_cast<double>(v)); }
+// temperature
+constexpr Celsius operator""_degC(long double v) { return Celsius(static_cast<double>(v)); }
+constexpr CelsiusDelta operator""_dC(long double v) { return CelsiusDelta(static_cast<double>(v)); }
+// data sizes (decimal and binary)
+constexpr Bytes operator""_B(long double v) { return Bytes(static_cast<double>(v)); }
+constexpr Bytes operator""_KB(long double v) { return Bytes(static_cast<double>(v) * 1e3); }
+constexpr Bytes operator""_MB(long double v) { return Bytes(static_cast<double>(v) * 1e6); }
+constexpr Bytes operator""_GB(long double v) { return Bytes(static_cast<double>(v) * 1e9); }
+constexpr Bytes operator""_KiB(long double v) { return Bytes(static_cast<double>(v) * 1024.0); }
+constexpr Bytes operator""_MiB(long double v) { return Bytes(static_cast<double>(v) * 1024.0 * 1024.0); }
+constexpr Bytes operator""_GiB(long double v) { return Bytes(static_cast<double>(v) * 1024.0 * 1024.0 * 1024.0); }
+// bandwidth
+constexpr BytesPerSec operator""_Bps(long double v) { return BytesPerSec(static_cast<double>(v)); }
+constexpr BytesPerSec operator""_GBps(long double v) { return BytesPerSec(static_cast<double>(v) * 1e9); }
+constexpr BytesPerSec operator""_Gbps(long double v) { return BytesPerSec(static_cast<double>(v) * 1e9 / 8.0); }
+// compute
+constexpr Flops operator""_TFLOP(long double v) { return Flops(static_cast<double>(v) * 1e12); }
+constexpr Flops operator""_PFLOP(long double v) { return Flops(static_cast<double>(v) * 1e15); }
+constexpr FlopsPerSec operator""_TFLOPS(long double v) { return FlopsPerSec(static_cast<double>(v) * 1e12); }
+constexpr FlopsPerSec operator""_PFLOPS(long double v) { return FlopsPerSec(static_cast<double>(v) * 1e15); }
+
+} // namespace unit_literals
+
+} // namespace charllm
+
+#endif // CHARLLM_COMMON_QUANTITY_HH

@@ -1,15 +1,35 @@
 /**
  * @file
- * Unit conventions and conversion helpers used across the simulator.
+ * Unit conventions and raw conversion constants.
+ *
+ * The public physics APIs (hw, net, coll, telemetry) carry their
+ * dimensions in the type system — see common/quantity.hh for the
+ * Seconds/Watts/Joules/Celsius/Bytes/BytesPerSec/Flops/FlopsPerSec/
+ * ClockRel wrappers and their literals (300.0_W, 1.5_GiB, 10.0_ms).
+ * The constants below remain for internal model math on raw doubles
+ * and for formatting at the CSV/trace/NVML boundaries.
  *
  * Conventions:
  *  - simulated time: nanoseconds, stored in sim::Tick (uint64_t);
- *    floating-point seconds are used only at model boundaries
- *  - data volumes: bytes (double where fractional rates are involved)
- *  - bandwidth: bytes per second
- *  - power: watts; energy: joules; temperature: degrees Celsius
- *  - compute: FLOPs (double, since workloads exceed 2^64 comfortably only
- *    in aggregate; per-kernel counts fit but we keep double throughout)
+ *    sim-clock TIMESTAMPS (points in time, e.g. nowSeconds()) are
+ *    plain double seconds, while DURATIONS crossing a public API are
+ *    typed Seconds
+ *  - data volumes: Bytes; capacities and bandwidths follow the vendor
+ *    datasheet convention of DECIMAL units (kGB = 1e9, kGBps = 1e9).
+ *    kKiB/kMiB/kGiB exist for genuinely binary quantities only; an
+ *    audit of all call sites (2026-08) found capacity/bandwidth specs
+ *    consistently decimal, matching the datasheets they quote
+ *  - bandwidth: BytesPerSec; NIC/IB rates quoted in Gbit/s convert
+ *    via gbitPerSec() (or the _Gbps literal), which divides by 8
+ *  - power: Watts; energy: Joules; temperature: Celsius (absolute,
+ *    affine) and CelsiusDelta (differences); compute: Flops (double
+ *    magnitude — aggregate counts overflow int64)
+ *  - absolute clocks stay double GHz (a spec constant); the DVFS
+ *    output is the typed relative clock ClockRel (1.0 = nominal)
+ *  - the raw magnitude leaves the type system only through .value(),
+ *    at output boundaries (CSV, Chrome trace, NVML facade, report
+ *    structs); tools/lint_sim.py polices unit-suffixed raw-double
+ *    parameters in physics headers
  */
 
 #ifndef CHARLLM_COMMON_UNITS_HH

@@ -116,7 +116,7 @@ Experiment::run(const ExperimentConfig& config)
     std::unique_ptr<telemetry::Sampler> sampler;
     if (cfg.enableSampler) {
         sampler = std::make_unique<telemetry::Sampler>(
-            platform, network, cfg.samplePeriodSec);
+            platform, network, Seconds(cfg.samplePeriodSec));
         if (injector) {
             auto* inj = injector.get();
             sampler->setFaultAnnotator(
@@ -134,7 +134,7 @@ Experiment::run(const ExperimentConfig& config)
     }
 
     for (const auto& [node, watts] : cfg.nodePowerCaps)
-        platform.capNodePower(node, watts);
+        platform.capNodePower(node, Watts(watts));
     if (injector)
         injector->apply(cfg.faultScenario);
     platform.start();
@@ -163,12 +163,13 @@ Experiment::run(const ExperimentConfig& config)
         g.avgOccupancy = gpu.occupancyStats().mean();
         g.avgWarps = gpu.warpStats().mean();
         g.avgThreadblocks = gpu.threadblockStats().mean();
-        g.energyJ = gpu.energyJoules();
-        g.pcieBytes = gpu.trafficBytes(hw::TrafficClass::Pcie) / iters;
+        g.energyJ = gpu.energyJoules().value();
+        g.pcieBytes =
+            gpu.trafficBytes(hw::TrafficClass::Pcie).value() / iters;
         hw::TrafficClass up = cfg.cluster.network.chiplet
                                   ? hw::TrafficClass::Xgmi
                                   : hw::TrafficClass::NvLink;
-        g.scaleUpBytes = gpu.trafficBytes(up) / iters;
+        g.scaleUpBytes = gpu.trafficBytes(up).value() / iters;
         g.breakdown = gpu.breakdown();
         for (double& s : g.breakdown.seconds)
             s /= iters;

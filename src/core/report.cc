@@ -98,14 +98,14 @@ seriesCsv(const ExperimentResult& result)
     for (std::size_t g = 0; g < result.series.size(); ++g) {
         for (const auto& s : result.series[g]) {
             csv.beginRow();
-            csv.cell(s.time);
+            csv.cell(s.time.value());
             csv.cell(static_cast<int>(g));
-            csv.cell(s.powerWatts);
-            csv.cell(s.tempC);
+            csv.cell(s.powerWatts.value());
+            csv.cell(s.tempC.value());
             csv.cell(s.clockGhz);
             csv.cell(s.occupancy);
-            csv.cell(s.pcieRate);
-            csv.cell(s.scaleUpRate);
+            csv.cell(s.pcieRate.value());
+            csv.cell(s.scaleUpRate.value());
             csv.endRow();
         }
     }

@@ -266,13 +266,13 @@ FaultInjector::applyHotInlet(const FaultSpec& spec)
                    "hot inlet needs a positive degC rise");
     int gpu = spec.target;
     sim.scheduleAt(sim::toTicks(spec.startSec), [this, gpu, spec] {
-        plat.thermal().setInletOffset(gpu, spec.magnitude);
+        plat.thermal().setInletOffset(gpu, CelsiusDelta(spec.magnitude));
     });
     double end = kOpenEnded;
     if (spec.durationSec > 0.0) {
         end = spec.startSec + spec.durationSec;
         sim.scheduleAt(sim::toTicks(end), [this, gpu] {
-            plat.thermal().setInletOffset(gpu, 0.0);
+            plat.thermal().setInletOffset(gpu, CelsiusDelta(0.0));
         });
     }
     record(spec.kind, gpu, spec.startSec, end, spec.magnitude);

@@ -10,15 +10,15 @@ namespace hw {
 
 ComputeModel::ComputeModel(const GpuSpec& spec) : gpuSpec(spec)
 {
-    CHARLLM_ASSERT(spec.peakFlops > 0 && spec.hbmBandwidth > 0,
+    CHARLLM_ASSERT(spec.peakFlops.value() > 0 && spec.hbmBandwidth.value() > 0,
                    "invalid GpuSpec for ComputeModel");
 }
 
 double
 ComputeModel::efficiency(const ComputeWork& work) const
 {
-    double per_kernel =
-        work.flops / static_cast<double>(std::max(work.kernels, 1));
+    double per_kernel = work.flops.value() /
+                        static_cast<double>(std::max(work.kernels, 1));
     double eff = calib::kMaxMfu * per_kernel /
                  (per_kernel + calib::kMfuKneeFlops);
     if (work.cls == KernelClass::Attention)
@@ -26,27 +26,26 @@ ComputeModel::efficiency(const ComputeWork& work) const
     return std::max(eff, 0.01);
 }
 
-double
-ComputeModel::duration(const ComputeWork& work, double clock_rel) const
+Seconds
+ComputeModel::duration(const ComputeWork& work, ClockRel clock) const
 {
-    CHARLLM_ASSERT(clock_rel > 0.0, "non-positive clock");
-    double flop_time = work.flops /
-                       (gpuSpec.peakFlops * efficiency(work) * clock_rel);
+    CHARLLM_ASSERT(clock.value() > 0.0, "non-positive clock");
+    Seconds flop_time =
+        work.flops / (gpuSpec.peakFlops * efficiency(work) * clock);
     // HBM bandwidth is decoupled from the core clock domain.
-    double mem_time = work.hbmBytes / gpuSpec.hbmBandwidth;
+    Seconds mem_time = work.hbmBytes / gpuSpec.hbmBandwidth;
     return std::max(flop_time, mem_time) +
-           calib::kKernelOverheadSec *
-               static_cast<double>(std::max(work.kernels, 1));
+           Seconds(calib::kKernelOverheadSec *
+                   static_cast<double>(std::max(work.kernels, 1)));
 }
 
 double
 ComputeModel::smUtilization(const ComputeWork& work) const
 {
-    double flop_time = work.flops /
-                       (gpuSpec.peakFlops * efficiency(work));
-    double mem_time = work.hbmBytes / gpuSpec.hbmBandwidth;
-    double busy = std::max(flop_time, mem_time);
-    if (busy <= 0.0)
+    Seconds flop_time = work.flops / (gpuSpec.peakFlops * efficiency(work));
+    Seconds mem_time = work.hbmBytes / gpuSpec.hbmBandwidth;
+    Seconds busy = std::max(flop_time, mem_time);
+    if (busy.value() <= 0.0)
         return 0.0;
     return std::clamp(flop_time / busy, 0.05, 1.0);
 }

@@ -16,8 +16,8 @@ namespace hw {
 struct ComputeWork
 {
     KernelClass cls = KernelClass::Gemm;
-    double flops = 0.0;    //!< floating-point operations (total)
-    double hbmBytes = 0.0; //!< DRAM traffic (read+write)
+    Flops flops;    //!< floating-point operations (total)
+    Bytes hbmBytes; //!< DRAM traffic (read+write)
 
     /**
      * Number of device kernels the operator decomposes into (e.g. one
@@ -46,12 +46,11 @@ class ComputeModel
     double efficiency(const ComputeWork& work) const;
 
     /**
-     * Kernel duration in seconds at relative clock @p clock_rel
-     * (1.0 = nominal). Includes launch overhead; memory-bound kernels
-     * are limited by HBM bandwidth (which does not scale with core
-     * clock).
+     * Kernel duration at relative clock @p clock (1.0 = nominal).
+     * Includes launch overhead; memory-bound kernels are limited by
+     * HBM bandwidth (which does not scale with core clock).
      */
-    double duration(const ComputeWork& work, double clock_rel) const;
+    Seconds duration(const ComputeWork& work, ClockRel clock) const;
 
     /**
      * Average SM utilization proxy in [0,1] for the kernel: the ratio

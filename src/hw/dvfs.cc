@@ -16,30 +16,31 @@ DvfsGovernor::reset()
     reason = ThrottleReason::None;
 }
 
-double
-DvfsGovernor::evaluate(double temp_c, double power_w, bool compute_bound)
+ClockRel
+DvfsGovernor::evaluate(Celsius temp, Watts power, bool compute_bound)
 {
     using namespace calib;
 
-    double min_rel = spec.minRel();
-    double boost_rel = spec.boostRel();
+    double temp_c = temp.value();
+    double min_rel = spec.minRel().value();
+    double boost_rel = spec.boostRel().value();
 
-    if (temp_c >= spec.throttleTempC) {
+    if (temp >= spec.throttleTempC) {
         // Hard thermal slowdown: step down proportionally to the
         // overshoot so deep excursions recover quickly.
-        double overshoot = temp_c - spec.throttleTempC;
+        double overshoot = (temp - spec.throttleTempC).value();
         double steps = 1.0 + overshoot / 2.0;
         clock = std::max(min_rel, clock - kClockStepRel * steps);
         reason = ThrottleReason::Thermal;
-    } else if (power_w > spec.tdpWatts) {
+    } else if (power > spec.tdpWatts) {
         clock = std::max(min_rel, clock - kClockStepRel);
         reason = ThrottleReason::PowerCap;
-    } else if (temp_c >= spec.throttleTempC - kThermalHysteresisC) {
+    } else if (temp_c >= spec.throttleTempC.value() - kThermalHysteresisC) {
         // Hysteresis band just under the throttle point: hold the
         // derated clock (only boost clocks keep easing toward nominal).
         if (clock > 1.0)
             clock = std::max(1.0, clock - kClockStepRel);
-    } else if (temp_c >= spec.targetTempC) {
+    } else if (temp_c >= spec.targetTempC.value()) {
         // Soft zone: ease toward nominal from either side. Recovery
         // toward 1.0 must happen here too, otherwise a clock throttled
         // below nominal is stuck while the temperature sits between the
@@ -64,7 +65,7 @@ DvfsGovernor::evaluate(double temp_c, double power_w, bool compute_bound)
         reason = ThrottleReason::None;
     else if (reason == ThrottleReason::None)
         reason = ThrottleReason::Thermal;
-    return clock;
+    return ClockRel(clock);
 }
 
 } // namespace hw

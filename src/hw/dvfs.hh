@@ -47,15 +47,15 @@ class DvfsGovernor
     /**
      * One governor evaluation.
      *
-     * @param temp_c current junction temperature
-     * @param power_w current board power
+     * @param temp current junction temperature
+     * @param power current board power
      * @param compute_bound whether the active workload is SM-heavy
      *        (eligible for boost clocks when thermal headroom exists)
      * @return new relative clock in [minRel, boostRel]
      */
-    double evaluate(double temp_c, double power_w, bool compute_bound);
+    ClockRel evaluate(Celsius temp, Watts power, bool compute_bound);
 
-    double clockRel() const { return clock; }
+    ClockRel clockRel() const { return ClockRel(clock); }
     ThrottleReason lastReason() const { return reason; }
 
     /** Reset to nominal clock. */

@@ -47,12 +47,12 @@ Gpu::Gpu(int global_id, const GpuSpec& spec)
       compute(spec),
       governor(spec),
       tempC(calib::kRoomTempC),
-      powerCapW(spec.tdpWatts)
+      powerCapW(spec.tdpWatts.value())
 {
     currentPower = computePower();
     powerTw.update(0.0, currentPower);
     tempTw.update(0.0, tempC);
-    clockTw.update(0.0, clockRel());
+    clockTw.update(0.0, clockRel().value());
     occTw.update(0.0, 0.0);
     warpTw.update(0.0, 0.0);
     blockTw.update(0.0, 0.0);
@@ -85,9 +85,9 @@ Gpu::kernelEnd(std::uint64_t token, double now)
 }
 
 void
-Gpu::addKernelTime(KernelClass cls, double seconds)
+Gpu::addKernelTime(KernelClass cls, Seconds duration)
 {
-    kernelTime[cls] += seconds;
+    kernelTime[cls] += duration.value();
 }
 
 double
@@ -143,11 +143,11 @@ Gpu::computePower() const
     double act = compute_act + 0.55 * comm_act;
     act = std::min(act, 1.20);
 
-    double clk = clockRel();
-    double dynamic_range = gpuSpec.tdpWatts - gpuSpec.idleWatts;
-    double p = gpuSpec.idleWatts +
+    double clk = clockRel().value();
+    double dynamic_range = (gpuSpec.tdpWatts - gpuSpec.idleWatts).value();
+    double p = gpuSpec.idleWatts.value() +
                dynamic_range * act * std::pow(clk, kClockPowerExp);
-    return std::min(p, kPeakPowerCap * gpuSpec.tdpWatts);
+    return std::min(p, kPeakPowerCap * gpuSpec.tdpWatts.value());
 }
 
 void
@@ -162,29 +162,30 @@ Gpu::refresh(double now)
     }
     currentPower = computePower();
     powerTw.update(now, currentPower);
-    clockTw.update(now, clockRel());
+    clockTw.update(now, clockRel().value());
     occTw.update(now, occupancy());
     warpTw.update(now, warpsPerSm());
     blockTw.update(now, threadblocks());
 }
 
 bool
-Gpu::thermalUpdate(double temp_c, double now)
+Gpu::thermalUpdate(Celsius temp, double now)
 {
-    tempC = temp_c;
+    tempC = temp.value();
     tempTw.update(now, tempC);
-    double before = clockRel();
+    double before = clockRel().value();
     bool compute_bound = activeComputeCount > 0 &&
                          activeComputeCount >= activeCommCount;
     // Enforce an explicit power cap (e.g. injected node fault) by
     // treating it as the TDP the governor sees.
     double effective_power = currentPower;
-    if (powerCapW < gpuSpec.tdpWatts) {
+    if (powerCapW < gpuSpec.tdpWatts.value()) {
         effective_power =
-            currentPower + (gpuSpec.tdpWatts - powerCapW);
+            currentPower + (gpuSpec.tdpWatts.value() - powerCapW);
     }
-    governor.evaluate(tempC, effective_power, compute_bound);
-    double after = clockRel();
+    governor.evaluate(Celsius(tempC), Watts(effective_power),
+                      compute_bound);
+    double after = clockRel().value();
     if (after != before) {
         refresh(now);
         return true;
@@ -205,15 +206,15 @@ Gpu::setSlowdown(double factor, double now)
 }
 
 void
-Gpu::addTraffic(TrafficClass cls, double bytes)
+Gpu::addTraffic(TrafficClass cls, Bytes bytes)
 {
-    traffic[static_cast<std::size_t>(cls)] += bytes;
+    traffic[static_cast<std::size_t>(cls)] += bytes.value();
 }
 
-double
+Bytes
 Gpu::trafficBytes(TrafficClass cls) const
 {
-    return traffic[static_cast<std::size_t>(cls)];
+    return Bytes(traffic[static_cast<std::size_t>(cls)]);
 }
 
 double
@@ -251,7 +252,7 @@ Gpu::resetStats(double now)
     blockTw = TimeWeightedStats();
     powerTw.update(now, currentPower);
     tempTw.update(now, tempC);
-    clockTw.update(now, clockRel());
+    clockTw.update(now, clockRel().value());
     occTw.update(now, occupancy());
     warpTw.update(now, warpsPerSm());
     blockTw.update(now, threadblocks());

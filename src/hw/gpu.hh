@@ -71,18 +71,18 @@ class Gpu
     void kernelEnd(std::uint64_t token, double now);
 
     /** Accumulate per-class busy time for breakdown reporting. */
-    void addKernelTime(KernelClass cls, double seconds);
+    void addKernelTime(KernelClass cls, Seconds duration);
 
     // ---- device state ----------------------------------------------------
     /** Effective relative clock: governor clock x injected slowdown. */
-    double clockRel() const { return governor.clockRel() * slowdown; }
+    ClockRel clockRel() const { return governor.clockRel() * slowdown; }
     double clockGhz() const
     {
-        return gpuSpec.nominalClockGhz * clockRel();
+        return gpuSpec.nominalClockGhz * clockRel().value();
     }
-    double temperature() const { return tempC; }
-    double power() const { return currentPower; }
-    double energyJoules() const { return energy; }
+    Celsius temperature() const { return Celsius(tempC); }
+    Watts power() const { return Watts(currentPower); }
+    Joules energyJoules() const { return Joules(energy); }
     ThrottleReason
     throttleReason() const
     {
@@ -107,14 +107,14 @@ class Gpu
      * the DVFS governor. Returns true if the clock changed (so in-
      * flight compute kernels must be re-timed).
      */
-    bool thermalUpdate(double temp_c, double now);
+    bool thermalUpdate(Celsius temp, double now);
 
     /**
      * Override the power limit (models node-level power delivery
      * faults; pass spec TDP to restore).
      */
-    void setPowerCap(double watts) { powerCapW = watts; }
-    double powerCap() const { return powerCapW; }
+    void setPowerCap(Watts watts) { powerCapW = watts.value(); }
+    Watts powerCap() const { return Watts(powerCapW); }
 
     /**
      * Injected performance derate (fault injection): the device runs
@@ -126,8 +126,8 @@ class Gpu
     double slowdownFactor() const { return slowdown; }
 
     // ---- traffic counters ---------------------------------------------------
-    void addTraffic(TrafficClass cls, double bytes);
-    double trafficBytes(TrafficClass cls) const;
+    void addTraffic(TrafficClass cls, Bytes bytes);
+    Bytes trafficBytes(TrafficClass cls) const;
 
     // ---- statistics -----------------------------------------------------------
     const KernelTimeBreakdown& breakdown() const { return kernelTime; }

@@ -3,23 +3,27 @@
 namespace charllm {
 namespace hw {
 
+using namespace unit_literals;
+
 GpuSpec
 h100Spec()
 {
     GpuSpec s;
     s.name = "H100";
     s.arch = GpuArch::Hopper;
-    s.memoryBytes = 80.0 * units::kGB;
-    s.peakFlops = 0.99 * units::kPFLOP; // dense BF16
-    s.hbmBandwidth = 3.35e12;
-    s.tdpWatts = 700.0;
-    s.idleWatts = 75.0;
+    // Capacities/bandwidths follow the vendor datasheet (decimal GB),
+    // matching the paper's Table 3; see common/units.hh conventions.
+    s.memoryBytes = 80.0_GB;
+    s.peakFlops = 0.99_PFLOPS; // dense BF16
+    s.hbmBandwidth = 3350.0_GBps;
+    s.tdpWatts = 700.0_W;
+    s.idleWatts = 75.0_W;
     s.nominalClockGhz = 1.83;
     s.boostClockGhz = 1.98;
     s.minClockGhz = 0.41;
-    s.throttleTempC = 84.0;
-    s.targetTempC = 80.0;
-    s.shutdownTempC = 92.0;
+    s.throttleTempC = 84.0_degC;
+    s.targetTempC = 80.0_degC;
+    s.shutdownTempC = 92.0_degC;
     s.thermalResistance = 0.068;
     return s;
 }
@@ -29,8 +33,8 @@ h200Spec()
 {
     GpuSpec s = h100Spec();
     s.name = "H200";
-    s.memoryBytes = 141.0 * units::kGB;
-    s.hbmBandwidth = 4.8e12;
+    s.memoryBytes = 141.0_GB;
+    s.hbmBandwidth = 4800.0_GBps;
     return s;
 }
 
@@ -40,17 +44,17 @@ mi250GcdSpec()
     GpuSpec s;
     s.name = "MI250-GCD";
     s.arch = GpuArch::Cdna2;
-    s.memoryBytes = 64.0 * units::kGB;
-    s.peakFlops = 0.181 * units::kPFLOP; // per GCD (package: 0.362)
-    s.hbmBandwidth = 1.6e12;
-    s.tdpWatts = 250.0; // package TDP 500 W, split per GCD
-    s.idleWatts = 45.0;
+    s.memoryBytes = 64.0_GB;
+    s.peakFlops = 0.181_PFLOPS; // per GCD (package: 0.362)
+    s.hbmBandwidth = 1600.0_GBps;
+    s.tdpWatts = 250.0_W; // package TDP 500 W, split per GCD
+    s.idleWatts = 45.0_W;
     s.nominalClockGhz = 1.60;
     s.boostClockGhz = 1.70;
     s.minClockGhz = 0.50;
-    s.throttleTempC = 95.0; // CDNA2 junction throttle is higher
-    s.targetTempC = 90.0;
-    s.shutdownTempC = 110.0;
+    s.throttleTempC = 95.0_degC; // CDNA2 junction throttle is higher
+    s.targetTempC = 90.0_degC;
+    s.shutdownTempC = 110.0_degC;
     s.thermalResistance = 0.22; // per-GCD hotspot density
     s.chipletGcd = true;
     return s;

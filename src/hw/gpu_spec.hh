@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/quantity.hh"
 #include "common/units.hh"
 
 namespace charllm {
@@ -32,19 +33,19 @@ struct GpuSpec
     std::string name;       //!< e.g. "H200"
     GpuArch arch = GpuArch::Hopper;
 
-    double memoryBytes = 0;     //!< HBM capacity
-    double peakFlops = 0;       //!< peak FP16/BF16 FLOP/s (dense)
-    double hbmBandwidth = 0;    //!< HBM bytes/s
-    double tdpWatts = 0;        //!< board power limit
-    double idleWatts = 0;       //!< idle power draw
+    Bytes memoryBytes;          //!< HBM capacity
+    FlopsPerSec peakFlops;      //!< peak FP16/BF16 FLOP/s (dense)
+    BytesPerSec hbmBandwidth;   //!< HBM bandwidth
+    Watts tdpWatts;             //!< board power limit
+    Watts idleWatts;            //!< idle power draw
 
     double nominalClockGhz = 0; //!< clock at which peakFlops is quoted
     double boostClockGhz = 0;   //!< opportunistic boost ceiling
     double minClockGhz = 0;     //!< deepest throttle state
 
-    double throttleTempC = 0;   //!< HW slowdown threshold
-    double targetTempC = 0;     //!< governor setpoint (start easing off)
-    double shutdownTempC = 0;   //!< never reached in sane configs
+    Celsius throttleTempC;      //!< HW slowdown threshold
+    Celsius targetTempC;        //!< governor setpoint (start easing off)
+    Celsius shutdownTempC;      //!< never reached in sane configs
 
     /**
      * Junction-to-inlet thermal resistance (degC per watt). Chiplet
@@ -56,10 +57,16 @@ struct GpuSpec
     bool chipletGcd = false;    //!< logical device is one GCD of a package
 
     /** Relative clock of the boost ceiling (vs nominal). */
-    double boostRel() const { return boostClockGhz / nominalClockGhz; }
+    ClockRel boostRel() const
+    {
+        return ClockRel(boostClockGhz / nominalClockGhz);
+    }
 
     /** Relative clock of the deepest throttle state (vs nominal). */
-    double minRel() const { return minClockGhz / nominalClockGhz; }
+    ClockRel minRel() const
+    {
+        return ClockRel(minClockGhz / nominalClockGhz);
+    }
 };
 
 /** NVIDIA H100 SXM (HGX H100 board). */

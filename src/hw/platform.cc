@@ -33,7 +33,7 @@ Platform::setClockListener(ClockListener listener)
 }
 
 void
-Platform::capNodePower(int node, double watts_per_gpu)
+Platform::capNodePower(int node, Watts watts_per_gpu)
 {
     int per_node = gpusPerNode();
     for (int slot = 0; slot < per_node; ++slot)
@@ -53,12 +53,12 @@ void
 Platform::tick()
 {
     double now = sim.nowSeconds();
-    std::vector<double> powers(devices.size());
+    std::vector<Watts> powers(devices.size());
     for (std::size_t i = 0; i < devices.size(); ++i) {
         // Refreshing power via thermalUpdate below; read current draw.
         powers[i] = devices[i]->power();
     }
-    thermalNet.step(calib::kGovernorPeriodSec, powers);
+    thermalNet.step(Seconds(calib::kGovernorPeriodSec), powers);
     for (std::size_t i = 0; i < devices.size(); ++i) {
         bool changed = devices[i]->thermalUpdate(
             thermalNet.temperature(static_cast<int>(i)), now);

@@ -28,7 +28,7 @@ class Platform
 {
   public:
     /** Callback fired when a device's clock changes (for re-timing). */
-    using ClockListener = std::function<void(int gpu_id, double clock_rel)>;
+    using ClockListener = std::function<void(int gpu_id, ClockRel clock)>;
 
     Platform(sim::Simulator& sim, const GpuSpec& spec,
              const ChassisLayout& layout, int num_nodes);
@@ -57,7 +57,7 @@ class Platform
     void setClockListener(ClockListener listener);
 
     /** Simulate a node-level power-delivery fault: cap all its GPUs. */
-    void capNodePower(int node, double watts_per_gpu);
+    void capNodePower(int node, Watts watts_per_gpu);
 
     /**
      * Inject (or clear, with factor 1.0) a performance derate on one

@@ -23,21 +23,21 @@ ThermalModel::ThermalModel(const ChassisLayout& layout, int num_nodes,
 }
 
 void
-ThermalModel::setInletOffset(int i, double deg_c)
+ThermalModel::setInletOffset(int i, CelsiusDelta delta)
 {
     CHARLLM_ASSERT(i >= 0 && static_cast<std::size_t>(i) <
                                  inletOffsets.size(),
                    "device id ", i, " out of range");
-    inletOffsets[static_cast<std::size_t>(i)] = deg_c;
+    inletOffsets[static_cast<std::size_t>(i)] = delta.value();
 }
 
-double
+CelsiusDelta
 ThermalModel::inletOffset(int i) const
 {
     CHARLLM_ASSERT(i >= 0 && static_cast<std::size_t>(i) <
                                  inletOffsets.size(),
                    "device id ", i, " out of range");
-    return inletOffsets[static_cast<std::size_t>(i)];
+    return CelsiusDelta(inletOffsets[static_cast<std::size_t>(i)]);
 }
 
 void
@@ -59,9 +59,9 @@ ThermalModel::resistanceScale(int i) const
     return faultRScale[static_cast<std::size_t>(i)];
 }
 
-double
+Celsius
 ThermalModel::inletTemperature(int i,
-                               const std::vector<double>& powers) const
+                               const std::vector<Watts>& powers) const
 {
     int per_node = chassis.gpusPerNode();
     int node = i / per_node;
@@ -71,13 +71,13 @@ ThermalModel::inletTemperature(int i,
     double coeff = calib::kPreheatCoeffCPerW * chassis.preheatScale;
     for (const auto& [up_slot, weight] : chassis.slots[slot].upstream) {
         int up = node * per_node + up_slot;
-        inlet += coeff * weight * powers[up];
+        inlet += coeff * weight * powers[up].value();
     }
-    return inlet;
+    return Celsius(inlet);
 }
 
 void
-ThermalModel::step(double dt, const std::vector<double>& powers)
+ThermalModel::step(Seconds dt, const std::vector<Watts>& powers)
 {
     CHARLLM_ASSERT(powers.size() == temps.size(),
                    "power vector size mismatch");
@@ -87,17 +87,18 @@ ThermalModel::step(double dt, const std::vector<double>& powers)
     for (std::size_t i = 0; i < temps.size(); ++i) {
         int node = static_cast<int>(i) / per_node;
         int slot = static_cast<int>(i) % per_node;
-        double inlet = inletTemperature(static_cast<int>(i), powers);
-        double target = inlet + powers[i] * rTheta *
+        double inlet =
+            inletTemperature(static_cast<int>(i), powers).value();
+        double target = inlet + powers[i].value() * rTheta *
                                     chassis.slots[slot].resistanceScale *
                                     faultRScale[i];
-        double dT = dt / kThermalTauSec * (target - temps[i]);
+        double dT = dt.value() / kThermalTauSec * (target - temps[i]);
         // Chiplet package coupling: heat flows toward the cooler GCD.
         int peer_slot = chassis.slots[slot].packagePeer;
         if (peer_slot >= 0) {
             std::size_t peer =
                 static_cast<std::size_t>(node * per_node + peer_slot);
-            dT += dt * kPackageCouplingPerSec *
+            dT += dt.value() * kPackageCouplingPerSec *
                   (temps[peer] - temps[i]);
         }
         next[i] = temps[i] + dT;
@@ -105,24 +106,25 @@ ThermalModel::step(double dt, const std::vector<double>& powers)
     temps.swap(next);
 }
 
-double
-ThermalModel::steadyState(int i, const std::vector<double>& powers) const
+Celsius
+ThermalModel::steadyState(int i, const std::vector<Watts>& powers) const
 {
     // Ignores package coupling (second-order for steady state since the
     // exchange term vanishes as both GCDs approach their own targets).
     int slot = i % chassis.gpusPerNode();
-    return inletTemperature(i, powers) +
-           powers[i] * rTheta * chassis.slots[slot].resistanceScale *
-               faultRScale[static_cast<std::size_t>(i)];
+    return Celsius(inletTemperature(i, powers).value() +
+                   powers[i].value() * rTheta *
+                       chassis.slots[slot].resistanceScale *
+                       faultRScale[static_cast<std::size_t>(i)]);
 }
 
 void
-ThermalModel::warmStart(const std::vector<double>& powers)
+ThermalModel::warmStart(const std::vector<Watts>& powers)
 {
     CHARLLM_ASSERT(powers.size() == temps.size(),
                    "power vector size mismatch");
     for (std::size_t i = 0; i < temps.size(); ++i)
-        temps[i] = steadyState(static_cast<int>(i), powers);
+        temps[i] = steadyState(static_cast<int>(i), powers).value();
 }
 
 } // namespace hw

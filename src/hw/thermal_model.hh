@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "common/quantity.hh"
 #include "hw/chassis.hh"
 
 namespace charllm {
@@ -40,33 +41,33 @@ class ThermalModel
     int numDevices() const { return static_cast<int>(temps.size()); }
 
     /** Current junction temperature of device @p i. */
-    double temperature(int i) const { return temps[i]; }
+    Celsius temperature(int i) const { return Celsius(temps[i]); }
 
     /** Inlet temperature of device @p i given current powers. */
-    double inletTemperature(int i, const std::vector<double>& powers) const;
+    Celsius inletTemperature(int i, const std::vector<Watts>& powers) const;
 
     /**
-     * Advance all temperatures by @p dt seconds given instantaneous
-     * powers (watts) per device.
+     * Advance all temperatures by @p dt given instantaneous powers per
+     * device.
      */
-    void step(double dt, const std::vector<double>& powers);
+    void step(Seconds dt, const std::vector<Watts>& powers);
 
     /**
      * Analytical steady-state temperature for device @p i under
      * constant powers (used by tests and for fast warm starts).
      */
-    double steadyState(int i, const std::vector<double>& powers) const;
+    Celsius steadyState(int i, const std::vector<Watts>& powers) const;
 
     /** Jump every device to its steady state for the given powers. */
-    void warmStart(const std::vector<double>& powers);
+    void warmStart(const std::vector<Watts>& powers);
 
     /**
-     * Fault injection: add @p deg_c to device @p i's inlet temperature
-     * (models a machine-room hot spot / blocked cold aisle). Pass 0 to
-     * clear.
+     * Fault injection: add @p delta to device @p i's inlet temperature
+     * (models a machine-room hot spot / blocked cold aisle). Pass a
+     * zero delta to clear.
      */
-    void setInletOffset(int i, double deg_c);
-    double inletOffset(int i) const;
+    void setInletOffset(int i, CelsiusDelta delta);
+    CelsiusDelta inletOffset(int i) const;
 
     /**
      * Fault injection: multiply device @p i's junction-to-inlet

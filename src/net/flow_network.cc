@@ -37,25 +37,26 @@ FlowNetwork::setLinkDerate(LinkId id, double factor)
 }
 
 FlowNetwork::FlowId
-FlowNetwork::transfer(int src, int dst, double bytes,
+FlowNetwork::transfer(int src, int dst, Bytes bytes,
                       std::function<void()> on_complete,
-                      double extra_latency)
+                      Seconds extra_latency)
 {
-    CHARLLM_ASSERT(bytes >= 0.0, "negative transfer size");
+    double byte_count = bytes.value();
+    CHARLLM_ASSERT(byte_count >= 0.0, "negative transfer size");
     FlowId id = nextId++;
-    double latency = extra_latency;
+    double latency = extra_latency.value();
 
     if (src == dst) {
         // Degenerate local copy: never enters the link graph.
         double duration = latency +
-                          bytes / calib::kLocalCopyBandwidth;
+                          byte_count / calib::kLocalCopyBandwidth;
         sim.schedule(sim::toTicks(duration),
                      [cb = std::move(on_complete)] { cb(); });
         return id;
     }
 
-    latency += topo.messageLatency(src, dst);
-    if (bytes <= 0.0) {
+    latency += topo.messageLatency(src, dst).value();
+    if (byte_count <= 0.0) {
         sim.schedule(sim::toTicks(latency),
                      [cb = std::move(on_complete)] { cb(); });
         return id;
@@ -63,7 +64,7 @@ FlowNetwork::transfer(int src, int dst, double bytes,
 
     // The flow joins the network after its launch/transport latency.
     sim.schedule(sim::toTicks(latency),
-                 [this, id, src, dst, bytes,
+                 [this, id, src, dst, byte_count,
                   cb = std::move(on_complete)]() mutable {
         double now = sim.nowSeconds();
         progress(now);
@@ -71,7 +72,7 @@ FlowNetwork::transfer(int src, int dst, double bytes,
         flow.src = src;
         flow.dst = dst;
         flow.route = topo.route(src, dst);
-        flow.bytesRemaining = bytes;
+        flow.bytesRemaining = byte_count;
         flow.onComplete = std::move(cb);
         active.emplace(id, std::move(flow));
         recompute(now);
@@ -96,7 +97,7 @@ FlowNetwork::progress(double now)
             linkByteCount[static_cast<std::size_t>(l)] += moved;
             const LinkSpec& spec = topo.link(l);
             if (spec.ownerGpu >= 0 && sink)
-                sink(spec.ownerGpu, spec.cls, moved);
+                sink(spec.ownerGpu, spec.cls, Bytes(moved));
         }
     }
     lastProgress = now;
@@ -110,7 +111,7 @@ FlowNetwork::recompute(double now)
     std::vector<double> remaining(num_links);
     std::vector<int> flows_on(num_links, 0);
     for (std::size_t l = 0; l < num_links; ++l) {
-        remaining[l] = topo.link(static_cast<LinkId>(l)).capacity *
+        remaining[l] = topo.link(static_cast<LinkId>(l)).capacity.value() *
                        calib::kProtocolEfficiency * linkDerate[l];
     }
     for (auto& [id, flow] : active) {
@@ -205,7 +206,7 @@ FlowNetwork::onCompletionEvent()
         cb();
 }
 
-double
+BytesPerSec
 FlowNetwork::gpuRate(int gpu, hw::TrafficClass cls) const
 {
     double rate = 0.0;
@@ -218,16 +219,16 @@ FlowNetwork::gpuRate(int gpu, hw::TrafficClass cls) const
             }
         }
     }
-    return rate;
+    return BytesPerSec(rate);
 }
 
 double
 FlowNetwork::linkUtilization(LinkId id) const
 {
-    CHARLLM_ASSERT(id >= 0 && static_cast<std::size_t>(id) <
-                                  topo.links().size(),
-                   "link id ", id, " out of range [0, ",
-                   topo.links().size(), ")");
+    CHARLLM_CHECK(id >= 0 && static_cast<std::size_t>(id) <
+                                 topo.links().size(),
+                  "link id ", id, " out of range [0, ",
+                  topo.links().size(), ")");
     double used = 0.0;
     for (const auto& [fid, flow] : active) {
         for (LinkId l : flow.route) {
@@ -235,8 +236,8 @@ FlowNetwork::linkUtilization(LinkId id) const
                 used += std::max(flow.rate, 0.0);
         }
     }
-    const LinkSpec& spec = topo.link(id);
-    return spec.capacity > 0.0 ? used / spec.capacity : 0.0;
+    double capacity = topo.link(id).capacity.value();
+    return capacity > 0.0 ? used / capacity : 0.0;
 }
 
 } // namespace net

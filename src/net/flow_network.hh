@@ -18,6 +18,7 @@
 #include <map>
 #include <vector>
 
+#include "common/logging.hh"
 #include "net/topology.hh"
 #include "sim/simulator.hh"
 
@@ -34,7 +35,7 @@ class FlowNetwork
     using FlowId = std::uint64_t;
     /** Receives per-GPU byte attribution as flows progress. */
     using TrafficSink =
-        std::function<void(int gpu, hw::TrafficClass cls, double bytes)>;
+        std::function<void(int gpu, hw::TrafficClass cls, Bytes bytes)>;
 
     FlowNetwork(sim::Simulator& sim, const Topology& topo);
 
@@ -46,12 +47,12 @@ class FlowNetwork
      * @p extra_latency adds protocol overhead (e.g. un-chunked
      * rendezvous handshakes) on top of the topology's base latency.
      */
-    FlowId transfer(int src, int dst, double bytes,
+    FlowId transfer(int src, int dst, Bytes bytes,
                     std::function<void()> on_complete,
-                    double extra_latency = 0.0);
+                    Seconds extra_latency = Seconds(0.0));
 
     /** Instantaneous aggregate rate seen at a GPU's ports, by class. */
-    double gpuRate(int gpu, hw::TrafficClass cls) const;
+    BytesPerSec gpuRate(int gpu, hw::TrafficClass cls) const;
 
     /**
      * Derate a link to @p factor of its nominal capacity (fault
@@ -65,20 +66,22 @@ class FlowNetwork
     double
     linkDerateFactor(LinkId id) const
     {
-        CHARLLM_ASSERT(id >= 0 && static_cast<std::size_t>(id) <
-                                      linkDerate.size(),
-                       "link id ", id, " out of range");
+        CHARLLM_CHECK(id >= 0 && static_cast<std::size_t>(id) <
+                                     linkDerate.size(),
+                      "link id ", id, " out of range [0, ",
+                      linkDerate.size(), ")");
         return linkDerate[static_cast<std::size_t>(id)];
     }
 
     /** Cumulative bytes carried by a link. */
-    double
+    Bytes
     linkBytes(LinkId id) const
     {
-        CHARLLM_ASSERT(id >= 0 && static_cast<std::size_t>(id) <
-                                      linkByteCount.size(),
-                       "link id ", id, " out of range");
-        return linkByteCount[static_cast<std::size_t>(id)];
+        CHARLLM_CHECK(id >= 0 && static_cast<std::size_t>(id) <
+                                     linkByteCount.size(),
+                      "link id ", id, " out of range [0, ",
+                      linkByteCount.size(), ")");
+        return Bytes(linkByteCount[static_cast<std::size_t>(id)]);
     }
 
     /** Instantaneous utilization (0..1) of a link. */

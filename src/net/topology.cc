@@ -2,11 +2,12 @@
 
 #include "common/logging.hh"
 #include "common/strings.hh"
-#include "common/units.hh"
 #include "net/calibration.hh"
 
 namespace charllm {
 namespace net {
+
+using namespace unit_literals;
 
 Topology::Params
 Topology::hgxParams(int num_nodes, double nic_gbps)
@@ -15,11 +16,11 @@ Topology::hgxParams(int num_nodes, double nic_gbps)
     p.numNodes = num_nodes;
     p.gpusPerNode = 8;
     p.chiplet = false;
-    p.nvlinkBw = 450.0 * units::kGB;          // NVLink4, per direction
-    p.pcieBw = 64.0 * units::kGB;             // PCIe Gen5 x16
-    p.nicBw = units::gbitPerSec(nic_gbps);    // shared per node
-    p.intraLatency = calib::kIntraNodeLatencySec;
-    p.interLatency = calib::kInterNodeLatencySec;
+    p.nvlinkBw = 450.0_GBps;                  // NVLink4, per direction
+    p.pcieBw = 64.0_GBps;                     // PCIe Gen5 x16
+    p.nicBw = nic_gbps * 1.0_Gbps;            // shared per node
+    p.intraLatency = Seconds(calib::kIntraNodeLatencySec);
+    p.interLatency = Seconds(calib::kInterNodeLatencySec);
     return p;
 }
 
@@ -30,12 +31,12 @@ Topology::mi250Params(int num_nodes, double nic_gbps)
     p.numNodes = num_nodes;
     p.gpusPerNode = 8; // 4 packages x 2 GCDs
     p.chiplet = true;
-    p.xgmiPackageBw = 300.0 * units::kGB;     // in-package GCD pair
-    p.xgmiPortBw = 100.0 * units::kGB;        // cross-package per GCD
-    p.pcieBw = 32.0 * units::kGB;             // PCIe Gen4 x16
-    p.nicBw = units::gbitPerSec(nic_gbps);
-    p.intraLatency = calib::kIntraNodeLatencySec * 1.2;
-    p.interLatency = calib::kInterNodeLatencySec;
+    p.xgmiPackageBw = 300.0_GBps;             // in-package GCD pair
+    p.xgmiPortBw = 100.0_GBps;                // cross-package per GCD
+    p.pcieBw = 32.0_GBps;                     // PCIe Gen4 x16
+    p.nicBw = nic_gbps * 1.0_Gbps;
+    p.intraLatency = Seconds(calib::kIntraNodeLatencySec * 1.2);
+    p.interLatency = Seconds(calib::kInterNodeLatencySec);
     return p;
 }
 
@@ -48,7 +49,7 @@ Topology::oneGpuPerNode(Params base, int num_nodes)
 }
 
 LinkId
-Topology::addLink(const std::string& name, double capacity,
+Topology::addLink(const std::string& name, BytesPerSec capacity,
                   hw::TrafficClass cls, int owner_gpu)
 {
     LinkSpec spec;
@@ -73,7 +74,7 @@ Topology::Topology(const Params& params) : cfg(params)
     nicIn.resize(cfg.numNodes, -1);
 
     hw::TrafficClass up_cls = intraClass();
-    double port_bw = cfg.chiplet ? cfg.xgmiPortBw : cfg.nvlinkBw;
+    BytesPerSec port_bw = cfg.chiplet ? cfg.xgmiPortBw : cfg.nvlinkBw;
 
     for (int g = 0; g < n; ++g) {
         if (cfg.gpusPerNode > 1) {
@@ -168,7 +169,7 @@ Topology::route(int src, int dst) const
     return path;
 }
 
-double
+Seconds
 Topology::messageLatency(int src, int dst) const
 {
     return sameNode(src, dst) ? cfg.intraLatency : cfg.interLatency;

@@ -28,7 +28,7 @@ using LinkId = int;
 struct LinkSpec
 {
     std::string name;
-    double capacity = 0.0; //!< bytes/second
+    BytesPerSec capacity;
     hw::TrafficClass cls = hw::TrafficClass::NvLink;
     int ownerGpu = -1;     //!< GPU whose counter this link feeds, or -1
 };
@@ -48,15 +48,15 @@ class Topology
         // NVSwitch-style non-blocking fabric fed by per-GPU NVLink
         // ports; when true, xGMI with fast in-package GCD pairs.
         bool chiplet = false;
-        double nvlinkBw = 0.0;       //!< per GPU per direction
-        double xgmiPackageBw = 0.0;  //!< same-package GCD pair link
-        double xgmiPortBw = 0.0;     //!< cross-package per-GCD port
+        BytesPerSec nvlinkBw;       //!< per GPU per direction
+        BytesPerSec xgmiPackageBw;  //!< same-package GCD pair link
+        BytesPerSec xgmiPortBw;     //!< cross-package per-GCD port
 
-        double pcieBw = 0.0;         //!< per GPU per direction
-        double nicBw = 0.0;          //!< per node per direction
+        BytesPerSec pcieBw;         //!< per GPU per direction
+        BytesPerSec nicBw;          //!< per node per direction
 
-        double intraLatency = 0.0;   //!< per-message, same node (s)
-        double interLatency = 0.0;   //!< per-message, cross node (s)
+        Seconds intraLatency;       //!< per-message, same node
+        Seconds interLatency;       //!< per-message, cross node
     };
 
     /** HGX H100/H200 style node (NVLink 4 + PCIe Gen5 + 100G IB). */
@@ -103,7 +103,7 @@ class Topology
     std::vector<LinkId> route(int src, int dst) const;
 
     /** Per-message latency between two GPUs. */
-    double messageLatency(int src, int dst) const;
+    Seconds messageLatency(int src, int dst) const;
 
     /** Interconnect class used for intra-node traffic. */
     hw::TrafficClass
@@ -114,7 +114,7 @@ class Topology
     }
 
   private:
-    LinkId addLink(const std::string& name, double capacity,
+    LinkId addLink(const std::string& name, BytesPerSec capacity,
                    hw::TrafficClass cls, int owner_gpu);
 
     Params cfg;

@@ -133,11 +133,10 @@ MemoryPlanner::worstStage(const MemoryOptions& opts) const
 }
 
 bool
-MemoryPlanner::fits(double gpu_memory_bytes,
-                    const MemoryOptions& opts) const
+MemoryPlanner::fits(Bytes gpu_memory, const MemoryOptions& opts) const
 {
     return worstStage(opts).total() <=
-           gpu_memory_bytes * kUsableFraction;
+           gpu_memory.value() * kUsableFraction;
 }
 
 } // namespace parallel

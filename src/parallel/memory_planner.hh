@@ -10,6 +10,7 @@
 #ifndef CHARLLM_PARALLEL_MEMORY_PLANNER_HH
 #define CHARLLM_PARALLEL_MEMORY_PLANNER_HH
 
+#include "common/quantity.hh"
 #include "model/analytics.hh"
 #include "parallel/parallel_config.hh"
 
@@ -64,8 +65,8 @@ class MemoryPlanner
     /** Worst footprint across stages (stage 0 holds most in-flight). */
     MemoryBreakdown worstStage(const MemoryOptions& opts) const;
 
-    /** True if the worst stage fits in @p gpu_memory_bytes. */
-    bool fits(double gpu_memory_bytes, const MemoryOptions& opts) const;
+    /** True if the worst stage fits in @p gpu_memory. */
+    bool fits(Bytes gpu_memory, const MemoryOptions& opts) const;
 
     /** Usable fraction of HBM (allocator/fragmentation reserve). */
     static constexpr double kUsableFraction = 0.92;

@@ -36,11 +36,11 @@ TrainingEngine::TrainingEngine(hw::Platform& platform,
 {
     CHARLLM_ASSERT(opts.measuredIterations >= 1,
                    "need at least one measured iteration");
-    plat.setClockListener([this](int dev, double clk) {
+    plat.setClockListener([this](int dev, ClockRel clk) {
         onClockChange(dev, clk);
     });
     network.setTrafficSink(
-        [this](int gpu, hw::TrafficClass cls, double bytes) {
+        [this](int gpu, hw::TrafficClass cls, Bytes bytes) {
         plat.gpu(gpu).addTraffic(cls, bytes);
     });
 }
@@ -185,7 +185,7 @@ double
 TrainingEngine::computeRate(int dev) const
 {
     const hw::Gpu& gpu = plat.gpu(dev);
-    double rate = gpu.clockRel();
+    double rate = gpu.clockRel().value();
     if (gpu.commActive())
         rate /= hw::calib::kOverlapComputePenalty;
     return std::max(rate, 1e-3);
@@ -197,7 +197,8 @@ TrainingEngine::startCompute(int dev, const Op& op)
     hw::Gpu& gpu = plat.gpu(dev);
     double now = plat.simulator().nowSeconds();
     hw::ComputeWork work{op.cls, op.flops, op.hbmBytes, op.kernels};
-    double nominal = gpu.computeModel().duration(work, 1.0);
+    double nominal =
+        gpu.computeModel().duration(work, ClockRel(1.0)).value();
     double sm_util = gpu.computeModel().smUtilization(work);
 
     InFlightCompute fl;
@@ -229,7 +230,7 @@ TrainingEngine::finishCompute(int dev)
     double now = plat.simulator().nowSeconds();
     hw::Gpu& gpu = plat.gpu(dev);
     gpu.kernelEnd(slot->gpuToken, now);
-    gpu.addKernelTime(slot->cls, now - slot->startTime);
+    gpu.addKernelTime(slot->cls, Seconds(now - slot->startTime));
     emitTrace(dev, slot->cls, slot->name, slot->startTime,
               now - slot->startTime);
     slot.reset();
@@ -237,9 +238,9 @@ TrainingEngine::finishCompute(int dev)
 }
 
 void
-TrainingEngine::onClockChange(int dev, double clock_rel)
+TrainingEngine::onClockChange(int dev, ClockRel clock)
 {
-    (void)clock_rel;
+    (void)clock;
     retimeCompute(dev);
 }
 
@@ -325,7 +326,7 @@ TrainingEngine::onCollectiveDone(std::uint64_t key)
         // stragglers inflate their peers' communication time exactly
         // as NCCL kernel timings do on real systems.
         gpu.kernelEnd(inst.tokens[i].second, now);
-        gpu.addKernelTime(inst.cls, now - arr);
+        gpu.addKernelTime(inst.cls, Seconds(now - arr));
         emitTrace(dev, inst.cls, inst.name, arr, now - arr);
         // Contention relief: concurrent compute regains full rate.
         retimeCompute(dev);
@@ -371,7 +372,8 @@ TrainingEngine::issueSend(int dev, const Op& op)
         // Sender side bookkeeping.
         hw::Gpu& src_gpu = plat.gpu(dev);
         src_gpu.kernelEnd(token, done);
-        src_gpu.addKernelTime(hw::KernelClass::SendRecv, done - now);
+        src_gpu.addKernelTime(hw::KernelClass::SendRecv,
+                              Seconds(done - now));
         emitTrace(dev, hw::KernelClass::SendRecv, name, now,
                   done - now);
         retimeCompute(dev);
@@ -391,7 +393,7 @@ TrainingEngine::issueSend(int dev, const Op& op)
             hw::Gpu& dst_gpu = plat.gpu(dst);
             dst_gpu.kernelEnd(rx_token, done);
             dst_gpu.addKernelTime(hw::KernelClass::SendRecv,
-                                  done - arr);
+                                  Seconds(done - arr));
             emitTrace(dst, hw::KernelClass::SendRecv, "recv", arr,
                       done - arr);
             advance(dst);

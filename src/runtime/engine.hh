@@ -134,7 +134,7 @@ class TrainingEngine
     void advance(int dev);
     void startCompute(int dev, const Op& op);
     void finishCompute(int dev);
-    void onClockChange(int dev, double clock_rel);
+    void onClockChange(int dev, ClockRel clock);
 
     /**
      * Effective progress rate of compute on a device: relative clock,

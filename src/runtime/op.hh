@@ -36,14 +36,14 @@ struct Op
     const char* name = "";
 
     // Compute payload.
-    double flops = 0.0;
-    double hbmBytes = 0.0;
+    Flops flops;
+    Bytes hbmBytes;
     int kernels = 1; //!< device kernels the operator fuses (layers)
 
     // Collective payload.
     coll::CollectiveKind ckind = coll::CollectiveKind::AllReduce;
     int groupId = -1; //!< index into Program::groups
-    double bytes = 0.0;
+    Bytes bytes;
     bool chunked = true;
     int messages = 1; //!< back-to-back launches (per-layer collectives)
     bool async = false; //!< cc-overlap: issue and continue

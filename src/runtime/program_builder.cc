@@ -113,15 +113,15 @@ ProgramBuilder::pipelineBubbleFraction() const
     return (p - 1.0) / (v * m + p - 1.0);
 }
 
-double
+Bytes
 ProgramBuilder::stageParamBytes(int stage) const
 {
     parallel::MemoryPlanner planner(cfg, map.config());
-    return planner.paramsPerGpu(stage) *
-           model::TransformerConfig::kBytesPerElement;
+    return Bytes(planner.paramsPerGpu(stage) *
+                 model::TransformerConfig::kBytesPerElement);
 }
 
-double
+Bytes
 ProgramBuilder::gradBytesPerGpu(int stage) const
 {
     double trainable_fraction =
@@ -194,7 +194,7 @@ ProgramBuilder::emitForward(BuildContext& ctx, int rank, int mb,
         rx.peerDevice = stage > 0
                             ? map.prevStageDevice(rank)
                             : deviceAtStage(rank, par.pp - 1);
-        rx.bytes = t * cfg.hiddenSize * el / par.tp;
+        rx.bytes = Bytes(t * cfg.hiddenSize * el / par.tp);
         rx.chunked = (par.tp == 1) || opts.chunkP2p;
         rx.microbatch = mb;
         ops.push_back(rx);
@@ -205,9 +205,10 @@ ProgramBuilder::emitForward(BuildContext& ctx, int rank, int mb,
     attn.type = OpType::Compute;
     attn.cls = hw::KernelClass::Attention;
     attn.name = "fwd-attn";
-    attn.flops = ls * t * analytics.attnFwdFlopsPerToken() / par.tp;
-    attn.hbmBytes = ls * analytics.attnParamsPerLayer() / par.tp * el +
-                    kActHbmFactor * t * cfg.hiddenSize * el;
+    attn.flops = Flops(ls * t * analytics.attnFwdFlopsPerToken() / par.tp);
+    attn.hbmBytes = Bytes(ls * analytics.attnParamsPerLayer() / par.tp *
+                              el +
+                          kActHbmFactor * t * cfg.hiddenSize * el);
     attn.kernels = std::max(1, static_cast<int>(ls));
     attn.microbatch = mb;
     ops.push_back(attn);
@@ -222,7 +223,7 @@ ProgramBuilder::emitForward(BuildContext& ctx, int rank, int mb,
         ar.name = "tp-allreduce-attn";
         ar.ckind = coll::CollectiveKind::AllReduce;
         ar.groupId = tp_group;
-        ar.bytes = ls * t * cfg.hiddenSize * el;
+        ar.bytes = Bytes(ls * t * cfg.hiddenSize * el);
         ar.messages = std::max(1, static_cast<int>(ls));
         ar.topologyAware = opts.topologyAwareCollectives;
         ar.async = cc; // overlapped with the MLP block under cc
@@ -240,7 +241,7 @@ ProgramBuilder::emitForward(BuildContext& ctx, int rank, int mb,
         a2a.name = "moe-dispatch";
         a2a.ckind = coll::CollectiveKind::AllToAll;
         a2a.groupId = ep_group;
-        a2a.bytes = ls * t * cfg.hiddenSize * el * cfg.topK;
+        a2a.bytes = Bytes(ls * t * cfg.hiddenSize * el * cfg.topK);
         a2a.messages = std::max(1, static_cast<int>(ls));
         a2a.microbatch = mb;
         ops.push_back(a2a);
@@ -257,13 +258,14 @@ ProgramBuilder::emitForward(BuildContext& ctx, int rank, int mb,
     mlp.cls = cfg.isMoe() ? hw::KernelClass::MoeGemm
                           : hw::KernelClass::Gemm;
     mlp.name = "fwd-mlp";
-    mlp.flops =
-        ls * t * analytics.mlpFwdFlopsPerToken() / par.tp * imbalance;
+    mlp.flops = Flops(ls * t * analytics.mlpFwdFlopsPerToken() /
+                      par.tp * imbalance);
     double experts_local =
         cfg.isMoe() ? static_cast<double>(cfg.numExperts) / par.ep : 1.0;
-    mlp.hbmBytes = ls * experts_local * analytics.mlpParamsPerExpert() /
-                       par.tp * el +
-                   kActHbmFactor * t * cfg.hiddenSize * el;
+    mlp.hbmBytes = Bytes(ls * experts_local *
+                             analytics.mlpParamsPerExpert() / par.tp *
+                             el +
+                         kActHbmFactor * t * cfg.hiddenSize * el);
     mlp.kernels = std::max(1, static_cast<int>(ls));
     mlp.microbatch = mb;
     ops.push_back(mlp);
@@ -275,7 +277,7 @@ ProgramBuilder::emitForward(BuildContext& ctx, int rank, int mb,
         a2a.name = "moe-combine";
         a2a.ckind = coll::CollectiveKind::AllToAll;
         a2a.groupId = ep_group;
-        a2a.bytes = ls * t * cfg.hiddenSize * el * cfg.topK;
+        a2a.bytes = Bytes(ls * t * cfg.hiddenSize * el * cfg.topK);
         a2a.messages = std::max(1, static_cast<int>(ls));
         a2a.microbatch = mb;
         ops.push_back(a2a);
@@ -288,7 +290,7 @@ ProgramBuilder::emitForward(BuildContext& ctx, int rank, int mb,
         ar.name = "tp-allreduce-mlp";
         ar.ckind = coll::CollectiveKind::AllReduce;
         ar.groupId = tp_group;
-        ar.bytes = ls * t * cfg.hiddenSize * el;
+        ar.bytes = Bytes(ls * t * cfg.hiddenSize * el);
         ar.messages = std::max(1, static_cast<int>(ls));
         ar.topologyAware = opts.topologyAwareCollectives;
         ar.microbatch = mb;
@@ -309,10 +311,10 @@ ProgramBuilder::emitForward(BuildContext& ctx, int rank, int mb,
         head.type = OpType::Compute;
         head.cls = hw::KernelClass::Gemm;
         head.name = "fwd-head";
-        head.flops = t * analytics.headFlopsPerToken() / par.tp;
-        head.hbmBytes = static_cast<double>(cfg.vocabSize) *
-                            cfg.hiddenSize / par.tp * el +
-                        kActHbmFactor * t * cfg.hiddenSize * el;
+        head.flops = Flops(t * analytics.headFlopsPerToken() / par.tp);
+        head.hbmBytes = Bytes(static_cast<double>(cfg.vocabSize) *
+                                  cfg.hiddenSize / par.tp * el +
+                              kActHbmFactor * t * cfg.hiddenSize * el);
         head.microbatch = mb;
         ops.push_back(head);
     }
@@ -325,7 +327,7 @@ ProgramBuilder::emitForward(BuildContext& ctx, int rank, int mb,
         tx.peerDevice = stage < par.pp - 1
                             ? map.nextStageDevice(rank)
                             : deviceAtStage(rank, 0);
-        tx.bytes = t * cfg.hiddenSize * el / par.tp;
+        tx.bytes = Bytes(t * cfg.hiddenSize * el / par.tp);
         tx.chunked = (par.tp == 1) || opts.chunkP2p;
         tx.microbatch = mb;
         ops.push_back(tx);
@@ -361,7 +363,7 @@ ProgramBuilder::emitBackward(BuildContext& ctx, int rank, int mb,
         rx.peerDevice = stage < par.pp - 1
                             ? map.nextStageDevice(rank)
                             : deviceAtStage(rank, 0);
-        rx.bytes = t * cfg.hiddenSize * el / par.tp;
+        rx.bytes = Bytes(t * cfg.hiddenSize * el / par.tp);
         rx.chunked = (par.tp == 1) || opts.chunkP2p;
         rx.microbatch = mb;
         ops.push_back(rx);
@@ -373,11 +375,11 @@ ProgramBuilder::emitBackward(BuildContext& ctx, int rank, int mb,
         rc.type = OpType::Compute;
         rc.cls = hw::KernelClass::Recompute;
         rc.name = "recompute";
-        rc.flops = ls * t *
-                   (analytics.attnFwdFlopsPerToken() +
-                    analytics.mlpFwdFlopsPerToken()) /
-                   par.tp;
-        rc.hbmBytes = kActHbmFactor * t * cfg.hiddenSize * el;
+        rc.flops = Flops(ls * t *
+                         (analytics.attnFwdFlopsPerToken() +
+                          analytics.mlpFwdFlopsPerToken()) /
+                         par.tp);
+        rc.hbmBytes = Bytes(kActHbmFactor * t * cfg.hiddenSize * el);
         rc.kernels = std::max(1, static_cast<int>(ls));
         rc.microbatch = mb;
         ops.push_back(rc);
@@ -397,7 +399,7 @@ ProgramBuilder::emitBackward(BuildContext& ctx, int rank, int mb,
         a2a.name = "moe-bwd-dispatch";
         a2a.ckind = coll::CollectiveKind::AllToAll;
         a2a.groupId = ep_group;
-        a2a.bytes = ls * t * cfg.hiddenSize * el * cfg.topK;
+        a2a.bytes = Bytes(ls * t * cfg.hiddenSize * el * cfg.topK);
         a2a.messages = std::max(1, static_cast<int>(ls));
         a2a.microbatch = mb;
         ops.push_back(a2a);
@@ -408,13 +410,15 @@ ProgramBuilder::emitBackward(BuildContext& ctx, int rank, int mb,
     mlp.cls = cfg.isMoe() ? hw::KernelClass::MoeGemm
                           : hw::KernelClass::Gemm;
     mlp.name = "bwd-mlp";
-    mlp.flops = bwd_factor * ls * t * analytics.mlpFwdFlopsPerToken() /
-                par.tp * imbalance;
+    mlp.flops = Flops(bwd_factor * ls * t *
+                      analytics.mlpFwdFlopsPerToken() / par.tp *
+                      imbalance);
     double experts_local =
         cfg.isMoe() ? static_cast<double>(cfg.numExperts) / par.ep : 1.0;
-    mlp.hbmBytes = ls * experts_local * analytics.mlpParamsPerExpert() /
-                       par.tp * el +
-                   kActHbmFactor * t * cfg.hiddenSize * el;
+    mlp.hbmBytes = Bytes(ls * experts_local *
+                             analytics.mlpParamsPerExpert() / par.tp *
+                             el +
+                         kActHbmFactor * t * cfg.hiddenSize * el);
     mlp.kernels = std::max(1, static_cast<int>(ls));
     mlp.microbatch = mb;
     ops.push_back(mlp);
@@ -426,7 +430,7 @@ ProgramBuilder::emitBackward(BuildContext& ctx, int rank, int mb,
         a2a.name = "moe-bwd-combine";
         a2a.ckind = coll::CollectiveKind::AllToAll;
         a2a.groupId = ep_group;
-        a2a.bytes = ls * t * cfg.hiddenSize * el * cfg.topK;
+        a2a.bytes = Bytes(ls * t * cfg.hiddenSize * el * cfg.topK);
         a2a.messages = std::max(1, static_cast<int>(ls));
         a2a.microbatch = mb;
         ops.push_back(a2a);
@@ -441,7 +445,7 @@ ProgramBuilder::emitBackward(BuildContext& ctx, int rank, int mb,
         ar.name = "tp-allreduce-bwd1";
         ar.ckind = coll::CollectiveKind::AllReduce;
         ar.groupId = tp_group;
-        ar.bytes = ls * t * cfg.hiddenSize * el;
+        ar.bytes = Bytes(ls * t * cfg.hiddenSize * el);
         ar.messages = std::max(1, static_cast<int>(ls));
         ar.topologyAware = opts.topologyAwareCollectives;
         ar.async = cc;
@@ -453,10 +457,11 @@ ProgramBuilder::emitBackward(BuildContext& ctx, int rank, int mb,
     attn.type = OpType::Compute;
     attn.cls = hw::KernelClass::Attention;
     attn.name = "bwd-attn";
-    attn.flops = bwd_factor * ls * t *
-                 analytics.attnFwdFlopsPerToken() / par.tp;
-    attn.hbmBytes = ls * analytics.attnParamsPerLayer() / par.tp * el +
-                    kActHbmFactor * t * cfg.hiddenSize * el;
+    attn.flops = Flops(bwd_factor * ls * t *
+                       analytics.attnFwdFlopsPerToken() / par.tp);
+    attn.hbmBytes = Bytes(ls * analytics.attnParamsPerLayer() / par.tp *
+                              el +
+                          kActHbmFactor * t * cfg.hiddenSize * el);
     attn.kernels = std::max(1, static_cast<int>(ls));
     attn.microbatch = mb;
     ops.push_back(attn);
@@ -468,7 +473,7 @@ ProgramBuilder::emitBackward(BuildContext& ctx, int rank, int mb,
         ar.name = "tp-allreduce-bwd2";
         ar.ckind = coll::CollectiveKind::AllReduce;
         ar.groupId = tp_group;
-        ar.bytes = ls * t * cfg.hiddenSize * el;
+        ar.bytes = Bytes(ls * t * cfg.hiddenSize * el);
         ar.messages = std::max(1, static_cast<int>(ls));
         ar.topologyAware = opts.topologyAwareCollectives;
         ar.microbatch = mb;
@@ -491,7 +496,7 @@ ProgramBuilder::emitBackward(BuildContext& ctx, int rank, int mb,
         tx.peerDevice = stage > 0
                             ? map.prevStageDevice(rank)
                             : deviceAtStage(rank, par.pp - 1);
-        tx.bytes = t * cfg.hiddenSize * el / par.tp;
+        tx.bytes = Bytes(t * cfg.hiddenSize * el / par.tp);
         tx.chunked = (par.tp == 1) || opts.chunkP2p;
         tx.microbatch = mb;
         ops.push_back(tx);
@@ -572,7 +577,7 @@ ProgramBuilder::emitIterationTail(BuildContext& ctx, int rank) const
     double trainable_fraction =
         analytics.trainableParams() / analytics.totalParams();
     double trainable =
-        stageParamBytes(stage) /
+        stageParamBytes(stage).value() /
         model::TransformerConfig::kBytesPerElement * trainable_fraction;
     double shard = 1.0;
     if (par.fsdp || (opts.zero1 && par.dp > 1))
@@ -581,8 +586,8 @@ ProgramBuilder::emitIterationTail(BuildContext& ctx, int rank) const
     opt.type = OpType::Compute;
     opt.cls = hw::KernelClass::Optimizer;
     opt.name = "optimizer-step";
-    opt.flops = trainable * kOptimizerFlopsPerParam / shard;
-    opt.hbmBytes = trainable * kOptimizerBytesPerParam / shard;
+    opt.flops = Flops(trainable * kOptimizerFlopsPerParam / shard);
+    opt.hbmBytes = Bytes(trainable * kOptimizerBytesPerParam / shard);
     ops.push_back(opt);
 
     // ZeRO-1 gathers the freshly updated parameter shards.

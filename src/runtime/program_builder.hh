@@ -77,8 +77,8 @@ class ProgramBuilder
     void emitRankInterleaved(BuildContext& ctx, int rank) const;
 
     /** Trainable gradient bytes per GPU on this rank's stage. */
-    double gradBytesPerGpu(int stage) const;
-    double stageParamBytes(int stage) const;
+    Bytes gradBytesPerGpu(int stage) const;
+    Bytes stageParamBytes(int stage) const;
 
     model::TransformerConfig cfg;
     model::ModelAnalytics analytics;

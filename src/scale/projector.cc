@@ -35,8 +35,11 @@ Projector::project(int dp, double bandwidth_multiplier) const
     // DP ring sees the full (scaled) link bandwidth.
     if (dp > 1) {
         double ring_bw = in.nodeBandwidth * bandwidth_multiplier;
-        p.allReduceSeconds = coll::ringAllReduceSeconds(
-            dp, in.gradBytesPerGpu, ring_bw, in.messageLatency);
+        p.allReduceSeconds =
+            coll::ringAllReduceSeconds(dp, Bytes(in.gradBytesPerGpu),
+                                       BytesPerSec(ring_bw),
+                                       Seconds(in.messageLatency))
+                .value();
     }
 
     p.iterationSeconds =

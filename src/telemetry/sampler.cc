@@ -6,12 +6,12 @@ namespace charllm {
 namespace telemetry {
 
 Sampler::Sampler(hw::Platform& platform, net::FlowNetwork& netw,
-                 double period_s)
-    : plat(platform), network(netw), periodSec(period_s)
+                 Seconds period)
+    : plat(platform), network(netw), periodSec(period.value())
 {
-    CHARLLM_ASSERT(period_s > 0.0, "non-positive sample period");
+    CHARLLM_ASSERT(periodSec > 0.0, "non-positive sample period");
     perGpu.resize(static_cast<std::size_t>(plat.numGpus()));
-    plat.simulator().every(sim::toTicks(period_s),
+    plat.simulator().every(sim::toTicks(periodSec),
                            [this] { sampleNow(); });
 }
 
@@ -25,7 +25,7 @@ Sampler::sampleNow()
     for (int i = 0; i < plat.numGpus(); ++i) {
         const hw::Gpu& gpu = plat.gpu(i);
         Sample s;
-        s.time = now;
+        s.time = Seconds(now);
         s.powerWatts = gpu.power();
         s.tempC = gpu.temperature();
         s.clockGhz = gpu.clockGhz();
@@ -48,10 +48,10 @@ Sampler::clear()
 const std::vector<Sample>&
 Sampler::series(int gpu) const
 {
-    CHARLLM_ASSERT(gpu >= 0 &&
-                       static_cast<std::size_t>(gpu) < perGpu.size(),
-                   "gpu id ", gpu, " out of range [0, ", perGpu.size(),
-                   ")");
+    CHARLLM_CHECK(gpu >= 0 &&
+                      static_cast<std::size_t>(gpu) < perGpu.size(),
+                  "gpu id ", gpu, " out of range [0, ", perGpu.size(),
+                  ")");
     return perGpu[static_cast<std::size_t>(gpu)];
 }
 
@@ -73,14 +73,14 @@ Sampler::toCsv() const
     for (std::size_t g = 0; g < perGpu.size(); ++g) {
         for (const Sample& s : perGpu[g]) {
             csv.beginRow();
-            csv.cell(s.time);
+            csv.cell(s.time.value());
             csv.cell(static_cast<int>(g));
-            csv.cell(s.powerWatts);
-            csv.cell(s.tempC);
+            csv.cell(s.powerWatts.value());
+            csv.cell(s.tempC.value());
             csv.cell(s.clockGhz);
             csv.cell(s.occupancy);
-            csv.cell(s.pcieRate);
-            csv.cell(s.scaleUpRate);
+            csv.cell(s.pcieRate.value());
+            csv.cell(s.scaleUpRate.value());
             csv.cell(std::string(s.fault));
             csv.endRow();
         }

@@ -22,13 +22,13 @@ namespace telemetry {
 /** One telemetry sample of one GPU. */
 struct Sample
 {
-    double time = 0.0;        //!< simulated seconds
-    double powerWatts = 0.0;
-    double tempC = 0.0;
+    Seconds time;             //!< simulated time since start
+    Watts powerWatts;
+    Celsius tempC;
     double clockGhz = 0.0;
     double occupancy = 0.0;
-    double pcieRate = 0.0;    //!< bytes/s through the GPU's PCIe port
-    double scaleUpRate = 0.0; //!< bytes/s through NVLink/xGMI ports
+    BytesPerSec pcieRate;     //!< rate through the GPU's PCIe port
+    BytesPerSec scaleUpRate;  //!< rate through NVLink/xGMI ports
     const char* fault = "";   //!< active fault label ("" if healthy)
 };
 
@@ -40,11 +40,11 @@ class Sampler
 {
   public:
     /**
-     * @param period_s sampling period in simulated seconds (the
-     *        paper's Zeus extension samples at ~10 ms granularity)
+     * @param period sampling period in simulated time (the paper's
+     *        Zeus extension samples at ~10 ms granularity)
      */
     Sampler(hw::Platform& platform, net::FlowNetwork& network,
-            double period_s = 0.01);
+            Seconds period = Seconds(0.01));
 
     /** Take one sample of every GPU now (also driven by the ticker). */
     void sampleNow();
@@ -65,7 +65,7 @@ class Sampler
     void clear();
 
     const std::vector<Sample>& series(int gpu) const;
-    double period() const { return periodSec; }
+    Seconds period() const { return Seconds(periodSec); }
     std::size_t numSamples() const;
 
     /** Export all series as a Zeus-style CSV. */

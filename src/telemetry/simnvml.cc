@@ -44,8 +44,8 @@ deviceGetTemperature(const DeviceHandle& handle, unsigned int* temp_c)
 {
     if (!valid(handle) || !temp_c)
         return SIMNVML_ERROR_INVALID_ARGUMENT;
-    *temp_c = static_cast<unsigned int>(
-        std::lround(handle.platform->gpu(handle.index).temperature()));
+    *temp_c = static_cast<unsigned int>(std::lround(
+        handle.platform->gpu(handle.index).temperature().value()));
     return SIMNVML_SUCCESS;
 }
 
@@ -54,8 +54,8 @@ deviceGetPowerUsage(const DeviceHandle& handle, unsigned int* milliwatts)
 {
     if (!valid(handle) || !milliwatts)
         return SIMNVML_ERROR_INVALID_ARGUMENT;
-    *milliwatts = static_cast<unsigned int>(
-        std::lround(handle.platform->gpu(handle.index).power() * 1e3));
+    *milliwatts = static_cast<unsigned int>(std::lround(
+        handle.platform->gpu(handle.index).power().value() * 1e3));
     return SIMNVML_SUCCESS;
 }
 
@@ -91,7 +91,7 @@ deviceGetTotalEnergyConsumption(const DeviceHandle& handle,
     if (!valid(handle) || !millijoules)
         return SIMNVML_ERROR_INVALID_ARGUMENT;
     *millijoules = static_cast<std::uint64_t>(
-        handle.platform->gpu(handle.index).energyJoules() * 1e3);
+        handle.platform->gpu(handle.index).energyJoules().value() * 1e3);
     return SIMNVML_SUCCESS;
 }
 

@@ -31,7 +31,7 @@ struct CollFixture : ::testing::Test
         CollectiveRequest req;
         req.kind = kind;
         req.ranks = std::move(ranks);
-        req.bytes = bytes;
+        req.bytes = Bytes(bytes);
         req.chunked = chunked;
         req.onComplete = [&] { done = sim.nowSeconds(); };
         eng.run(std::move(req));
@@ -46,31 +46,51 @@ TEST(CostModel, RingAllReduceFactor)
 {
     // Classic 2(n-1)/n wire volume: for large n the bandwidth term
     // approaches 2*bytes/bw.
-    double t8 = ringAllReduceSeconds(8, 1e9, 1e9, 0.0);
+    double t8 = ringAllReduceSeconds(8, Bytes(1e9), BytesPerSec(1e9),
+                                     Seconds(0.0))
+                    .value();
     EXPECT_NEAR(t8, 2.0 * (7.0 / 8.0), 1e-9);
-    double t2 = ringAllReduceSeconds(2, 1e9, 1e9, 0.0);
+    double t2 = ringAllReduceSeconds(2, Bytes(1e9), BytesPerSec(1e9),
+                                     Seconds(0.0))
+                    .value();
     EXPECT_NEAR(t2, 1.0, 1e-9);
-    EXPECT_DOUBLE_EQ(ringAllReduceSeconds(1, 1e9, 1e9, 1e-6), 0.0);
+    EXPECT_DOUBLE_EQ(ringAllReduceSeconds(1, Bytes(1e9), BytesPerSec(1e9),
+                                          Seconds(1e-6))
+                         .value(),
+                     0.0);
 }
 
 TEST(CostModel, LatencyTermScalesWithSteps)
 {
-    double no_lat = ringAllReduceSeconds(16, 1e6, 1e12, 0.0);
-    double with_lat = ringAllReduceSeconds(16, 1e6, 1e12, 1e-5);
+    double no_lat = ringAllReduceSeconds(16, Bytes(1e6),
+                                         BytesPerSec(1e12), Seconds(0.0))
+                        .value();
+    double with_lat = ringAllReduceSeconds(16, Bytes(1e6),
+                                           BytesPerSec(1e12),
+                                           Seconds(1e-5))
+                          .value();
     EXPECT_NEAR(with_lat - no_lat, 30.0 * 1e-5, 1e-12);
 }
 
 TEST(CostModel, AllGatherHalfOfAllReduce)
 {
-    double ar = ringAllReduceSeconds(8, 1e9, 1e9, 0.0);
-    double ag = ringAllGatherSeconds(8, 1e9, 1e9, 0.0);
+    double ar = ringAllReduceSeconds(8, Bytes(1e9), BytesPerSec(1e9),
+                                     Seconds(0.0))
+                    .value();
+    double ag = ringAllGatherSeconds(8, Bytes(1e9), BytesPerSec(1e9),
+                                     Seconds(0.0))
+                    .value();
     EXPECT_NEAR(ar, 2.0 * ag, 1e-9);
 }
 
 TEST(CostModel, AllToAllMonotonicInSize)
 {
-    EXPECT_LT(allToAllSeconds(8, 1e8, 1e9, 1e-5),
-              allToAllSeconds(8, 1e9, 1e9, 1e-5));
+    EXPECT_LT(allToAllSeconds(8, Bytes(1e8), BytesPerSec(1e9),
+                              Seconds(1e-5))
+                  .value(),
+              allToAllSeconds(8, Bytes(1e9), BytesPerSec(1e9),
+                              Seconds(1e-5))
+                  .value());
 }
 
 // ---- wire volume ------------------------------------------------------------
@@ -78,19 +98,20 @@ TEST(CostModel, AllToAllMonotonicInSize)
 TEST(WireVolume, MatchesAlgorithmFactors)
 {
     CollectiveRequest req;
-    req.bytes = 8e9;
+    req.bytes = Bytes(8e9);
     req.ranks = {0, 1, 2, 3, 4, 5, 6, 7};
     req.kind = CollectiveKind::AllReduce;
-    EXPECT_NEAR(CollectiveEngine::wireBytesPerRank(req),
+    EXPECT_NEAR(CollectiveEngine::wireBytesPerRank(req).value(),
                 2.0 * 8e9 * 7.0 / 8.0, 1.0);
     req.kind = CollectiveKind::AllGather;
-    EXPECT_NEAR(CollectiveEngine::wireBytesPerRank(req), 8e9 * 7.0 / 8.0,
-                1.0);
+    EXPECT_NEAR(CollectiveEngine::wireBytesPerRank(req).value(),
+                8e9 * 7.0 / 8.0, 1.0);
     req.kind = CollectiveKind::AllToAll;
-    EXPECT_NEAR(CollectiveEngine::wireBytesPerRank(req), 8e9 * 7.0 / 8.0,
-                1.0);
+    EXPECT_NEAR(CollectiveEngine::wireBytesPerRank(req).value(),
+                8e9 * 7.0 / 8.0, 1.0);
     req.ranks = {3};
-    EXPECT_DOUBLE_EQ(CollectiveEngine::wireBytesPerRank(req), 0.0);
+    EXPECT_DOUBLE_EQ(CollectiveEngine::wireBytesPerRank(req).value(),
+                     0.0);
 }
 
 // ---- flow execution ---------------------------------------------------------
@@ -102,10 +123,12 @@ TEST_F(CollFixture, IntraNodeAllReduceMatchesAnalytic)
     double bytes = 1e9;
     double t = runCollective(netw, CollectiveKind::AllReduce,
                              {0, 1, 2, 3, 4, 5, 6, 7}, bytes);
-    double analytic = ringAllReduceSeconds(
-        8, bytes,
-        topo.params().nvlinkBw * net::calib::kProtocolEfficiency,
-        topo.params().intraLatency);
+    double analytic =
+        ringAllReduceSeconds(
+            8, Bytes(bytes),
+            topo.params().nvlinkBw * net::calib::kProtocolEfficiency,
+            topo.params().intraLatency)
+            .value();
     EXPECT_NEAR(t, analytic, analytic * 0.05);
 }
 
@@ -125,7 +148,7 @@ TEST_F(CollFixture, CrossNodeAllReduceBottleneckedByNic)
     CollectiveRequest req;
     req.kind = CollectiveKind::AllReduce;
     req.ranks = {0, 1, 2, 3, 4, 5, 6, 7};
-    req.bytes = bytes;
+    req.bytes = Bytes(bytes);
     req.onComplete = [&] { intra = sim2.nowSeconds(); };
     eng2.run(std::move(req));
     sim2.run();
@@ -149,7 +172,7 @@ TEST_F(CollFixture, AllToAllLocalityAdvantage)
     CollectiveRequest req;
     req.kind = CollectiveKind::AllToAll;
     req.ranks = {0, 1, 2, 3, 8, 9, 10, 11}; // half on each node
-    req.bytes = bytes;
+    req.bytes = Bytes(bytes);
     req.onComplete = [&] { spread = sim2.nowSeconds(); };
     eng2.run(std::move(req));
     sim2.run();
@@ -169,7 +192,7 @@ TEST_F(CollFixture, SendRecvUnchunkedPaysHandshake)
     CollectiveRequest req;
     req.kind = CollectiveKind::SendRecv;
     req.ranks = {0, 8};
-    req.bytes = 1e6;
+    req.bytes = Bytes(1e6);
     req.chunked = false;
     req.onComplete = [&] { unchunked = sim2.nowSeconds(); };
     eng2.run(std::move(req));
@@ -215,7 +238,7 @@ TEST_F(CollFixture, ConcurrentCollectivesContend)
         CollectiveRequest req;
         req.kind = CollectiveKind::AllReduce;
         req.ranks = {g * 4 + 0, g * 4 + 1, g * 4 + 2, g * 4 + 3};
-        req.bytes = bytes;
+        req.bytes = Bytes(bytes);
         req.onComplete = [&] {
             ++done;
             t_last = sim2.nowSeconds();
@@ -238,7 +261,7 @@ TEST_F(CollFixture, LargerGroupsMoveMoreTotalBytes)
                   1e9);
     double total = 0.0;
     for (int l = 0; l < static_cast<int>(topo.links().size()); ++l)
-        total += netw.linkBytes(l);
+        total += netw.linkBytes(l).value();
     // 8 flows x wire bytes x 2 links each.
     double expected = 8.0 * (2.0 * 1e9 * 7.0 / 8.0) * 2.0;
     EXPECT_NEAR(total, expected, expected * 0.01);
@@ -267,7 +290,7 @@ TEST_F(CollFixture, HierarchicalAllReduceBeatsFlatAcrossNodes)
     CollectiveRequest req;
     req.kind = CollectiveKind::AllReduce;
     req.ranks = ranks;
-    req.bytes = bytes;
+    req.bytes = Bytes(bytes);
     req.topologyAware = true;
     req.onComplete = [&] { hier = sim2.nowSeconds(); };
     eng.run(std::move(req));
@@ -287,7 +310,7 @@ TEST_F(CollFixture, HierarchicalFallsBackForIntraNodeGroup)
     CollectiveRequest req;
     req.kind = CollectiveKind::AllReduce;
     req.ranks = {0, 1, 2, 3, 4, 5, 6, 7};
-    req.bytes = 1e9;
+    req.bytes = Bytes(1e9);
     req.topologyAware = true;
     req.onComplete = [&] { t_aware = sim.nowSeconds(); };
     eng.run(std::move(req));
@@ -298,7 +321,7 @@ TEST_F(CollFixture, HierarchicalFallsBackForIntraNodeGroup)
     CollectiveRequest req2;
     req2.kind = CollectiveKind::AllReduce;
     req2.ranks = {0, 1, 2, 3, 4, 5, 6, 7};
-    req2.bytes = 1e9;
+    req2.bytes = Bytes(1e9);
     req2.onComplete = [&] { t_flat = sim2.nowSeconds(); };
     CollectiveEngine eng2(sim2, netw2);
     eng2.run(std::move(req2));
@@ -321,7 +344,7 @@ TEST_F(CollFixture, HierarchicalAllGatherAndReduceScatterComplete)
         CollectiveRequest req;
         req.kind = kind;
         req.ranks = ranks;
-        req.bytes = 5e8;
+        req.bytes = Bytes(5e8);
         req.topologyAware = true;
         req.onComplete = [&] { done = s.nowSeconds(); };
         eng.run(std::move(req));

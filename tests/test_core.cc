@@ -45,12 +45,12 @@ TEST(Cluster, PresetsMatchTable3)
     auto h200 = h200Cluster();
     EXPECT_EQ(h200.numGpus(), 32);
     EXPECT_EQ(h200.numNodes, 4);
-    EXPECT_NEAR(h200.gpu.memoryBytes, 141e9, 1e6);
+    EXPECT_NEAR(h200.gpu.memoryBytes.value(), 141e9, 1e6);
 
     auto h100 = h100Cluster();
     EXPECT_EQ(h100.numGpus(), 64);
     EXPECT_EQ(h100.numNodes, 8);
-    EXPECT_NEAR(h100.gpu.memoryBytes, 80e9, 1e6);
+    EXPECT_NEAR(h100.gpu.memoryBytes.value(), 80e9, 1e6);
 
     auto mi250 = mi250Cluster();
     EXPECT_EQ(mi250.numGpus(), 32);
@@ -58,8 +58,8 @@ TEST(Cluster, PresetsMatchTable3)
     EXPECT_TRUE(mi250.gpu.chipletGcd);
 
     // Identical NIC provisioning (100 Gbps IB) across clusters.
-    EXPECT_DOUBLE_EQ(h200.network.nicBw, 12.5e9);
-    EXPECT_DOUBLE_EQ(mi250.network.nicBw, 12.5e9);
+    EXPECT_DOUBLE_EQ(h200.network.nicBw.value(), 12.5e9);
+    EXPECT_DOUBLE_EQ(mi250.network.nicBw.value(), 12.5e9);
 }
 
 TEST(Cluster, OneGpuPerNodeVariant)
@@ -173,8 +173,8 @@ TEST_F(CoreFixture, SamplerSeriesCollected)
     EXPECT_GT(r.series[0].size(), 10u);
     // Samples carry plausible physics.
     for (const auto& s : r.series[0]) {
-        EXPECT_GT(s.powerWatts, 50.0);
-        EXPECT_GE(s.tempC, 20.0);
+        EXPECT_GT(s.powerWatts.value(), 50.0);
+        EXPECT_GE(s.tempC.value(), 20.0);
         EXPECT_GT(s.clockGhz, 0.5);
     }
 }

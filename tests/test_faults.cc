@@ -63,14 +63,14 @@ seriesCsv(const core::ExperimentResult& r)
     for (std::size_t g = 0; g < r.series.size(); ++g) {
         for (const auto& s : r.series[g]) {
             csv.beginRow();
-            csv.cell(s.time);
+            csv.cell(s.time.value());
             csv.cell(static_cast<int>(g));
-            csv.cell(s.powerWatts);
-            csv.cell(s.tempC);
+            csv.cell(s.powerWatts.value());
+            csv.cell(s.tempC.value());
             csv.cell(s.clockGhz);
             csv.cell(s.occupancy);
-            csv.cell(s.pcieRate);
-            csv.cell(s.scaleUpRate);
+            csv.cell(s.pcieRate.value());
+            csv.cell(s.scaleUpRate.value());
             csv.cell(std::string(s.fault));
             csv.endRow();
         }
@@ -106,11 +106,11 @@ TEST_F(InjectorFixture, StragglerDeratesDeviceDuringWindow)
     double during = -1.0, after = -1.0;
     std::string label_during, label_after;
     sim.scheduleAt(sim::toTicks(0.2), [&] {
-        during = plat.gpu(1).clockRel();
+        during = plat.gpu(1).clockRel().value();
         label_during = injector.activeGpuFault(1);
     });
     sim.scheduleAt(sim::toTicks(0.4), [&] {
-        after = plat.gpu(1).clockRel();
+        after = plat.gpu(1).clockRel().value();
         label_after = injector.activeGpuFault(1);
     });
     sim.run();
@@ -125,14 +125,14 @@ TEST_F(InjectorFixture, StragglerDeratesDeviceDuringWindow)
 
 TEST_F(InjectorFixture, HotInletRaisesInletTemperature)
 {
-    std::vector<double> powers(
-        static_cast<std::size_t>(plat.numGpus()), 100.0);
-    double before = plat.thermal().inletTemperature(0, powers);
+    std::vector<Watts> powers(
+        static_cast<std::size_t>(plat.numGpus()), Watts(100.0));
+    double before = plat.thermal().inletTemperature(0, powers).value();
     injector.apply(scenarios::hotInlet(0, 14.0, 0.0));
     sim.run();
-    EXPECT_NEAR(plat.thermal().inletTemperature(0, powers),
+    EXPECT_NEAR(plat.thermal().inletTemperature(0, powers).value(),
                 before + 14.0, 1e-9);
-    EXPECT_DOUBLE_EQ(plat.thermal().inletOffset(0), 14.0);
+    EXPECT_DOUBLE_EQ(plat.thermal().inletOffset(0).value(), 14.0);
 }
 
 TEST_F(InjectorFixture, FlapScheduleIsSeedReproducible)

@@ -96,10 +96,11 @@ TEST_F(NetFixture, SingleFlowGetsFullLinkRate)
     FlowNetwork netw(sim, topo);
     double done_at = -1.0;
     double bytes = 4.5e9; // ~10 ms over a 450 GB/s NVLink
-    netw.transfer(0, 1, bytes, [&] { done_at = sim.nowSeconds(); });
+    netw.transfer(0, 1, Bytes(bytes),
+                  [&] { done_at = sim.nowSeconds(); });
     sim.run();
-    double expected = topo.params().intraLatency +
-                      bytes / (topo.params().nvlinkBw *
+    double expected = topo.params().intraLatency.value() +
+                      bytes / (topo.params().nvlinkBw.value() *
                                calib::kProtocolEfficiency);
     EXPECT_NEAR(done_at, expected, expected * 0.01);
 }
@@ -111,10 +112,10 @@ TEST_F(NetFixture, TwoFlowsShareBottleneckFairly)
     // Both flows cross node0 -> node1 through the shared NIC.
     double t1 = -1, t2 = -1;
     double bytes = 1.25e9; // 100 ms alone over a 12.5 GB/s NIC
-    netw.transfer(0, 8, bytes, [&] { t1 = sim.nowSeconds(); });
-    netw.transfer(1, 9, bytes, [&] { t2 = sim.nowSeconds(); });
+    netw.transfer(0, 8, Bytes(bytes), [&] { t1 = sim.nowSeconds(); });
+    netw.transfer(1, 9, Bytes(bytes), [&] { t2 = sim.nowSeconds(); });
     sim.run();
-    double alone = bytes / (topo.params().nicBw *
+    double alone = bytes / (topo.params().nicBw.value() *
                             calib::kProtocolEfficiency);
     // Shared: each takes ~2x the solo time.
     EXPECT_NEAR(t1, 2.0 * alone, alone * 0.05);
@@ -127,11 +128,11 @@ TEST_F(NetFixture, NonOverlappingFlowsDoNotContend)
     FlowNetwork netw(sim, topo);
     double t1 = -1, t2 = -1;
     double bytes = 4.5e9;
-    netw.transfer(0, 1, bytes, [&] { t1 = sim.nowSeconds(); });
-    netw.transfer(2, 3, bytes, [&] { t2 = sim.nowSeconds(); });
+    netw.transfer(0, 1, Bytes(bytes), [&] { t1 = sim.nowSeconds(); });
+    netw.transfer(2, 3, Bytes(bytes), [&] { t2 = sim.nowSeconds(); });
     sim.run();
-    double solo = topo.params().intraLatency +
-                  bytes / (topo.params().nvlinkBw *
+    double solo = topo.params().intraLatency.value() +
+                  bytes / (topo.params().nvlinkBw.value() *
                            calib::kProtocolEfficiency);
     EXPECT_NEAR(t1, solo, solo * 0.02);
     EXPECT_NEAR(t2, solo, solo * 0.02);
@@ -150,8 +151,10 @@ TEST_F(NetFixture, MaxMinUnevenAllocation)
     // Instead, B: 1 -> 8 shares only NIC; use intra flow for clean test:
     // B': 0 -> 1 via NVLink shares nothing with A.
     double t_a = -1, t_b = -1;
-    netw.transfer(0, 8, 1.25e9, [&] { t_a = sim.nowSeconds(); ++done; });
-    netw.transfer(0, 1, 1.25e9, [&] { t_b = sim.nowSeconds(); ++done; });
+    netw.transfer(0, 8, Bytes(1.25e9),
+                  [&] { t_a = sim.nowSeconds(); ++done; });
+    netw.transfer(0, 1, Bytes(1.25e9),
+                  [&] { t_b = sim.nowSeconds(); ++done; });
     sim.run();
     EXPECT_EQ(done, 2);
     // NVLink flow finishes much earlier than NIC flow.
@@ -163,9 +166,9 @@ TEST_F(NetFixture, LatencyOnlyForZeroBytes)
     Topology topo(Topology::hgxParams(2));
     FlowNetwork netw(sim, topo);
     double t = -1;
-    netw.transfer(0, 8, 0.0, [&] { t = sim.nowSeconds(); });
+    netw.transfer(0, 8, Bytes(0.0), [&] { t = sim.nowSeconds(); });
     sim.run();
-    EXPECT_NEAR(t, topo.params().interLatency, 1e-9);
+    EXPECT_NEAR(t, topo.params().interLatency.value(), 1e-9);
 }
 
 TEST_F(NetFixture, SelfTransferUsesLocalCopy)
@@ -174,7 +177,7 @@ TEST_F(NetFixture, SelfTransferUsesLocalCopy)
     FlowNetwork netw(sim, topo);
     double t = -1;
     double bytes = 1.2e9;
-    netw.transfer(3, 3, bytes, [&] { t = sim.nowSeconds(); });
+    netw.transfer(3, 3, Bytes(bytes), [&] { t = sim.nowSeconds(); });
     sim.run();
     EXPECT_NEAR(t, bytes / calib::kLocalCopyBandwidth, 1e-4);
 }
@@ -184,11 +187,12 @@ TEST_F(NetFixture, ExtraLatencyDelaysCompletion)
     Topology topo(Topology::hgxParams(1));
     FlowNetwork netw(sim, topo);
     double t0 = -1, t1 = -1;
-    netw.transfer(0, 1, 1e6, [&] { t0 = sim.nowSeconds(); });
+    netw.transfer(0, 1, Bytes(1e6), [&] { t0 = sim.nowSeconds(); });
     sim.run();
     sim::Simulator sim2;
     FlowNetwork netw2(sim2, topo);
-    netw2.transfer(0, 1, 1e6, [&] { t1 = sim2.nowSeconds(); }, 5e-3);
+    netw2.transfer(0, 1, Bytes(1e6), [&] { t1 = sim2.nowSeconds(); },
+                   Seconds(5e-3));
     sim2.run();
     EXPECT_NEAR(t1 - t0, 5e-3, 1e-5);
 }
@@ -199,14 +203,14 @@ TEST_F(NetFixture, TrafficSinkAttributesBytes)
     FlowNetwork netw(sim, topo);
     double pcie_bytes_gpu0 = 0.0;
     double nvlink_bytes_gpu0 = 0.0;
-    netw.setTrafficSink([&](int gpu, hw::TrafficClass cls, double b) {
+    netw.setTrafficSink([&](int gpu, hw::TrafficClass cls, Bytes b) {
         if (gpu == 0 && cls == hw::TrafficClass::Pcie)
-            pcie_bytes_gpu0 += b;
+            pcie_bytes_gpu0 += b.value();
         if (gpu == 0 && cls == hw::TrafficClass::NvLink)
-            nvlink_bytes_gpu0 += b;
+            nvlink_bytes_gpu0 += b.value();
     });
-    netw.transfer(0, 8, 1e8, [] {});
-    netw.transfer(0, 1, 1e8, [] {});
+    netw.transfer(0, 8, Bytes(1e8), [] {});
+    netw.transfer(0, 1, Bytes(1e8), [] {});
     sim.run();
     EXPECT_NEAR(pcie_bytes_gpu0, 1e8, 1.0);
     EXPECT_NEAR(nvlink_bytes_gpu0, 1e8, 1.0);
@@ -216,11 +220,11 @@ TEST_F(NetFixture, LinkByteCountersMatchVolume)
 {
     Topology topo(Topology::hgxParams(2));
     FlowNetwork netw(sim, topo);
-    netw.transfer(0, 8, 2e8, [] {});
+    netw.transfer(0, 8, Bytes(2e8), [] {});
     sim.run();
     auto route = topo.route(0, 8);
     for (LinkId l : route)
-        EXPECT_NEAR(netw.linkBytes(l), 2e8, 1.0);
+        EXPECT_NEAR(netw.linkBytes(l).value(), 2e8, 1.0);
 }
 
 TEST_F(NetFixture, ManyFlowsAllComplete)
@@ -235,7 +239,7 @@ TEST_F(NetFixture, ManyFlowsAllComplete)
             if (dst == src)
                 continue;
             ++expected;
-            netw.transfer(src, dst, 1e7 * (1 + k),
+            netw.transfer(src, dst, Bytes(1e7 * (1 + k)),
                           [&] { ++completions; });
         }
     }
@@ -248,17 +252,17 @@ TEST_F(NetFixture, GpuRateReflectsActiveFlows)
 {
     Topology topo(Topology::hgxParams(2));
     FlowNetwork netw(sim, topo);
-    netw.transfer(0, 8, 1.25e9, [] {});
+    netw.transfer(0, 8, Bytes(1.25e9), [] {});
     // Probe after the flow activates.
     double observed = -1.0;
     sim.schedule(sim::toTicks(0.01), [&] {
-        observed = netw.gpuRate(0, hw::TrafficClass::Pcie);
+        observed = netw.gpuRate(0, hw::TrafficClass::Pcie).value();
     });
     sim.run();
     // NIC-limited: ~12.5 GB/s * protocol efficiency.
     EXPECT_NEAR(observed,
-                topo.params().nicBw * calib::kProtocolEfficiency,
-                topo.params().nicBw * 0.1);
+                topo.params().nicBw.value() * calib::kProtocolEfficiency,
+                topo.params().nicBw.value() * 0.1);
 }
 
 TEST_F(NetFixture, ReentrantCompletionStartsNewTransfer)
@@ -270,14 +274,14 @@ TEST_F(NetFixture, ReentrantCompletionStartsNewTransfer)
     FlowNetwork netw(sim, topo);
     double bytes = 4.5e9;
     double first_done = -1.0, second_done = -1.0;
-    netw.transfer(0, 1, bytes, [&] {
+    netw.transfer(0, 1, Bytes(bytes), [&] {
         first_done = sim.nowSeconds();
-        netw.transfer(1, 2, bytes,
+        netw.transfer(1, 2, Bytes(bytes),
                       [&] { second_done = sim.nowSeconds(); });
     });
     sim.run();
-    double solo = topo.params().intraLatency +
-                  bytes / (topo.params().nvlinkBw *
+    double solo = topo.params().intraLatency.value() +
+                  bytes / (topo.params().nvlinkBw.value() *
                            calib::kProtocolEfficiency);
     EXPECT_NEAR(first_done, solo, solo * 0.01);
     // Disjoint links, so the chained flow also runs at full rate.
@@ -291,10 +295,11 @@ TEST_F(NetFixture, LinkDerateSlowsActiveFlow)
     LinkId nic = topo.nicOutLink(0);
     double done_at = -1.0;
     double bytes = 1.25e9; // 100 ms alone over a 12.5 GB/s NIC
-    netw.transfer(0, 8, bytes, [&] { done_at = sim.nowSeconds(); });
+    netw.transfer(0, 8, Bytes(bytes),
+                  [&] { done_at = sim.nowSeconds(); });
     // Halve the NIC capacity mid-flight: at t = alone/2 half the bytes
     // remain, which now take twice as long -> total = 1.5x alone.
-    double alone = bytes / (topo.params().nicBw *
+    double alone = bytes / (topo.params().nicBw.value() *
                             calib::kProtocolEfficiency);
     sim.schedule(sim::toTicks(alone / 2.0),
                  [&] { netw.setLinkDerate(nic, 0.5); });
@@ -311,8 +316,9 @@ TEST_F(NetFixture, LinkDerateRestoreRecoversRate)
     netw.setLinkDerate(nic, 0.25);
     double done_at = -1.0;
     double bytes = 1.25e9;
-    netw.transfer(0, 8, bytes, [&] { done_at = sim.nowSeconds(); });
-    double alone = bytes / (topo.params().nicBw *
+    netw.transfer(0, 8, Bytes(bytes),
+                  [&] { done_at = sim.nowSeconds(); });
+    double alone = bytes / (topo.params().nicBw.value() *
                             calib::kProtocolEfficiency);
     // Derated for the first alone/2 (completes 1/8 of the bytes),
     // then healthy again: total = alone/2 + 7/8 * alone.
@@ -340,7 +346,7 @@ TEST_F(NetFixture, DeterministicCompletionOrder)
         FlowNetwork netw(s, topo);
         std::vector<int> order;
         for (int i = 0; i < 10; ++i) {
-            netw.transfer(i % 8, 8 + (i % 8), 1e7 * (i + 1),
+            netw.transfer(i % 8, 8 + (i % 8), Bytes(1e7 * (i + 1)),
                           [&order, i] { order.push_back(i); });
         }
         s.run();

@@ -188,7 +188,7 @@ TEST(MemoryPlanner, Gpt175bNeedsModelParallelism)
     auto cfg = model::gpt3_175b();
     MemoryPlanner p(cfg, ParallelConfig::forWorld(1, 1, 1));
     MemoryOptions opts;
-    EXPECT_FALSE(p.fits(141e9, opts));
+    EXPECT_FALSE(p.fits(Bytes(141e9), opts));
 }
 
 TEST(MemoryPlanner, RecomputeUnlocksMixtralEp8OnH200)
@@ -201,9 +201,9 @@ TEST(MemoryPlanner, RecomputeUnlocksMixtralEp8OnH200)
     MemoryOptions opts;
     opts.microbatchSize = 1;
     opts.microbatchesInFlight = 4;
-    EXPECT_FALSE(p.fits(141e9, opts));
+    EXPECT_FALSE(p.fits(Bytes(141e9), opts));
     opts.actRecompute = true;
-    EXPECT_TRUE(p.fits(141e9, opts));
+    EXPECT_TRUE(p.fits(Bytes(141e9), opts));
 }
 
 TEST(MemoryPlanner, FsdpShardsEverything)

@@ -56,7 +56,8 @@ TEST_P(FlowProperty, BytesConservedAndAllFlowsComplete)
         double bytes = 1e6 * (1.0 + rng.uniform() * 50.0);
         if (!topo.sameNode(src, dst))
             injected_pcie += 2.0 * bytes; // src + dst PCIe ports
-        netw.transfer(src, dst, bytes, [&completed] { ++completed; });
+        netw.transfer(src, dst, Bytes(bytes),
+                      [&completed] { ++completed; });
     }
     s.run();
     EXPECT_EQ(completed, n_flows);
@@ -65,7 +66,7 @@ TEST_P(FlowProperty, BytesConservedAndAllFlowsComplete)
     double counted_pcie = 0.0;
     for (int l = 0; l < static_cast<int>(topo.links().size()); ++l) {
         if (topo.link(l).cls == hw::TrafficClass::Pcie)
-            counted_pcie += netw.linkBytes(l);
+            counted_pcie += netw.linkBytes(l).value();
     }
     EXPECT_NEAR(counted_pcie, injected_pcie,
                 std::max(1.0, injected_pcie * 1e-6));
@@ -81,7 +82,8 @@ TEST_P(FlowProperty, RatesNeverExceedLinkCapacity)
     for (int i = 0; i < n_flows; ++i) {
         int src = static_cast<int>(rng.below(16));
         int dst = (src + 1 + static_cast<int>(rng.below(15))) % 16;
-        netw.transfer(src, dst, 5e7 + rng.uniform() * 5e8, [] {});
+        netw.transfer(src, dst, Bytes(5e7 + rng.uniform() * 5e8),
+                      [] {});
     }
     // Probe utilization while flows are in flight.
     bool violated = false;
@@ -108,21 +110,25 @@ struct CollectiveCostProperty
 
 TEST_P(CollectiveCostProperty, CostsMonotonicAndPositive)
 {
-    auto [n, bytes] = GetParam();
-    double bw = 100e9, lat = 1e-5;
-    double ar = coll::ringAllReduceSeconds(n, bytes, bw, lat);
-    double ag = coll::ringAllGatherSeconds(n, bytes, bw, lat);
-    double a2a = coll::allToAllSeconds(n, bytes, bw, lat);
+    auto [n, raw_bytes] = GetParam();
+    Bytes bytes(raw_bytes);
+    BytesPerSec bw(100e9);
+    Seconds lat(1e-5);
+    double ar = coll::ringAllReduceSeconds(n, bytes, bw, lat).value();
+    double ag = coll::ringAllGatherSeconds(n, bytes, bw, lat).value();
+    double a2a = coll::allToAllSeconds(n, bytes, bw, lat).value();
     if (n > 1) {
         EXPECT_GT(ar, 0.0);
         // AllReduce moves twice the AllGather volume.
         EXPECT_GT(ar, ag);
         // More data never gets cheaper.
-        EXPECT_GE(coll::ringAllReduceSeconds(n, bytes * 2, bw, lat),
-                  ar);
+        EXPECT_GE(
+            coll::ringAllReduceSeconds(n, bytes * 2.0, bw, lat).value(),
+            ar);
         // More bandwidth never hurts.
-        EXPECT_LE(coll::ringAllReduceSeconds(n, bytes, bw * 2, lat),
-                  ar);
+        EXPECT_LE(
+            coll::ringAllReduceSeconds(n, bytes, bw * 2.0, lat).value(),
+            ar);
         EXPECT_GT(a2a, 0.0);
     } else {
         EXPECT_DOUBLE_EQ(ar, 0.0);
@@ -259,14 +265,16 @@ TEST_P(ThermalProperty, SteadyStateMonotonicInPower)
 {
     double watts = GetParam();
     hw::ThermalModel tm(hw::hgxLayout(), 1);
-    std::vector<double> low(8, watts), high(8, watts * 1.5);
+    std::vector<Watts> low(8, Watts(watts)),
+        high(8, Watts(watts * 1.5));
     for (int i = 0; i < 8; ++i) {
-        EXPECT_GT(tm.steadyState(i, high), tm.steadyState(i, low));
+        EXPECT_GT(tm.steadyState(i, high).value(),
+                  tm.steadyState(i, low).value());
         // Junction always above inlet, inlet never below room.
-        EXPECT_GE(tm.inletTemperature(i, low),
+        EXPECT_GE(tm.inletTemperature(i, low).value(),
                   hw::calib::kRoomTempC - 1e-9);
-        EXPECT_GE(tm.steadyState(i, low),
-                  tm.inletTemperature(i, low));
+        EXPECT_GE(tm.steadyState(i, low).value(),
+                  tm.inletTemperature(i, low).value());
     }
 }
 
@@ -274,12 +282,12 @@ TEST_P(ThermalProperty, IntegrationConvergesToSteadyState)
 {
     double watts = GetParam();
     hw::ThermalModel tm(hw::hgxLayout(), 1);
-    std::vector<double> powers(8, watts);
+    std::vector<Watts> powers(8, Watts(watts));
     for (int step = 0; step < 40000; ++step)
-        tm.step(0.002, powers);
+        tm.step(Seconds(0.002), powers);
     for (int i = 0; i < 8; ++i)
-        EXPECT_NEAR(tm.temperature(i), tm.steadyState(i, powers),
-                    0.5);
+        EXPECT_NEAR(tm.temperature(i).value(),
+                    tm.steadyState(i, powers).value(), 0.5);
 }
 
 INSTANTIATE_TEST_SUITE_P(ThermalSweep, ThermalProperty,
@@ -329,7 +337,7 @@ TEST_P(EngineProperty, InvariantsHoldAcrossDesignSpace)
     EXPECT_GT(r.totalEnergyJ, 0.0);
     // Energy bounded by worst-case (peak cap x GPUs x time).
     double bound = hw::calib::kPeakPowerCap *
-                   cfg.cluster.gpu.tdpWatts * 8.0 * 2.0 *
+                   cfg.cluster.gpu.tdpWatts.value() * 8.0 * 2.0 *
                    r.avgIterationSeconds * 1.05;
     EXPECT_LT(r.totalEnergyJ, bound);
 
@@ -343,10 +351,11 @@ TEST_P(EngineProperty, InvariantsHoldAcrossDesignSpace)
 
     // Physics stay in range.
     EXPECT_GE(r.avgTempC, hw::calib::kRoomTempC - 1.0);
-    EXPECT_LT(r.peakTempC, cfg.cluster.gpu.shutdownTempC);
-    EXPECT_GE(r.avgPowerW, cfg.cluster.gpu.idleWatts * 0.5);
+    EXPECT_LT(r.peakTempC, cfg.cluster.gpu.shutdownTempC.value());
+    EXPECT_GE(r.avgPowerW, cfg.cluster.gpu.idleWatts.value() * 0.5);
     EXPECT_LE(r.peakPowerW,
-              hw::calib::kPeakPowerCap * cfg.cluster.gpu.tdpWatts +
+              hw::calib::kPeakPowerCap *
+                      cfg.cluster.gpu.tdpWatts.value() +
                   1.0);
     EXPECT_GE(r.throttleRatio, 0.0);
     EXPECT_LE(r.throttleRatio, 1.0);

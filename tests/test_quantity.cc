@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the strongly-typed quantity library: arithmetic and
+ * literal semantics at runtime, plus trait-based negative checks that
+ * prove the dimensionally unsound operations do NOT compile (without
+ * actually writing ill-formed code, via std::is_invocable_v probes).
+ */
+
+#include <functional>
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "common/quantity.hh"
+
+using namespace charllm;
+using namespace charllm::unit_literals;
+
+namespace {
+
+// ---- compile-time layout guarantees ----------------------------------------
+static_assert(std::is_trivially_copyable_v<Seconds>);
+static_assert(std::is_trivially_copyable_v<Joules>);
+static_assert(std::is_trivially_copyable_v<ClockRel>);
+static_assert(sizeof(Watts) == sizeof(double));
+static_assert(sizeof(Bytes) == sizeof(double));
+static_assert(sizeof(CelsiusDelta) == sizeof(double));
+
+// ---- negative checks: unsound ops must not be invocable --------------------
+// Mixing dimensions in + or - is ill-formed.
+static_assert(!std::is_invocable_v<std::plus<>, Watts, Celsius>);
+static_assert(!std::is_invocable_v<std::plus<>, Watts, Joules>);
+static_assert(!std::is_invocable_v<std::plus<>, Bytes, Seconds>);
+static_assert(!std::is_invocable_v<std::minus<>, Seconds, Watts>);
+static_assert(!std::is_invocable_v<std::plus<>, Flops, FlopsPerSec>);
+
+// Raw doubles do not implicitly become quantities (explicit ctor), and
+// quantities do not implicitly decay back to double.
+static_assert(!std::is_convertible_v<double, Watts>);
+static_assert(!std::is_convertible_v<double, Celsius>);
+static_assert(!std::is_convertible_v<Watts, double>);
+static_assert(std::is_constructible_v<Watts, double>);
+
+// Quantity-vs-raw-double comparison is ill-formed; callers must either
+// compare typed quantities or unwrap with .value().
+static_assert(!std::is_invocable_v<std::less<>, Watts, double>);
+static_assert(!std::is_invocable_v<std::greater<>, double, Celsius>);
+
+// Cross-dimension comparison is ill-formed too.
+static_assert(!std::is_invocable_v<std::less<>, Watts, Joules>);
+static_assert(!std::is_invocable_v<std::equal_to<>, Bytes, Flops>);
+
+// Affine temperature: no Celsius + Celsius, no scaling, no negation.
+static_assert(!std::is_invocable_v<std::plus<>, Celsius, Celsius>);
+static_assert(!std::is_invocable_v<std::multiplies<>, Celsius, double>);
+static_assert(!std::is_invocable_v<std::negate<>, Celsius>);
+// ...but the delta algebra exists.
+static_assert(std::is_invocable_v<std::minus<>, Celsius, Celsius>);
+static_assert(std::is_invocable_v<std::plus<>, Celsius, CelsiusDelta>);
+static_assert(std::is_invocable_v<std::negate<>, CelsiusDelta>);
+
+// Dividing unrelated dimensions is ill-formed (no Watts / Bytes).
+static_assert(!std::is_invocable_v<std::divides<>, Watts, Bytes>);
+static_assert(!std::is_invocable_v<std::divides<>, Seconds, Watts>);
+
+// ---- positive checks: the sound algebra exists -----------------------------
+static_assert(std::is_same_v<decltype(Watts(1.0) * Seconds(1.0)), Joules>);
+static_assert(std::is_same_v<decltype(Joules(1.0) / Seconds(1.0)), Watts>);
+static_assert(std::is_same_v<decltype(Joules(1.0) / Watts(1.0)), Seconds>);
+static_assert(
+    std::is_same_v<decltype(Bytes(1.0) / BytesPerSec(1.0)), Seconds>);
+static_assert(
+    std::is_same_v<decltype(BytesPerSec(1.0) * Seconds(1.0)), Bytes>);
+static_assert(
+    std::is_same_v<decltype(Flops(1.0) / FlopsPerSec(1.0)), Seconds>);
+static_assert(std::is_same_v<decltype(FlopsPerSec(1.0) * ClockRel(0.5)),
+                             FlopsPerSec>);
+static_assert(std::is_same_v<decltype(Watts(1.0) / Watts(2.0)), double>);
+static_assert(
+    std::is_same_v<decltype(Celsius(40.0) - Celsius(30.0)), CelsiusDelta>);
+
+TEST(Quantity, ConstructionAndValue)
+{
+    Watts p(350.0);
+    EXPECT_DOUBLE_EQ(p.value(), 350.0);
+    Seconds zero;
+    EXPECT_DOUBLE_EQ(zero.value(), 0.0);
+}
+
+TEST(Quantity, LinearArithmetic)
+{
+    Watts a(100.0), b(250.0);
+    EXPECT_DOUBLE_EQ((a + b).value(), 350.0);
+    EXPECT_DOUBLE_EQ((b - a).value(), 150.0);
+    EXPECT_DOUBLE_EQ((a * 3.0).value(), 300.0);
+    EXPECT_DOUBLE_EQ((3.0 * a).value(), 300.0);
+    EXPECT_DOUBLE_EQ((b / 2.0).value(), 125.0);
+    EXPECT_DOUBLE_EQ((-a).value(), -100.0);
+
+    Watts acc(0.0);
+    acc += a;
+    acc += b;
+    acc -= Watts(50.0);
+    acc *= 2.0;
+    acc /= 4.0;
+    EXPECT_DOUBLE_EQ(acc.value(), 150.0);
+}
+
+TEST(Quantity, SameDimensionRatioIsDouble)
+{
+    double r = Bytes(1e9) / Bytes(4e9);
+    EXPECT_DOUBLE_EQ(r, 0.25);
+}
+
+TEST(Quantity, EnergyAlgebra)
+{
+    Joules e = 400.0_W * 2.5_s;
+    EXPECT_DOUBLE_EQ(e.value(), 1000.0);
+    EXPECT_DOUBLE_EQ((e / 2.5_s).value(), 400.0);
+    EXPECT_DOUBLE_EQ((e / 400.0_W).value(), 2.5);
+}
+
+TEST(Quantity, TransferAlgebra)
+{
+    Seconds t = 8.0_GB / 2.0_GBps;
+    EXPECT_DOUBLE_EQ(t.value(), 4.0);
+    Bytes moved = 2.0_GBps * 4.0_s;
+    EXPECT_DOUBLE_EQ(moved.value(), 8e9);
+    BytesPerSec rate = 8.0_GB / 4.0_s;
+    EXPECT_DOUBLE_EQ(rate.value(), 2e9);
+}
+
+TEST(Quantity, ComputeAlgebra)
+{
+    Seconds t = 2.0_PFLOP / 1.0_PFLOPS;
+    EXPECT_DOUBLE_EQ(t.value(), 2.0);
+    FlopsPerSec derated = 1.0_PFLOPS * ClockRel(0.5);
+    EXPECT_DOUBLE_EQ(derated.value(), 5e14);
+    EXPECT_DOUBLE_EQ((ClockRel(0.5) * 1.0_PFLOPS).value(), 5e14);
+}
+
+TEST(Quantity, AffineTemperature)
+{
+    Celsius t(70.0);
+    CelsiusDelta d = Celsius(85.0) - t;
+    EXPECT_DOUBLE_EQ(d.value(), 15.0);
+    EXPECT_DOUBLE_EQ((t + d).value(), 85.0);
+    EXPECT_DOUBLE_EQ((d + t).value(), 85.0);
+    EXPECT_DOUBLE_EQ((t - 5.0_dC).value(), 65.0);
+    // Deltas form a vector space even though points don't.
+    EXPECT_DOUBLE_EQ((5.0_dC + 10.0_dC).value(), 15.0);
+    EXPECT_DOUBLE_EQ((5.0_dC * 2.0).value(), 10.0);
+}
+
+TEST(Quantity, Comparisons)
+{
+    EXPECT_TRUE(Watts(100.0) < Watts(200.0));
+    EXPECT_TRUE(Watts(200.0) >= Watts(200.0));
+    EXPECT_TRUE(Celsius(85.0) > Celsius(30.0));
+    EXPECT_TRUE(Bytes(1e9) == Bytes(1e9));
+    EXPECT_TRUE(Seconds(1.0) != Seconds(2.0));
+}
+
+TEST(Quantity, Literals)
+{
+    EXPECT_DOUBLE_EQ((10.0_ms).value(), 0.01);
+    EXPECT_DOUBLE_EQ((250.0_us).value(), 250e-6);
+    EXPECT_DOUBLE_EQ((1.5_GB).value(), 1.5e9);
+    EXPECT_DOUBLE_EQ((1.0_GiB).value(), 1073741824.0);
+    EXPECT_DOUBLE_EQ((64.0_KiB).value(), 65536.0);
+    EXPECT_DOUBLE_EQ((2.0_MB).value(), 2e6);
+    // _Gbps is bits on the wire: 400 Gbps == 50 GB/s.
+    EXPECT_DOUBLE_EQ((400.0_Gbps).value(), 50e9);
+    EXPECT_DOUBLE_EQ((900.0_GBps).value(), 900e9);
+    EXPECT_DOUBLE_EQ((1.0_TFLOP).value(), 1e12);
+    EXPECT_DOUBLE_EQ((1.979_PFLOPS).value(), 1.979e15);
+    EXPECT_DOUBLE_EQ((40.0_degC).value(), 40.0);
+    EXPECT_DOUBLE_EQ((700.0_W).value(), 700.0);
+    EXPECT_DOUBLE_EQ((1.0_J).value(), 1.0);
+}
+
+TEST(Quantity, ZeroOverheadRoundTrip)
+{
+    // The wrapper must not perturb the bit pattern of the double it
+    // carries: what goes in through the ctor comes out of value().
+    for (double v : {0.0, -0.0, 1e-300, 6.25e17, -3.75}) {
+        EXPECT_EQ(Joules(v).value(), v);
+    }
+}
+
+} // namespace

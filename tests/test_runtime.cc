@@ -260,11 +260,11 @@ TEST(Builder, AsymmetricStageLayersRespected)
     double f0 = 0, f1 = 0;
     for (const auto& op : p.deviceOps[0]) {
         if (std::string(op.name) == "fwd-attn")
-            f0 = op.flops;
+            f0 = op.flops.value();
     }
     for (const auto& op : p.deviceOps[1]) {
         if (std::string(op.name) == "fwd-attn")
-            f1 = op.flops;
+            f1 = op.flops.value();
     }
     EXPECT_NEAR(f0, 3.0 * f1, 1e-6 * f0);
 }
@@ -280,7 +280,7 @@ TEST(Builder, LoraShrinksGradTraffic)
         Program p = b.build(0);
         for (const auto& op : p.deviceOps[0]) {
             if (std::string(op.name) == "dp-grad-sync")
-                return op.bytes;
+                return op.bytes.value();
         }
         return -1.0;
     };
@@ -316,7 +316,7 @@ struct EngineFixture : ::testing::Test
         eopts.measuredIterations = 2;
         TrainingEngine engine(plat, netw, colls, builder, eopts);
         if (cap_node >= 0)
-            plat.capNodePower(cap_node, cap_watts);
+            plat.capNodePower(cap_node, Watts(cap_watts));
         plat.start();
         engine.run();
         return engine.avgIterationSeconds();

@@ -35,7 +35,7 @@ struct TelemetryFixture : ::testing::Test
 
 TEST_F(TelemetryFixture, SamplerCollectsPeriodicSamples)
 {
-    Sampler sampler(plat, netw, 0.01);
+    Sampler sampler(plat, netw, Seconds(0.01));
     plat.start();
     // Keep the simulation alive for ~0.5 s with a busy GPU.
     auto tok = plat.gpu(0).kernelBegin(hw::KernelClass::Gemm, 1.0, 0.0);
@@ -47,25 +47,25 @@ TEST_F(TelemetryFixture, SamplerCollectsPeriodicSamples)
     // GPU 0 busy, GPU 2 idle: power ordering visible in samples.
     const auto& busy = sampler.series(0).back();
     const auto& idle = sampler.series(2).back();
-    EXPECT_GT(busy.powerWatts, idle.powerWatts + 200.0);
+    EXPECT_GT(busy.powerWatts.value(), idle.powerWatts.value() + 200.0);
     EXPECT_GT(busy.tempC, idle.tempC);
 }
 
 TEST_F(TelemetryFixture, SamplerCapturesLinkRates)
 {
-    Sampler sampler(plat, netw, 0.002);
+    Sampler sampler(plat, netw, Seconds(0.002));
     plat.start();
-    netw.transfer(0, 1, 9e9, [] {}); // ~20 ms on NVLink
+    netw.transfer(0, 1, Bytes(9e9), [] {}); // ~20 ms on NVLink
     sim.run();
     bool saw_rate = false;
     for (const auto& s : sampler.series(0))
-        saw_rate |= s.scaleUpRate > 100e9;
+        saw_rate |= s.scaleUpRate.value() > 100e9;
     EXPECT_TRUE(saw_rate);
 }
 
 TEST_F(TelemetryFixture, SamplerCsvExport)
 {
-    Sampler sampler(plat, netw, 0.01);
+    Sampler sampler(plat, netw, Seconds(0.01));
     plat.start();
     sim.schedule(sim::toTicks(0.05), [] {});
     sim.run();
@@ -78,7 +78,7 @@ TEST_F(TelemetryFixture, SamplerCsvExport)
 
 TEST_F(TelemetryFixture, SamplerClearDropsHistory)
 {
-    Sampler sampler(plat, netw, 0.01);
+    Sampler sampler(plat, netw, Seconds(0.01));
     sampler.sampleNow();
     EXPECT_GT(sampler.numSamples(), 0u);
     sampler.clear();

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for the simulator's determinism and unit contracts.
+
+Three rule families, all scoped to the library tree (src/):
+
+1. Determinism hazards. The simulator promises "same seed -> byte
+   identical telemetry"; any ambient-entropy or wall-clock source in
+   library code silently breaks that contract. Banned in src/:
+   rand(), std::random_device, std::chrono::system_clock /
+   steady_clock, time(NULL)/time(nullptr), and getenv (config must
+   flow through typed options structs, not the environment).
+
+2. iostream in library code. Library code must not write to std
+   streams (output belongs to the example/bench binaries and the CSV/
+   trace writers); <iostream> also injects static init order issues.
+
+3. Raw-double unit leaks in public physics headers. Parameters named
+   *_w/_j/_c/_bps/_s holding plain double in src/hw, src/net,
+   src/coll, src/telemetry headers defeat the quantity type layer
+   (common/quantity.hh); such values must be typed Watts/Joules/
+   Celsius/BytesPerSec/Seconds. Timestamps on the simulator clock are
+   the sanctioned exception and live in the allowlist.
+
+Sanctioned exceptions go in tools/lint_allowlist.txt, one per line:
+    <path-substring>:<line-substring>
+A finding is suppressed when its path contains <path-substring> and
+its source line contains <line-substring>. Lines starting with '#'
+and blank lines are ignored.
+
+Exit status: 0 clean, 1 findings, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ALLOWLIST = REPO / "tools" / "lint_allowlist.txt"
+
+CXX_SUFFIXES = {".hh", ".h", ".cc", ".cpp", ".hpp"}
+
+# (rule-id, compiled regex, message) applied to every src/ line.
+DETERMINISM_RULES = [
+    ("rand", re.compile(r"(?<![\w:])rand\s*\("),
+     "rand() is ambient entropy; use common/rng.hh with an explicit seed"),
+    ("random-device", re.compile(r"\brandom_device\b"),
+     "std::random_device is nondeterministic; seed common/rng.hh explicitly"),
+    ("wall-clock", re.compile(r"\b(system_clock|steady_clock|high_resolution_clock)\b"),
+     "wall-clock time breaks replay; use the simulator clock"),
+    ("time-null", re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)\s*\)"),
+     "time(NULL) is ambient entropy; use the simulator clock"),
+    ("getenv", re.compile(r"\bgetenv\s*\("),
+     "environment lookups hide config; pass options structs instead"),
+]
+
+IOSTREAM_RULE = re.compile(r'#\s*include\s*<(iostream|ostream|istream)>')
+
+# double parameters whose names carry a unit suffix the quantity layer
+# owns: _w(atts) _j(oules) _c(elsius) _bps _s(econds).
+RAW_DOUBLE_PARAM = re.compile(
+    r"\bdouble\s+\w+_(w|j|c|bps|s)\s*[,)=]")
+
+PHYSICS_HEADER_DIRS = ("src/hw/", "src/net/", "src/coll/",
+                       "src/telemetry/")
+
+
+def load_allowlist() -> list[tuple[str, str]]:
+    entries = []
+    if not ALLOWLIST.exists():
+        return entries
+    for raw in ALLOWLIST.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if ":" not in line:
+            print(f"lint_sim: malformed allowlist entry: {line!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        path_sub, _, line_sub = line.partition(":")
+        entries.append((path_sub, line_sub))
+    return entries
+
+
+def allowed(rel: str, text: str,
+            allowlist: list[tuple[str, str]]) -> bool:
+    return any(p in rel and s in text for p, s in allowlist)
+
+
+def strip_comment(line: str) -> str:
+    """Drop // comments so prose mentioning rand() etc. doesn't trip."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def lint_file(path: Path, allowlist) -> list[str]:
+    rel = path.relative_to(REPO).as_posix()
+    findings = []
+    in_block_comment = False
+    for lineno, line in enumerate(
+            path.read_text(errors="replace").splitlines(), 1):
+        # Cheap block-comment tracking: skip fully-commented lines.
+        code = line
+        if in_block_comment:
+            end = code.find("*/")
+            if end < 0:
+                continue
+            code = code[end + 2:]
+            in_block_comment = False
+        start = code.find("/*")
+        if start >= 0 and code.find("*/", start) < 0:
+            in_block_comment = True
+            code = code[:start]
+        code = strip_comment(code)
+        if not code.strip():
+            continue
+
+        def report(rule: str, msg: str):
+            if not allowed(rel, line, allowlist):
+                findings.append(f"{rel}:{lineno}: [{rule}] {msg}\n"
+                                f"    {line.strip()}")
+
+        for rule, rx, msg in DETERMINISM_RULES:
+            if rx.search(code):
+                report(rule, msg)
+        if IOSTREAM_RULE.search(code):
+            report("iostream", "library code must not use std streams; "
+                   "use the CSV/trace writers or return data")
+        if (path.suffix in (".hh", ".h", ".hpp")
+                and any(rel.startswith(d) for d in PHYSICS_HEADER_DIRS)
+                and RAW_DOUBLE_PARAM.search(code)):
+            report("raw-double-unit", "unit-suffixed double parameter in a "
+                   "physics header; use the typed quantities from "
+                   "common/quantity.hh")
+    return findings
+
+
+def main() -> int:
+    src = REPO / "src"
+    if not src.is_dir():
+        print("lint_sim: src/ not found (run from the repo)",
+              file=sys.stderr)
+        return 2
+    allowlist = load_allowlist()
+    findings = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix in CXX_SUFFIXES and path.is_file():
+            findings.extend(lint_file(path, allowlist))
+    if findings:
+        print(f"lint_sim: {len(findings)} finding(s)\n")
+        print("\n".join(findings))
+        print("\nSanctioned exceptions go in tools/lint_allowlist.txt "
+              "(<path-substring>:<line-substring>).")
+        return 1
+    print("lint_sim: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
