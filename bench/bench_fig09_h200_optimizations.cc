@@ -19,7 +19,7 @@ using namespace charllm;
 using benchutil::sweepConfig;
 
 int
-main()
+main(int argc, char** argv)
 {
     benchutil::banner("Figure 9",
                       "H200: optimization techniques vs power, "
@@ -44,7 +44,9 @@ main()
             configs.push_back(cc);
         }
     }
-    benchutil::printSystemMetrics(benchutil::runSweep(configs));
+    benchutil::printSystemMetrics(
+        benchutil::runSweep(configs,
+                            benchutil::sweepThreads(argc, argv)));
     std::printf(
         "\nExpected: act rows trail their Base rows in eff(norm)\n"
         "unless Base is OOM; cc rows raise peak temperature and\n"

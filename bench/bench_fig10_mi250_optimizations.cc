@@ -15,7 +15,7 @@ using namespace charllm;
 using benchutil::sweepConfig;
 
 int
-main()
+main(int argc, char** argv)
 {
     benchutil::banner("Figure 10",
                       "MI250: optimization techniques vs power, "
@@ -37,7 +37,9 @@ main()
             configs.push_back(cc);
         }
     }
-    benchutil::printSystemMetrics(benchutil::runSweep(configs));
+    benchutil::printSystemMetrics(
+        benchutil::runSweep(configs,
+                            benchutil::sweepThreads(argc, argv)));
     std::printf(
         "\nExpected: the chiplet GCDs run close to their (higher)\n"
         "junction limits; intra-package skew keeps the second GCD of\n"

@@ -18,7 +18,7 @@ using namespace charllm;
 using benchutil::sweepConfig;
 
 int
-main()
+main(int argc, char** argv)
 {
     benchutil::banner("Figure 13",
                       "H200 microbatch scaling (act enabled)");
@@ -35,7 +35,9 @@ main()
             }
         }
     }
-    benchutil::printSystemMetrics(benchutil::runSweep(configs));
+    benchutil::printSystemMetrics(
+        benchutil::runSweep(configs,
+                            benchutil::sweepThreads(argc, argv)));
     std::printf(
         "\nExpected: TP8-FSDP gains >3x from mb1 -> mb4 (coarser\n"
         "gathers over the shared NIC); TP8-PP4 gains modestly\n"

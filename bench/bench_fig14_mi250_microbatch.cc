@@ -17,7 +17,7 @@ using namespace charllm;
 using benchutil::sweepConfig;
 
 int
-main()
+main(int argc, char** argv)
 {
     benchutil::banner("Figure 14",
                       "MI250 microbatch scaling (act enabled)");
@@ -36,7 +36,9 @@ main()
             }
         }
     }
-    benchutil::printSystemMetrics(benchutil::runSweep(configs));
+    benchutil::printSystemMetrics(
+        benchutil::runSweep(configs,
+                            benchutil::sweepThreads(argc, argv)));
     std::printf(
         "\nExpected: efficiency is non-decreasing in microbatch size\n"
         "for most rows (memory-capacity-limited, not thermally\n"

@@ -60,6 +60,32 @@ BM_FlowNetworkContention(benchmark::State& state)
 BENCHMARK(BM_FlowNetworkContention)->Arg(64)->Arg(512);
 
 void
+BM_FlowNetworkRecompute(benchmark::State& state)
+{
+    // Max-min re-allocation cost with a standing flow population:
+    // admit flows across the fabric, let them join, then force
+    // re-allocations without advancing simulated time.
+    sim::Simulator s;
+    net::Topology topo(net::Topology::hgxParams(4));
+    net::FlowNetwork netw(s, topo);
+    for (int i = 0; i < state.range(0); ++i) {
+        netw.transfer(i % 32, (i * 11 + 1) % 32, Bytes(1e15),
+                      [] {});
+    }
+    // Drain the admission latency so every flow is active.
+    s.runUntil(sim::toTicks(0.01));
+    net::LinkId nic = topo.nicOutLink(0);
+    for (auto _ : state) {
+        netw.setLinkDerate(nic, 0.5);
+        netw.setLinkDerate(nic, 1.0);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+    state.counters["active_flows"] = static_cast<double>(
+        netw.numActiveFlows());
+}
+BENCHMARK(BM_FlowNetworkRecompute)->Arg(64)->Arg(256);
+
+void
 BM_RingAllReduce(benchmark::State& state)
 {
     for (auto _ : state) {

@@ -11,6 +11,7 @@
 
 #include "bench_util.hh"
 #include "common/strings.hh"
+#include "core/sweep_runner.hh"
 
 using namespace charllm;
 using benchutil::sweepConfig;
@@ -50,17 +51,24 @@ commBytes(const core::ExperimentResult& r)
     return total;
 }
 
-Impact
-compare(const std::string& technique, const std::string& abbr,
-        const std::string& what, const core::ExperimentConfig& base,
-        const core::ExperimentConfig& with)
+/** One Table-2 row before measurement: a (base, with) config pair. */
+struct Comparison
 {
-    auto rb = core::Experiment::run(base);
-    auto rw = core::Experiment::run(with);
+    std::string technique;
+    std::string abbr;
+    std::string what;
+    core::ExperimentConfig base;
+    core::ExperimentConfig with;
+};
+
+Impact
+toImpact(const Comparison& c, const core::ExperimentResult& rb,
+         const core::ExperimentResult& rw)
+{
     Impact im;
-    im.technique = technique;
-    im.abbr = abbr;
-    im.comparison = what;
+    im.technique = c.technique;
+    im.abbr = c.abbr;
+    im.comparison = c.what;
     if (!rb.feasible || !rw.feasible)
         return im;
     im.perfDelta =
@@ -73,7 +81,7 @@ compare(const std::string& technique, const std::string& abbr,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     benchutil::banner(
         "Table 2",
@@ -82,32 +90,32 @@ main()
     auto h200 = core::h200Cluster();
     auto gpt = model::gpt3_30b();
     auto mix = model::mixtral_8x7b();
-    std::vector<Impact> impacts;
+    std::vector<Comparison> comparisons;
 
     // Tensor parallelism: widen TP 1 -> 8 at fixed PP.
-    impacts.push_back(compare(
-        "Tensor Parallelism", "TP", "TP1-PP4 -> TP8-PP4",
-        sweepConfig(h200, gpt,
-                    parallel::ParallelConfig::forWorld(32, 1, 4)),
-        sweepConfig(h200, gpt,
-                    parallel::ParallelConfig::forWorld(32, 8, 4))));
+    comparisons.push_back(
+        {"Tensor Parallelism", "TP", "TP1-PP4 -> TP8-PP4",
+         sweepConfig(h200, gpt,
+                     parallel::ParallelConfig::forWorld(32, 1, 4)),
+         sweepConfig(h200, gpt,
+                     parallel::ParallelConfig::forWorld(32, 8, 4))});
 
     // Pipeline parallelism: deepen PP 4 -> 16 at fixed TP.
-    impacts.push_back(compare(
-        "Pipeline Parallelism", "PP", "TP2-PP4 -> TP2-PP16",
-        sweepConfig(h200, gpt,
-                    parallel::ParallelConfig::forWorld(32, 2, 4)),
-        sweepConfig(h200, gpt,
-                    parallel::ParallelConfig::forWorld(32, 2, 16))));
+    comparisons.push_back(
+        {"Pipeline Parallelism", "PP", "TP2-PP4 -> TP2-PP16",
+         sweepConfig(h200, gpt,
+                     parallel::ParallelConfig::forWorld(32, 2, 4)),
+         sweepConfig(h200, gpt,
+                     parallel::ParallelConfig::forWorld(32, 2, 16))});
 
     // Expert parallelism: EP2 -> EP8 on the MoE model (EP1 does not
     // fit: every rank would hold all experts).
-    impacts.push_back(compare(
-        "Expert Parallelism", "EP", "Mixtral EP2 -> EP8 (TP1-PP4)",
-        sweepConfig(h200, mix,
-                    parallel::ParallelConfig::forWorld(32, 1, 4, 2)),
-        sweepConfig(h200, mix,
-                    parallel::ParallelConfig::forWorld(32, 1, 4, 8))));
+    comparisons.push_back(
+        {"Expert Parallelism", "EP", "Mixtral EP2 -> EP8 (TP1-PP4)",
+         sweepConfig(h200, mix,
+                     parallel::ParallelConfig::forWorld(32, 1, 4, 2)),
+         sweepConfig(h200, mix,
+                     parallel::ParallelConfig::forWorld(32, 1, 4, 8))});
 
     // Data parallelism: 1 node (DP1) -> 4 nodes (DP4), plain DP so
     // the memory effect is isolated from ZeRO sharding.
@@ -119,9 +127,9 @@ main()
         auto with = sweepConfig(
             h200, gpt, parallel::ParallelConfig::forWorld(32, 2, 4));
         with.train.zero1 = false;
-        impacts.push_back(compare("Data Parallelism", "DP",
-                                  "TP2-PP4 on 8 -> 32 GPUs", base,
-                                  with));
+        comparisons.push_back({"Data Parallelism", "DP",
+                               "TP2-PP4 on 8 -> 32 GPUs", base,
+                               with});
     }
 
     // FSDP vs. the plain data-parallel layout it shards.
@@ -132,9 +140,8 @@ main()
         auto with = sweepConfig(
             h200, gpt,
             parallel::ParallelConfig::forWorld(32, 8, 1, 1, true));
-        impacts.push_back(compare("Fully-Sharded Data Parallel",
-                                  "FSDP", "TP8-DP4 -> TP8-FSDP4",
-                                  base, with));
+        comparisons.push_back({"Fully-Sharded Data Parallel", "FSDP",
+                               "TP8-DP4 -> TP8-FSDP4", base, with});
     }
 
     // Activation recomputation toggle.
@@ -143,8 +150,8 @@ main()
             h200, gpt, parallel::ParallelConfig::forWorld(32, 2, 16));
         auto with = base;
         with.train.actRecompute = true;
-        impacts.push_back(compare("Activation Recomputation", "act",
-                                  "TP2-PP16 +act", base, with));
+        comparisons.push_back({"Activation Recomputation", "act",
+                               "TP2-PP16 +act", base, with});
     }
 
     // Compute-communication overlap toggle (DP-heavy layout).
@@ -153,9 +160,27 @@ main()
             h200, gpt, parallel::ParallelConfig::forWorld(32, 2, 1));
         auto with = base;
         with.train.ccOverlap = true;
-        impacts.push_back(compare("Compute-Comm. Overlap", "cc",
-                                  "TP2-DP16 +cc", base, with));
+        comparisons.push_back({"Compute-Comm. Overlap", "cc",
+                               "TP2-DP16 +cc", base, with});
     }
+
+    // Flatten every (base, with) pair into one batch so the runner
+    // can execute all of them concurrently, then fold results back
+    // into per-technique impacts in row order.
+    std::vector<core::ExperimentConfig> configs;
+    configs.reserve(2 * comparisons.size());
+    for (const auto& c : comparisons) {
+        configs.push_back(c.base);
+        configs.push_back(c.with);
+    }
+    core::SweepRunner runner(benchutil::sweepThreads(argc, argv));
+    auto results = runner.run(configs);
+
+    std::vector<Impact> impacts;
+    impacts.reserve(comparisons.size());
+    for (std::size_t i = 0; i < comparisons.size(); ++i)
+        impacts.push_back(toImpact(comparisons[i], results[2 * i],
+                                   results[2 * i + 1]));
 
     TextTable t({"Technique", "Abbr", "Perf", "Memory", "Comm",
                  "measured comparison", "dPerf", "dMem", "dComm"});

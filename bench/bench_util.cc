@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/strings.hh"
+#include "core/sweep_runner.hh"
 
 namespace charllm {
 namespace benchutil {
@@ -32,11 +34,15 @@ sweepConfig(const core::ClusterSpec& cluster,
 }
 
 std::vector<SweepRow>
-runSweep(const std::vector<core::ExperimentConfig>& configs)
+runSweep(const std::vector<core::ExperimentConfig>& configs,
+         int threads)
 {
+    core::SweepRunner runner(threads);
+    std::vector<core::ExperimentResult> results = runner.run(configs);
     std::vector<SweepRow> rows;
     rows.reserve(configs.size());
-    for (const auto& cfg : configs) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const auto& cfg = configs[i];
         SweepRow row;
         row.model = cfg.model.name;
         std::string label = cfg.par.label();
@@ -47,10 +53,37 @@ runSweep(const std::vector<core::ExperimentConfig>& configs)
         if (cfg.train.microbatchSize != 1)
             label += " mb" + std::to_string(cfg.train.microbatchSize);
         row.variant = label;
-        row.result = core::Experiment::run(cfg);
+        row.result = std::move(results[i]);
         rows.push_back(std::move(row));
     }
     return rows;
+}
+
+int
+sweepThreads(int argc, char** argv)
+{
+    int threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string value;
+        if (arg.rfind("--threads=", 0) == 0)
+            value = arg.substr(10);
+        else if (arg.rfind("-j", 0) == 0 && arg.size() > 2)
+            value = arg.substr(2);
+        else
+            continue;
+        char* end = nullptr;
+        long parsed = std::strtol(value.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || parsed < 0) {
+            std::fprintf(stderr,
+                         "invalid thread count '%s' (want "
+                         "--threads=N, N >= 0; 0 = one per core)\n",
+                         value.c_str());
+            std::exit(2);
+        }
+        threads = static_cast<int>(parsed);
+    }
+    return threads;
 }
 
 std::map<std::string, double>

@@ -41,9 +41,21 @@ struct SweepRow
 /**
  * Run a sweep over configurations, skipping infeasible ones (they are
  * reported as such, mirroring the paper's config screening).
+ *
+ * Runs execute on a core::SweepRunner pool: @p threads workers
+ * (0 = one per hardware core, 1 = serial). Results and rendered
+ * tables are byte-identical regardless of thread count.
  */
 std::vector<SweepRow>
-runSweep(const std::vector<core::ExperimentConfig>& configs);
+runSweep(const std::vector<core::ExperimentConfig>& configs,
+         int threads = 0);
+
+/**
+ * Parse the standard bench thread knob: `--threads=N` (or `-jN`).
+ * Returns 0 (auto) when absent; exits with a message on a malformed
+ * value.
+ */
+int sweepThreads(int argc, char** argv);
 
 /**
  * Normalize tokens-per-joule per model, best configuration == 1.0

@@ -1,0 +1,66 @@
+#include "core/sweep_runner.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace charllm {
+namespace core {
+
+int
+SweepRunner::defaultThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+SweepRunner::SweepRunner(int threads)
+    : workers(threads > 0 ? threads : defaultThreads())
+{
+}
+
+std::vector<ExperimentResult>
+SweepRunner::run(const std::vector<ExperimentConfig>& configs) const
+{
+    std::vector<ExperimentResult> results(configs.size());
+    if (configs.empty())
+        return results;
+
+    std::size_t pool = static_cast<std::size_t>(workers);
+    if (pool > configs.size())
+        pool = configs.size();
+
+    if (pool <= 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            results[i] = Experiment::run(configs[i]);
+        return results;
+    }
+
+    // Work-stealing by atomic claim: each worker grabs the next
+    // unclaimed config and writes its result into the submission-order
+    // slot. Runs are shared-nothing (each builds its own Simulator),
+    // so the result vector is independent of the thread count and of
+    // claim interleaving.
+    std::atomic<std::size_t> next{0};
+    auto work = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= configs.size())
+                return;
+            results[i] = Experiment::run(configs[i]);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(pool - 1);
+    for (std::size_t t = 0; t + 1 < pool; ++t)
+        threads.emplace_back(work);
+    work(); // the calling thread participates
+    for (std::thread& t : threads)
+        t.join();
+    return results;
+}
+
+} // namespace core
+} // namespace charllm

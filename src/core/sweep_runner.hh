@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Parallel sweep execution. Every paper figure is a sweep of
+ * independent Experiment::run calls; each run builds its own
+ * Simulator, Platform, and FlowNetwork, so runs share nothing and can
+ * execute concurrently. SweepRunner fans configurations out over a
+ * thread pool and returns results in deterministic submission order —
+ * the result vector is byte-identical no matter how many threads run
+ * it (the shared-nothing contract is covered by tests).
+ */
+
+#ifndef CHARLLM_CORE_SWEEP_RUNNER_HH
+#define CHARLLM_CORE_SWEEP_RUNNER_HH
+
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace charllm {
+namespace core {
+
+/** Runs batches of independent experiments, optionally in parallel. */
+class SweepRunner
+{
+  public:
+    /**
+     * @p threads: worker count; 0 (default) picks the machine's
+     * hardware concurrency. Pass 1 for strictly serial execution.
+     */
+    explicit SweepRunner(int threads = 0);
+
+    /** Resolved worker count. */
+    int numThreads() const { return workers; }
+
+    /**
+     * Run every config and return results indexed exactly like
+     * @p configs. Infeasible configurations are returned with
+     * feasible == false, same as Experiment::run.
+     */
+    std::vector<ExperimentResult>
+    run(const std::vector<ExperimentConfig>& configs) const;
+
+    /** Hardware concurrency, clamped to at least 1. */
+    static int defaultThreads();
+
+  private:
+    int workers;
+};
+
+} // namespace core
+} // namespace charllm
+
+#endif // CHARLLM_CORE_SWEEP_RUNNER_HH

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "hw/gpu.hh"
 #include "net/calibration.hh"
 
 namespace charllm {
@@ -16,9 +17,55 @@ constexpr double kEpsBytes = 0.5;
 
 FlowNetwork::FlowNetwork(sim::Simulator& simulator, const Topology& topology)
     : sim(simulator), topo(topology),
+      flowsOnLink(topology.links().size(), 0),
       linkByteCount(topology.links().size(), 0.0),
-      linkDerate(topology.links().size(), 1.0)
+      linkDerate(topology.links().size(), 1.0),
+      gpuRateCache(static_cast<std::size_t>(topology.numGpus()) *
+                       hw::kNumTrafficClasses,
+                   0.0),
+      linkUsedCache(topology.links().size(), 0.0)
 {
+}
+
+double
+FlowNetwork::effectiveCapacity(std::size_t link) const
+{
+    return topo.link(static_cast<LinkId>(link)).capacity.value() *
+           calib::kProtocolEfficiency * linkDerate[link];
+}
+
+const std::vector<LinkId>&
+FlowNetwork::cachedRoute(int src, int dst)
+{
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+         << 32) |
+        static_cast<std::uint32_t>(dst);
+    auto it = routeCache.find(key);
+    if (it == routeCache.end())
+        it = routeCache.emplace(key, topo.route(src, dst)).first;
+    return it->second;
+}
+
+std::uint32_t
+FlowNetwork::allocFlowSlot()
+{
+    if (!freeFlowSlots.empty()) {
+        std::uint32_t slot = freeFlowSlots.back();
+        freeFlowSlots.pop_back();
+        return slot;
+    }
+    flowSlab.emplace_back();
+    return static_cast<std::uint32_t>(flowSlab.size() - 1);
+}
+
+void
+FlowNetwork::freeFlowSlot(std::uint32_t slot)
+{
+    Flow& flow = flowSlab[slot];
+    flow.route = nullptr;
+    flow.onComplete = nullptr;
+    freeFlowSlots.push_back(slot);
 }
 
 void
@@ -62,22 +109,67 @@ FlowNetwork::transfer(int src, int dst, Bytes bytes,
         return id;
     }
 
+    // Park the flow in its pooled slot now; the join event only needs
+    // to carry {this, slot}, so the scheduling capture stays inline.
+    const std::vector<LinkId>& route = cachedRoute(src, dst);
+    std::uint32_t slot = allocFlowSlot();
+    Flow& flow = flowSlab[slot];
+    flow.id = id;
+    flow.src = src;
+    flow.dst = dst;
+    flow.route = &route;
+    flow.bytesRemaining = byte_count;
+    flow.rate = 0.0;
+    flow.onComplete = std::move(on_complete);
+
     // The flow joins the network after its launch/transport latency.
     sim.schedule(sim::toTicks(latency),
-                 [this, id, src, dst, byte_count,
-                  cb = std::move(on_complete)]() mutable {
-        double now = sim.nowSeconds();
-        progress(now);
-        Flow flow;
-        flow.src = src;
-        flow.dst = dst;
-        flow.route = topo.route(src, dst);
-        flow.bytesRemaining = byte_count;
-        flow.onComplete = std::move(cb);
-        active.emplace(id, std::move(flow));
-        recompute(now);
-    });
+                 [this, slot] { joinFlow(slot); });
     return id;
+}
+
+void
+FlowNetwork::joinFlow(std::uint32_t slot)
+{
+    double now = sim.nowSeconds();
+    progress(now);
+    Flow& flow = flowSlab[slot];
+
+    // Keep the active index sorted by flow id. Admission latency
+    // varies per route, so joins can arrive out of id order.
+    auto pos = std::lower_bound(
+        activeOrder.begin(), activeOrder.end(), flow.id,
+        [this](std::uint32_t s, FlowId id) {
+            return flowSlab[s].id < id;
+        });
+    activeOrder.insert(pos, slot);
+
+    // A flow whose links carry no other traffic takes the residual
+    // capacity of its own bottleneck and cannot perturb anyone else's
+    // allocation — skip the water-fill.
+    bool uncontended = !forceFull;
+    for (LinkId l : *flow.route) {
+        if (flowsOnLink[static_cast<std::size_t>(l)] != 0) {
+            uncontended = false;
+            break;
+        }
+    }
+    for (LinkId l : *flow.route)
+        ++flowsOnLink[static_cast<std::size_t>(l)];
+
+    if (uncontended) {
+        double rate = std::numeric_limits<double>::infinity();
+        for (LinkId l : *flow.route) {
+            rate = std::min(
+                rate, effectiveCapacity(static_cast<std::size_t>(l)));
+        }
+        flow.rate = rate;
+        ++fastJoins;
+        rebuildAggregates();
+        scheduleNextCompletion();
+    } else {
+        recompute(now);
+    }
 }
 
 void
@@ -88,12 +180,13 @@ FlowNetwork::progress(double now)
         lastProgress = std::max(lastProgress, now);
         return;
     }
-    for (auto& [id, flow] : active) {
+    for (std::uint32_t slot : activeOrder) {
+        Flow& flow = flowSlab[slot];
         double moved = std::min(flow.rate * dt, flow.bytesRemaining);
         if (moved <= 0.0)
             continue;
         flow.bytesRemaining -= moved;
-        for (LinkId l : flow.route) {
+        for (LinkId l : *flow.route) {
             linkByteCount[static_cast<std::size_t>(l)] += moved;
             const LinkSpec& spec = topo.link(l);
             if (spec.ownerGpu >= 0 && sink)
@@ -106,23 +199,90 @@ FlowNetwork::progress(double now)
 void
 FlowNetwork::recompute(double now)
 {
-    // Max-min fair allocation by progressive filling.
+    // Max-min fair allocation by progressive filling. Scratch vectors
+    // are members: sized once, reused every pass.
+    std::size_t num_links = topo.links().size();
+    remainingScratch.resize(num_links);
+    for (std::size_t l = 0; l < num_links; ++l)
+        remainingScratch[l] = effectiveCapacity(l);
+    flowsOnScratch.assign(flowsOnLink.begin(), flowsOnLink.end());
+    for (std::uint32_t slot : activeOrder)
+        flowSlab[slot].rate = -1.0; // unfixed marker
+
+    std::size_t unfixed = activeOrder.size();
+    while (unfixed > 0) {
+        // Find the bottleneck link: minimal fair share.
+        double best_share = std::numeric_limits<double>::infinity();
+        for (std::size_t l = 0; l < num_links; ++l) {
+            if (flowsOnScratch[l] > 0) {
+                double share = remainingScratch[l] /
+                               static_cast<double>(flowsOnScratch[l]);
+                best_share = std::min(best_share, share);
+            }
+        }
+        CHARLLM_ASSERT(std::isfinite(best_share),
+                       "unfixed flow crosses no contended link");
+        // Fix every unfixed flow whose bottleneck this is. One pass:
+        // fix flows crossing any link at the minimal share.
+        std::size_t fixed_this_round = 0;
+        for (std::uint32_t slot : activeOrder) {
+            Flow& flow = flowSlab[slot];
+            if (flow.rate >= 0.0)
+                continue;
+            bool at_bottleneck = false;
+            for (LinkId l : *flow.route) {
+                auto li = static_cast<std::size_t>(l);
+                double share = remainingScratch[li] /
+                               static_cast<double>(flowsOnScratch[li]);
+                if (share <= best_share * (1.0 + 1e-9)) {
+                    at_bottleneck = true;
+                    break;
+                }
+            }
+            if (!at_bottleneck)
+                continue;
+            flow.rate = best_share;
+            ++fixed_this_round;
+            for (LinkId l : *flow.route) {
+                auto li = static_cast<std::size_t>(l);
+                remainingScratch[li] -= best_share;
+                remainingScratch[li] = std::max(remainingScratch[li], 0.0);
+                --flowsOnScratch[li];
+            }
+        }
+        CHARLLM_ASSERT(fixed_this_round > 0,
+                       "max-min allocation made no progress");
+        unfixed -= fixed_this_round;
+    }
+
+    ++fullRecomputes;
+    rebuildAggregates();
+    scheduleNextCompletion();
+    (void)now;
+}
+
+std::vector<std::pair<FlowNetwork::FlowId, double>>
+FlowNetwork::referenceRates() const
+{
+    // Textbook from-scratch water-fill over the current active set,
+    // touching no solver state. The incremental solver's invariant is
+    // that live rates always match this exactly.
     std::size_t num_links = topo.links().size();
     std::vector<double> remaining(num_links);
     std::vector<int> flows_on(num_links, 0);
-    for (std::size_t l = 0; l < num_links; ++l) {
-        remaining[l] = topo.link(static_cast<LinkId>(l)).capacity.value() *
-                       calib::kProtocolEfficiency * linkDerate[l];
-    }
-    for (auto& [id, flow] : active) {
-        flow.rate = -1.0; // unfixed marker
-        for (LinkId l : flow.route)
+    for (std::size_t l = 0; l < num_links; ++l)
+        remaining[l] = effectiveCapacity(l);
+    std::vector<std::pair<FlowId, double>> rates;
+    rates.reserve(activeOrder.size());
+    for (std::uint32_t slot : activeOrder) {
+        const Flow& flow = flowSlab[slot];
+        rates.emplace_back(flow.id, -1.0);
+        for (LinkId l : *flow.route)
             ++flows_on[static_cast<std::size_t>(l)];
     }
 
-    std::size_t unfixed = active.size();
+    std::size_t unfixed = rates.size();
     while (unfixed > 0) {
-        // Find the bottleneck link: minimal fair share.
         double best_share = std::numeric_limits<double>::infinity();
         for (std::size_t l = 0; l < num_links; ++l) {
             if (flows_on[l] > 0) {
@@ -133,14 +293,13 @@ FlowNetwork::recompute(double now)
         }
         CHARLLM_ASSERT(std::isfinite(best_share),
                        "unfixed flow crosses no contended link");
-        // Fix every unfixed flow whose bottleneck this is. One pass:
-        // fix flows crossing any link at the minimal share.
         std::size_t fixed_this_round = 0;
-        for (auto& [id, flow] : active) {
-            if (flow.rate >= 0.0)
+        for (std::size_t i = 0; i < activeOrder.size(); ++i) {
+            if (rates[i].second >= 0.0)
                 continue;
+            const Flow& flow = flowSlab[activeOrder[i]];
             bool at_bottleneck = false;
-            for (LinkId l : flow.route) {
+            for (LinkId l : *flow.route) {
                 auto li = static_cast<std::size_t>(l);
                 double share = remaining[li] /
                                static_cast<double>(flows_on[li]);
@@ -151,9 +310,9 @@ FlowNetwork::recompute(double now)
             }
             if (!at_bottleneck)
                 continue;
-            flow.rate = best_share;
+            rates[i].second = best_share;
             ++fixed_this_round;
-            for (LinkId l : flow.route) {
+            for (LinkId l : *flow.route) {
                 auto li = static_cast<std::size_t>(l);
                 remaining[li] -= best_share;
                 remaining[li] = std::max(remaining[li], 0.0);
@@ -164,13 +323,54 @@ FlowNetwork::recompute(double now)
                        "max-min allocation made no progress");
         unfixed -= fixed_this_round;
     }
+    return rates;
+}
 
-    // Schedule the earliest completion.
+void
+FlowNetwork::rebuildAggregates()
+{
+    std::fill(gpuRateCache.begin(), gpuRateCache.end(), 0.0);
+    std::fill(linkUsedCache.begin(), linkUsedCache.end(), 0.0);
+    for (std::uint32_t slot : activeOrder) {
+        const Flow& flow = flowSlab[slot];
+        double rate = std::max(flow.rate, 0.0);
+        const std::vector<LinkId>& route = *flow.route;
+        for (std::size_t i = 0; i < route.size(); ++i) {
+            LinkId l = route[i];
+            linkUsedCache[static_cast<std::size_t>(l)] += rate;
+            const LinkSpec& spec = topo.link(l);
+            if (spec.ownerGpu < 0)
+                continue;
+            // Each flow counts once per (gpu, class): only the first
+            // route link with a given owner/class pair contributes,
+            // mirroring the pre-cache per-query scan.
+            bool first_match = true;
+            for (std::size_t j = 0; j < i; ++j) {
+                const LinkSpec& prev = topo.link(route[j]);
+                if (prev.ownerGpu == spec.ownerGpu &&
+                    prev.cls == spec.cls) {
+                    first_match = false;
+                    break;
+                }
+            }
+            if (first_match) {
+                gpuRateCache[static_cast<std::size_t>(spec.ownerGpu) *
+                                 hw::kNumTrafficClasses +
+                             static_cast<std::size_t>(spec.cls)] += rate;
+            }
+        }
+    }
+}
+
+void
+FlowNetwork::scheduleNextCompletion()
+{
     completionEvent.cancel();
-    if (active.empty())
+    if (activeOrder.empty())
         return;
     double earliest = std::numeric_limits<double>::infinity();
-    for (const auto& [id, flow] : active) {
+    for (std::uint32_t slot : activeOrder) {
+        const Flow& flow = flowSlab[slot];
         if (flow.rate > 0.0) {
             earliest = std::min(earliest,
                                 flow.bytesRemaining / flow.rate);
@@ -182,7 +382,6 @@ FlowNetwork::recompute(double now)
     completionEvent = sim.scheduleAt(when, [this] {
         onCompletionEvent();
     });
-    (void)now;
 }
 
 void
@@ -190,36 +389,62 @@ FlowNetwork::onCompletionEvent()
 {
     double now = sim.nowSeconds();
     progress(now);
-    std::vector<std::function<void()>> callbacks;
-    for (auto it = active.begin(); it != active.end();) {
-        if (it->second.bytesRemaining <= kEpsBytes) {
-            callbacks.push_back(std::move(it->second.onComplete));
-            it = active.erase(it);
+    // Member scratch: cleared each event, capacity retained.
+    completedCallbacks.clear();
+    completedSlots.clear();
+    auto keep = activeOrder.begin();
+    for (std::uint32_t slot : activeOrder) {
+        Flow& flow = flowSlab[slot];
+        if (flow.bytesRemaining <= kEpsBytes) {
+            completedCallbacks.push_back(std::move(flow.onComplete));
+            completedSlots.push_back(slot);
+            for (LinkId l : *flow.route)
+                --flowsOnLink[static_cast<std::size_t>(l)];
         } else {
-            ++it;
+            *keep++ = slot;
         }
     }
-    recompute(now);
+    activeOrder.erase(keep, activeOrder.end());
+
+    // If every departed flow leaves its links idle, the survivors'
+    // water-fill is unchanged — skip it.
+    bool uncontended = !forceFull;
+    for (std::uint32_t slot : completedSlots) {
+        for (LinkId l : *flowSlab[slot].route) {
+            if (flowsOnLink[static_cast<std::size_t>(l)] != 0) {
+                uncontended = false;
+                break;
+            }
+        }
+        if (!uncontended)
+            break;
+    }
+    for (std::uint32_t slot : completedSlots)
+        freeFlowSlot(slot);
+
+    if (uncontended) {
+        if (!completedSlots.empty())
+            ++fastCompletions;
+        rebuildAggregates();
+        scheduleNextCompletion();
+    } else {
+        recompute(now);
+    }
     // Run completions after the network state is consistent; callbacks
     // may start new transfers re-entrantly.
-    for (auto& cb : callbacks)
+    for (auto& cb : completedCallbacks)
         cb();
 }
 
 BytesPerSec
 FlowNetwork::gpuRate(int gpu, hw::TrafficClass cls) const
 {
-    double rate = 0.0;
-    for (const auto& [id, flow] : active) {
-        for (LinkId l : flow.route) {
-            const LinkSpec& spec = topo.link(l);
-            if (spec.ownerGpu == gpu && spec.cls == cls) {
-                rate += std::max(flow.rate, 0.0);
-                break; // count each flow once per GPU
-            }
-        }
-    }
-    return BytesPerSec(rate);
+    std::size_t idx = static_cast<std::size_t>(gpu) *
+                          hw::kNumTrafficClasses +
+                      static_cast<std::size_t>(cls);
+    if (gpu < 0 || idx >= gpuRateCache.size())
+        return BytesPerSec(0.0);
+    return BytesPerSec(gpuRateCache[idx]);
 }
 
 double
@@ -229,13 +454,7 @@ FlowNetwork::linkUtilization(LinkId id) const
                                  topo.links().size(),
                   "link id ", id, " out of range [0, ",
                   topo.links().size(), ")");
-    double used = 0.0;
-    for (const auto& [fid, flow] : active) {
-        for (LinkId l : flow.route) {
-            if (l == id)
-                used += std::max(flow.rate, 0.0);
-        }
-    }
+    double used = linkUsedCache[static_cast<std::size_t>(id)];
     double capacity = topo.link(id).capacity.value();
     return capacity > 0.0 ? used / capacity : 0.0;
 }

@@ -8,6 +8,17 @@
  * its flows at an equal share, capacity is subtracted, and the process
  * repeats. This is what produces the paper's PCIe/NIC contention and
  * the skew between ranks that share interfaces.
+ *
+ * The solver is incremental. Flows live in a pooled slab (free-listed,
+ * no per-flow map nodes) with a separate id-ordered index so every
+ * loop visits flows in admission order — the same order the original
+ * from-scratch solver used, which keeps floating-point results
+ * bit-identical. Per-link flow counts are maintained persistently; a
+ * flow arriving on (or departing from) links carrying no other flow
+ * cannot change anyone else's allocation, so those events skip the
+ * water-fill entirely. Aggregate per-(gpu, class) and per-link rates
+ * are cached at allocation time, making the telemetry queries
+ * gpuRate()/linkUtilization() O(1) lookups.
  */
 
 #ifndef CHARLLM_NET_FLOW_NETWORK_HH
@@ -87,27 +98,71 @@ class FlowNetwork
     /** Instantaneous utilization (0..1) of a link. */
     double linkUtilization(LinkId id) const;
 
-    std::size_t numActiveFlows() const { return active.size(); }
+    std::size_t numActiveFlows() const { return activeOrder.size(); }
     std::uint64_t numFlowsStarted() const { return nextId - 1; }
 
     const Topology& topology() const { return topo; }
 
+    /** @name Solver introspection (tests, benches)
+     * @{ */
+    /** Full water-fill passes executed so far. */
+    std::uint64_t numFullRecomputes() const { return fullRecomputes; }
+    /** Joins that skipped the water-fill (uncontended route). */
+    std::uint64_t numFastJoins() const { return fastJoins; }
+    /** Completion events that skipped the water-fill. */
+    std::uint64_t numFastCompletions() const { return fastCompletions; }
+    /**
+     * Disable the incremental fast paths so every change runs the full
+     * water-fill (the pre-incremental behaviour). Used by equivalence
+     * tests to compare the two solvers on identical traffic.
+     */
+    void setForceFullRecompute(bool force) { forceFull = force; }
+    /**
+     * From-scratch reference allocation over the current active set,
+     * as (flow id, rate) pairs in flow-id order. Does not modify any
+     * solver state; the incremental invariant is that live rates
+     * always equal this.
+     */
+    std::vector<std::pair<FlowId, double>> referenceRates() const;
+    /** @} */
+
   private:
     struct Flow
     {
+        FlowId id = 0;
         int src = 0;
         int dst = 0;
-        std::vector<LinkId> route;
+        /** Cached at admission; points into routeCache (stable). */
+        const std::vector<LinkId>* route = nullptr;
         double bytesRemaining = 0.0;
         double rate = 0.0;
         std::function<void()> onComplete;
     };
+
+    /** Capacity a link offers the water-fill, after protocol
+     *  efficiency and any fault derate. */
+    double effectiveCapacity(std::size_t link) const;
+
+    /** Route lookup memoised per (src, dst); routes are static. */
+    const std::vector<LinkId>& cachedRoute(int src, int dst);
+
+    std::uint32_t allocFlowSlot();
+    void freeFlowSlot(std::uint32_t slot);
+
+    /** Admission event: the flow enters the link graph. */
+    void joinFlow(std::uint32_t slot);
 
     /** Advance all active flows to the current time. */
     void progress(double now);
 
     /** Re-run max-min allocation and schedule the next completion. */
     void recompute(double now);
+
+    /** Rebuild the O(1) gpuRate/linkUtilization caches. */
+    void rebuildAggregates();
+
+    /** (Re)schedule the completion event for the earliest finisher. */
+    void scheduleNextCompletion();
 
     /** Fired by the event queue when the earliest flow should finish. */
     void onCompletionEvent();
@@ -116,12 +171,37 @@ class FlowNetwork
     const Topology& topo;
     TrafficSink sink;
 
-    std::map<FlowId, Flow> active;
+    std::vector<Flow> flowSlab;
+    std::vector<std::uint32_t> freeFlowSlots;
+    /** Active slots ordered by ascending flow id: every solver loop
+     *  iterates this, matching the original std::map iteration order
+     *  so floating-point accumulation is bit-identical. */
+    std::vector<std::uint32_t> activeOrder;
+    /** Persistent per-link active-flow count (route multiplicity). */
+    std::vector<int> flowsOnLink;
+
     double lastProgress = 0.0;
     sim::EventHandle completionEvent;
     std::vector<double> linkByteCount;
     std::vector<double> linkDerate; //!< capacity multiplier per link
     FlowId nextId = 1;
+
+    /** @name O(1) telemetry caches (rebuilt on allocation change) */
+    std::vector<double> gpuRateCache; //!< [gpu * numClasses + cls]
+    std::vector<double> linkUsedCache;
+
+    /** @name Reused scratch (cleared, never reallocated, per event) */
+    std::vector<double> remainingScratch;
+    std::vector<int> flowsOnScratch;
+    std::vector<std::function<void()>> completedCallbacks;
+    std::vector<std::uint32_t> completedSlots;
+
+    std::map<std::uint64_t, std::vector<LinkId>> routeCache;
+
+    bool forceFull = false;
+    std::uint64_t fullRecomputes = 0;
+    std::uint64_t fastJoins = 0;
+    std::uint64_t fastCompletions = 0;
 };
 
 } // namespace net

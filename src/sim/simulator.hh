@@ -7,7 +7,6 @@
 #ifndef CHARLLM_SIM_SIMULATOR_HH
 #define CHARLLM_SIM_SIMULATOR_HH
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -33,13 +32,13 @@ class Simulator
     double nowSeconds() const { return toSeconds(events.now()); }
 
     EventHandle
-    schedule(Tick delay, std::function<void()> fn)
+    schedule(Tick delay, EventFn fn)
     {
         return events.schedule(delay, std::move(fn));
     }
 
     EventHandle
-    scheduleAt(Tick when, std::function<void()> fn)
+    scheduleAt(Tick when, EventFn fn)
     {
         return events.scheduleAt(when, std::move(fn));
     }
@@ -51,12 +50,12 @@ class Simulator
      * drained, so runAll() terminates.
      */
     void
-    every(Tick period, std::function<void()> fn)
+    every(Tick period, EventFn fn)
     {
         CHARLLM_ASSERT(period > 0, "ticker period must be positive");
-        tickers.push_back(std::make_shared<Ticker>(
+        tickers.push_back(std::make_unique<Ticker>(
             Ticker{period, std::move(fn), EventHandle()}));
-        armTicker(tickers.back());
+        armTicker(tickers.back().get());
     }
 
     /** Number of registered periodic tickers. */
@@ -84,26 +83,19 @@ class Simulator
     struct Ticker
     {
         Tick period;
-        std::function<void()> fn;
+        EventFn fn;
         EventHandle handle;
     };
 
     void
-    armTicker(const std::shared_ptr<Ticker>& t)
+    armTicker(Ticker* t)
     {
-        // Capture weakly: the event record already sits inside
-        // t->handle, so a strong capture would form a shared_ptr
-        // cycle (Record -> fn -> Ticker -> handle -> Record) and leak
-        // any ticker still armed when the simulation ends. The
-        // tickers vector keeps the Ticker alive for the Simulator's
-        // lifetime, so lock() only fails after teardown.
+        // A raw pointer capture is safe: the tickers vector owns every
+        // Ticker for the Simulator's lifetime, and the event queue is
+        // destroyed (callbacks dropped, never invoked) alongside it.
         ++pendingTickerEvents;
-        std::weak_ptr<Ticker> weak = t;
-        t->handle = events.schedule(t->period, [this, weak] {
+        t->handle = events.schedule(t->period, [this, t] {
             --pendingTickerEvents;
-            auto t = weak.lock();
-            if (!t)
-                return;
             t->fn();
             // Re-arm only while non-ticker work remains; otherwise
             // tickers would keep the simulation (and each other)
@@ -114,7 +106,7 @@ class Simulator
     }
 
     EventQueue events;
-    std::vector<std::shared_ptr<Ticker>> tickers;
+    std::vector<std::unique_ptr<Ticker>> tickers;
     std::size_t pendingTickerEvents = 0;
 };
 

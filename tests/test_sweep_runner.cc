@@ -1,0 +1,140 @@
+/**
+ * @file
+ * SweepRunner determinism tests: experiment runs are shared-nothing,
+ * so the result sequence must be identical — field for field, bit for
+ * bit — whether a sweep executes serially or across a thread pool,
+ * and regardless of claim interleaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/catalog.hh"
+#include "core/sweep_runner.hh"
+
+namespace {
+
+using namespace charllm;
+using namespace charllm::core;
+
+std::vector<ExperimentConfig>
+smallSweep()
+{
+    // A cheap but non-trivial sweep: one small model on a one-node
+    // cluster across several layouts, including an infeasible-leaning
+    // variant (memory screening must also be deterministic).
+    auto cluster = h200Cluster(1);
+    auto m = model::gpt3_30b();
+    std::vector<ExperimentConfig> configs;
+    const std::vector<std::pair<int, int>> layouts = {
+        {1, 4}, {2, 4}, {4, 2}, {8, 1}, {2, 2}, {1, 8}};
+    for (auto [tp, pp] : layouts) {
+        ExperimentConfig cfg;
+        cfg.cluster = cluster;
+        cfg.model = m;
+        cfg.par = parallel::ParallelConfig::forWorld(8, tp, pp);
+        cfg.warmupIterations = 1;
+        cfg.measuredIterations = 1;
+        configs.push_back(cfg);
+    }
+    return configs;
+}
+
+void
+expectBreakdownEq(const hw::KernelTimeBreakdown& a,
+                  const hw::KernelTimeBreakdown& b)
+{
+    for (std::size_t i = 0; i < hw::kNumKernelClasses; ++i)
+        EXPECT_EQ(a.seconds[i], b.seconds[i]);
+}
+
+void
+expectResultEq(const ExperimentResult& a, const ExperimentResult& b)
+{
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.memory.weights, b.memory.weights);
+    EXPECT_EQ(a.memory.gradients, b.memory.gradients);
+    EXPECT_EQ(a.memory.optimizer, b.memory.optimizer);
+    EXPECT_EQ(a.memory.activations, b.memory.activations);
+    EXPECT_EQ(a.memory.workspace, b.memory.workspace);
+    EXPECT_EQ(a.iterationSeconds, b.iterationSeconds);
+    EXPECT_EQ(a.avgIterationSeconds, b.avgIterationSeconds);
+    EXPECT_EQ(a.tokensPerIteration, b.tokensPerIteration);
+    EXPECT_EQ(a.tokensPerSecond, b.tokensPerSecond);
+    EXPECT_EQ(a.totalEnergyJ, b.totalEnergyJ);
+    EXPECT_EQ(a.energyPerTokenJ, b.energyPerTokenJ);
+    EXPECT_EQ(a.tokensPerJoule, b.tokensPerJoule);
+    EXPECT_EQ(a.avgPowerW, b.avgPowerW);
+    EXPECT_EQ(a.peakPowerW, b.peakPowerW);
+    EXPECT_EQ(a.avgTempC, b.avgTempC);
+    EXPECT_EQ(a.peakTempC, b.peakTempC);
+    EXPECT_EQ(a.avgClockGhz, b.avgClockGhz);
+    EXPECT_EQ(a.throttleRatio, b.throttleRatio);
+    EXPECT_EQ(a.measureStartSec, b.measureStartSec);
+    expectBreakdownEq(a.meanBreakdown, b.meanBreakdown);
+    ASSERT_EQ(a.gpus.size(), b.gpus.size());
+    for (std::size_t g = 0; g < a.gpus.size(); ++g) {
+        const GpuResult& ga = a.gpus[g];
+        const GpuResult& gb = b.gpus[g];
+        EXPECT_EQ(ga.avgPowerW, gb.avgPowerW);
+        EXPECT_EQ(ga.peakPowerW, gb.peakPowerW);
+        EXPECT_EQ(ga.avgTempC, gb.avgTempC);
+        EXPECT_EQ(ga.peakTempC, gb.peakTempC);
+        EXPECT_EQ(ga.avgClockGhz, gb.avgClockGhz);
+        EXPECT_EQ(ga.throttleRatio, gb.throttleRatio);
+        EXPECT_EQ(ga.avgOccupancy, gb.avgOccupancy);
+        EXPECT_EQ(ga.avgWarps, gb.avgWarps);
+        EXPECT_EQ(ga.avgThreadblocks, gb.avgThreadblocks);
+        EXPECT_EQ(ga.energyJ, gb.energyJ);
+        EXPECT_EQ(ga.pcieBytes, gb.pcieBytes);
+        EXPECT_EQ(ga.scaleUpBytes, gb.scaleUpBytes);
+        expectBreakdownEq(ga.breakdown, gb.breakdown);
+    }
+}
+
+TEST(SweepRunner, ThreadCountResolution)
+{
+    EXPECT_GE(SweepRunner::defaultThreads(), 1);
+    EXPECT_EQ(SweepRunner(1).numThreads(), 1);
+    EXPECT_EQ(SweepRunner(7).numThreads(), 7);
+    EXPECT_EQ(SweepRunner(0).numThreads(),
+              SweepRunner::defaultThreads());
+}
+
+TEST(SweepRunner, EmptySweep)
+{
+    EXPECT_TRUE(SweepRunner(4).run({}).empty());
+}
+
+TEST(SweepRunner, ParallelResultsIdenticalToSerial)
+{
+    auto configs = smallSweep();
+    auto serial = SweepRunner(1).run(configs);
+    ASSERT_EQ(serial.size(), configs.size());
+    // More workers than configs exercises pool clamping; 2 and 4
+    // exercise different claim interleavings.
+    for (int threads : {2, 4, static_cast<int>(configs.size()) + 3}) {
+        auto parallel = SweepRunner(threads).run(configs);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            SCOPED_TRACE("config " + std::to_string(i) + ", threads " +
+                         std::to_string(threads));
+            expectResultEq(serial[i], parallel[i]);
+        }
+    }
+}
+
+TEST(SweepRunner, ResultsStayInSubmissionOrder)
+{
+    auto configs = smallSweep();
+    auto results = SweepRunner(4).run(configs);
+    ASSERT_EQ(results.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (results[i].feasible)
+            EXPECT_EQ(results[i].label, configs[i].label());
+    }
+}
+
+} // namespace

@@ -21,6 +21,14 @@ Three rule families, all scoped to the library tree (src/):
    Celsius/BytesPerSec/Seconds. Timestamps on the simulator clock are
    the sanctioned exception and live in the allowlist.
 
+4. Hot-path allocation hazards. The event kernel and flow solver
+   (src/sim/, src/net/) are the per-event hot path; std::function
+   (type-erased heap captures) and std::make_shared (per-event
+   refcounted records) both cost an allocation per use and are what
+   the zero-allocation overhaul removed. New uses are banned; the
+   sanctioned boundary-API exceptions (FlowNetwork's user-facing
+   completion callbacks and traffic sink) live in the allowlist.
+
 Sanctioned exceptions go in tools/lint_allowlist.txt, one per line:
     <path-substring>:<line-substring>
 A finding is suppressed when its path contains <path-substring> and
@@ -64,6 +72,18 @@ RAW_DOUBLE_PARAM = re.compile(
 
 PHYSICS_HEADER_DIRS = ("src/hw/", "src/net/", "src/coll/",
                        "src/telemetry/")
+
+# (rule-id, compiled regex, message) applied to hot-path dirs only.
+HOT_PATH_RULES = [
+    ("std-function", re.compile(r"\bstd\s*::\s*function\b"),
+     "std::function heap-allocates captured state on the event hot "
+     "path; use sim::EventFn (or a concrete callable type)"),
+    ("make-shared", re.compile(r"\bmake_shared\b"),
+     "per-event shared_ptr records defeat the slab allocator; use the "
+     "pooled event/flow slabs"),
+]
+
+HOT_PATH_DIRS = ("src/sim/", "src/net/")
 
 
 def load_allowlist() -> list[tuple[str, str]]:
@@ -133,6 +153,10 @@ def lint_file(path: Path, allowlist) -> list[str]:
             report("raw-double-unit", "unit-suffixed double parameter in a "
                    "physics header; use the typed quantities from "
                    "common/quantity.hh")
+        if any(rel.startswith(d) for d in HOT_PATH_DIRS):
+            for rule, rx, msg in HOT_PATH_RULES:
+                if rx.search(code):
+                    report(rule, msg)
     return findings
 
 

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Perf smoke gate for the event kernel, flow solver, and sweep runner.
+
+Runs two quick workloads against a Release build:
+
+1. bench_micro_engine (google-benchmark JSON): event-queue throughput
+   and flow-solver recompute/contention rates.
+2. bench_table2_techniques on the SweepRunner thread pool: end-to-end
+   sweep wall-clock.
+
+Writes every measurement (plus the committed baseline and the
+current/baseline ratios) to BENCH_sweep.json so CI can archive the
+artifact, then fails if any metric regressed more than --threshold
+(default 25%) against tools/perf_baseline.json.
+
+The committed baseline intentionally records a slow reference host; a
+failure therefore means a real regression, not runner-to-runner noise.
+Regenerate it with --update-baseline after intentional perf changes.
+
+Exit status: 0 pass, 1 regression, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "tools" / "perf_baseline.json"
+
+# google-benchmark names -> metric keys (items/sec, higher = better).
+MICRO_METRICS = {
+    "BM_EventQueueScheduleRun/1024": "events_per_sec_1024",
+    "BM_EventQueueScheduleRun/16384": "events_per_sec_16384",
+    "BM_FlowNetworkContention/512": "flow_contention_per_sec_512",
+    "BM_FlowNetworkRecompute/256": "flow_recompute_per_sec_256",
+}
+
+# Wall-clock metrics (seconds, lower = better).
+WALL_METRICS = {"table2_wall_seconds"}
+
+
+def run_micro(build: Path) -> dict[str, float]:
+    exe = build / "bench" / "bench_micro_engine"
+    if not exe.exists():
+        print(f"perf_smoke: {exe} not found (build the bench targets)",
+              file=sys.stderr)
+        sys.exit(2)
+    flt = "|".join(re.escape(name) for name in MICRO_METRICS)
+    out = subprocess.run(
+        [str(exe), "--benchmark_format=json",
+         f"--benchmark_filter=^({flt})$"],
+        capture_output=True, text=True, check=True).stdout
+    report = json.loads(out)
+    metrics: dict[str, float] = {}
+    for bench in report.get("benchmarks", []):
+        key = MICRO_METRICS.get(bench.get("name", ""))
+        if key is not None:
+            metrics[key] = float(bench["items_per_second"])
+    missing = set(MICRO_METRICS.values()) - set(metrics)
+    if missing:
+        print(f"perf_smoke: benchmarks missing from report: {missing}",
+              file=sys.stderr)
+        sys.exit(2)
+    return metrics
+
+
+def run_sweep(build: Path, threads: int) -> dict[str, float]:
+    exe = build / "bench" / "bench_table2_techniques"
+    if not exe.exists():
+        print(f"perf_smoke: {exe} not found (build the bench targets)",
+              file=sys.stderr)
+        sys.exit(2)
+    start = time.monotonic()
+    subprocess.run([str(exe), f"--threads={threads}"],
+                   capture_output=True, text=True, check=True)
+    return {"table2_wall_seconds": time.monotonic() - start}
+
+
+def gate(metrics: dict[str, float], baseline: dict[str, float],
+         threshold: float) -> tuple[list[str], dict[str, float]]:
+    failures = []
+    ratios = {}
+    for key, base in baseline.items():
+        if key not in metrics or base <= 0.0:
+            continue
+        cur = metrics[key]
+        ratio = cur / base
+        ratios[key] = ratio
+        if key in WALL_METRICS:
+            regressed = ratio > 1.0 + threshold
+            direction = "slower"
+        else:
+            regressed = ratio < 1.0 - threshold
+            direction = "lower"
+        if regressed:
+            failures.append(
+                f"  {key}: {cur:.4g} vs baseline {base:.4g} "
+                f"({abs(ratio - 1.0) * 100.0:.1f}% {direction})")
+    return failures, ratios
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build directory (Release)")
+    ap.add_argument("--threads", type=int, default=0,
+                    help="SweepRunner workers (0 = one per core)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional regression (default 0.25)")
+    ap.add_argument("--output", default="BENCH_sweep.json",
+                    help="where to write the measurement artifact")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite tools/perf_baseline.json instead of "
+                         "gating")
+    args = ap.parse_args()
+
+    build = Path(args.build_dir)
+    metrics = run_micro(build)
+    metrics.update(run_sweep(build, args.threads))
+
+    if args.update_baseline:
+        BASELINE.write_text(json.dumps(metrics, indent=2,
+                                       sort_keys=True) + "\n")
+        print(f"perf_smoke: baseline updated at {BASELINE}")
+        return 0
+
+    if not BASELINE.exists():
+        print(f"perf_smoke: no baseline at {BASELINE}; run with "
+              "--update-baseline first", file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE.read_text())
+
+    failures, ratios = gate(metrics, baseline, args.threshold)
+    artifact = {
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "threads": args.threads,
+        "threshold": args.threshold,
+        "metrics": metrics,
+        "baseline": baseline,
+        "current_over_baseline": ratios,
+    }
+    Path(args.output).write_text(json.dumps(artifact, indent=2,
+                                            sort_keys=True) + "\n")
+    print(f"perf_smoke: wrote {args.output}")
+    for key in sorted(metrics):
+        mark = " (wall)" if key in WALL_METRICS else ""
+        ratio = ratios.get(key)
+        rel = f"  [{ratio:.2f}x baseline]" if ratio else ""
+        print(f"  {key}{mark}: {metrics[key]:.4g}{rel}")
+    if failures:
+        print(f"\nperf_smoke: regression beyond "
+              f"{args.threshold * 100.0:.0f}%:")
+        print("\n".join(failures))
+        return 1
+    print("perf_smoke: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
