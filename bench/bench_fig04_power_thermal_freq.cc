@@ -19,11 +19,14 @@ using namespace charllm;
 using benchutil::sweepConfig;
 
 int
-main()
+main(int argc, char** argv)
 {
     benchutil::banner("Figure 4",
                       "Power / temperature / frequency across models "
                       "and parallelism");
+    // --trace=/--metrics= apply to the H200 sweep (the figure's top
+    // panel); the MI250 sweep below runs plain.
+    auto flags = benchutil::sweepFlags(argc, argv);
 
     // --- H200 cluster -----------------------------------------------------
     {
@@ -45,7 +48,8 @@ main()
             }
         }
         std::printf("--- 32 x H200 ---\n");
-        benchutil::printSystemMetrics(benchutil::runSweep(configs));
+        benchutil::printSystemMetrics(
+            benchutil::runSweep(configs, flags));
         std::printf("\n");
     }
 

@@ -46,7 +46,7 @@ main(int argc, char** argv)
     }
     benchutil::printSystemMetrics(
         benchutil::runSweep(configs,
-                            benchutil::sweepThreads(argc, argv)));
+                            benchutil::sweepFlags(argc, argv)));
     std::printf(
         "\nExpected: act rows trail their Base rows in eff(norm)\n"
         "unless Base is OOM; cc rows raise peak temperature and\n"

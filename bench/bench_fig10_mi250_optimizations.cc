@@ -39,7 +39,7 @@ main(int argc, char** argv)
     }
     benchutil::printSystemMetrics(
         benchutil::runSweep(configs,
-                            benchutil::sweepThreads(argc, argv)));
+                            benchutil::sweepFlags(argc, argv)));
     std::printf(
         "\nExpected: the chiplet GCDs run close to their (higher)\n"
         "junction limits; intra-package skew keeps the second GCD of\n"

@@ -37,7 +37,7 @@ main(int argc, char** argv)
     }
     benchutil::printSystemMetrics(
         benchutil::runSweep(configs,
-                            benchutil::sweepThreads(argc, argv)));
+                            benchutil::sweepFlags(argc, argv)));
     std::printf(
         "\nExpected: TP8-FSDP gains >3x from mb1 -> mb4 (coarser\n"
         "gathers over the shared NIC); TP8-PP4 gains modestly\n"

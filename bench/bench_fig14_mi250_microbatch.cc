@@ -38,7 +38,7 @@ main(int argc, char** argv)
     }
     benchutil::printSystemMetrics(
         benchutil::runSweep(configs,
-                            benchutil::sweepThreads(argc, argv)));
+                            benchutil::sweepFlags(argc, argv)));
     std::printf(
         "\nExpected: efficiency is non-decreasing in microbatch size\n"
         "for most rows (memory-capacity-limited, not thermally\n"

@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <fstream>
 
 #include "bench_util.hh"
 #include "common/strings.hh"
@@ -173,8 +174,21 @@ main(int argc, char** argv)
         configs.push_back(c.base);
         configs.push_back(c.with);
     }
-    core::SweepRunner runner(benchutil::sweepThreads(argc, argv));
-    auto results = runner.run(configs);
+    auto flags = benchutil::sweepFlags(argc, argv);
+    obs::MetricsRegistry registry;
+    core::SweepRunner runner(flags.threads);
+    auto results =
+        runner.run(configs,
+                   flags.metricsPath.empty() ? nullptr : &registry);
+    if (!flags.metricsPath.empty()) {
+        std::ofstream out(flags.metricsPath, std::ios::binary);
+        if (out && (out << registry.toJson()))
+            std::printf("wrote metrics: %s\n",
+                        flags.metricsPath.c_str());
+        else
+            std::fprintf(stderr, "failed to write metrics: %s\n",
+                         flags.metricsPath.c_str());
+    }
 
     std::vector<Impact> impacts;
     impacts.reserve(comparisons.size());

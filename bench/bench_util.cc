@@ -3,12 +3,25 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "common/strings.hh"
+#include "core/report.hh"
 #include "core/sweep_runner.hh"
 
 namespace charllm {
 namespace benchutil {
+
+namespace {
+
+bool
+writeText(const std::string& path, const std::string& text)
+{
+    std::ofstream out(path, std::ios::binary);
+    return static_cast<bool>(out && (out << text));
+}
+
+} // namespace
 
 void
 banner(const std::string& exp_id, const std::string& what)
@@ -59,13 +72,74 @@ runSweep(const std::vector<core::ExperimentConfig>& configs,
     return rows;
 }
 
-int
-sweepThreads(int argc, char** argv)
+std::vector<SweepRow>
+runSweep(std::vector<core::ExperimentConfig> configs,
+         const SweepFlags& flags)
 {
-    int threads = 0;
+    bool tracing = !flags.tracePath.empty() && !configs.empty();
+    if (tracing) {
+        configs.front().enableTrace = true;
+        configs.front().enableSampler = true;
+    }
+
+    obs::MetricsRegistry registry;
+    core::SweepRunner runner(flags.threads);
+    std::vector<core::ExperimentResult> results = runner.run(
+        configs, flags.metricsPath.empty() ? nullptr : &registry);
+
+    if (tracing) {
+        if (writeText(flags.tracePath,
+                      core::unifiedTraceJson(results.front())))
+            std::printf("wrote unified trace: %s\n",
+                        flags.tracePath.c_str());
+        else
+            std::fprintf(stderr, "failed to write trace: %s\n",
+                         flags.tracePath.c_str());
+    }
+    if (!flags.metricsPath.empty()) {
+        if (writeText(flags.metricsPath, registry.toJson()))
+            std::printf("wrote metrics: %s\n",
+                        flags.metricsPath.c_str());
+        else
+            std::fprintf(stderr, "failed to write metrics: %s\n",
+                         flags.metricsPath.c_str());
+    }
+
+    std::vector<SweepRow> rows;
+    rows.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const auto& cfg = configs[i];
+        SweepRow row;
+        row.model = cfg.model.name;
+        std::string label = cfg.par.label();
+        if (cfg.train.actRecompute)
+            label += "+act";
+        if (cfg.train.ccOverlap)
+            label += "+cc";
+        if (cfg.train.microbatchSize != 1)
+            label += " mb" + std::to_string(cfg.train.microbatchSize);
+        row.variant = label;
+        row.result = std::move(results[i]);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+SweepFlags
+sweepFlags(int argc, char** argv)
+{
+    SweepFlags flags;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         std::string value;
+        if (arg.rfind("--trace=", 0) == 0) {
+            flags.tracePath = arg.substr(8);
+            continue;
+        }
+        if (arg.rfind("--metrics=", 0) == 0) {
+            flags.metricsPath = arg.substr(10);
+            continue;
+        }
         if (arg.rfind("--threads=", 0) == 0)
             value = arg.substr(10);
         else if (arg.rfind("-j", 0) == 0 && arg.size() > 2)
@@ -81,9 +155,15 @@ sweepThreads(int argc, char** argv)
                          value.c_str());
             std::exit(2);
         }
-        threads = static_cast<int>(parsed);
+        flags.threads = static_cast<int>(parsed);
     }
-    return threads;
+    return flags;
+}
+
+int
+sweepThreads(int argc, char** argv)
+{
+    return sweepFlags(argc, argv).threads;
 }
 
 std::map<std::string, double>

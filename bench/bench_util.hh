@@ -50,6 +50,35 @@ std::vector<SweepRow>
 runSweep(const std::vector<core::ExperimentConfig>& configs,
          int threads = 0);
 
+/** Standard bench command-line knobs (see sweepFlags). */
+struct SweepFlags
+{
+    int threads = 0;         //!< --threads=N / -jN (0 = auto)
+    std::string tracePath;   //!< --trace=FILE: unified Perfetto JSON
+    std::string metricsPath; //!< --metrics=FILE: self-profiling dump
+};
+
+/**
+ * Observability-aware sweep: like runSweep(configs, threads), plus
+ *  - with flags.tracePath set, the first configuration runs with the
+ *    kernel trace and telemetry sampler enabled and its merged
+ *    Perfetto timeline (kernel spans + counter tracks + fault
+ *    overlays + iteration markers) is written there;
+ *  - with flags.metricsPath set, the sweep self-profiles (event-queue
+ *    / flow-solver counters, per-task wall times) and the metrics
+ *    registry dump is written there.
+ */
+std::vector<SweepRow>
+runSweep(std::vector<core::ExperimentConfig> configs,
+         const SweepFlags& flags);
+
+/**
+ * Parse the standard bench knobs: `--threads=N` (or `-jN`),
+ * `--trace=FILE`, `--metrics=FILE`. Exits with a message on a
+ * malformed value.
+ */
+SweepFlags sweepFlags(int argc, char** argv);
+
 /**
  * Parse the standard bench thread knob: `--threads=N` (or `-jN`).
  * Returns 0 (auto) when absent; exits with a message on a malformed

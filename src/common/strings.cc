@@ -81,6 +81,39 @@ join(const std::vector<std::string>& parts, const std::string& sep)
 }
 
 std::string
+jsonEscape(const std::string& value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (unsigned char c : value) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonEscape(const char* value)
+{
+    return jsonEscape(std::string(value != nullptr ? value : ""));
+}
+
+std::string
 strprintf(const char* fmt, ...)
 {
     va_list args;

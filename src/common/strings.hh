@@ -31,6 +31,15 @@ std::string formatBandwidth(double bytes_per_sec);
 std::string join(const std::vector<std::string>& parts,
                  const std::string& sep);
 
+/**
+ * Escape a string for embedding inside a JSON string literal: quotes
+ * and backslashes are backslash-escaped, control characters become
+ * \n/\t/\r/\uXXXX. Every JSON writer in the repo (Chrome traces,
+ * reports, metrics dumps) must route string payloads through this.
+ */
+std::string jsonEscape(const std::string& value);
+std::string jsonEscape(const char* value);
+
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -116,7 +116,8 @@ Experiment::run(const ExperimentConfig& config)
     std::unique_ptr<telemetry::Sampler> sampler;
     if (cfg.enableSampler) {
         sampler = std::make_unique<telemetry::Sampler>(
-            platform, network, Seconds(cfg.samplePeriodSec));
+            platform, network, Seconds(cfg.samplePeriodSec),
+            cfg.maxSamplesPerGpu);
         if (injector) {
             auto* inj = injector.get();
             sampler->setFaultAnnotator(
@@ -204,21 +205,13 @@ Experiment::run(const ExperimentConfig& config)
     result.trace = trace;
     if (injector) {
         result.faultLog = injector->log();
-        if (trace) {
-            for (const auto& r : result.faultLog) {
-                int dev = r.target;
-                if (r.kind == faults::FaultKind::LinkDerate ||
-                    r.kind == faults::FaultKind::LinkFlap) {
-                    dev = topology.link(r.target).ownerGpu;
-                }
-                trace->recordFault(dev, faults::faultKindName(r.kind),
-                                   r.startSec,
-                                   r.endSec >= r.startSec
-                                       ? r.endSec - r.startSec
-                                       : -1.0);
-            }
-        }
+        if (trace)
+            injector->overlayOnTrace(*trace);
     }
+    result.iterationSpans = engine.iterationSpans();
+    result.counters.capture(simulator.queue(), network);
+    if (injector)
+        result.counters.faultsInjected = injector->numScheduled();
     return result;
 }
 

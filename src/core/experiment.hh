@@ -17,8 +17,10 @@
 #include "core/cluster.hh"
 #include "faults/fault.hh"
 #include "model/transformer_config.hh"
+#include "obs/metrics.hh"
 #include "parallel/memory_planner.hh"
 #include "parallel/parallel_config.hh"
+#include "runtime/engine.hh"
 #include "runtime/options.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/trace.hh"
@@ -61,6 +63,10 @@ struct ExperimentConfig
 
     bool enableSampler = false;
     double samplePeriodSec = 0.01;
+    /** Sampler retention cap per GPU (0 = unbounded); past the cap
+     *  the series is decimated to bound memory on long runs. */
+    std::size_t maxSamplesPerGpu =
+        telemetry::Sampler::kDefaultMaxSamplesPerGpu;
     bool enableTrace = false;
 
     /** Reject configurations that do not fit HBM (paper Sec. 3.1). */
@@ -121,6 +127,12 @@ struct ExperimentResult
     std::shared_ptr<telemetry::KernelTrace> trace;
     /** Realized fault intervals (empty unless a scenario was set). */
     std::vector<faults::FaultRecord> faultLog;
+    /** Every completed iteration (warmup included), for the unified
+     *  trace's iteration marker track and phase windows. */
+    std::vector<runtime::IterationSpan> iterationSpans;
+    /** Simulator self-profiling counters for this run (event-queue
+     *  pops/compactions, flow-solver fast/full recomputes, faults). */
+    obs::SimCounters counters;
 };
 
 /** Runs experiments. Stateless; each run builds a fresh simulator. */

@@ -116,7 +116,7 @@ std::string
 toJson(const ExperimentResult& result)
 {
     std::ostringstream os;
-    os << "{\"label\":\"" << result.label << "\""
+    os << "{\"label\":\"" << jsonEscape(result.label) << "\""
        << ",\"feasible\":" << (result.feasible ? "true" : "false")
        << ",\"iteration_s\":" << formatDouble(result.avgIterationSeconds)
        << ",\"tokens_per_s\":" << formatDouble(result.tokensPerSecond)
@@ -127,6 +127,45 @@ toJson(const ExperimentResult& result)
        << ",\"peak_temp_c\":" << formatDouble(result.peakTempC)
        << ",\"throttle_ratio\":" << formatDouble(result.throttleRatio)
        << ",\"gpus\":" << result.gpus.size() << "}";
+    return os.str();
+}
+
+std::string
+unifiedTraceJson(const ExperimentResult& result)
+{
+    obs::TraceBuilder builder;
+    if (result.trace)
+        builder.addKernels(*result.trace);
+    for (std::size_t g = 0; g < result.series.size(); ++g)
+        builder.addCounters(static_cast<int>(g), result.series[g]);
+    for (const auto& span : result.iterationSpans) {
+        std::string name =
+            (span.warmup ? "warmup " : "iteration ") +
+            std::to_string(span.index);
+        builder.addRunSpan("iteration", name, span.startSec,
+                           span.endSec - span.startSec);
+    }
+    return builder.toJson();
+}
+
+obs::PhaseReport
+phaseReport(const ExperimentResult& result)
+{
+    static const telemetry::KernelTrace kEmpty;
+    return obs::attributePhases(
+        result.trace ? *result.trace : kEmpty, result.series);
+}
+
+std::string
+runReportJson(const ExperimentResult& result)
+{
+    obs::MetricsRegistry registry;
+    result.counters.addTo(registry);
+    std::ostringstream os;
+    os << "{\"summary\":" << toJson(result);
+    if (result.trace)
+        os << ",\"phases\":" << phaseReport(result).toJson();
+    os << ",\"metrics\":" << registry.toJson() << '}';
     return os.str();
 }
 
@@ -145,11 +184,23 @@ writeReports(const ExperimentResult& result,
         if (csv.writeTo(path))
             written.push_back(path);
     };
+    auto emitText = [&](const std::string& suffix,
+                        const std::string& text) {
+        std::string path = directory + "/" + stem + suffix;
+        std::ofstream out(path, std::ios::binary);
+        if (out && (out << text))
+            written.push_back(path);
+    };
     emit("_summary.csv", summaryCsv({result}));
     emit("_gpus.csv", gpuMetricsCsv(result));
     emit("_breakdown.csv", breakdownCsv(result));
     if (!result.series.empty())
         emit("_series.csv", seriesCsv(result));
+    if (result.trace) {
+        emitText("_trace.json", unifiedTraceJson(result));
+        emit("_phases.csv", phaseReport(result).toCsv());
+    }
+    emitText("_report.json", runReportJson(result));
     return written;
 }
 

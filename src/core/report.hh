@@ -15,6 +15,8 @@
 
 #include "common/csv.hh"
 #include "core/experiment.hh"
+#include "obs/phase.hh"
+#include "obs/trace_builder.hh"
 
 namespace charllm {
 namespace core {
@@ -36,6 +38,28 @@ CsvWriter seriesCsv(const ExperimentResult& result);
 
 /** Compact single-experiment JSON summary (flat object). */
 std::string toJson(const ExperimentResult& result);
+
+/**
+ * Unified Perfetto timeline of one experiment: kernel spans, fault
+ * overlays, per-GPU power/temp/clock/link-util counter tracks, and
+ * iteration markers, merged on the shared simulated clock. Needs
+ * enableTrace; counter tracks appear when the sampler ran too.
+ */
+std::string unifiedTraceJson(const ExperimentResult& result);
+
+/**
+ * Phase attribution (compute / exposed-comm / bubble / idle) with
+ * per-phase energy, over the whole run. Needs enableTrace; energies
+ * are zero unless the sampler ran.
+ */
+obs::PhaseReport phaseReport(const ExperimentResult& result);
+
+/**
+ * Structured run report: summary metrics, phase breakdown (when
+ * traced), and the simulator self-profiling counters, as one JSON
+ * object.
+ */
+std::string runReportJson(const ExperimentResult& result);
 
 /**
  * Write every applicable report of @p result into @p directory

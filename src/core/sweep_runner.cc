@@ -1,6 +1,7 @@
 #include "core/sweep_runner.hh"
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "common/logging.hh"
@@ -21,11 +22,25 @@ SweepRunner::SweepRunner(int threads)
 }
 
 std::vector<ExperimentResult>
-SweepRunner::run(const std::vector<ExperimentConfig>& configs) const
+SweepRunner::run(const std::vector<ExperimentConfig>& configs,
+                 obs::MetricsRegistry* metrics) const
 {
     std::vector<ExperimentResult> results(configs.size());
+    // Per-task wall seconds, written by whichever worker claims the
+    // slot (shared-nothing) and folded into the registry only after
+    // every worker has joined.
+    std::vector<double> wallSeconds(configs.size(), 0.0);
     if (configs.empty())
         return results;
+
+    using Clock = std::chrono::steady_clock;
+    auto runOne = [&](std::size_t i) {
+        auto begin = Clock::now();
+        results[i] = Experiment::run(configs[i]);
+        wallSeconds[i] =
+            std::chrono::duration<double>(Clock::now() - begin)
+                .count();
+    };
 
     std::size_t pool = static_cast<std::size_t>(workers);
     if (pool > configs.size())
@@ -33,32 +48,46 @@ SweepRunner::run(const std::vector<ExperimentConfig>& configs) const
 
     if (pool <= 1) {
         for (std::size_t i = 0; i < configs.size(); ++i)
-            results[i] = Experiment::run(configs[i]);
-        return results;
+            runOne(i);
+    } else {
+        // Work-stealing by atomic claim: each worker grabs the next
+        // unclaimed config and writes its result into the
+        // submission-order slot. Runs are shared-nothing (each builds
+        // its own Simulator), so the result vector is independent of
+        // the thread count and of claim interleaving.
+        std::atomic<std::size_t> next{0};
+        auto work = [&] {
+            for (;;) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= configs.size())
+                    return;
+                runOne(i);
+            }
+        };
+
+        std::vector<std::thread> threads;
+        threads.reserve(pool - 1);
+        for (std::size_t t = 0; t + 1 < pool; ++t)
+            threads.emplace_back(work);
+        work(); // the calling thread participates
+        for (std::thread& t : threads)
+            t.join();
     }
 
-    // Work-stealing by atomic claim: each worker grabs the next
-    // unclaimed config and writes its result into the submission-order
-    // slot. Runs are shared-nothing (each builds its own Simulator),
-    // so the result vector is independent of the thread count and of
-    // claim interleaving.
-    std::atomic<std::size_t> next{0};
-    auto work = [&] {
-        for (;;) {
-            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= configs.size())
-                return;
-            results[i] = Experiment::run(configs[i]);
-        }
-    };
-
-    std::vector<std::thread> threads;
-    threads.reserve(pool - 1);
-    for (std::size_t t = 0; t + 1 < pool; ++t)
-        threads.emplace_back(work);
-    work(); // the calling thread participates
-    for (std::thread& t : threads)
-        t.join();
+    if (metrics != nullptr) {
+        obs::SimCounters total;
+        for (const auto& r : results)
+            total.merge(r.counters);
+        total.addTo(*metrics);
+        metrics->counter("sweep.tasks").inc(results.size());
+        metrics->gauge("sweep.threads")
+            .set(static_cast<double>(pool));
+        obs::Histogram& wall =
+            metrics->histogram("sweep.task_wall_seconds");
+        for (double s : wallSeconds)
+            wall.observe(s);
+    }
     return results;
 }
 

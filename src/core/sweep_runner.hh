@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "obs/metrics.hh"
 
 namespace charllm {
 namespace core {
@@ -36,9 +37,18 @@ class SweepRunner
      * Run every config and return results indexed exactly like
      * @p configs. Infeasible configurations are returned with
      * feasible == false, same as Experiment::run.
+     *
+     * When @p metrics is non-null, the sweep self-profiles into it:
+     * per-run simulator counters are summed under sim./net./faults.,
+     * and per-task wall time lands in the sweep.task_wall_seconds
+     * histogram (plus sweep.tasks / sweep.threads). Workers record
+     * into private slots; the registry is touched only after the pool
+     * joins, so simulated results stay byte-deterministic and the
+     * metrics path adds no synchronization.
      */
     std::vector<ExperimentResult>
-    run(const std::vector<ExperimentConfig>& configs) const;
+    run(const std::vector<ExperimentConfig>& configs,
+        obs::MetricsRegistry* metrics = nullptr) const;
 
     /** Hardware concurrency, clamped to at least 1. */
     static int defaultThreads();

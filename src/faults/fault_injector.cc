@@ -80,6 +80,22 @@ FaultInjector::trackInterval(int gpu, FaultKind kind, double start_s,
     }
 }
 
+void
+FaultInjector::overlayOnTrace(telemetry::KernelTrace& trace) const
+{
+    for (const auto& r : records) {
+        int dev = r.target;
+        if (r.kind == FaultKind::LinkDerate ||
+            r.kind == FaultKind::LinkFlap) {
+            dev = network.topology().link(r.target).ownerGpu;
+        }
+        trace.recordFault(dev, faultKindName(r.kind), r.startSec,
+                          r.endSec >= r.startSec
+                              ? r.endSec - r.startSec
+                              : -1.0);
+    }
+}
+
 const char*
 FaultInjector::activeGpuFault(int gpu) const
 {

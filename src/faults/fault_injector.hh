@@ -19,6 +19,7 @@
 #include "parallel/rank_mapper.hh"
 #include "runtime/engine.hh"
 #include "sim/simulator.hh"
+#include "telemetry/trace.hh"
 
 namespace charllm {
 namespace faults {
@@ -67,6 +68,15 @@ class FaultInjector
      * telemetry::Sampler::setFaultAnnotator for cause attribution.
      */
     const char* activeGpuFault(int gpu) const;
+
+    /**
+     * Overlay every realized fault interval onto @p trace as fault
+     * spans (link faults are attributed to the link's owner GPU, and
+     * point events become open-ended spans the trace clips at its
+     * horizon). Used by core::Experiment and the unified trace
+     * builder so fault rows share the kernel timeline's clock.
+     */
+    void overlayOnTrace(telemetry::KernelTrace& trace) const;
 
     std::size_t numScheduled() const { return records.size(); }
 

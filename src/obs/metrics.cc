@@ -1,0 +1,178 @@
+#include "obs/metrics.hh"
+
+#include <sstream>
+
+#include "common/strings.hh"
+#include "net/flow_network.hh"
+#include "sim/event_queue.hh"
+
+namespace charllm {
+namespace obs {
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    return counters[name];
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    return gauges[name];
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name)
+{
+    return histograms[name];
+}
+
+const Counter*
+MetricsRegistry::findCounter(const std::string& name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? nullptr : &it->second;
+}
+
+const Histogram*
+MetricsRegistry::findHistogram(const std::string& name) const
+{
+    auto it = histograms.find(name);
+    return it == histograms.end() ? nullptr : &it->second;
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    return size() == 0;
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    return counters.size() + gauges.size() + histograms.size();
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : counters) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(name) << "\":" << c.value();
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, g] : gauges) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(name)
+           << "\":" << formatDouble(g.value(), 17);
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : histograms) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(name) << "\":{\"count\":" << h.count()
+           << ",\"sum\":" << formatDouble(h.sum(), 17)
+           << ",\"min\":" << formatDouble(h.min(), 17)
+           << ",\"max\":" << formatDouble(h.max(), 17)
+           << ",\"mean\":" << formatDouble(h.mean(), 17) << '}';
+    }
+    os << "}}";
+    return os.str();
+}
+
+CsvWriter
+MetricsRegistry::toCsv() const
+{
+    CsvWriter csv;
+    csv.header({"kind", "name", "count", "sum", "min", "max", "mean"});
+    for (const auto& [name, c] : counters) {
+        csv.beginRow();
+        csv.cell(std::string("counter"));
+        csv.cell(name);
+        csv.cell(c.value());
+        csv.cell(static_cast<double>(c.value()));
+        csv.cell(0.0);
+        csv.cell(0.0);
+        csv.cell(0.0);
+        csv.endRow();
+    }
+    for (const auto& [name, g] : gauges) {
+        csv.beginRow();
+        csv.cell(std::string("gauge"));
+        csv.cell(name);
+        csv.cell(std::uint64_t(1));
+        csv.cell(g.value());
+        csv.cell(g.value());
+        csv.cell(g.value());
+        csv.cell(g.value());
+        csv.endRow();
+    }
+    for (const auto& [name, h] : histograms) {
+        csv.beginRow();
+        csv.cell(std::string("histogram"));
+        csv.cell(name);
+        csv.cell(h.count());
+        csv.cell(h.sum());
+        csv.cell(h.min());
+        csv.cell(h.max());
+        csv.cell(h.mean());
+        csv.endRow();
+    }
+    return csv;
+}
+
+void
+SimCounters::capture(const sim::EventQueue& queue,
+                     const net::FlowNetwork& network)
+{
+    eventsPopped = queue.numPopped();
+    eventsCancelled = queue.numCancelled();
+    eventCompactions = queue.numCompactions();
+    eventSlabSlots = queue.slabSize();
+    flowsStarted = network.numFlowsStarted();
+    flowFullRecomputes = network.numFullRecomputes();
+    flowFastJoins = network.numFastJoins();
+    flowFastCompletions = network.numFastCompletions();
+}
+
+void
+SimCounters::addTo(MetricsRegistry& registry) const
+{
+    registry.counter("sim.events_popped").inc(eventsPopped);
+    registry.counter("sim.events_cancelled").inc(eventsCancelled);
+    registry.counter("sim.event_compactions").inc(eventCompactions);
+    registry.counter("sim.event_slab_slots").inc(eventSlabSlots);
+    registry.counter("net.flows_started").inc(flowsStarted);
+    registry.counter("net.full_recomputes").inc(flowFullRecomputes);
+    registry.counter("net.fast_joins").inc(flowFastJoins);
+    registry.counter("net.fast_completions").inc(flowFastCompletions);
+    registry.counter("faults.injected").inc(faultsInjected);
+}
+
+SimCounters&
+SimCounters::merge(const SimCounters& other)
+{
+    eventsPopped += other.eventsPopped;
+    eventsCancelled += other.eventsCancelled;
+    eventCompactions += other.eventCompactions;
+    eventSlabSlots += other.eventSlabSlots;
+    flowsStarted += other.flowsStarted;
+    flowFullRecomputes += other.flowFullRecomputes;
+    flowFastJoins += other.flowFastJoins;
+    flowFastCompletions += other.flowFastCompletions;
+    faultsInjected += other.faultsInjected;
+    return *this;
+}
+
+} // namespace obs
+} // namespace charllm

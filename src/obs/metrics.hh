@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges, and log-bucketed
+ * histograms for simulator self-profiling.
+ *
+ * Design contract (enforced by tools/lint_sim.py):
+ *  - The increment path never allocates. Counter::inc, Gauge::set and
+ *    Histogram::observe are plain member stores on fixed-size state.
+ *  - Zero overhead when disabled. Components that accept an optional
+ *    metric handle take a pointer defaulting to nullptr; the inline
+ *    null check is the entire disabled-path cost. Hot-path components
+ *    (sim::EventQueue, net::FlowNetwork) additionally keep their own
+ *    raw integer counters and are harvested into a registry only at
+ *    end of run via SimCounters.
+ *  - Registration and dumping may allocate freely; both happen once
+ *    per run, outside the event loop.
+ *
+ * Metric names are dot-separated lowercase with unit-suffixed leaves
+ * ("sim.events_popped", "sweep.task_wall_seconds"); see DESIGN.md
+ * "Observability architecture" for the naming rules.
+ */
+
+#ifndef CHARLLM_OBS_METRICS_HH
+#define CHARLLM_OBS_METRICS_HH
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "common/csv.hh"
+
+namespace charllm {
+namespace net {
+class FlowNetwork;
+}
+namespace sim {
+class EventQueue;
+}
+
+namespace obs {
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t delta = 1) { count += delta; }
+    std::uint64_t value() const { return count; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double value) { current = value; }
+    double value() const { return current; }
+
+  private:
+    double current = 0.0;
+};
+
+/**
+ * Power-of-two log-bucketed histogram over positive doubles, with
+ * exact count/sum/min/max. Bucket i holds observations in
+ * [2^(i-32), 2^(i-31)) — a range spanning ~2.3e-10 .. 4.3e9, wide
+ * enough for nanosecond wall times through multi-hour runs.
+ * Fixed-size state: observe() never allocates.
+ */
+class Histogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 64;
+
+    void
+    observe(double value)
+    {
+        ++observations;
+        total += value;
+        if (value < minimum)
+            minimum = value;
+        if (value > maximum)
+            maximum = value;
+        ++buckets[bucketOf(value)];
+    }
+
+    std::uint64_t count() const { return observations; }
+    double sum() const { return total; }
+    double min() const { return observations ? minimum : 0.0; }
+    double max() const { return observations ? maximum : 0.0; }
+    double
+    mean() const
+    {
+        return observations
+                   ? total / static_cast<double>(observations)
+                   : 0.0;
+    }
+    std::uint64_t
+    bucketCount(std::size_t i) const
+    {
+        return buckets.at(i);
+    }
+
+    /** Upper bound of bucket @p i (exclusive). */
+    static double
+    bucketUpperBound(std::size_t i)
+    {
+        return std::ldexp(1.0, static_cast<int>(i) - 31);
+    }
+
+  private:
+    static std::size_t
+    bucketOf(double value)
+    {
+        if (!(value > 0.0))
+            return 0;
+        int exp = 0;
+        std::frexp(value, &exp); // value = m * 2^exp, m in [0.5, 1)
+        int bucket = exp + 31;
+        if (bucket < 0)
+            bucket = 0;
+        if (bucket >= static_cast<int>(kBuckets))
+            bucket = static_cast<int>(kBuckets) - 1;
+        return static_cast<std::size_t>(bucket);
+    }
+
+    std::uint64_t observations = 0;
+    double total = 0.0;
+    double minimum = std::numeric_limits<double>::infinity();
+    double maximum = -std::numeric_limits<double>::infinity();
+    std::array<std::uint64_t, kBuckets> buckets{};
+};
+
+/** Null-safe increment helpers for optional metric handles. */
+inline void
+add(Counter* counter, std::uint64_t delta = 1)
+{
+    if (counter != nullptr)
+        counter->inc(delta);
+}
+
+inline void
+observe(Histogram* histogram, double value)
+{
+    if (histogram != nullptr)
+        histogram->observe(value);
+}
+
+/**
+ * Registry of named metrics. get-or-create accessors return stable
+ * references (storage is node-based); dumps iterate in name order,
+ * so output is deterministic. Not thread-safe: concurrent writers
+ * must aggregate privately and merge on one thread (see
+ * core::SweepRunner).
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /** Lookup without creating; nullptr when absent. */
+    const Counter* findCounter(const std::string& name) const;
+    const Histogram* findHistogram(const std::string& name) const;
+
+    bool empty() const;
+    std::size_t size() const;
+
+    /** {"counters":{...},"gauges":{...},"histograms":{...}} with
+     *  names sorted; histograms dump count/sum/min/max/mean. */
+    std::string toJson() const;
+
+    /** One row per metric: kind, name, value columns. */
+    CsvWriter toCsv() const;
+
+  private:
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Gauge> gauges;
+    std::map<std::string, Histogram> histograms;
+};
+
+/**
+ * End-of-run snapshot of the PR-3 hot-path internals: event-kernel
+ * pops/cancellations/compactions and flow-solver incremental-vs-full
+ * recompute counts. Captured per experiment (the counters live on the
+ * per-run Simulator/FlowNetwork) and summed into a MetricsRegistry
+ * for dumping.
+ */
+struct SimCounters
+{
+    std::uint64_t eventsPopped = 0;
+    std::uint64_t eventsCancelled = 0;
+    std::uint64_t eventCompactions = 0;
+    std::uint64_t eventSlabSlots = 0;
+    std::uint64_t flowsStarted = 0;
+    std::uint64_t flowFullRecomputes = 0;
+    std::uint64_t flowFastJoins = 0;
+    std::uint64_t flowFastCompletions = 0;
+    std::uint64_t faultsInjected = 0;
+
+    /** Read the live counters out of a simulation stack. */
+    void capture(const sim::EventQueue& queue,
+                 const net::FlowNetwork& network);
+
+    /** Sum this snapshot into @p registry under the sim./net./faults.
+     *  prefixes. */
+    void addTo(MetricsRegistry& registry) const;
+
+    SimCounters& merge(const SimCounters& other);
+};
+
+} // namespace obs
+} // namespace charllm
+
+#endif // CHARLLM_OBS_METRICS_HH

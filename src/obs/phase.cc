@@ -1,0 +1,300 @@
+#include "obs/phase.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.hh"
+
+namespace charllm {
+namespace obs {
+
+namespace {
+
+using Interval = std::pair<double, double>; // [start, end)
+using IntervalList = std::vector<Interval>;
+
+/** Sort + merge overlapping/adjacent intervals in place. */
+void
+mergeIntervals(IntervalList& intervals)
+{
+    std::sort(intervals.begin(), intervals.end());
+    IntervalList merged;
+    for (const auto& iv : intervals) {
+        if (iv.second <= iv.first)
+            continue;
+        if (!merged.empty() && iv.first <= merged.back().second)
+            merged.back().second =
+                std::max(merged.back().second, iv.second);
+        else
+            merged.push_back(iv);
+    }
+    intervals.swap(merged);
+}
+
+/** Is @p t inside a merged, sorted interval union? */
+bool
+covers(const IntervalList& intervals, double t)
+{
+    auto it = std::upper_bound(
+        intervals.begin(), intervals.end(), t,
+        [](double v, const Interval& iv) { return v < iv.first; });
+    return it != intervals.begin() && t < std::prev(it)->second;
+}
+
+/** One classified segment of a device's timeline. */
+struct Segment
+{
+    double start = 0.0;
+    double end = 0.0;
+    Phase phase = Phase::Idle;
+};
+
+} // namespace
+
+const char*
+phaseName(Phase phase)
+{
+    switch (phase) {
+    case Phase::Compute:
+        return "compute";
+    case Phase::ExposedComm:
+        return "exposed_comm";
+    case Phase::Bubble:
+        return "bubble";
+    case Phase::Idle:
+        return "idle";
+    }
+    return "unknown";
+}
+
+double
+GpuPhaseBreakdown::totalSeconds() const
+{
+    double total = 0.0;
+    for (const auto& slice : phases)
+        total += slice.seconds;
+    return total;
+}
+
+double
+GpuPhaseBreakdown::totalEnergyJ() const
+{
+    double total = 0.0;
+    for (const auto& slice : phases)
+        total += slice.energyJ;
+    return total;
+}
+
+GpuPhaseBreakdown
+PhaseReport::cluster() const
+{
+    GpuPhaseBreakdown sum;
+    sum.gpu = -1;
+    for (const auto& g : gpus) {
+        for (std::size_t p = 0; p < kNumPhases; ++p) {
+            sum.phases[p].seconds += g.phases[p].seconds;
+            sum.phases[p].energyJ += g.phases[p].energyJ;
+        }
+    }
+    return sum;
+}
+
+double
+PhaseReport::totalEnergyJ() const
+{
+    double total = 0.0;
+    for (const auto& g : gpus)
+        total += g.totalEnergyJ();
+    return total;
+}
+
+CsvWriter
+PhaseReport::toCsv() const
+{
+    CsvWriter csv;
+    csv.header({"gpu", "phase", "seconds", "energy_j", "avg_power_w"});
+    auto row = [&csv](const std::string& gpu, Phase phase,
+                      const PhaseSlice& slice) {
+        csv.beginRow();
+        csv.cell(gpu);
+        csv.cell(std::string(phaseName(phase)));
+        csv.cell(slice.seconds);
+        csv.cell(slice.energyJ);
+        csv.cell(slice.avgPowerW());
+        csv.endRow();
+    };
+    for (const auto& g : gpus) {
+        for (std::size_t p = 0; p < kNumPhases; ++p)
+            row(std::to_string(g.gpu), static_cast<Phase>(p),
+                g.phases[p]);
+    }
+    GpuPhaseBreakdown total = cluster();
+    for (std::size_t p = 0; p < kNumPhases; ++p)
+        row("cluster", static_cast<Phase>(p), total.phases[p]);
+    return csv;
+}
+
+std::string
+PhaseReport::toJson() const
+{
+    std::ostringstream os;
+    auto breakdown = [&os](const GpuPhaseBreakdown& g) {
+        os << '{';
+        for (std::size_t p = 0; p < kNumPhases; ++p) {
+            if (p != 0)
+                os << ',';
+            os << '"' << phaseName(static_cast<Phase>(p))
+               << "\":{\"seconds\":"
+               << formatDouble(g.phases[p].seconds, 17)
+               << ",\"energy_j\":"
+               << formatDouble(g.phases[p].energyJ, 17)
+               << ",\"avg_power_w\":"
+               << formatDouble(g.phases[p].avgPowerW(), 17) << '}';
+        }
+        os << '}';
+    };
+    os << "{\"window\":{\"start_sec\":"
+       << formatDouble(windowStartSec, 17)
+       << ",\"end_sec\":" << formatDouble(windowEndSec, 17)
+       << "},\"gpus\":[";
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+        if (i != 0)
+            os << ',';
+        os << "{\"gpu\":" << gpus[i].gpu << ",\"phases\":";
+        breakdown(gpus[i]);
+        os << '}';
+    }
+    os << "],\"cluster\":";
+    breakdown(cluster());
+    os << ",\"total_energy_j\":" << formatDouble(totalEnergyJ(), 17)
+       << '}';
+    return os.str();
+}
+
+PhaseReport
+attributePhases(
+    const telemetry::KernelTrace& trace,
+    const std::vector<std::vector<telemetry::Sample>>& series,
+    double window_start, double window_end)
+{
+    // Device universe: every device that ran a kernel plus every
+    // sampled series slot.
+    int maxDevice = static_cast<int>(series.size()) - 1;
+    for (const auto& e : trace.all())
+        maxDevice = std::max(maxDevice, e.device);
+
+    PhaseReport report;
+    report.windowStartSec = window_start;
+    if (window_end < 0.0) {
+        window_end = trace.horizonSec();
+        for (const auto& s : series) {
+            if (!s.empty())
+                window_end =
+                    std::max(window_end, s.back().time.value());
+        }
+    }
+    report.windowEndSec = window_end;
+    if (maxDevice < 0 || window_end <= window_start)
+        return report;
+
+    // Per-device compute/comm interval unions plus the global
+    // "anything running anywhere" union (drives Bubble vs Idle).
+    std::vector<IntervalList> compute(maxDevice + 1);
+    std::vector<IntervalList> comm(maxDevice + 1);
+    IntervalList anyActive;
+    for (const auto& e : trace.all()) {
+        Interval iv{e.startSec, e.startSec + e.durSec};
+        if (hw::isComputeClass(e.cls))
+            compute[e.device].push_back(iv);
+        else
+            comm[e.device].push_back(iv);
+        anyActive.push_back(iv);
+    }
+    for (auto& list : compute)
+        mergeIntervals(list);
+    for (auto& list : comm)
+        mergeIntervals(list);
+    mergeIntervals(anyActive);
+
+    report.gpus.resize(maxDevice + 1);
+    for (int dev = 0; dev <= maxDevice; ++dev) {
+        GpuPhaseBreakdown& out = report.gpus[dev];
+        out.gpu = dev;
+
+        // Subdivide the window at every boundary of the three unions;
+        // inside one segment the phase is constant, so classifying
+        // the midpoint classifies the whole segment.
+        std::vector<double> cuts;
+        cuts.push_back(window_start);
+        cuts.push_back(window_end);
+        auto addCuts = [&cuts, window_start,
+                        window_end](const IntervalList& list) {
+            for (const auto& iv : list) {
+                if (iv.first > window_start && iv.first < window_end)
+                    cuts.push_back(iv.first);
+                if (iv.second > window_start && iv.second < window_end)
+                    cuts.push_back(iv.second);
+            }
+        };
+        addCuts(compute[dev]);
+        addCuts(comm[dev]);
+        addCuts(anyActive);
+        std::sort(cuts.begin(), cuts.end());
+        cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+        std::vector<Segment> segments;
+        segments.reserve(cuts.size());
+        for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+            double a = cuts[i];
+            double b = cuts[i + 1];
+            double mid = a + (b - a) / 2.0;
+            Phase phase = Phase::Idle;
+            if (covers(compute[dev], mid))
+                phase = Phase::Compute;
+            else if (covers(comm[dev], mid))
+                phase = Phase::ExposedComm;
+            else if (covers(anyActive, mid))
+                phase = Phase::Bubble;
+            segments.push_back(Segment{a, b, phase});
+            out.phases[static_cast<std::size_t>(phase)].seconds +=
+                b - a;
+        }
+
+        // Energy: sample i covers (t_{i-1}, t_i] at power P_i; split
+        // each covered interval across the phase segments it spans.
+        // Every joule of the sampler series inside the window lands in
+        // exactly one slice, so per-phase energies sum to the sampler
+        // integral exactly.
+        if (dev >= static_cast<int>(series.size()))
+            continue;
+        double prev = window_start;
+        std::size_t seg = 0;
+        for (const auto& sample : series[dev]) {
+            double t = sample.time.value();
+            double lo = std::max(prev, window_start);
+            double hi = std::min(t, window_end);
+            prev = t;
+            if (hi <= lo)
+                continue;
+            double power = sample.powerWatts.value();
+            while (seg < segments.size() &&
+                   segments[seg].end <= lo)
+                ++seg;
+            for (std::size_t s = seg;
+                 s < segments.size() && segments[s].start < hi; ++s) {
+                double overlap = std::min(hi, segments[s].end) -
+                                 std::max(lo, segments[s].start);
+                if (overlap > 0.0)
+                    out.phases[static_cast<std::size_t>(
+                                   segments[s].phase)]
+                        .energyJ += power * overlap;
+            }
+            if (t >= window_end)
+                break;
+        }
+    }
+    return report;
+}
+
+} // namespace obs
+} // namespace charllm

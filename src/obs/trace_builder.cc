@@ -1,0 +1,251 @@
+#include "obs/trace_builder.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/strings.hh"
+#include "hw/kernel.hh"
+
+namespace charllm {
+namespace obs {
+
+namespace {
+
+/** Round-trippable number formatting for trace timestamps/values. */
+std::string
+num(double value)
+{
+    return formatDouble(value, 17);
+}
+
+void
+emitMeta(std::ostringstream& os, bool& first, const char* metaName,
+         int pid, const char* argKey, const std::string& argValue)
+{
+    if (!first)
+        os << ',';
+    first = false;
+    os << "{\"name\":\"" << metaName << "\",\"ph\":\"M\",\"pid\":"
+       << pid << ",\"tid\":0,\"args\":{\"" << argKey << "\":\""
+       << jsonEscape(argValue) << "\"}}";
+}
+
+void
+emitThreadName(std::ostringstream& os, bool& first, int pid, int tid,
+               const char* name)
+{
+    if (!first)
+        os << ',';
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << name
+       << "\"}}";
+}
+
+void
+emitSortIndex(std::ostringstream& os, bool& first, int pid, int index)
+{
+    if (!first)
+        os << ',';
+    first = false;
+    os << "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":"
+       << pid << ",\"tid\":0,\"args\":{\"sort_index\":" << index
+       << "}}";
+}
+
+void
+emitSpan(std::ostringstream& os, bool& first, const char* name,
+         const char* cat, int pid, int tid, double startSec,
+         double durSec)
+{
+    if (!first)
+        os << ',';
+    first = false;
+    os << "{\"name\":\"" << jsonEscape(name) << "\",\"cat\":\""
+       << jsonEscape(cat) << "\",\"ph\":\"X\",\"pid\":" << pid
+       << ",\"tid\":" << tid
+       << ",\"ts\":" << num(startSec * 1e6)
+       << ",\"dur\":" << num(durSec * 1e6) << '}';
+}
+
+void
+emitCounter(std::ostringstream& os, bool& first, const char* name,
+            int pid, double tSec, double value)
+{
+    if (!first)
+        os << ',';
+    first = false;
+    os << "{\"name\":\"" << name << "\",\"ph\":\"C\",\"pid\":" << pid
+       << ",\"ts\":" << num(tSec * 1e6)
+       << ",\"args\":{\"value\":" << num(value) << "}}";
+}
+
+} // namespace
+
+void
+TraceBuilder::addKernels(const telemetry::KernelTrace& trace)
+{
+    kernels = &trace;
+}
+
+void
+TraceBuilder::addCounters(int gpu,
+                          const std::vector<telemetry::Sample>& series)
+{
+    counters[gpu] = &series;
+}
+
+void
+TraceBuilder::addRunSpan(const char* category, const std::string& name,
+                         double startSec, double durSec)
+{
+    runSpans.push_back(
+        RunSpan{category != nullptr ? category : "run", name, startSec,
+                durSec});
+}
+
+double
+TraceBuilder::horizonSec() const
+{
+    double horizon = kernels != nullptr ? kernels->horizonSec() : 0.0;
+    for (const auto& [gpu, series] : counters) {
+        if (!series->empty())
+            horizon =
+                std::max(horizon, series->back().time.value());
+    }
+    for (const auto& s : runSpans) {
+        if (s.durSec >= 0.0)
+            horizon = std::max(horizon, s.startSec + s.durSec);
+    }
+    return horizon;
+}
+
+std::string
+TraceBuilder::toJson() const
+{
+    // The set of GPU "processes": everything that produced a kernel
+    // span, a fault overlay, or a counter series. Device -1 (an
+    // unattributed fault) is kept and labelled as such.
+    std::set<int> devices;
+    if (kernels != nullptr) {
+        for (const auto& e : kernels->all())
+            devices.insert(e.device);
+        for (const auto& f : kernels->faultSpans())
+            devices.insert(f.device);
+    }
+    for (const auto& [gpu, series] : counters)
+        devices.insert(gpu);
+
+    int maxDevice = devices.empty() ? -1 : *devices.rbegin();
+    const int runPid = maxDevice + 1;
+    const double horizon = horizonSec();
+
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+
+    // Track metadata: one process per GPU (pid == device id), with
+    // named threads for kernel spans (tid 0) and fault overlays
+    // (tid 1); counter tracks attach to the process directly. A
+    // trailing "run" process carries cluster-wide marker spans.
+    int sortIndex = 0;
+    for (int dev : devices) {
+        std::string label =
+            dev < 0 ? std::string("cluster")
+                    : "GPU" + std::to_string(dev);
+        emitMeta(os, first, "process_name", dev, "name", label);
+        emitSortIndex(os, first, dev, sortIndex++);
+        emitThreadName(os, first, dev, 0, "kernels");
+        emitThreadName(os, first, dev, 1, "faults");
+    }
+    if (!runSpans.empty()) {
+        emitMeta(os, first, "process_name", runPid, "name", "run");
+        emitSortIndex(os, first, runPid, sortIndex++);
+        emitThreadName(os, first, runPid, 0, "iterations");
+    }
+
+    // Kernel spans, time-sorted per device. The stable sort keeps the
+    // recording order for identical (device, start) pairs, so output
+    // is byte-deterministic.
+    if (kernels != nullptr) {
+        std::vector<telemetry::TraceEvent> sorted(
+            kernels->all().begin(), kernels->all().end());
+        std::stable_sort(
+            sorted.begin(), sorted.end(),
+            [](const telemetry::TraceEvent& a,
+               const telemetry::TraceEvent& b) {
+                if (a.device != b.device)
+                    return a.device < b.device;
+                return a.startSec < b.startSec;
+            });
+        for (const auto& e : sorted)
+            emitSpan(os, first, e.name, hw::kernelClassName(e.cls),
+                     e.device, 0, e.startSec, e.durSec);
+
+        // Fault overlays: open-ended spans clip to the trace horizon
+        // so Perfetto never sees a negative duration.
+        std::vector<telemetry::FaultSpan> faults(
+            kernels->faultSpans().begin(),
+            kernels->faultSpans().end());
+        std::stable_sort(faults.begin(), faults.end(),
+                         [](const telemetry::FaultSpan& a,
+                            const telemetry::FaultSpan& b) {
+                             if (a.device != b.device)
+                                 return a.device < b.device;
+                             return a.startSec < b.startSec;
+                         });
+        for (const auto& f : faults) {
+            double dur =
+                f.durSec >= 0.0
+                    ? f.durSec
+                    : std::max(horizon - f.startSec, 0.0);
+            emitSpan(os, first, f.name, "fault", f.device, 1,
+                     f.startSec, dur);
+        }
+    }
+
+    // Counter tracks, per GPU in device order, each series already in
+    // time order. Link rates are converted bytes/s -> Gbit/s to match
+    // the paper's interconnect plots.
+    for (const auto& [gpu, series] : counters) {
+        for (const auto& s : *series) {
+            double t = s.time.value();
+            emitCounter(os, first, "power_w", gpu, t,
+                        s.powerWatts.value());
+            emitCounter(os, first, "temp_c", gpu, t, s.tempC.value());
+            emitCounter(os, first, "clock_ghz", gpu, t, s.clockGhz);
+            emitCounter(os, first, "occupancy", gpu, t, s.occupancy);
+            emitCounter(os, first, "pcie_gbps", gpu, t,
+                        s.pcieRate.value() * 8.0 / 1e9);
+            emitCounter(os, first, "scaleup_gbps", gpu, t,
+                        s.scaleUpRate.value() * 8.0 / 1e9);
+        }
+    }
+
+    // Cluster-wide marker spans (iterations, restart windows).
+    for (const auto& s : runSpans) {
+        double dur = s.durSec >= 0.0
+                         ? s.durSec
+                         : std::max(horizon - s.startSec, 0.0);
+        emitSpan(os, first, s.name.c_str(), s.cat.c_str(), runPid, 0,
+                 s.startSec, dur);
+    }
+
+    os << "],\"displayTimeUnit\":\"ms\"}";
+    return os.str();
+}
+
+bool
+TraceBuilder::writeTo(const std::string& path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << toJson();
+    return static_cast<bool>(out);
+}
+
+} // namespace obs
+} // namespace charllm

@@ -130,6 +130,8 @@ TrainingEngine::finishIteration()
 {
     double now = plat.simulator().nowSeconds();
     double dur = now - iterStart;
+    iterSpans.push_back(IterationSpan{
+        iteration, iteration < opts.warmupIterations, iterStart, now});
     if (iteration >= opts.warmupIterations)
         measured.push_back(dur);
     if (iteration == opts.warmupIterations - 1) {

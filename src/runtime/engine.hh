@@ -29,6 +29,15 @@ struct EngineOptions
     int measuredIterations = 3;
 };
 
+/** One completed training iteration on the simulated clock. */
+struct IterationSpan
+{
+    int index = 0;       //!< 0-based, counting warmup iterations
+    bool warmup = false; //!< true for thermal-settling iterations
+    double startSec = 0.0;
+    double endSec = 0.0;
+};
+
 /**
  * Executes ProgramBuilder schedules. One engine instance runs one
  * experiment: warmup + measured iterations, chained inside a single
@@ -64,6 +73,13 @@ class TrainingEngine
 
     /** Simulated time at which measurement began (post warmup). */
     double measureStartSeconds() const { return measureStart; }
+
+    /** Every completed iteration (warmup included), in order. Feeds
+     *  the unified trace's per-iteration marker track. */
+    const std::vector<IterationSpan>& iterationSpans() const
+    {
+        return iterSpans;
+    }
 
     /** @name Fault-injection hooks (driven by faults::FaultInjector)
      * @{ */
@@ -177,6 +193,7 @@ class TrainingEngine
     double iterStart = 0.0;
     double measureStart = 0.0;
     std::vector<double> measured;
+    std::vector<IterationSpan> iterSpans;
     bool finished = false;
 };
 

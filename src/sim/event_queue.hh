@@ -310,6 +310,7 @@ class EventQueue
             }
             currentTick = top.when;
             --liveCount;
+            ++poppedEvents;
             record.live = false;
             // Move the closure out and recycle the slot before firing:
             // the callback may schedule new events (which may reuse
@@ -350,11 +351,15 @@ class EventQueue
         }
     }
 
-    /** @name Pool introspection (tests, benches)
+    /** @name Pool introspection (tests, benches, obs::SimCounters)
      * @{ */
     std::size_t slabSize() const { return slabCount; }
     std::size_t heapSize() const { return heap.size(); }
     std::uint64_t numCompactions() const { return compactions; }
+    /** Live events popped and fired so far. */
+    std::uint64_t numPopped() const { return poppedEvents; }
+    /** Pending events cancelled so far. */
+    std::uint64_t numCancelled() const { return cancelledEvents; }
     /** @} */
 
   private:
@@ -516,6 +521,7 @@ class EventQueue
         record.fn.reset(); // release captures eagerly
         --liveCount;
         ++cancelledInHeap;
+        ++cancelledEvents;
         maybeCompact();
     }
 
@@ -560,6 +566,8 @@ class EventQueue
     std::size_t liveCount = 0;
     std::size_t cancelledInHeap = 0;
     std::uint64_t compactions = 0;
+    std::uint64_t poppedEvents = 0;
+    std::uint64_t cancelledEvents = 0;
     std::vector<std::unique_ptr<Record[]>> chunks;
     std::size_t slabCount = 0;
     std::vector<std::uint32_t> freeSlots;

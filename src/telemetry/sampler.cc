@@ -6,10 +6,13 @@ namespace charllm {
 namespace telemetry {
 
 Sampler::Sampler(hw::Platform& platform, net::FlowNetwork& netw,
-                 Seconds period)
-    : plat(platform), network(netw), periodSec(period.value())
+                 Seconds period, std::size_t max_samples_per_gpu)
+    : plat(platform), network(netw), periodSec(period.value()),
+      maxPerGpu(max_samples_per_gpu)
 {
     CHARLLM_ASSERT(periodSec > 0.0, "non-positive sample period");
+    CHARLLM_ASSERT(maxPerGpu == 0 || maxPerGpu >= 2,
+                   "sample cap too small: ", maxPerGpu);
     perGpu.resize(static_cast<std::size_t>(plat.numGpus()));
     plat.simulator().every(sim::toTicks(periodSec),
                            [this] { sampleNow(); });
@@ -18,6 +21,11 @@ Sampler::Sampler(hw::Platform& platform, net::FlowNetwork& netw,
 void
 Sampler::sampleNow()
 {
+    // Decimation stride: once the cap has been hit, only every
+    // stride-th tick is retained, keeping new samples aligned with
+    // the (already thinned) history.
+    if (tickCount++ % stride != 0)
+        return;
     double now = plat.simulator().nowSeconds();
     hw::TrafficClass up =
         network.topology().params().chiplet ? hw::TrafficClass::Xgmi
@@ -36,6 +44,24 @@ Sampler::sampleNow()
             s.fault = faultAnnotator(i);
         perGpu[static_cast<std::size_t>(i)].push_back(s);
     }
+    if (maxPerGpu != 0 && !perGpu.empty() &&
+        perGpu.front().size() >= maxPerGpu)
+        decimate();
+}
+
+void
+Sampler::decimate()
+{
+    // Keep even indices: those are exactly the ticks divisible by the
+    // doubled stride, so retained and future samples stay uniformly
+    // spaced.
+    for (auto& v : perGpu) {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < v.size(); i += 2)
+            v[keep++] = v[i];
+        v.resize(keep);
+    }
+    stride *= 2;
 }
 
 void

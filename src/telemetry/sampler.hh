@@ -40,14 +40,36 @@ class Sampler
 {
   public:
     /**
+     * Default per-GPU retention cap (2^20 samples ≈ 2.9 simulated
+     * hours at 10 ms granularity, ~64 MiB for an 8-GPU node). Once a
+     * series reaches the cap the sampler decimates: it drops every
+     * other retained sample and doubles its keep-stride, so memory
+     * stays bounded on week-long simulated runs while the series
+     * still spans the whole run at (progressively coarser) uniform
+     * granularity.
+     */
+    static constexpr std::size_t kDefaultMaxSamplesPerGpu = 1u << 20;
+
+    /**
      * @param period sampling period in simulated time (the paper's
      *        Zeus extension samples at ~10 ms granularity)
+     * @param max_samples_per_gpu retention cap before decimation
+     *        kicks in; 0 disables decimation (unbounded growth)
      */
     Sampler(hw::Platform& platform, net::FlowNetwork& network,
-            Seconds period = Seconds(0.01));
+            Seconds period = Seconds(0.01),
+            std::size_t max_samples_per_gpu = kDefaultMaxSamplesPerGpu);
 
     /** Take one sample of every GPU now (also driven by the ticker). */
     void sampleNow();
+
+    /** Current keep-stride: 1 until the cap is first hit, then
+     *  doubling with each decimation (samples are keepEvery() ticker
+     *  periods apart). */
+    std::size_t keepEvery() const { return stride; }
+
+    /** Per-GPU retention cap (0 = unbounded). */
+    std::size_t maxSamplesPerGpu() const { return maxPerGpu; }
 
     /**
      * Install a cause-attribution hook: called per GPU at sample time,
@@ -72,9 +94,15 @@ class Sampler
     CsvWriter toCsv() const;
 
   private:
+    /** Halve retained history and double the keep-stride. */
+    void decimate();
+
     hw::Platform& plat;
     net::FlowNetwork& network;
     double periodSec;
+    std::size_t maxPerGpu;
+    std::size_t stride = 1;    //!< record every stride-th tick
+    std::size_t tickCount = 0; //!< ticker firings seen so far
     std::vector<std::vector<Sample>> perGpu;
     std::function<const char*(int)> faultAnnotator;
 };

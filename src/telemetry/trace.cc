@@ -3,8 +3,17 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/strings.hh"
+
 namespace charllm {
 namespace telemetry {
+
+const char*
+KernelTrace::intern(const std::string& name)
+{
+    ownedNames.push_back(name);
+    return ownedNames.back().c_str();
+}
 
 std::vector<TraceEvent>
 KernelTrace::forDevice(int device) const
@@ -28,6 +37,19 @@ KernelTrace::breakdown(int device, double from) const
     return b;
 }
 
+double
+KernelTrace::horizonSec() const
+{
+    double horizon = 0.0;
+    for (const auto& e : events)
+        horizon = std::max(horizon, e.startSec + e.durSec);
+    for (const auto& f : faults) {
+        if (f.durSec >= 0.0)
+            horizon = std::max(horizon, f.startSec + f.durSec);
+    }
+    return horizon;
+}
+
 std::string
 KernelTrace::toChromeJson() const
 {
@@ -38,7 +60,7 @@ KernelTrace::toChromeJson() const
         if (!first)
             os << ',';
         first = false;
-        os << "{\"name\":\"" << e.name << "\",\"cat\":\""
+        os << "{\"name\":\"" << jsonEscape(e.name) << "\",\"cat\":\""
            << hw::kernelClassName(e.cls)
            << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.device
            << ",\"ts\":" << e.startSec * 1e6
@@ -56,7 +78,7 @@ KernelTrace::toChromeJson() const
         if (!first)
             os << ',';
         first = false;
-        os << "{\"name\":\"" << f.name
+        os << "{\"name\":\"" << jsonEscape(f.name)
            << "\",\"cat\":\"fault\",\"ph\":\"X\",\"pid\":1,\"tid\":"
            << f.device << ",\"ts\":" << f.startSec * 1e6
            << ",\"dur\":" << dur * 1e6 << "}";

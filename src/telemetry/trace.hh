@@ -4,11 +4,17 @@
  * name, start, and duration, exportable as Chrome trace JSON. The
  * paper collects execution traces with the Chakra profiler; this is
  * the simulation-side equivalent.
+ *
+ * Event names are interned `const char*` pointers: the runtime always
+ * emits string literals, so the common record() path stores the
+ * pointer verbatim and never allocates. Dynamic names go through
+ * intern(), which copies them into trace-owned stable storage.
  */
 
 #ifndef CHARLLM_TELEMETRY_TRACE_HH
 #define CHARLLM_TELEMETRY_TRACE_HH
 
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -22,7 +28,9 @@ struct TraceEvent
 {
     int device = 0;
     hw::KernelClass cls = hw::KernelClass::Gemm;
-    std::string name;
+    /** Interned name: a string literal or a pointer into the owning
+     *  KernelTrace's intern store. Never owned by the event. */
+    const char* name = "";
     double startSec = 0.0;
     double durSec = 0.0;
 };
@@ -31,7 +39,7 @@ struct TraceEvent
 struct FaultSpan
 {
     int device = 0;      //!< attributed GPU (-1 if unattributed)
-    std::string name;    //!< fault kind label
+    const char* name = ""; //!< fault kind label (static or interned)
     double startSec = 0.0;
     double durSec = 0.0; //!< < 0 means "until end of run"
 };
@@ -39,10 +47,24 @@ struct FaultSpan
 /**
  * Kernel trace sink. Wire record() into
  * TrainingEngine::setTraceSink.
+ *
+ * Move-only: events hold pointers into the intern store, so copying
+ * the trace would silently alias the original's storage.
  */
 class KernelTrace
 {
   public:
+    KernelTrace() = default;
+    KernelTrace(const KernelTrace&) = delete;
+    KernelTrace& operator=(const KernelTrace&) = delete;
+    KernelTrace(KernelTrace&&) = default;
+    KernelTrace& operator=(KernelTrace&&) = default;
+
+    /**
+     * Record one kernel span. @p name must outlive the trace: pass a
+     * string literal (the runtime's convention) or intern() dynamic
+     * names first. No allocation on this path.
+     */
     void
     record(int device, hw::KernelClass cls, const char* name,
            double start, double dur)
@@ -50,10 +72,16 @@ class KernelTrace
         events.push_back(TraceEvent{device, cls, name, start, dur});
     }
 
-    /** Overlay one fault interval (shown as a "fault" category row). */
+    /**
+     * Copy a dynamic name into trace-owned stable storage and return
+     * the interned pointer (valid for the trace's lifetime).
+     */
+    const char* intern(const std::string& name);
+
+    /** Overlay one fault interval (shown as a "fault" category row).
+     *  @p name follows the same lifetime contract as record(). */
     void
-    recordFault(int device, const std::string& name, double start,
-                double dur)
+    recordFault(int device, const char* name, double start, double dur)
     {
         faults.push_back(FaultSpan{device, name, start, dur});
     }
@@ -63,6 +91,7 @@ class KernelTrace
     {
         events.clear();
         faults.clear();
+        ownedNames.clear();
     }
 
     const std::vector<TraceEvent>& all() const { return events; }
@@ -76,12 +105,17 @@ class KernelTrace
     hw::KernelTimeBreakdown breakdown(int device,
                                       double from = 0.0) const;
 
+    /** Latest kernel/fault end time (0 when empty). */
+    double horizonSec() const;
+
     /** Serialize as Chrome trace ("traceEvents") JSON. */
     std::string toChromeJson() const;
 
   private:
     std::vector<TraceEvent> events;
     std::vector<FaultSpan> faults;
+    /** Stable storage for intern(): deque never moves elements. */
+    std::deque<std::string> ownedNames;
 };
 
 } // namespace telemetry

@@ -218,6 +218,21 @@ TEST(Strings, Join)
     EXPECT_EQ(join({}, "-"), "");
 }
 
+TEST(Strings, JsonEscape)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+    EXPECT_EQ(jsonEscape("\b\f"), "\\b\\f");
+    // Other control characters become \u00XX.
+    EXPECT_EQ(jsonEscape(std::string("\x01")), "\\u0001");
+    EXPECT_EQ(jsonEscape(std::string("\x1f")), "\\u001f");
+    // const char* overload matches the std::string one.
+    const char* raw = "x\n\"y\"";
+    EXPECT_EQ(jsonEscape(raw), jsonEscape(std::string(raw)));
+}
+
 TEST(Units, GbitConversion)
 {
     EXPECT_DOUBLE_EQ(units::gbitPerSec(100.0), 12.5e9);

@@ -347,7 +347,9 @@ TEST_F(CoreFixture, WriteReportsCreatesFiles)
     auto cfg = smallConfig(2, 4);
     auto r = Experiment::run(cfg);
     auto paths = writeReports(r, "/tmp/charllm_report_test", "t24");
-    ASSERT_EQ(paths.size(), 3u); // no sampler -> no series file
+    // summary + gpus + breakdown + run report; no sampler -> no
+    // series file, no trace -> no trace/phase files.
+    ASSERT_EQ(paths.size(), 4u);
     for (const auto& p : paths) {
         std::ifstream f(p);
         EXPECT_TRUE(f.good()) << p;

@@ -85,6 +85,41 @@ TEST_F(TelemetryFixture, SamplerClearDropsHistory)
     EXPECT_EQ(sampler.numSamples(), 0u);
 }
 
+TEST_F(TelemetryFixture, SamplerDecimatesAtRetentionCap)
+{
+    // Cap of 16 with ~100 ticks: the stride must double (repeatedly)
+    // and the retained series stay bounded and uniformly spaced.
+    Sampler sampler(plat, netw, Seconds(0.01), 16);
+    plat.start();
+    sim.schedule(sim::toTicks(1.0), [] {});
+    sim.run();
+
+    EXPECT_GT(sampler.keepEvery(), 1u);
+    EXPECT_EQ(sampler.maxSamplesPerGpu(), 16u);
+    const auto& series = sampler.series(0);
+    ASSERT_GE(series.size(), 8u);
+    EXPECT_LE(series.size(), 16u);
+    // Uniform spacing: stride ticker periods between kept samples.
+    double expected =
+        0.01 * static_cast<double>(sampler.keepEvery());
+    for (std::size_t i = 1; i < series.size(); ++i)
+        EXPECT_NEAR(series[i].time.value() -
+                        series[i - 1].time.value(),
+                    expected, 1e-9);
+    // Coverage still spans (nearly) the whole run.
+    EXPECT_GT(series.back().time.value(), 0.9);
+}
+
+TEST_F(TelemetryFixture, SamplerUnboundedWhenCapIsZero)
+{
+    Sampler sampler(plat, netw, Seconds(0.01), 0);
+    plat.start();
+    sim.schedule(sim::toTicks(1.0), [] {});
+    sim.run();
+    EXPECT_EQ(sampler.keepEvery(), 1u);
+    EXPECT_GE(sampler.series(0).size(), 99u);
+}
+
 // ---- trace ---------------------------------------------------------------------
 
 TEST(KernelTrace, RecordsAndFilters)
@@ -109,6 +144,41 @@ TEST(KernelTrace, ChromeJsonWellFormed)
     EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
     EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
     EXPECT_NE(json.find("\"cat\":\"SendRecv\""), std::string::npos);
+}
+
+TEST(KernelTrace, InternedNamesAreStableAndEscaped)
+{
+    KernelTrace trace;
+    const char* a = trace.intern("layer \"0\" attn");
+    const char* b = trace.intern("tail\n");
+    trace.record(0, hw::KernelClass::Gemm, a, 0.0, 0.1);
+    trace.record(0, hw::KernelClass::Gemm, b, 0.2, 0.1);
+    // Interned pointers stay valid after further interning (deque
+    // storage never moves).
+    for (int i = 0; i < 100; ++i)
+        trace.intern("pad" + std::to_string(i));
+    EXPECT_STREQ(trace.all()[0].name, "layer \"0\" attn");
+    EXPECT_STREQ(trace.all()[1].name, "tail\n");
+    // Export escapes the quotes and the newline.
+    std::string json = trace.toChromeJson();
+    EXPECT_NE(json.find("layer \\\"0\\\" attn"), std::string::npos);
+    EXPECT_NE(json.find("tail\\n"), std::string::npos);
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(KernelTrace, FaultSpansAndHorizon)
+{
+    KernelTrace trace;
+    EXPECT_DOUBLE_EQ(trace.horizonSec(), 0.0);
+    trace.record(0, hw::KernelClass::Gemm, "k", 0.0, 1.5);
+    trace.recordFault(1, "hot-inlet", 1.0, 2.0);
+    ASSERT_EQ(trace.faultSpans().size(), 1u);
+    EXPECT_STREQ(trace.faultSpans()[0].name, "hot-inlet");
+    // Horizon covers the later of kernel and fault end.
+    EXPECT_DOUBLE_EQ(trace.horizonSec(), 3.0);
+    trace.clear();
+    EXPECT_TRUE(trace.faultSpans().empty());
+    EXPECT_DOUBLE_EQ(trace.horizonSec(), 0.0);
 }
 
 // ---- sim-NVML ------------------------------------------------------------------

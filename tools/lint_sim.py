@@ -28,6 +28,16 @@ Three rule families, all scoped to the library tree (src/):
    the zero-allocation overhaul removed. New uses are banned; the
    sanctioned boundary-API exceptions (FlowNetwork's user-facing
    completion callbacks and traffic sink) live in the allowlist.
+   src/obs/ is held to the same standard: metric increments sit on
+   instrumented hot paths.
+
+5. Metric increment paths must not allocate. src/obs/ headers hold
+   the inline Counter/Gauge/Histogram increment paths; any
+   allocation-prone construct there (new, make_shared/make_unique,
+   push_back/emplace_back, resize/reserve, std::function) would put
+   a heap call behind every instrumented event. Declarations belong
+   in the headers, allocating machinery in the .cc files (which may
+   allocate freely: registration and dumping run once per run).
 
 Sanctioned exceptions go in tools/lint_allowlist.txt, one per line:
     <path-substring>:<line-substring>
@@ -83,7 +93,17 @@ HOT_PATH_RULES = [
      "pooled event/flow slabs"),
 ]
 
-HOT_PATH_DIRS = ("src/sim/", "src/net/")
+HOT_PATH_DIRS = ("src/sim/", "src/net/", "src/obs/")
+
+# Allocation-prone constructs banned from src/obs/ headers (the inline
+# metric increment paths). The .cc files may allocate: registration
+# and dumping run once per run, outside the event loop.
+OBS_HEADER_ALLOC = re.compile(
+    r"\bnew\b|\bmake_shared\b|\bmake_unique\b|\bpush_back\b"
+    r"|\bemplace_back\b|\bresize\s*\(|\breserve\s*\("
+    r"|\bstd\s*::\s*function\b")
+
+OBS_HEADER_DIR = "src/obs/"
 
 
 def load_allowlist() -> list[tuple[str, str]]:
@@ -157,6 +177,13 @@ def lint_file(path: Path, allowlist) -> list[str]:
             for rule, rx, msg in HOT_PATH_RULES:
                 if rx.search(code):
                     report(rule, msg)
+        if (path.suffix in (".hh", ".h", ".hpp")
+                and rel.startswith(OBS_HEADER_DIR)
+                and OBS_HEADER_ALLOC.search(code)):
+            report("obs-header-alloc",
+                   "allocation-prone construct in an obs header; the "
+                   "inline metric increment path must not allocate — "
+                   "declare here, define in the .cc")
     return findings
 
 

@@ -6,12 +6,17 @@ Runs two quick workloads against a Release build:
 1. bench_micro_engine (google-benchmark JSON): event-queue throughput
    and flow-solver recompute/contention rates.
 2. bench_table2_techniques on the SweepRunner thread pool: end-to-end
-   sweep wall-clock.
+   sweep wall-clock, plus the simulator's own self-profiling metrics
+   (--metrics= dump: event-queue pops/compactions, flow-solver
+   fast-vs-full recomputes, per-task wall-time histogram). The dump's
+   core counters must be nonzero — a zero means the instrumentation
+   came unwired.
 
-Writes every measurement (plus the committed baseline and the
-current/baseline ratios) to BENCH_sweep.json so CI can archive the
-artifact, then fails if any metric regressed more than --threshold
-(default 25%) against tools/perf_baseline.json.
+Writes every measurement (plus the committed baseline, the
+current/baseline ratios, and the self-profiling counters) to
+BENCH_sweep.json so CI can archive the artifact, then fails if any
+metric regressed more than --threshold (default 25%) against
+tools/perf_baseline.json.
 
 The committed baseline intentionally records a slow reference host; a
 failure therefore means a real regression, not runner-to-runner noise.
@@ -71,16 +76,52 @@ def run_micro(build: Path) -> dict[str, float]:
     return metrics
 
 
-def run_sweep(build: Path, threads: int) -> dict[str, float]:
+# Self-profiling counters that must be nonzero after the table2 sweep
+# (a zero means the instrumentation came unwired from the hot path).
+REQUIRED_NONZERO_COUNTERS = (
+    "sim.events_popped",
+    "net.flows_started",
+    "net.full_recomputes",
+    "sweep.tasks",
+)
+
+
+def run_sweep(build: Path, threads: int,
+              metrics_path: Path) -> tuple[dict[str, float], dict]:
     exe = build / "bench" / "bench_table2_techniques"
     if not exe.exists():
         print(f"perf_smoke: {exe} not found (build the bench targets)",
               file=sys.stderr)
         sys.exit(2)
     start = time.monotonic()
-    subprocess.run([str(exe), f"--threads={threads}"],
-                   capture_output=True, text=True, check=True)
-    return {"table2_wall_seconds": time.monotonic() - start}
+    subprocess.run(
+        [str(exe), f"--threads={threads}",
+         f"--metrics={metrics_path}"],
+        capture_output=True, text=True, check=True)
+    wall = {"table2_wall_seconds": time.monotonic() - start}
+    try:
+        sim_metrics = json.loads(metrics_path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_smoke: bad metrics dump {metrics_path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    return wall, sim_metrics
+
+
+def check_counters(sim_metrics: dict) -> list[str]:
+    counters = sim_metrics.get("counters", {})
+    problems = []
+    for name in REQUIRED_NONZERO_COUNTERS:
+        if counters.get(name, 0) <= 0:
+            problems.append(
+                f"  {name}: expected nonzero, got "
+                f"{counters.get(name)!r}")
+    hist = sim_metrics.get("histograms", {}).get(
+        "sweep.task_wall_seconds", {})
+    if hist.get("count", 0) <= 0:
+        problems.append(
+            "  sweep.task_wall_seconds: histogram is empty")
+    return problems
 
 
 def gate(metrics: dict[str, float], baseline: dict[str, float],
@@ -123,7 +164,17 @@ def main() -> int:
 
     build = Path(args.build_dir)
     metrics = run_micro(build)
-    metrics.update(run_sweep(build, args.threads))
+    wall, sim_metrics = run_sweep(
+        build, args.threads,
+        Path(args.output).with_suffix(".metrics.json"))
+    metrics.update(wall)
+
+    counter_problems = check_counters(sim_metrics)
+    if counter_problems:
+        print("perf_smoke: self-profiling counters unwired:",
+              file=sys.stderr)
+        print("\n".join(counter_problems), file=sys.stderr)
+        return 1
 
     if args.update_baseline:
         BASELINE.write_text(json.dumps(metrics, indent=2,
@@ -148,6 +199,7 @@ def main() -> int:
         "metrics": metrics,
         "baseline": baseline,
         "current_over_baseline": ratios,
+        "self_profile": sim_metrics,
     }
     Path(args.output).write_text(json.dumps(artifact, indent=2,
                                             sort_keys=True) + "\n")

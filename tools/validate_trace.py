@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace JSON produced by the simulator.
+
+Checks, in order:
+
+1. The file parses as JSON and has the Chrome trace shape: a top-level
+   object with a "traceEvents" list.
+2. Every event is an object with a string "name", a string one-char
+   "ph", and integer "pid"; X and C events also carry a numeric "ts".
+3. Duration ("X") events have non-negative "dur", and within one
+   (pid, tid) track the emitted spans are sorted by start time — the
+   builder's per-device ordering contract.
+4. Counter ("C") events carry args.value and are time-sorted within
+   one (pid, name) counter track.
+
+Optional content requirements (for CI acceptance gating):
+    --require-kernels     at least one X event outside the fault rows
+    --require-counters=a,b,c
+                          each named counter track must exist with at
+                          least one sample (e.g. power_w,temp_c)
+    --require-fault-rows  at least one X event with cat == "fault"
+
+Exit status: 0 valid, 1 validation failure, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="path to the trace JSON")
+    ap.add_argument("--require-kernels", action="store_true",
+                    help="require at least one non-fault X event")
+    ap.add_argument("--require-counters", default="",
+                    help="comma-separated counter names that must "
+                         "each have at least one sample")
+    ap.add_argument("--require-fault-rows", action="store_true",
+                    help="require at least one cat=fault X event")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "rb") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"validate_trace: cannot read {args.trace}: {e}",
+              file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        fail(f"not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a 'traceEvents' list")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' is not a list")
+
+    span_tracks: dict[tuple, float] = defaultdict(lambda: float("-inf"))
+    counter_tracks: dict[tuple, float] = defaultdict(
+        lambda: float("-inf"))
+    counter_samples: dict[str, int] = defaultdict(int)
+    kernel_spans = 0
+    fault_spans = 0
+
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: event is not an object")
+        name = ev.get("name")
+        ph = ev.get("ph")
+        pid = ev.get("pid")
+        if not isinstance(name, str):
+            fail(f"{where}: missing/non-string 'name'")
+        if not isinstance(ph, str) or len(ph) != 1:
+            fail(f"{where}: missing/malformed 'ph'")
+        if not isinstance(pid, int):
+            fail(f"{where}: missing/non-integer 'pid'")
+
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"{where}: {ph}-event without numeric 'ts'")
+
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where}: X-event with missing/negative 'dur'")
+            key = (pid, ev.get("tid"))
+            if ts < span_tracks[key]:
+                fail(f"{where}: span track pid={pid} tid={key[1]} "
+                     f"not sorted by ts ({ts} after "
+                     f"{span_tracks[key]})")
+            span_tracks[key] = ts
+            if ev.get("cat") == "fault":
+                fault_spans += 1
+            else:
+                kernel_spans += 1
+        elif ph == "C":
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                fail(f"{where}: C-event without args.value")
+            key = (pid, name)
+            if ts < counter_tracks[key]:
+                fail(f"{where}: counter track pid={pid} "
+                     f"name={name!r} not sorted by ts")
+            counter_tracks[key] = ts
+            counter_samples[name] += 1
+
+    if args.require_kernels and kernel_spans == 0:
+        fail("no kernel spans (non-fault X events) in trace")
+    if args.require_fault_rows and fault_spans == 0:
+        fail("no fault-overlay spans (cat=fault) in trace")
+    for want in filter(None, args.require_counters.split(",")):
+        if counter_samples.get(want, 0) == 0:
+            fail(f"required counter track {want!r} has no samples")
+
+    print(f"validate_trace: OK: {len(events)} events, "
+          f"{kernel_spans} kernel spans, {fault_spans} fault spans, "
+          f"{len(counter_tracks)} counter tracks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
