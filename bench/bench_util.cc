@@ -125,37 +125,101 @@ runSweep(std::vector<core::ExperimentConfig> configs,
     return rows;
 }
 
+namespace {
+
+[[noreturn]] void
+printUsage(const char* prog, const std::vector<ExtraFlag>& extra,
+           int exit_code)
+{
+    std::FILE* out = exit_code == 0 ? stdout : stderr;
+    std::fprintf(out, "usage: %s [flags]\n", prog);
+    std::fprintf(out, "  --threads=N, -jN  worker threads "
+                      "(0 = one per core; default 0)\n");
+    std::fprintf(out, "  --trace=FILE      write a unified Perfetto "
+                      "trace of the first config\n");
+    std::fprintf(out, "  --metrics=FILE    write the self-profiling "
+                      "metrics registry dump\n");
+    for (const auto& f : extra)
+        std::fprintf(out, "  %sVALUE%*s%s\n", f.prefix.c_str(),
+                     static_cast<int>(
+                         f.prefix.size() + 5 < 20
+                             ? 20 - f.prefix.size() - 5
+                             : 2),
+                     "", f.help.c_str());
+    std::fprintf(out, "  --help, -h        this message\n");
+    std::exit(exit_code);
+}
+
+} // namespace
+
 SweepFlags
-sweepFlags(int argc, char** argv)
+sweepFlags(int argc, char** argv, const std::vector<ExtraFlag>& extra)
 {
     SweepFlags flags;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        std::string value;
+        if (arg == "--help" || arg == "-h")
+            printUsage(argv[0], extra, 0);
         if (arg.rfind("--trace=", 0) == 0) {
             flags.tracePath = arg.substr(8);
+            if (flags.tracePath.empty()) {
+                std::fprintf(stderr, "empty path in '%s'\n",
+                             arg.c_str());
+                std::exit(2);
+            }
             continue;
         }
         if (arg.rfind("--metrics=", 0) == 0) {
             flags.metricsPath = arg.substr(10);
+            if (flags.metricsPath.empty()) {
+                std::fprintf(stderr, "empty path in '%s'\n",
+                             arg.c_str());
+                std::exit(2);
+            }
             continue;
         }
-        if (arg.rfind("--threads=", 0) == 0)
+        std::string value;
+        bool is_threads = false;
+        if (arg.rfind("--threads=", 0) == 0) {
             value = arg.substr(10);
-        else if (arg.rfind("-j", 0) == 0 && arg.size() > 2)
+            is_threads = true;
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
             value = arg.substr(2);
-        else
+            is_threads = true;
+        }
+        if (is_threads) {
+            char* end = nullptr;
+            long parsed = std::strtol(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0' || parsed < 0) {
+                std::fprintf(stderr,
+                             "invalid thread count '%s' (want "
+                             "--threads=N, N >= 0; 0 = one per "
+                             "core)\n",
+                             value.c_str());
+                std::exit(2);
+            }
+            flags.threads = static_cast<int>(parsed);
             continue;
-        char* end = nullptr;
-        long parsed = std::strtol(value.c_str(), &end, 10);
-        if (end == nullptr || *end != '\0' || parsed < 0) {
+        }
+        bool matched = false;
+        for (const auto& f : extra) {
+            if (arg.rfind(f.prefix, 0) != 0)
+                continue;
+            matched = true;
+            if (!f.handler(arg.substr(f.prefix.size()))) {
+                std::fprintf(stderr,
+                             "invalid value in '%s' (%s)\n",
+                             arg.c_str(), f.help.c_str());
+                std::exit(2);
+            }
+            break;
+        }
+        if (!matched) {
             std::fprintf(stderr,
-                         "invalid thread count '%s' (want "
-                         "--threads=N, N >= 0; 0 = one per core)\n",
-                         value.c_str());
+                         "unknown argument '%s' (try --help)\n",
+                         arg.c_str());
             std::exit(2);
         }
-        flags.threads = static_cast<int>(parsed);
     }
     return flags;
 }

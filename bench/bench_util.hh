@@ -72,12 +72,25 @@ std::vector<SweepRow>
 runSweep(std::vector<core::ExperimentConfig> configs,
          const SweepFlags& flags);
 
+/** A bench-specific flag handled alongside the shared knobs. */
+struct ExtraFlag
+{
+    std::string prefix; //!< e.g. "--seed="
+    std::string help;   //!< one-line description for --help
+    /** Receives the text after the prefix; return false when the
+     *  value is malformed (the bench exits nonzero with a message). */
+    std::function<bool(const std::string& value)> handler;
+};
+
 /**
  * Parse the standard bench knobs: `--threads=N` (or `-jN`),
- * `--trace=FILE`, `--metrics=FILE`. Exits with a message on a
- * malformed value.
+ * `--trace=FILE`, `--metrics=FILE`, plus any bench-specific
+ * @p extra flags. Strict: an unknown flag, a positional argument, or
+ * a malformed value prints a message and exits nonzero; `--help`
+ * lists every flag and exits 0.
  */
-SweepFlags sweepFlags(int argc, char** argv);
+SweepFlags sweepFlags(int argc, char** argv,
+                      const std::vector<ExtraFlag>& extra = {});
 
 /**
  * Parse the standard bench thread knob: `--threads=N` (or `-jN`).

@@ -113,6 +113,45 @@ Experiment::run(const ExperimentConfig& config)
             injector->attachMapper(mapper);
     }
 
+    std::unique_ptr<resil::RecoveryManager> recovery;
+    if (cfg.resilience.enabled) {
+        CHARLLM_ASSERT(cfg.faultScenario.empty(),
+                       "resilience and the legacy fault scenario are "
+                       "mutually exclusive: the recovery state machine "
+                       "owns fault handling");
+        Bytes state = resil::CheckpointModel::rankStateBytes(
+            cfg.model, cfg.par, memory_opts);
+        resil::StoragePath storage;
+        storage.pcieBw = cfg.cluster.network.pcieBw;
+        storage.nicBw = cfg.cluster.network.nicBw;
+        storage.storeBw =
+            BytesPerSec(cfg.resilience.checkpoint.storeGBps * 1e9);
+        resil::CheckpointModel ckpt(state, storage,
+                                    topology.gpusPerNode(),
+                                    topology.numGpus());
+        double interval = cfg.resilience.checkpoint.intervalSec;
+        if (interval <= 0.0)
+            interval =
+                resil::CheckpointModel::youngDalyInterval(
+                    ckpt.writeSeconds(),
+                    Seconds(cfg.resilience.mtbf.clusterFatalMtbfSec(
+                        topology.numGpus(), topology.numNodes())))
+                    .value();
+        auto schedule = resil::FailureGenerator::generate(
+            cfg.resilience.mtbf, topology.numGpus(),
+            topology.numNodes(), cfg.resilience.horizonSec,
+            cfg.resilience.seed);
+        result.failureSchedule = schedule;
+        result.checkpointIntervalSec = interval;
+        recovery = std::make_unique<resil::RecoveryManager>(
+            simulator, platform, network, engine, ckpt, interval,
+            cfg.resilience.checkpoint.async,
+            cfg.resilience.checkpoint.quiesceSec,
+            cfg.resilience.recovery, std::move(schedule));
+        if (cfg.resilience.recovery.elasticRemap)
+            recovery->attachMapper(mapper);
+    }
+
     std::unique_ptr<telemetry::Sampler> sampler;
     if (cfg.enableSampler) {
         sampler = std::make_unique<telemetry::Sampler>(
@@ -209,6 +248,10 @@ Experiment::run(const ExperimentConfig& config)
             injector->overlayOnTrace(*trace);
     }
     result.iterationSpans = engine.iterationSpans();
+    if (recovery) {
+        result.goodput = recovery->finalize(result.series);
+        result.goodputValid = true;
+    }
     result.counters.capture(simulator.queue(), network);
     if (injector)
         result.counters.faultsInjected = injector->numScheduled();

@@ -20,6 +20,7 @@
 #include "obs/metrics.hh"
 #include "parallel/memory_planner.hh"
 #include "parallel/parallel_config.hh"
+#include "resil/recovery.hh"
 #include "runtime/engine.hh"
 #include "runtime/options.hh"
 #include "telemetry/sampler.hh"
@@ -60,6 +61,15 @@ struct ExperimentConfig
     /** On GpuFailStop faults, re-map the dead device's ranks to the
      * highest-id healthy device (takes effect next iteration). */
     bool elasticRemap = false;
+
+    /**
+     * Resilience subsystem (resil::RecoveryManager): seeded Poisson
+     * failures, checkpoint/rollback recovery, retry/backoff on
+     * transient link faults, and goodput accounting. Mutually
+     * exclusive with faultScenario (the legacy flat-restart-cost
+     * path) — the recovery state machine owns fault handling.
+     */
+    resil::ResilienceConfig resilience;
 
     bool enableSampler = false;
     double samplePeriodSec = 0.01;
@@ -133,6 +143,16 @@ struct ExperimentResult
     /** Simulator self-profiling counters for this run (event-queue
      *  pops/compactions, flow-solver fast/full recomputes, faults). */
     obs::SimCounters counters;
+
+    /** Goodput classification of the whole run (valid only when
+     *  resilience was enabled; conservation is asserted inside). */
+    resil::GoodputReport goodput;
+    bool goodputValid = false;
+    /** Realized checkpoint cadence (Young/Daly-resolved when the
+     *  configured intervalSec was <= 0). */
+    double checkpointIntervalSec = 0.0;
+    /** Failure schedule realized by the resilience subsystem. */
+    std::vector<resil::FailureEvent> failureSchedule;
 };
 
 /** Runs experiments. Stateless; each run builds a fresh simulator. */

@@ -142,8 +142,21 @@ unifiedTraceJson(const ExperimentResult& result)
         std::string name =
             (span.warmup ? "warmup " : "iteration ") +
             std::to_string(span.index);
+        if (span.aborted)
+            name += " (aborted)";
+        else if (span.replay)
+            name += " (replay)";
         builder.addRunSpan("iteration", name, span.startSec,
                            span.endSec - span.startSec);
+    }
+    if (result.goodputValid) {
+        for (const auto& seg : result.goodput.timeline) {
+            if (seg.bucket == resil::Bucket::Useful)
+                continue;
+            builder.addRunSpan("resilience",
+                               resil::bucketName(seg.bucket),
+                               seg.startSec, seg.endSec - seg.startSec);
+        }
     }
     return builder.toJson();
 }
@@ -161,10 +174,33 @@ runReportJson(const ExperimentResult& result)
 {
     obs::MetricsRegistry registry;
     result.counters.addTo(registry);
+    if (result.goodputValid) {
+        const auto& s = result.goodput.stats;
+        registry.counter("resil.failures_injected")
+            .inc(s.failuresInjected);
+        registry.counter("resil.failures_absorbed")
+            .inc(s.failuresAbsorbed);
+        registry.counter("resil.transient_recovered")
+            .inc(s.transientRecovered);
+        registry.counter("resil.retries_attempted")
+            .inc(s.retriesAttempted);
+        registry.counter("resil.retries_escalated")
+            .inc(s.retriesEscalated);
+        registry.counter("resil.rollbacks").inc(s.rollbacks);
+        registry.counter("resil.iterations_replayed")
+            .inc(s.iterationsReplayed);
+        registry.counter("resil.checkpoints_committed")
+            .inc(s.checkpointsCommitted);
+        registry.counter("resil.checkpoints_discarded")
+            .inc(s.checkpointsDiscarded);
+        registry.gauge("resil.ettr").set(result.goodput.ettr());
+    }
     std::ostringstream os;
     os << "{\"summary\":" << toJson(result);
     if (result.trace)
         os << ",\"phases\":" << phaseReport(result).toJson();
+    if (result.goodputValid)
+        os << ",\"goodput\":" << result.goodput.toJson();
     os << ",\"metrics\":" << registry.toJson() << '}';
     return os.str();
 }
@@ -200,6 +236,8 @@ writeReports(const ExperimentResult& result,
         emitText("_trace.json", unifiedTraceJson(result));
         emit("_phases.csv", phaseReport(result).toCsv());
     }
+    if (result.goodputValid)
+        emit("_goodput.csv", result.goodput.toCsv());
     emitText("_report.json", runReportJson(result));
     return written;
 }

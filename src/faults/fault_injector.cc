@@ -192,25 +192,11 @@ FaultInjector::applyGpuFailStop(const FaultSpec& spec)
             engine->notifyFailStop(spec.magnitude);
         if (mapper) {
             // Elastic response: hand the dead device's ranks to a
-            // same-node peer, preferring one whose rank sits in the
-            // latest pipeline stage (bubble slack absorbs part of the
-            // derate). Staying inside the node keeps scale-up groups
-            // intact — a cross-node swap would force TP traffic over
-            // IB and cost far more than the fault itself. Takes
-            // effect when the next iteration's program is built.
-            int per_node = network.topology().gpusPerNode();
-            int node = gpu / per_node;
-            int peer = -1, best_pp = -1;
-            for (int d = node * per_node; d < (node + 1) * per_node;
-                 ++d) {
-                if (d == gpu)
-                    continue;
-                int pp = mapper->coordsOf(mapper->rankOf(d)).ppIdx;
-                if (pp >= best_pp) {
-                    best_pp = pp;
-                    peer = d;
-                }
-            }
+            // same-node peer (see parallel::failoverPeer for the
+            // placement rationale). Takes effect when the next
+            // iteration's program is built.
+            int peer = parallel::failoverPeer(
+                *mapper, gpu, network.topology().gpusPerNode());
             if (peer >= 0)
                 mapper->swapDevices(gpu, peer);
         }

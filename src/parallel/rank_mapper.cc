@@ -175,5 +175,23 @@ RankMapper::nodeLocality(const std::vector<int>& devices,
     return static_cast<double>(same) / static_cast<double>(total);
 }
 
+int
+failoverPeer(const RankMapper& mapper, int gpu, int gpus_per_node)
+{
+    int node = gpu / gpus_per_node;
+    int peer = -1, best_pp = -1;
+    for (int d = node * gpus_per_node; d < (node + 1) * gpus_per_node;
+         ++d) {
+        if (d == gpu)
+            continue;
+        int pp = mapper.coordsOf(mapper.rankOf(d)).ppIdx;
+        if (pp >= best_pp) {
+            best_pp = pp;
+            peer = d;
+        }
+    }
+    return peer;
+}
+
 } // namespace parallel
 } // namespace charllm

@@ -91,6 +91,17 @@ class RankMapper
     std::vector<int> deviceRank; //!< device -> rank
 };
 
+/**
+ * Elastic-failover peer selection for a dead device: a same-node peer,
+ * preferring one whose rank sits in the latest pipeline stage (bubble
+ * slack absorbs part of the derate). Staying inside the node keeps
+ * scale-up groups intact — a cross-node swap would force TP traffic
+ * over IB and cost far more than the fault itself. Returns -1 when the
+ * node has no other device. Used by faults::FaultInjector and
+ * resil::RecoveryManager; pair with RankMapper::swapDevices.
+ */
+int failoverPeer(const RankMapper& mapper, int gpu, int gpus_per_node);
+
 } // namespace parallel
 } // namespace charllm
 

@@ -1,0 +1,72 @@
+#include "resil/checkpoint.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace charllm {
+namespace resil {
+
+CheckpointModel::CheckpointModel(Bytes rank_state,
+                                 const StoragePath& storage_path,
+                                 int gpus_per_node, int world_size)
+    : state(rank_state), path(storage_path),
+      gpusPerNode(gpus_per_node), worldSize(world_size)
+{
+    CHARLLM_ASSERT(state.value() > 0.0, "empty checkpoint state");
+    CHARLLM_ASSERT(gpusPerNode >= 1 && worldSize >= 1,
+                   "bad cluster shape: ", gpusPerNode, "x", worldSize);
+    CHARLLM_ASSERT(path.pcieBw.value() > 0.0 &&
+                       path.nicBw.value() > 0.0 &&
+                       path.storeBw.value() > 0.0,
+                   "storage path needs positive bandwidths");
+}
+
+Bytes
+CheckpointModel::rankStateBytes(const model::TransformerConfig& m,
+                                const parallel::ParallelConfig& par,
+                                const parallel::MemoryOptions& opts)
+{
+    parallel::MemoryPlanner planner(m, par);
+    parallel::MemoryBreakdown worst = planner.worstStage(opts);
+    return Bytes(worst.weights + worst.optimizer);
+}
+
+BytesPerSec
+CheckpointModel::effectiveRankBandwidth() const
+{
+    double per_rank_nic =
+        path.nicBw.value() / static_cast<double>(gpusPerNode);
+    double per_rank_store =
+        path.storeBw.value() / static_cast<double>(worldSize);
+    return BytesPerSec(std::min(
+        {path.pcieBw.value(), per_rank_nic, per_rank_store}));
+}
+
+Seconds
+CheckpointModel::writeSeconds() const
+{
+    return Seconds(state.value() / effectiveRankBandwidth().value());
+}
+
+Seconds
+CheckpointModel::readSeconds() const
+{
+    return Seconds(state.value() / effectiveRankBandwidth().value());
+}
+
+Seconds
+CheckpointModel::youngDalyInterval(Seconds write_cost, Seconds mtbf)
+{
+    CHARLLM_ASSERT(write_cost.value() > 0.0,
+                   "Young/Daly needs a positive write cost");
+    if (mtbf.value() <= 0.0)
+        return Seconds(std::numeric_limits<double>::infinity());
+    return Seconds(
+        std::sqrt(2.0 * write_cost.value() * mtbf.value()));
+}
+
+} // namespace resil
+} // namespace charllm

@@ -1,0 +1,116 @@
+#include "resil/failure_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace charllm {
+namespace resil {
+
+namespace {
+
+/** Exponential draw with mean @p mean_s; floored so a pathological
+ *  u ~ 0 cannot stall schedule expansion. */
+double
+exponential(Rng& rng, double mean_s)
+{
+    double u = rng.uniform();
+    return std::max(-mean_s * std::log(1.0 - u), 1e-9);
+}
+
+void
+expandComponent(Rng& rng, FailureKind kind, int target, double mtbf_s,
+                double clear_mean_s, double horizon_s,
+                std::vector<FailureEvent>& out)
+{
+    double t = exponential(rng, mtbf_s);
+    while (t < horizon_s) {
+        FailureEvent ev;
+        ev.kind = kind;
+        ev.target = target;
+        ev.timeSec = t;
+        if (kind == FailureKind::LinkTransient)
+            ev.clearSec = exponential(rng, clear_mean_s);
+        out.push_back(ev);
+        t += exponential(rng, mtbf_s);
+    }
+}
+
+} // namespace
+
+const char*
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+    case FailureKind::GpuFatal:
+        return "gpu_fatal";
+    case FailureKind::LinkTransient:
+        return "link_transient";
+    case FailureKind::NodeFatal:
+        return "node_fatal";
+    }
+    return "unknown";
+}
+
+double
+MtbfProfile::clusterFatalMtbfSec(int num_gpus, int num_nodes) const
+{
+    double rate = 0.0;
+    if (gpuMtbfSec > 0.0)
+        rate += static_cast<double>(num_gpus) / gpuMtbfSec;
+    if (nodeMtbfSec > 0.0)
+        rate += static_cast<double>(num_nodes) / nodeMtbfSec;
+    return rate > 0.0 ? 1.0 / rate : 0.0;
+}
+
+std::vector<FailureEvent>
+FailureGenerator::generate(const MtbfProfile& profile, int num_gpus,
+                           int num_nodes, double horizon_s,
+                           std::uint64_t seed)
+{
+    CHARLLM_ASSERT(num_gpus >= 1 && num_nodes >= 1,
+                   "bad cluster shape: ", num_gpus, " gpus / ",
+                   num_nodes, " nodes");
+    CHARLLM_ASSERT(horizon_s > 0.0, "non-positive failure horizon");
+    std::vector<FailureEvent> events;
+    if (profile.empty())
+        return events;
+    // One RNG, components expanded in a fixed order: the schedule is a
+    // pure function of (profile, shape, horizon, seed).
+    Rng rng(seed);
+    if (profile.gpuMtbfSec > 0.0) {
+        for (int g = 0; g < num_gpus; ++g)
+            expandComponent(rng, FailureKind::GpuFatal, g,
+                            profile.gpuMtbfSec, 0.0, horizon_s,
+                            events);
+    }
+    if (profile.linkMtbfSec > 0.0) {
+        CHARLLM_ASSERT(profile.linkClearMeanSec > 0.0,
+                       "transient links need a positive clear time");
+        for (int n = 0; n < num_nodes; ++n)
+            expandComponent(rng, FailureKind::LinkTransient, n,
+                            profile.linkMtbfSec,
+                            profile.linkClearMeanSec, horizon_s,
+                            events);
+    }
+    if (profile.nodeMtbfSec > 0.0) {
+        for (int n = 0; n < num_nodes; ++n)
+            expandComponent(rng, FailureKind::NodeFatal, n,
+                            profile.nodeMtbfSec, 0.0, horizon_s,
+                            events);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const FailureEvent& a, const FailureEvent& b) {
+        if (a.timeSec != b.timeSec)
+            return a.timeSec < b.timeSec;
+        if (a.kind != b.kind)
+            return a.kind < b.kind;
+        return a.target < b.target;
+    });
+    return events;
+}
+
+} // namespace resil
+} // namespace charllm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Seeded Poisson failure generator. Each component class (GPU, scale-
+ * out link, node) fails independently with exponential inter-arrival
+ * times drawn from its MTBF; the whole schedule is expanded up front
+ * from a single seed, so a run's failure history depends only on
+ * (profile, cluster shape, horizon, seed) — never on simulation
+ * timing. Link faults are transient (they clear after an exponential
+ * outage and are candidates for retry/backoff); GPU and node faults
+ * are fatal (they require replacement + rollback).
+ */
+
+#ifndef CHARLLM_RESIL_FAILURE_GEN_HH
+#define CHARLLM_RESIL_FAILURE_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace charllm {
+namespace resil {
+
+enum class FailureKind
+{
+    GpuFatal = 0,  //!< fail-stop of one GPU (ECC, HBM, power stage)
+    LinkTransient, //!< scale-out link outage; clears on its own
+    NodeFatal,     //!< whole-node loss (host, PSU, cooling)
+};
+
+const char* failureKindName(FailureKind kind);
+
+/** One scheduled failure. */
+struct FailureEvent
+{
+    FailureKind kind = FailureKind::GpuFatal;
+    /** GPU id for GpuFatal; node id for LinkTransient / NodeFatal. */
+    int target = 0;
+    double timeSec = 0.0;
+    /** LinkTransient only: outage length before the link heals. */
+    double clearSec = 0.0;
+};
+
+/** Per-component mean time between failures; 0 disables a class. */
+struct MtbfProfile
+{
+    double gpuMtbfSec = 0.0;       //!< per GPU
+    double linkMtbfSec = 0.0;      //!< per node's scale-out NIC
+    double nodeMtbfSec = 0.0;      //!< per node
+    double linkClearMeanSec = 1.0; //!< mean transient outage length
+
+    bool
+    empty() const
+    {
+        return gpuMtbfSec <= 0.0 && linkMtbfSec <= 0.0 &&
+               nodeMtbfSec <= 0.0;
+    }
+
+    /**
+     * Cluster-level fatal MTBF (GPU + node classes; transient link
+     * faults do not force a rollback, so they are excluded): the
+     * aggregate failure rate of @p num_gpus GPUs and @p num_nodes
+     * nodes. Returns 0 when no fatal class is enabled.
+     */
+    double clusterFatalMtbfSec(int num_gpus, int num_nodes) const;
+};
+
+class FailureGenerator
+{
+  public:
+    /**
+     * Expand the deterministic failure schedule over [0, horizon_s),
+     * sorted by time (ties broken by kind then target so the order is
+     * total).
+     */
+    static std::vector<FailureEvent>
+    generate(const MtbfProfile& profile, int num_gpus, int num_nodes,
+             double horizon_s, std::uint64_t seed);
+};
+
+} // namespace resil
+} // namespace charllm
+
+#endif // CHARLLM_RESIL_FAILURE_GEN_HH

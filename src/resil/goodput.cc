@@ -1,0 +1,306 @@
+#include "resil/goodput.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace charllm {
+namespace resil {
+
+namespace {
+
+using Interval = std::pair<double, double>; // [start, end)
+using IntervalList = std::vector<Interval>;
+
+/** Sort + merge overlapping/adjacent intervals in place. */
+void
+mergeIntervals(IntervalList& intervals)
+{
+    std::sort(intervals.begin(), intervals.end());
+    IntervalList merged;
+    for (const auto& iv : intervals) {
+        if (iv.second <= iv.first)
+            continue;
+        if (!merged.empty() && iv.first <= merged.back().second)
+            merged.back().second =
+                std::max(merged.back().second, iv.second);
+        else
+            merged.push_back(iv);
+    }
+    intervals.swap(merged);
+}
+
+bool
+covers(const IntervalList& intervals, double t)
+{
+    auto it = std::upper_bound(
+        intervals.begin(), intervals.end(), t,
+        [](double v, const Interval& iv) { return v < iv.first; });
+    return it != intervals.begin() && t < std::prev(it)->second;
+}
+
+void
+addCuts(const IntervalList& list, double lo, double hi,
+        std::vector<double>& cuts)
+{
+    for (const auto& iv : list) {
+        if (iv.first > lo && iv.first < hi)
+            cuts.push_back(iv.first);
+        if (iv.second > lo && iv.second < hi)
+            cuts.push_back(iv.second);
+    }
+}
+
+} // namespace
+
+const char*
+bucketName(Bucket bucket)
+{
+    switch (bucket) {
+    case Bucket::Useful:
+        return "useful";
+    case Bucket::Checkpoint:
+        return "checkpoint";
+    case Bucket::Detection:
+        return "detection";
+    case Bucket::Retry:
+        return "retry";
+    case Bucket::RollbackReplay:
+        return "rollback_replay";
+    case Bucket::Idle:
+        return "idle";
+    }
+    return "unknown";
+}
+
+void
+GoodputLedger::mark(Bucket bucket, double start_s, double end_s)
+{
+    CHARLLM_ASSERT(bucket != Bucket::Useful && bucket != Bucket::Idle,
+                   "useful/idle are derived, not marked");
+    CHARLLM_ASSERT(end_s >= start_s, "inverted mark: [", start_s,
+                   ", ", end_s, ")");
+    if (end_s > start_s)
+        marks.push_back(MarkedInterval{bucket, start_s, end_s});
+}
+
+GoodputReport
+GoodputLedger::finalize(
+    double wall_end_s,
+    const std::vector<runtime::IterationSpan>& spans,
+    const std::vector<std::vector<telemetry::Sample>>& series,
+    const ResilienceStats& stats) const
+{
+    GoodputReport rep;
+    rep.stats = stats;
+    rep.wallSec = wall_end_s;
+    CHARLLM_CHECK(wall_end_s > 0.0,
+                  "goodput window must be positive: ", wall_end_s);
+
+    // Merged interval unions: one per markable bucket, plus executed
+    // iteration spans split into committed-useful vs lost (aborted
+    // attempts and rollback replays).
+    IntervalList ckpt, detect, retry, rollback, useful, lost;
+    for (const auto& m : marks) {
+        double lo = std::max(0.0, m.startSec);
+        double hi = std::min(wall_end_s, m.endSec);
+        if (hi <= lo)
+            continue;
+        switch (m.bucket) {
+        case Bucket::Checkpoint:
+            ckpt.emplace_back(lo, hi);
+            break;
+        case Bucket::Detection:
+            detect.emplace_back(lo, hi);
+            break;
+        case Bucket::Retry:
+            retry.emplace_back(lo, hi);
+            break;
+        default:
+            rollback.emplace_back(lo, hi);
+            break;
+        }
+    }
+    for (const auto& span : spans) {
+        double lo = std::max(0.0, span.startSec);
+        double hi = std::min(wall_end_s, span.endSec);
+        if (hi <= lo)
+            continue;
+        if (span.aborted || span.replay)
+            lost.emplace_back(lo, hi);
+        else
+            useful.emplace_back(lo, hi);
+    }
+    mergeIntervals(ckpt);
+    mergeIntervals(detect);
+    mergeIntervals(retry);
+    mergeIntervals(rollback);
+    mergeIntervals(useful);
+    mergeIntervals(lost);
+
+    // Segment the window at every union boundary; within a segment the
+    // classification is constant, so the midpoint decides it.
+    std::vector<double> cuts;
+    cuts.push_back(0.0);
+    cuts.push_back(wall_end_s);
+    addCuts(ckpt, 0.0, wall_end_s, cuts);
+    addCuts(detect, 0.0, wall_end_s, cuts);
+    addCuts(retry, 0.0, wall_end_s, cuts);
+    addCuts(rollback, 0.0, wall_end_s, cuts);
+    addCuts(useful, 0.0, wall_end_s, cuts);
+    addCuts(lost, 0.0, wall_end_s, cuts);
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        double a = cuts[i];
+        double b = cuts[i + 1];
+        double mid = a + (b - a) / 2.0;
+        // Priority: explicit recovery-pipeline marks beat span
+        // classification (a detection window overlapping a doomed
+        // iteration's tail is detection, not replay), and lost spans
+        // beat useful ones.
+        Bucket bucket = Bucket::Idle;
+        if (covers(detect, mid))
+            bucket = Bucket::Detection;
+        else if (covers(retry, mid))
+            bucket = Bucket::Retry;
+        else if (covers(rollback, mid))
+            bucket = Bucket::RollbackReplay;
+        else if (covers(ckpt, mid))
+            bucket = Bucket::Checkpoint;
+        else if (covers(lost, mid))
+            bucket = Bucket::RollbackReplay;
+        else if (covers(useful, mid))
+            bucket = Bucket::Useful;
+        rep.buckets[static_cast<std::size_t>(bucket)].seconds +=
+            b - a;
+        if (!rep.timeline.empty() &&
+            rep.timeline.back().bucket == bucket &&
+            rep.timeline.back().endSec == a) {
+            rep.timeline.back().endSec = b;
+        } else {
+            rep.timeline.push_back(MarkedInterval{bucket, a, b});
+        }
+    }
+
+    // Energy: sample i covers (t_{i-1}, t_i] at power P_i; split each
+    // covered interval across the segments it spans (the lossless
+    // re-bucketing contract of obs::attributePhases), and integrate
+    // the same series independently for the conservation check.
+    for (const auto& s : series) {
+        double prev = 0.0;
+        std::size_t seg = 0;
+        for (const auto& sample : s) {
+            double t = sample.time.value();
+            double lo = std::max(prev, 0.0);
+            double hi = std::min(t, wall_end_s);
+            prev = t;
+            if (hi <= lo)
+                continue;
+            double power = sample.powerWatts.value();
+            rep.totalEnergyJ += power * (hi - lo);
+            while (seg < rep.timeline.size() &&
+                   rep.timeline[seg].endSec <= lo)
+                ++seg;
+            for (std::size_t k = seg; k < rep.timeline.size() &&
+                                      rep.timeline[k].startSec < hi;
+                 ++k) {
+                double overlap =
+                    std::min(hi, rep.timeline[k].endSec) -
+                    std::max(lo, rep.timeline[k].startSec);
+                if (overlap > 0.0)
+                    rep.buckets[static_cast<std::size_t>(
+                                    rep.timeline[k].bucket)]
+                        .energyJ += power * overlap;
+            }
+            if (t >= wall_end_s)
+                break;
+        }
+    }
+
+    // Conservation invariants: the six buckets partition wall time and
+    // integrated energy exactly (1e-9 relative, matching the phase
+    // attribution contract). Always-on — a taxonomy hole must abort
+    // the run, not skew ETTR.
+    double sum_sec = 0.0, sum_j = 0.0;
+    for (const auto& slice : rep.buckets) {
+        sum_sec += slice.seconds;
+        sum_j += slice.energyJ;
+    }
+    CHARLLM_CHECK(std::abs(sum_sec - wall_end_s) <=
+                      1e-9 * std::max(1.0, wall_end_s),
+                  "goodput time leak: buckets sum to ", sum_sec,
+                  " of ", wall_end_s, " wall seconds");
+    CHARLLM_CHECK(std::abs(sum_j - rep.totalEnergyJ) <=
+                      1e-9 * std::max(1.0, rep.totalEnergyJ),
+                  "goodput energy leak: buckets sum to ", sum_j,
+                  " of ", rep.totalEnergyJ, " J");
+    return rep;
+}
+
+CsvWriter
+GoodputReport::toCsv() const
+{
+    CsvWriter csv;
+    csv.header({"bucket", "seconds", "share", "energy_j",
+                "energy_share"});
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+        csv.beginRow();
+        csv.cell(std::string(bucketName(static_cast<Bucket>(b))));
+        csv.cell(buckets[b].seconds);
+        csv.cell(wallSec > 0.0 ? buckets[b].seconds / wallSec : 0.0);
+        csv.cell(buckets[b].energyJ);
+        csv.cell(totalEnergyJ > 0.0 ? buckets[b].energyJ / totalEnergyJ
+                                    : 0.0);
+        csv.endRow();
+    }
+    csv.beginRow();
+    csv.cell(std::string("total"));
+    csv.cell(wallSec);
+    csv.cell(1.0);
+    csv.cell(totalEnergyJ);
+    csv.cell(1.0);
+    csv.endRow();
+    return csv;
+}
+
+std::string
+GoodputReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"wall_sec\":" << formatDouble(wallSec, 17)
+       << ",\"total_energy_j\":" << formatDouble(totalEnergyJ, 17)
+       << ",\"ettr\":" << formatDouble(ettr(), 17)
+       << ",\"energy_ettr\":" << formatDouble(energyEttr(), 17)
+       << ",\"buckets\":{";
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+        if (b != 0)
+            os << ',';
+        os << '"' << bucketName(static_cast<Bucket>(b))
+           << "\":{\"seconds\":"
+           << formatDouble(buckets[b].seconds, 17) << ",\"energy_j\":"
+           << formatDouble(buckets[b].energyJ, 17) << '}';
+    }
+    os << "},\"stats\":{\"failures_injected\":"
+       << stats.failuresInjected
+       << ",\"failures_absorbed\":" << stats.failuresAbsorbed
+       << ",\"transient_faults\":" << stats.transientFaults
+       << ",\"transient_recovered\":" << stats.transientRecovered
+       << ",\"retries_attempted\":" << stats.retriesAttempted
+       << ",\"retries_escalated\":" << stats.retriesEscalated
+       << ",\"fatal_faults\":" << stats.fatalFaults
+       << ",\"rollbacks\":" << stats.rollbacks
+       << ",\"iterations_replayed\":" << stats.iterationsReplayed
+       << ",\"iterations_aborted\":" << stats.iterationsAborted
+       << ",\"checkpoints_committed\":" << stats.checkpointsCommitted
+       << ",\"checkpoints_discarded\":" << stats.checkpointsDiscarded
+       << "}}";
+    return os.str();
+}
+
+} // namespace resil
+} // namespace charllm

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Goodput accounting: every simulated second of a resilient run is
+ * classified into exactly one bucket — useful training, checkpoint
+ * overhead, failure detection, transient retry, rollback/replay
+ * (replacement wait + state restore + doomed and replayed work), or
+ * idle — and sampler energy is re-bucketed the same way. Bucket sums
+ * are asserted to conserve wall time and integrated energy (the same
+ * lossless-split contract obs::attributePhases enforces for phases),
+ * so ETTR = useful / wall is trustworthy even under stochastic fault
+ * schedules.
+ */
+
+#ifndef CHARLLM_RESIL_GOODPUT_HH
+#define CHARLLM_RESIL_GOODPUT_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "runtime/engine.hh"
+#include "telemetry/sampler.hh"
+
+namespace charllm {
+namespace resil {
+
+enum class Bucket
+{
+    Useful = 0,     //!< committed, never-rolled-back iteration time
+    Checkpoint,     //!< sync write pause / async quiesce stall
+    Detection,      //!< fault occurred but not yet noticed
+    Retry,          //!< transient-fault backoff/retry window
+    RollbackReplay, //!< replacement + restore + doomed + replayed work
+    Idle,           //!< accounted to nothing else
+};
+
+constexpr std::size_t kNumBuckets = 6;
+
+const char* bucketName(Bucket bucket);
+
+/** Seconds + energy attributed to one bucket. */
+struct BucketSlice
+{
+    double seconds = 0.0;
+    double energyJ = 0.0;
+};
+
+/** Recovery-pipeline event counters for one run. */
+struct ResilienceStats
+{
+    int failuresInjected = 0;    //!< schedule events that fired
+    int failuresAbsorbed = 0;    //!< landed inside an active recovery
+    int transientFaults = 0;
+    int transientRecovered = 0;  //!< cleared by retry, no rollback
+    int retriesAttempted = 0;
+    int retriesEscalated = 0;    //!< budget exhausted -> fatal
+    int fatalFaults = 0;
+    int rollbacks = 0;
+    int iterationsReplayed = 0;
+    int iterationsAborted = 0;
+    int checkpointsCommitted = 0;
+    int checkpointsDiscarded = 0; //!< in-flight write killed by fault
+};
+
+/** One classified segment of the run timeline (for trace overlays). */
+struct MarkedInterval
+{
+    Bucket bucket = Bucket::Idle;
+    double startSec = 0.0;
+    double endSec = 0.0;
+};
+
+/** Finalized goodput accounting for one run. */
+struct GoodputReport
+{
+    double wallSec = 0.0;
+    double totalEnergyJ = 0.0; //!< sampler integral over [0, wall)
+    std::array<BucketSlice, kNumBuckets> buckets;
+    ResilienceStats stats;
+    /** Merged, time-sorted segments covering [0, wall) exactly. */
+    std::vector<MarkedInterval> timeline;
+
+    const BucketSlice&
+    slice(Bucket b) const
+    {
+        return buckets[static_cast<std::size_t>(b)];
+    }
+
+    double usefulSec() const { return slice(Bucket::Useful).seconds; }
+
+    /** Effective-training-time ratio: useful seconds / wall seconds. */
+    double ettr() const
+    {
+        return wallSec > 0.0 ? usefulSec() / wallSec : 0.0;
+    }
+
+    /** Fraction of consumed energy spent on useful training. */
+    double energyEttr() const
+    {
+        return totalEnergyJ > 0.0
+                   ? slice(Bucket::Useful).energyJ / totalEnergyJ
+                   : 0.0;
+    }
+
+    /** One row per bucket plus a totals row. */
+    CsvWriter toCsv() const;
+    std::string toJson() const;
+};
+
+/**
+ * Accumulates explicit non-useful marks during the run and classifies
+ * the full timeline at finalize(). Classification priority inside one
+ * segment: detection > retry > rollback-replay > checkpoint marks,
+ * then executed iteration spans (aborted or replayed spans count as
+ * rollback-replay, committed ones as useful), then idle. finalize()
+ * CHARLLM_CHECKs the time and energy conservation invariants, so a
+ * violated taxonomy aborts the run rather than skewing ETTR.
+ */
+class GoodputLedger
+{
+  public:
+    /** Record that [start_s, end_s) was spent in @p bucket. */
+    void mark(Bucket bucket, double start_s, double end_s);
+
+    GoodputReport
+    finalize(double wall_end_s,
+             const std::vector<runtime::IterationSpan>& spans,
+             const std::vector<std::vector<telemetry::Sample>>& series,
+             const ResilienceStats& stats) const;
+
+  private:
+    std::vector<MarkedInterval> marks;
+};
+
+} // namespace resil
+} // namespace charllm
+
+#endif // CHARLLM_RESIL_GOODPUT_HH

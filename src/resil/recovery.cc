@@ -1,0 +1,344 @@
+#include "resil/recovery.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace charllm {
+namespace resil {
+
+RecoveryManager::RecoveryManager(sim::Simulator& simulator,
+                                 hw::Platform& platform,
+                                 net::FlowNetwork& netw,
+                                 runtime::TrainingEngine& eng,
+                                 const CheckpointModel& checkpoint_model,
+                                 double checkpoint_interval_s,
+                                 bool async_checkpoint, double quiesce_s,
+                                 const RecoveryConfig& config,
+                                 std::vector<FailureEvent> schedule)
+    : sim(simulator), plat(platform), network(netw), engine(eng),
+      ckpt(checkpoint_model), ckptIntervalSec(checkpoint_interval_s),
+      ckptAsync(async_checkpoint), quiesceSec(quiesce_s), cfg(config),
+      plan(std::move(schedule))
+{
+    CHARLLM_ASSERT(ckptIntervalSec > 0.0,
+                   "checkpoint interval must be positive (use "
+                   "youngDalyInterval or an explicit value)");
+    CHARLLM_ASSERT(cfg.retry.maxAttempts >= 1 &&
+                       cfg.retry.initialBackoffSec > 0.0 &&
+                       cfg.retry.backoffMultiplier >= 1.0,
+                   "bad retry policy");
+    CHARLLM_ASSERT(cfg.gpuFailDerate > 0.0 && cfg.gpuFailDerate < 1.0 &&
+                       cfg.linkFaultDerate > 0.0 &&
+                       cfg.linkFaultDerate <= 1.0,
+                   "derates must be in (0, 1]");
+    engine.setResilienceController(this);
+    armNextFailure();
+}
+
+void
+RecoveryManager::attachMapper(parallel::RankMapper& m)
+{
+    mapper = &m;
+}
+
+sim::EventHandle
+RecoveryManager::scheduleAt(double when_s, sim::EventFn fn)
+{
+    sim::EventHandle h = sim.scheduleAt(sim::toTicks(when_s),
+                                        std::move(fn));
+    timers.push_back(h);
+    return h;
+}
+
+void
+RecoveryManager::armNextFailure()
+{
+    if (nextFailure >= plan.size())
+        return;
+    double when =
+        std::max(plan[nextFailure].timeSec, sim.nowSeconds());
+    std::size_t index = nextFailure;
+    armedFailure = sim.scheduleAt(sim::toTicks(when), [this, index] {
+        onFailure(index);
+    });
+}
+
+void
+RecoveryManager::onFailure(std::size_t index)
+{
+    if (runDone)
+        return;
+    FailureEvent ev = plan[index];
+    nextFailure = index + 1;
+    armNextFailure();
+    ++runStats.failuresInjected;
+
+    if (ev.kind == FailureKind::LinkTransient) {
+        onTransientLink(ev);
+        return;
+    }
+
+    double now = sim.nowSeconds();
+    std::vector<int> gpus;
+    if (ev.kind == FailureKind::GpuFatal) {
+        gpus.push_back(ev.target);
+    } else {
+        int per_node = network.topology().gpusPerNode();
+        for (int g = ev.target * per_node;
+             g < (ev.target + 1) * per_node; ++g)
+            gpus.push_back(g);
+    }
+    for (int g : gpus)
+        plat.setGpuSlowdown(g, cfg.gpuFailDerate);
+    if (recovering) {
+        // The cluster is already down for repair: the same maintenance
+        // window covers this fault, no extra rollback.
+        ++runStats.failuresAbsorbed;
+        double heal = resumeAtSec;
+        scheduleAt(heal, [this, gpus] {
+            for (int g : gpus)
+                plat.setGpuSlowdown(g, 1.0);
+        });
+        return;
+    }
+    ++runStats.fatalFaults;
+    double detect = ev.kind == FailureKind::GpuFatal
+                        ? cfg.detection.gpuDetectSec()
+                        : cfg.detection.nodeDetectSec();
+    scheduleAt(now + detect, [this, now, gpus, detect] {
+        onFatalGpus(now, gpus, now + detect);
+    });
+}
+
+void
+RecoveryManager::onFatalGpus(double fail_s, std::vector<int> gpus,
+                             double detect_s)
+{
+    if (runDone)
+        return;
+    if (recovering) {
+        // Detected during another fault's repair window: absorbed.
+        ++runStats.failuresAbsorbed;
+        scheduleAt(resumeAtSec, [this, gpus] {
+            for (int g : gpus)
+                plat.setGpuSlowdown(g, 1.0);
+        });
+        return;
+    }
+    beginRollback(fail_s, detect_s, std::move(gpus), -1);
+}
+
+void
+RecoveryManager::onTransientLink(const FailureEvent& ev)
+{
+    double now = sim.nowSeconds();
+    net::LinkId link = network.topology().nicOutLink(ev.target);
+    if (recovering) {
+        ++runStats.failuresAbsorbed;
+        return;
+    }
+    for (const auto& s : sessions) {
+        if (s.active && s.link == link) {
+            // The link is already flapping and under retry; the new
+            // outage is indistinguishable from the ongoing one.
+            ++runStats.failuresAbsorbed;
+            return;
+        }
+    }
+    ++runStats.transientFaults;
+    network.setLinkDerate(link, cfg.linkFaultDerate);
+
+    RetrySession s;
+    s.link = link;
+    s.node = ev.target;
+    s.failSec = now;
+    s.clearAtSec = now + ev.clearSec;
+    s.detectSec = now + cfg.detection.linkDetectSec();
+    s.active = true;
+    sessions.push_back(s);
+    std::size_t idx = sessions.size() - 1;
+    scheduleAt(s.detectSec, [this, idx] {
+        if (runDone || !sessions[idx].active)
+            return;
+        RetrySession& session = sessions[idx];
+        ledger.mark(Bucket::Detection, session.failSec,
+                    session.detectSec);
+        double first = session.detectSec + cfg.retry.backoffSec(0);
+        scheduleAt(first, [this, idx, first] {
+            retryAttempt(idx, first);
+        });
+    });
+}
+
+void
+RecoveryManager::retryAttempt(std::size_t session, double attempt_s)
+{
+    if (runDone || !sessions[session].active)
+        return;
+    RetrySession& s = sessions[session];
+    ++s.attempt;
+    ++runStats.retriesAttempted;
+    if (attempt_s >= s.clearAtSec) {
+        // The transient cleared: the retry succeeds and training
+        // continues from exactly where it was — no rollback.
+        network.setLinkDerate(s.link, 1.0);
+        ledger.mark(Bucket::Retry, s.detectSec, attempt_s);
+        ++runStats.transientRecovered;
+        s.active = false;
+        return;
+    }
+    if (s.attempt >= cfg.retry.maxAttempts) {
+        // Budget exhausted: declare the NIC dead and escalate to the
+        // fatal path (replacement + rollback). The link itself heals
+        // when the replacement part arrives.
+        ledger.mark(Bucket::Retry, s.detectSec, attempt_s);
+        ++runStats.retriesEscalated;
+        ++runStats.fatalFaults;
+        s.active = false;
+        beginRollback(attempt_s, attempt_s, {}, s.link);
+        return;
+    }
+    double next = attempt_s + cfg.retry.backoffSec(s.attempt);
+    scheduleAt(next, [this, session, next] {
+        retryAttempt(session, next);
+    });
+}
+
+void
+RecoveryManager::beginRollback(double fail_s, double detect_s,
+                               std::vector<int> gpus, net::LinkId link)
+{
+    CHARLLM_ASSERT(!recovering, "nested rollback");
+    recovering = true;
+    ++runStats.rollbacks;
+    if (detect_s > fail_s)
+        ledger.mark(Bucket::Detection, fail_s, detect_s);
+
+    // A checkpoint write caught mid-flight by the fault never
+    // completed anywhere durable: discard it. The rollback target
+    // stays the previous completed checkpoint.
+    if (ckptWritePending) {
+        ckptComplete.cancel();
+        ckptWritePending = false;
+        ++runStats.checkpointsDiscarded;
+    }
+
+    int committed = engine.committedIterations();
+    int rollback = committed - lastCkptStep;
+    CHARLLM_CHECK(rollback >= 0, "checkpoint ahead of progress: ",
+                  lastCkptStep, " > ", committed);
+
+    double replacement =
+        cfg.warmSpares ? cfg.spareAcquireSec : cfg.rebootSec;
+    double ready = detect_s + replacement;
+    double resume = ready + ckpt.readSeconds().value();
+    resumeAtSec = resume;
+    ledger.mark(Bucket::RollbackReplay, detect_s, resume);
+
+    // Other in-progress retry sessions die with the rollback; their
+    // links heal in the same maintenance window.
+    for (auto& s : sessions) {
+        if (!s.active)
+            continue;
+        if (s.detectSec < fail_s)
+            ledger.mark(Bucket::Retry, s.detectSec, fail_s);
+        s.active = false;
+        net::LinkId l = s.link;
+        scheduleAt(ready, [this, l] { network.setLinkDerate(l, 1.0); });
+    }
+
+    scheduleAt(ready, [this, gpus, link] {
+        for (int g : gpus)
+            plat.setGpuSlowdown(g, 1.0);
+        if (link >= 0)
+            network.setLinkDerate(link, 1.0);
+    });
+    if (cfg.elasticRemap && mapper != nullptr && gpus.size() == 1) {
+        int peer = parallel::failoverPeer(
+            *mapper, gpus.front(), network.topology().gpusPerNode());
+        if (peer >= 0)
+            mapper->swapDevices(gpus.front(), peer);
+    }
+
+    engine.abortIteration(rollback, resume);
+    lastCkptRefSec = resume; // fresh cadence after recovery
+    scheduleAt(resume, [this] { recovering = false; });
+}
+
+double
+RecoveryManager::onIterationCommitted(int index, double start_s,
+                                      double end_s, bool last)
+{
+    (void)start_s;
+    if (last) {
+        shutdown(end_s);
+        return 0.0;
+    }
+    if (ckptWritePending ||
+        end_s - lastCkptRefSec < ckptIntervalSec)
+        return 0.0;
+    return startCheckpointPause(index + 1, end_s);
+}
+
+double
+RecoveryManager::startCheckpointPause(int covered_step, double now_s)
+{
+    double write = ckpt.writeSeconds().value();
+    double pause = ckptAsync ? quiesceSec : write;
+    double pause_end = now_s + pause;
+    double complete =
+        ckptAsync ? pause_end + write : pause_end;
+    ledger.mark(Bucket::Checkpoint, now_s, pause_end);
+    lastCkptRefSec = pause_end;
+    ckptWritePending = true;
+    ckptComplete = scheduleAt(complete, [this, covered_step] {
+        if (runDone)
+            return;
+        ckptWritePending = false;
+        lastCkptStep = covered_step;
+        ++runStats.checkpointsCommitted;
+    });
+    return pause;
+}
+
+void
+RecoveryManager::shutdown(double end_s)
+{
+    runDone = true;
+    wallEnd = end_s;
+    armedFailure.cancel();
+    for (auto& h : timers)
+        h.cancel();
+    timers.clear();
+    // A retry session still open at run end: account its elapsed
+    // detection/retry time so the tail is not misclassified.
+    for (auto& s : sessions) {
+        if (!s.active)
+            continue;
+        if (s.detectSec < end_s)
+            ledger.mark(Bucket::Retry, s.detectSec, end_s);
+        else if (s.failSec < end_s)
+            ledger.mark(Bucket::Detection, s.failSec, end_s);
+        s.active = false;
+    }
+}
+
+GoodputReport
+RecoveryManager::finalize(
+    const std::vector<std::vector<telemetry::Sample>>& series) const
+{
+    CHARLLM_ASSERT(runDone, "finalize before the run completed");
+    ResilienceStats stats = runStats;
+    for (const auto& span : engine.iterationSpans()) {
+        if (span.aborted)
+            ++stats.iterationsAborted;
+        else if (span.replay)
+            ++stats.iterationsReplayed;
+    }
+    return ledger.finalize(wallEnd, engine.iterationSpans(), series,
+                           stats);
+}
+
+} // namespace resil
+} // namespace charllm

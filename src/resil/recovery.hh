@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The recovery state machine. A RecoveryManager owns the failure
+ * schedule, the checkpoint cadence, and the goodput ledger for one
+ * run:
+ *
+ *   healthy --fault--> degraded --detect--> { transient: retry with
+ *   exponential backoff until the link clears (no rollback) or the
+ *   budget is exhausted (escalate to fatal) | fatal: acquire a
+ *   replacement (warm spare or reboot), restore the last completed
+ *   checkpoint, roll the engine back, replay the lost iterations }
+ *   --resume--> healthy
+ *
+ * Detection is never instantaneous: GPU and link faults surface after
+ * an NCCL-watchdog-style collective timeout, node faults after N
+ * missed heartbeats. Every decision the manager makes is a pure
+ * function of the seeded failure schedule and the simulated clock, so
+ * runs are byte-deterministic.
+ */
+
+#ifndef CHARLLM_RESIL_RECOVERY_HH
+#define CHARLLM_RESIL_RECOVERY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/platform.hh"
+#include "net/flow_network.hh"
+#include "parallel/rank_mapper.hh"
+#include "resil/checkpoint.hh"
+#include "resil/failure_gen.hh"
+#include "resil/goodput.hh"
+#include "runtime/engine.hh"
+#include "sim/simulator.hh"
+
+namespace charllm {
+namespace resil {
+
+/** Failure-detection latencies (watchdog + heartbeat). */
+struct DetectionModel
+{
+    /** NCCL-watchdog-style collective timeout: a dead GPU or link is
+     *  noticed when its collective fails to complete in time. */
+    double collectiveTimeoutSec = 0.5;
+    double heartbeatPeriodSec = 0.5;
+    int heartbeatMisses = 3; //!< node declared dead after N misses
+
+    double gpuDetectSec() const { return collectiveTimeoutSec; }
+    double linkDetectSec() const { return collectiveTimeoutSec; }
+
+    double
+    nodeDetectSec() const
+    {
+        return heartbeatPeriodSec *
+               static_cast<double>(heartbeatMisses);
+    }
+};
+
+/** Exponential-backoff retry budget for transient link faults. */
+struct RetryPolicy
+{
+    int maxAttempts = 4;
+    double initialBackoffSec = 0.25;
+    double backoffMultiplier = 2.0;
+
+    /** Backoff before 0-based attempt @p attempt. */
+    double
+    backoffSec(int attempt) const
+    {
+        double b = initialBackoffSec;
+        for (int i = 0; i < attempt; ++i)
+            b *= backoffMultiplier;
+        return b;
+    }
+};
+
+/** Recovery-pipeline knobs. */
+struct RecoveryConfig
+{
+    DetectionModel detection;
+    RetryPolicy retry;
+    /** Warm-spare pool: a replacement attaches after spareAcquireSec;
+     *  without spares the node must reboot (rebootSec). */
+    bool warmSpares = true;
+    double spareAcquireSec = 2.0;
+    double rebootSec = 60.0;
+    /** Residual capacity of a transiently-faulted scale-out link. */
+    double linkFaultDerate = 0.05;
+    /** Effective clock of a fail-stopped GPU until replacement. */
+    double gpuFailDerate = 0.02;
+    /** Re-map a dead GPU's ranks to a same-node peer on recovery
+     *  (parallel::failoverPeer; requires attachMapper). */
+    bool elasticRemap = false;
+};
+
+/** Everything core::Experiment needs to arm resilience for a run. */
+struct ResilienceConfig
+{
+    bool enabled = false;
+    std::uint64_t seed = 0x5eed0fa1u;
+    /** Failure-schedule horizon; must cover the simulated run. */
+    double horizonSec = 3600.0;
+    MtbfProfile mtbf;
+    CheckpointPolicy checkpoint;
+    RecoveryConfig recovery;
+};
+
+/**
+ * Drives one engine run. Construct after the TrainingEngine (the
+ * constructor attaches itself as the engine's ResilienceController)
+ * and before platform.start(); call finalize() after engine.run().
+ */
+class RecoveryManager final : public runtime::ResilienceController
+{
+  public:
+    RecoveryManager(sim::Simulator& simulator, hw::Platform& platform,
+                    net::FlowNetwork& network,
+                    runtime::TrainingEngine& engine,
+                    const CheckpointModel& checkpoint_model,
+                    double checkpoint_interval_s, bool async_checkpoint,
+                    double quiesce_s, const RecoveryConfig& config,
+                    std::vector<FailureEvent> schedule);
+
+    RecoveryManager(const RecoveryManager&) = delete;
+    RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+    /** Enable elastic re-map (cfg.elasticRemap) onto @p mapper. */
+    void attachMapper(parallel::RankMapper& mapper);
+
+    /** runtime::ResilienceController: checkpoint cadence + run end. */
+    double onIterationCommitted(int index, double start_s,
+                                double end_s, bool last) override;
+
+    /**
+     * Classify the whole run; call once, after engine.run(). @p series
+     * may be empty (energy buckets stay zero). Asserts conservation.
+     */
+    GoodputReport
+    finalize(const std::vector<std::vector<telemetry::Sample>>& series)
+        const;
+
+    const ResilienceStats& stats() const { return runStats; }
+    const std::vector<FailureEvent>& schedule() const { return plan; }
+    double checkpointIntervalSec() const { return ckptIntervalSec; }
+    double wallEndSec() const { return wallEnd; }
+
+  private:
+    struct RetrySession
+    {
+        net::LinkId link = -1;
+        int node = -1;
+        double failSec = 0.0;
+        double clearAtSec = 0.0;
+        double detectSec = 0.0;
+        int attempt = 0;
+        bool active = false;
+    };
+
+    void armNextFailure();
+    void onFailure(std::size_t index);
+    void onFatalGpus(double fail_s, std::vector<int> gpus,
+                     double detect_s);
+    void onTransientLink(const FailureEvent& ev);
+    void retryAttempt(std::size_t session, double attempt_s);
+    void beginRollback(double fail_s, double detect_s,
+                       std::vector<int> gpus, net::LinkId link);
+    /** Begin a checkpoint at an iteration boundary; returns the
+     *  boundary pause (full write when sync, quiesce when async). */
+    double startCheckpointPause(int covered_step, double now_s);
+    sim::EventHandle scheduleAt(double when_s, sim::EventFn fn);
+    void shutdown(double end_s);
+
+    sim::Simulator& sim;
+    hw::Platform& plat;
+    net::FlowNetwork& network;
+    runtime::TrainingEngine& engine;
+    parallel::RankMapper* mapper = nullptr;
+
+    CheckpointModel ckpt;
+    double ckptIntervalSec;
+    bool ckptAsync;
+    double quiesceSec;
+    RecoveryConfig cfg;
+    std::vector<FailureEvent> plan;
+
+    GoodputLedger ledger;
+    ResilienceStats runStats;
+    std::vector<RetrySession> sessions;
+
+    std::size_t nextFailure = 0;
+    sim::EventHandle armedFailure;
+    /** All other outstanding timers (detections, retries, restores,
+     *  checkpoint completions); cancelled wholesale at run end so the
+     *  simulator drains immediately after the last commit. */
+    std::vector<sim::EventHandle> timers;
+    sim::EventHandle ckptComplete;
+    bool ckptWritePending = false; //!< a write is in flight
+
+    int lastCkptStep = 0;      //!< iterations covered by a completed ckpt
+    double lastCkptRefSec = 0.0; //!< cadence reference point
+    bool recovering = false;
+    double resumeAtSec = 0.0;
+    bool runDone = false;
+    double wallEnd = 0.0;
+};
+
+} // namespace resil
+} // namespace charllm
+
+#endif // CHARLLM_RESIL_RECOVERY_HH

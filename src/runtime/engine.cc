@@ -68,6 +68,9 @@ TrainingEngine::run()
 {
     totalIterations = opts.warmupIterations + opts.measuredIterations;
     iteration = 0;
+    maxCommitted = 0;
+    committedDurations.assign(
+        static_cast<std::size_t>(totalIterations), 0.0);
     if (opts.warmupIterations == 0)
         measureStart = plat.simulator().nowSeconds();
     startIteration();
@@ -108,6 +111,7 @@ TrainingEngine::startIteration()
     if (pendingStall.size() != static_cast<std::size_t>(world))
         pendingStall.assign(static_cast<std::size_t>(world), 0.0);
     ranksRemaining = world;
+    iterationActive = true;
     iterStart = plat.simulator().nowSeconds();
     double restart = pendingRestartSec;
     pendingRestartSec = 0.0;
@@ -115,7 +119,9 @@ TrainingEngine::startIteration()
         // Checkpoint/restart pause: every rank begins late, and the
         // pause counts into this iteration's measured duration.
         plat.simulator().schedule(sim::toTicks(restart),
-                                  [this, world] {
+                                  [this, world, e = epoch] {
+            if (e != epoch)
+                return;
             for (int dev = 0; dev < world; ++dev)
                 advance(dev);
         });
@@ -130,21 +136,48 @@ TrainingEngine::finishIteration()
 {
     double now = plat.simulator().nowSeconds();
     double dur = now - iterStart;
+    iterationActive = false;
     iterSpans.push_back(IterationSpan{
-        iteration, iteration < opts.warmupIterations, iterStart, now});
-    if (iteration >= opts.warmupIterations)
-        measured.push_back(dur);
+        iteration, iteration < opts.warmupIterations, iterStart, now,
+        /*replay=*/iteration < maxCommitted, /*aborted=*/false});
+    committedDurations[static_cast<std::size_t>(iteration)] = dur;
     if (iteration == opts.warmupIterations - 1) {
         // Warmup complete: discard thermal-settling statistics, as the
-        // paper discards its first 10 iterations.
+        // paper discards its first 10 iterations. (A rollback across
+        // this boundary re-arms measurement at the replayed commit.)
         plat.resetStats();
         measureStart = now;
     }
     ++iteration;
-    if (iteration < totalIterations)
-        startIteration();
-    else
+    maxCommitted = std::max(maxCommitted, iteration);
+    bool last = iteration >= totalIterations;
+    double pause = 0.0;
+    if (resil != nullptr)
+        pause = resil->onIterationCommitted(iteration - 1, iterStart,
+                                            now, last);
+    CHARLLM_ASSERT(pause >= 0.0, "negative boundary pause: ", pause);
+    if (last) {
+        CHARLLM_ASSERT(pause == 0.0,
+                       "boundary pause after the last iteration");
+        measured.assign(
+            committedDurations.begin() + opts.warmupIterations,
+            committedDurations.end());
         finished = true;
+        return;
+    }
+    if (pause > 0.0) {
+        // Cluster-quiescent boundary pause (e.g. a sync checkpoint
+        // write): no kernels run and the pause sits between iteration
+        // spans, not inside either one.
+        pendingStart = plat.simulator().schedule(
+            sim::toTicks(pause), [this, e = epoch] {
+            if (e != epoch)
+                return;
+            startIteration();
+        });
+    } else {
+        startIteration();
+    }
 }
 
 void
@@ -304,7 +337,13 @@ TrainingEngine::joinCollective(int dev, const Op& op)
                 }
             }
         }
-        req.onComplete = [this, key] { onCollectiveDone(key); };
+        // Flows cannot be cancelled; on abort the completion arrives
+        // from a dead epoch and drops itself here.
+        req.onComplete = [this, key, e = epoch] {
+            if (e != epoch)
+                return;
+            onCollectiveDone(key);
+        };
         inst.issued = true;
         coll.run(std::move(req));
     }
@@ -361,6 +400,8 @@ TrainingEngine::issueSend(int dev, const Op& op)
     std::uint64_t token = gpu.kernelBegin(hw::KernelClass::SendRecv,
                                           0.0, now);
     ++ranks[static_cast<std::size_t>(dev)].outstandingAsync;
+    std::uint64_t sid = sendCounter++;
+    sends.emplace(sid, OutstandingSend{dev, now, token, op.name});
 
     coll::CollectiveRequest req;
     req.kind = coll::CollectiveKind::SendRecv;
@@ -369,7 +410,11 @@ TrainingEngine::issueSend(int dev, const Op& op)
     req.chunked = op.chunked;
     int dst = op.peerDevice;
     const char* name = op.name;
-    req.onComplete = [this, dev, dst, ckey, seq, token, now, name] {
+    req.onComplete = [this, dev, dst, ckey, seq, sid, token, now, name,
+                      e = epoch] {
+        if (e != epoch)
+            return;
+        sends.erase(sid);
         double done = plat.simulator().nowSeconds();
         // Sender side bookkeeping.
         hw::Gpu& src_gpu = plat.gpu(dev);
@@ -466,7 +511,96 @@ TrainingEngine::notifyFailStop(double restart_cost_s)
 {
     CHARLLM_ASSERT(restart_cost_s >= 0.0,
                    "negative restart cost: ", restart_cost_s);
-    pendingRestartSec += restart_cost_s;
+    // Overlapping fail-stops before the same boundary share one
+    // restart window: the cluster restarts once, paying the slowest
+    // recovery, not the serialized sum.
+    pendingRestartSec = std::max(pendingRestartSec, restart_cost_s);
+}
+
+void
+TrainingEngine::abortIteration(int rollback, double resume_at_s)
+{
+    CHARLLM_ASSERT(!finished, "abort after the run completed");
+    CHARLLM_ASSERT(rollback >= 0 && rollback <= iteration,
+                   "rollback of ", rollback, " with only ", iteration,
+                   " committed iterations");
+    double now = plat.simulator().nowSeconds();
+    CHARLLM_ASSERT(resume_at_s >= now, "resume in the past: ",
+                   resume_at_s, " < ", now);
+    ++epoch;
+    pendingStart.cancel();
+    if (iterationActive) {
+        iterationActive = false;
+        int world = program.worldSize();
+        for (int dev = 0; dev < world; ++dev) {
+            auto& slot = inFlight[static_cast<std::size_t>(dev)];
+            if (!slot.has_value())
+                continue;
+            slot->completion.cancel();
+            hw::Gpu& gpu = plat.gpu(dev);
+            gpu.kernelEnd(slot->gpuToken, now);
+            gpu.addKernelTime(slot->cls,
+                              Seconds(now - slot->startTime));
+            emitTrace(dev, slot->cls, slot->name, slot->startTime,
+                      now - slot->startTime);
+            slot.reset();
+        }
+        for (auto& [key, inst] : instances) {
+            (void)key;
+            for (std::size_t i = 0; i < inst.arrivals.size(); ++i) {
+                int dev = inst.arrivals[i].first;
+                double arr = inst.arrivals[i].second;
+                hw::Gpu& gpu = plat.gpu(dev);
+                gpu.kernelEnd(inst.tokens[i].second, now);
+                gpu.addKernelTime(inst.cls, Seconds(now - arr));
+                emitTrace(dev, inst.cls, inst.name, arr, now - arr);
+            }
+        }
+        instances.clear();
+        for (auto& [sid, snd] : sends) {
+            (void)sid;
+            hw::Gpu& gpu = plat.gpu(snd.dev);
+            gpu.kernelEnd(snd.token, now);
+            gpu.addKernelTime(hw::KernelClass::SendRecv,
+                              Seconds(now - snd.startSec));
+            emitTrace(snd.dev, hw::KernelClass::SendRecv, snd.name,
+                      snd.startSec, now - snd.startSec);
+        }
+        sends.clear();
+        for (auto& [ckey, ch] : channels) {
+            if (!ch.waiting.has_value())
+                continue;
+            auto [wseq, arr, token] = *ch.waiting;
+            (void)wseq;
+            int dst = static_cast<int>(ckey & 0xffffffffu);
+            hw::Gpu& gpu = plat.gpu(dst);
+            gpu.kernelEnd(token, now);
+            gpu.addKernelTime(hw::KernelClass::SendRecv,
+                              Seconds(now - arr));
+            emitTrace(dst, hw::KernelClass::SendRecv, "recv", arr,
+                      now - arr);
+            ch.waiting.reset();
+        }
+        channels.clear();
+        iterSpans.push_back(IterationSpan{
+            iteration, iteration < opts.warmupIterations, iterStart,
+            now, /*replay=*/iteration < maxCommitted,
+            /*aborted=*/true});
+    } else {
+        // Failure detected inside a boundary pause: nothing was in
+        // flight, the cancelled pendingStart is the only teardown.
+        sends.clear();
+        channels.clear();
+    }
+    std::fill(pendingStall.begin(), pendingStall.end(), 0.0);
+    pendingRestartSec = 0.0;
+    iteration -= rollback;
+    pendingStart = plat.simulator().schedule(
+        sim::toTicks(resume_at_s - now), [this, e = epoch] {
+        if (e != epoch)
+            return;
+        startIteration();
+    });
 }
 
 void

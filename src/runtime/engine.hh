@@ -29,13 +29,41 @@ struct EngineOptions
     int measuredIterations = 3;
 };
 
-/** One completed training iteration on the simulated clock. */
+/** One executed training iteration (attempt) on the simulated clock. */
 struct IterationSpan
 {
     int index = 0;       //!< 0-based, counting warmup iterations
     bool warmup = false; //!< true for thermal-settling iterations
     double startSec = 0.0;
     double endSec = 0.0;
+    /** Re-execution of an iteration that had already committed before
+     *  a rollback (lost work being replayed). */
+    bool replay = false;
+    /** Attempt torn down mid-flight by abortIteration (never
+     *  committed; its duration is doomed work). */
+    bool aborted = false;
+};
+
+/**
+ * Hook for a resilience subsystem (src/resil): the engine reports
+ * every committed iteration and the controller may charge a global
+ * pause (e.g. a synchronous checkpoint write) between iterations.
+ * The pause window is cluster-quiescent — no kernels run — and is
+ * excluded from per-iteration durations, so it surfaces as a
+ * non-useful goodput bucket rather than inflated iteration times.
+ */
+class ResilienceController
+{
+  public:
+    virtual ~ResilienceController() = default;
+
+    /**
+     * Iteration @p index (0-based, warmup included) committed over
+     * [@p start_s, @p end_s). Returns the boundary pause in seconds
+     * before the next iteration may start; must be 0 when @p last.
+     */
+    virtual double onIterationCommitted(int index, double start_s,
+                                        double end_s, bool last) = 0;
 };
 
 /**
@@ -56,6 +84,13 @@ class TrainingEngine
                    const EngineOptions& options);
 
     void setTraceSink(TraceSink sink) { trace = std::move(sink); }
+
+    /** Attach a resilience controller (nullptr = none). Must be set
+     *  before run(). The controller must outlive the engine run. */
+    void setResilienceController(ResilienceController* controller)
+    {
+        resil = controller;
+    }
 
     /**
      * Run all iterations to completion. The platform must have been
@@ -96,10 +131,37 @@ class TrainingEngine
     /**
      * Model a fail-stop + checkpoint/restart: the next iteration
      * starts only after @p restart_cost_s of global pause (checkpoint
-     * reload, process re-init, lost progress). Costs accumulate if
-     * multiple fail-stops hit before the boundary.
+     * reload, process re-init, lost progress). Overlapping fail-stops
+     * share one restart window — the pending debt is the max of the
+     * individual costs, not their sum.
      */
     void notifyFailStop(double restart_cost_s);
+
+    /** Pending fail-stop restart debt (consumed at the next iteration
+     *  start). Exposed for fault-accounting tests. */
+    double pendingRestartSeconds() const { return pendingRestartSec; }
+
+    /** @} */
+
+    /** @name Recovery hooks (driven by resil::RecoveryManager)
+     * @{ */
+
+    /**
+     * Tear down the in-flight iteration (if any) after a fatal fault:
+     * cancel or truncate every outstanding compute kernel, collective,
+     * send, and blocked receive (partial kernels emit truncated trace
+     * spans so the doomed attempt stays visible), record an aborted
+     * IterationSpan, roll the committed-iteration counter back by
+     * @p rollback steps (to the last completed checkpoint), and
+     * restart execution at simulated time @p resume_at_s. Replayed
+     * iterations re-commit and overwrite their recorded durations.
+     */
+    void abortIteration(int rollback, double resume_at_s);
+
+    /** Iterations committed so far (monotone except across aborts). */
+    int committedIterations() const { return iteration; }
+
+    bool runFinished() const { return finished; }
 
     /** @} */
 
@@ -145,6 +207,16 @@ class TrainingEngine
             waiting;
     };
 
+    /** A send whose network flow is still in flight (needed so aborts
+     *  can close the sender-side kernel span). */
+    struct OutstandingSend
+    {
+        int dev = 0;
+        double startSec = 0.0;
+        std::uint64_t token = 0;
+        const char* name = "";
+    };
+
     void startIteration();
     void finishIteration();
     void advance(int dev);
@@ -184,6 +256,8 @@ class TrainingEngine
     std::map<std::uint64_t, CollectiveInstance> instances;
     std::vector<std::vector<std::uint64_t>> groupSeq; //!< [dev][group]
     std::map<std::uint64_t, Channel> channels; //!< (src << 32 | dst)
+    std::map<std::uint64_t, OutstandingSend> sends;
+    std::uint64_t sendCounter = 0;
 
     int iteration = 0;
     int totalIterations = 0;
@@ -195,6 +269,21 @@ class TrainingEngine
     std::vector<double> measured;
     std::vector<IterationSpan> iterSpans;
     bool finished = false;
+
+    ResilienceController* resil = nullptr;
+    /** Abort epoch: network/collective completions cannot be cancelled
+     *  (their flows run to completion), so every engine-side async
+     *  callback captures the epoch at issue time and drops itself when
+     *  an abort has bumped it since. */
+    std::uint64_t epoch = 0;
+    /** High-water mark of committed iterations: re-commits below it
+     *  are rollback replay, not fresh progress. */
+    int maxCommitted = 0;
+    bool iterationActive = false;
+    /** Duration of each committed iteration, by index; replays
+     *  overwrite, and measured[] is rebuilt from this at finish. */
+    std::vector<double> committedDurations;
+    sim::EventHandle pendingStart; //!< boundary-pause / resume event
 };
 
 } // namespace runtime

@@ -685,4 +685,53 @@ TEST_F(ObsEndToEnd, UnifiedTraceAndPhaseEnergyConservation)
         report.at("phases").at("total_energy_j").number, 0.0);
 }
 
+TEST_F(ObsEndToEnd, QuiescentPausesLandInIdleNeverExposedComm)
+{
+    // Sync checkpoints stall the whole cluster between iterations:
+    // those windows hold no kernels anywhere, so phase attribution
+    // must classify every sample inside them as Idle — never
+    // ExposedComm (no GPU is waiting on a communication kernel) and
+    // never Bubble (no other device is busy either).
+    auto cfg = config();
+    cfg.measuredIterations = 3;
+    cfg.resilience.enabled = true;
+    cfg.resilience.checkpoint.intervalSec = 0.4;
+    auto result = core::Experiment::run(cfg);
+    ASSERT_TRUE(result.feasible);
+    ASSERT_TRUE(result.goodputValid);
+    ASSERT_TRUE(result.trace);
+
+    std::vector<std::pair<double, double>> pauses;
+    for (const auto& seg : result.goodput.timeline) {
+        if (seg.bucket == resil::Bucket::Checkpoint)
+            pauses.emplace_back(seg.startSec, seg.endSec);
+    }
+    ASSERT_GE(pauses.size(), 2u);
+
+    // No kernel on any device overlaps a checkpoint pause.
+    for (const auto& ev : result.trace->all()) {
+        for (const auto& [lo, hi] : pauses) {
+            EXPECT_FALSE(ev.startSec < hi - 1e-12 &&
+                         ev.startSec + ev.durSec > lo + 1e-12)
+                << ev.name << " overlaps pause [" << lo << ", " << hi
+                << ")";
+        }
+    }
+
+    // Every GPU spends at least the total pause time in Idle; the
+    // pauses land in no other phase.
+    double pause_total = 0.0;
+    for (const auto& [lo, hi] : pauses)
+        pause_total += hi - lo;
+    obs::PhaseReport phases = core::phaseReport(result);
+    for (const auto& gpu : phases.gpus) {
+        double idle =
+            gpu.phases[static_cast<std::size_t>(obs::Phase::Idle)]
+                .seconds;
+        EXPECT_GE(idle, pause_total - 1e-9)
+            << "gpu " << gpu.gpu
+            << " lost quiescent time to a non-idle phase";
+    }
+}
+
 } // namespace
