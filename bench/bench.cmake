@@ -38,6 +38,7 @@ charllm_add_bench(bench_fig20_throttle_metrics)
 charllm_add_bench(bench_fig21_thermal_placement)
 charllm_add_bench(bench_fig22_datacenter_projection)
 charllm_add_bench(bench_fig23_inference)
+charllm_add_bench(bench_backend_xval)
 
 add_executable(bench_micro_engine ${CMAKE_SOURCE_DIR}/bench/bench_micro_engine.cc)
 target_link_libraries(bench_micro_engine PRIVATE charllm_benchutil

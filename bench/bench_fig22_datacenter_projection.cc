@@ -39,20 +39,21 @@ project(const core::ClusterSpec& cluster,
     }
 
     scale::ProjectionInput in;
-    in.computeSeconds = r.meanBreakdown.computeTotal();
+    in.computeSeconds = Seconds(r.meanBreakdown.computeTotal());
     // TP collectives stay on the scale-up fabric; pipeline SendRecv
     // is the inter-node component at DP=1.
     in.intraCommSeconds =
-        r.meanBreakdown[hw::KernelClass::AllReduce] +
-        r.meanBreakdown[hw::KernelClass::AllToAll];
-    in.interCommSeconds = r.meanBreakdown[hw::KernelClass::SendRecv];
+        Seconds(r.meanBreakdown[hw::KernelClass::AllReduce] +
+                r.meanBreakdown[hw::KernelClass::AllToAll]);
+    in.interCommSeconds =
+        Seconds(r.meanBreakdown[hw::KernelClass::SendRecv]);
     parallel::MemoryPlanner planner(model::gpt3_175b(), par);
-    in.gradBytesPerGpu = planner.paramsPerGpu(1) * 2.0;
+    in.gradBytesPerGpu = Bytes(planner.paramsPerGpu(1) * 2.0);
     in.baseGpus = par.worldSize();
     in.gpusPerNode = cluster.network.gpusPerNode;
     in.tokensPerIteration = r.tokensPerIteration;
-    in.nodeBandwidth = cluster.network.nicBw.value();
-    in.messageLatency = cluster.network.interLatency.value();
+    in.nodeBandwidth = cluster.network.nicBw;
+    in.messageLatency = cluster.network.interLatency;
 
     scale::Projector proj(in);
     std::printf("=== %s, %s, %.0fG inter-node ===\n",
@@ -66,10 +67,10 @@ project(const core::ClusterSpec& cluster,
             break;
         auto p = proj.project(dp, bw_mult);
         t.addRow({std::to_string(p.totalGpus), std::to_string(dp),
-                  formatFixed(p.computeSeconds, 2),
-                  formatFixed(p.commSeconds, 2),
-                  formatFixed(p.allReduceSeconds, 2),
-                  formatFixed(p.iterationSeconds, 2),
+                  formatFixed(p.computeSeconds.value(), 2),
+                  formatFixed(p.commSeconds.value(), 2),
+                  formatFixed(p.allReduceSeconds.value(), 2),
+                  formatFixed(p.iterationSeconds.value(), 2),
                   formatFixed(p.strongScalingEfficiency, 3),
                   formatFixed(p.perGpuTokensPerSecond, 0)});
     }

@@ -8,11 +8,9 @@
  */
 
 #include <cstdio>
-#include <fstream>
 
 #include "bench_util.hh"
 #include "common/strings.hh"
-#include "core/sweep_runner.hh"
 
 using namespace charllm;
 using benchutil::sweepConfig;
@@ -175,26 +173,14 @@ main(int argc, char** argv)
         configs.push_back(c.with);
     }
     auto flags = benchutil::sweepFlags(argc, argv);
-    obs::MetricsRegistry registry;
-    core::SweepRunner runner(flags.threads);
-    auto results =
-        runner.run(configs,
-                   flags.metricsPath.empty() ? nullptr : &registry);
-    if (!flags.metricsPath.empty()) {
-        std::ofstream out(flags.metricsPath, std::ios::binary);
-        if (out && (out << registry.toJson()))
-            std::printf("wrote metrics: %s\n",
-                        flags.metricsPath.c_str());
-        else
-            std::fprintf(stderr, "failed to write metrics: %s\n",
-                         flags.metricsPath.c_str());
-    }
+    auto rows = benchutil::runSweep(std::move(configs), flags);
 
     std::vector<Impact> impacts;
     impacts.reserve(comparisons.size());
     for (std::size_t i = 0; i < comparisons.size(); ++i)
-        impacts.push_back(toImpact(comparisons[i], results[2 * i],
-                                   results[2 * i + 1]));
+        impacts.push_back(toImpact(comparisons[i],
+                                   rows[2 * i].result,
+                                   rows[2 * i + 1].result));
 
     TextTable t({"Technique", "Abbr", "Perf", "Memory", "Comm",
                  "measured comparison", "dPerf", "dMem", "dComm"});

@@ -76,11 +76,18 @@ std::vector<SweepRow>
 runSweep(std::vector<core::ExperimentConfig> configs,
          const SweepFlags& flags)
 {
-    bool tracing = !flags.tracePath.empty() && !configs.empty();
+    for (auto& cfg : configs)
+        cfg.backend = flags.backend;
+
+    bool tracing = !flags.tracePath.empty() && !configs.empty() &&
+                   flags.backend == sim::BackendKind::Des;
     if (tracing) {
         configs.front().enableTrace = true;
         configs.front().enableSampler = true;
     }
+    if (!flags.tracePath.empty() && !tracing)
+        std::fprintf(stderr, "--trace needs the DES backend; no trace "
+                             "will be written\n");
 
     obs::MetricsRegistry registry;
     core::SweepRunner runner(flags.threads);
@@ -139,6 +146,8 @@ printUsage(const char* prog, const std::vector<ExtraFlag>& extra,
                       "trace of the first config\n");
     std::fprintf(out, "  --metrics=FILE    write the self-profiling "
                       "metrics registry dump\n");
+    std::fprintf(out, "  --backend=KIND    fidelity backend: des "
+                      "(default) or analytical\n");
     for (const auto& f : extra)
         std::fprintf(out, "  %sVALUE%*s%s\n", f.prefix.c_str(),
                      static_cast<int>(
@@ -174,6 +183,17 @@ sweepFlags(int argc, char** argv, const std::vector<ExtraFlag>& extra)
             if (flags.metricsPath.empty()) {
                 std::fprintf(stderr, "empty path in '%s'\n",
                              arg.c_str());
+                std::exit(2);
+            }
+            continue;
+        }
+        if (arg.rfind("--backend=", 0) == 0) {
+            std::string value = arg.substr(10);
+            if (!sim::parseBackendKind(value, &flags.backend)) {
+                std::fprintf(stderr,
+                             "unknown backend '%s' (want "
+                             "--backend=des|analytical)\n",
+                             value.c_str());
                 std::exit(2);
             }
             continue;

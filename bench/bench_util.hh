@@ -18,6 +18,7 @@
 #include "core/catalog.hh"
 #include "core/cluster.hh"
 #include "core/experiment.hh"
+#include "sim/backend_kind.hh"
 
 namespace charllm {
 namespace benchutil {
@@ -56,6 +57,8 @@ struct SweepFlags
     int threads = 0;         //!< --threads=N / -jN (0 = auto)
     std::string tracePath;   //!< --trace=FILE: unified Perfetto JSON
     std::string metricsPath; //!< --metrics=FILE: self-profiling dump
+    /** --backend=des|analytical: fidelity backend for every config. */
+    sim::BackendKind backend = sim::BackendKind::Des;
 };
 
 /**

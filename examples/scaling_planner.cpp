@@ -40,16 +40,18 @@ main()
     }
 
     scale::ProjectionInput in;
-    in.computeSeconds = r.meanBreakdown.computeTotal();
-    in.intraCommSeconds = r.meanBreakdown[hw::KernelClass::AllReduce];
-    in.interCommSeconds = r.meanBreakdown[hw::KernelClass::SendRecv];
+    in.computeSeconds = Seconds(r.meanBreakdown.computeTotal());
+    in.intraCommSeconds =
+        Seconds(r.meanBreakdown[hw::KernelClass::AllReduce]);
+    in.interCommSeconds =
+        Seconds(r.meanBreakdown[hw::KernelClass::SendRecv]);
     parallel::MemoryPlanner planner(m, par);
-    in.gradBytesPerGpu = planner.paramsPerGpu(1) * 2.0;
+    in.gradBytesPerGpu = Bytes(planner.paramsPerGpu(1) * 2.0);
     in.baseGpus = 32;
     in.gpusPerNode = 8;
     in.tokensPerIteration = r.tokensPerIteration;
-    in.nodeBandwidth = cluster.network.nicBw.value();
-    in.messageLatency = cluster.network.interLatency.value();
+    in.nodeBandwidth = cluster.network.nicBw;
+    in.messageLatency = cluster.network.interLatency;
     scale::Projector proj(in);
 
     TextTable t({"GPUs", "100G iter(s)", "100G scaling",
@@ -60,11 +62,11 @@ main()
         auto p4 = proj.project(dp, 4.0);
         auto p8 = proj.project(dp, 8.0);
         t.addRow({std::to_string(p1.totalGpus),
-                  formatFixed(p1.iterationSeconds, 2),
+                  formatFixed(p1.iterationSeconds.value(), 2),
                   formatFixed(p1.strongScalingEfficiency, 3),
-                  formatFixed(p4.iterationSeconds, 2),
+                  formatFixed(p4.iterationSeconds.value(), 2),
                   formatFixed(p4.strongScalingEfficiency, 3),
-                  formatFixed(p8.iterationSeconds, 2),
+                  formatFixed(p8.iterationSeconds.value(), 2),
                   formatFixed(p8.strongScalingEfficiency, 3)});
     }
     t.print();

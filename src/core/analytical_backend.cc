@@ -1,0 +1,795 @@
+#include "core/analytical_backend.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "coll/cost_model.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "hw/activity_profile.hh"
+#include "hw/calibration.hh"
+#include "hw/compute_model.hh"
+#include "hw/dvfs.hh"
+#include "hw/thermal_model.hh"
+#include "net/calibration.hh"
+#include "parallel/rank_mapper.hh"
+#include "runtime/program_builder.hh"
+
+namespace charllm {
+namespace core {
+
+namespace {
+
+/** Ops executed after the pipelined 1F1B body (gradient sync, optimizer
+ *  step); their time adds to the iteration serially instead of being
+ *  inflated by the pipeline-bubble factor. Must match the names emitted
+ *  by runtime::ProgramBuilder::emitIterationTail. */
+bool
+isTailOp(const char* name)
+{
+    static const char* const kTailNames[] = {
+        "dp-grad-sync", "dp-grad-drain", "optimizer-step",
+        "zero1-param-allgather", "iteration-drain",
+    };
+    for (const char* t : kTailNames) {
+        if (std::strcmp(name, t) == 0)
+            return true;
+    }
+    return false;
+}
+
+/** Wire bytes each rank moves, mirroring
+ *  coll::CollectiveEngine::wireBytesPerRank. */
+double
+wirePerRank(coll::CollectiveKind kind, double bytes, double n)
+{
+    if (n <= 1.0)
+        return 0.0;
+    switch (kind) {
+      case coll::CollectiveKind::AllReduce:
+        return 2.0 * bytes * (n - 1.0) / n;
+      case coll::CollectiveKind::AllGather:
+      case coll::CollectiveKind::ReduceScatter:
+      case coll::CollectiveKind::AllToAll:
+        return bytes * (n - 1.0) / n;
+      case coll::CollectiveKind::SendRecv:
+        return bytes;
+      case coll::CollectiveKind::Barrier:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+int
+ringSteps(coll::CollectiveKind kind, int n)
+{
+    switch (kind) {
+      case coll::CollectiveKind::AllReduce:
+      case coll::CollectiveKind::Barrier:
+        return 2 * (n - 1);
+      default:
+        return n - 1;
+    }
+}
+
+/** Members on the most-populated node (ring bandwidth sharing). */
+int
+maxMembersPerNode(const std::vector<int>& devices, int gpus_per_node)
+{
+    std::map<int, int> per_node;
+    int local = 1;
+    for (int d : devices)
+        local = std::max(local, ++per_node[d / gpus_per_node]);
+    return local;
+}
+
+} // namespace
+
+Seconds
+AnalyticalBackend::dataParallelAllReduceSeconds(int nodes,
+                                               Bytes grad_bytes,
+                                               BytesPerSec node_bandwidth,
+                                               Seconds latency)
+{
+    CHARLLM_ASSERT(nodes >= 1, "allreduce across ", nodes, " nodes");
+    if (nodes == 1)
+        return latency;
+    return coll::hierarchicalAllReduceSeconds(nodes, grad_bytes,
+                                              node_bandwidth, latency);
+}
+
+void
+AnalyticalBackend::lower(const ExperimentConfig& config)
+{
+    CHARLLM_ASSERT(!lowered, "AnalyticalBackend::lower called twice");
+    lowered = true;
+
+    cfg = config;
+    cfg.par.validate();
+    CHARLLM_ASSERT(cfg.par.worldSize() == cfg.cluster.numGpus(),
+                   "parallel world (", cfg.par.worldSize(),
+                   ") != cluster size (", cfg.cluster.numGpus(), ")");
+    // The analytical estimator has no event timeline, so transient
+    // subsystems cannot be modeled. Refuse loudly instead of silently
+    // returning wrong numbers (DESIGN.md "Fidelity backends").
+    CHARLLM_ASSERT(cfg.faultScenario.empty(),
+                   "fault scenarios need the DES backend");
+    CHARLLM_ASSERT(!cfg.resilience.enabled,
+                   "the resilience subsystem needs the DES backend");
+    if (cfg.model.isMoe())
+        cfg.train.zero1 = false;
+
+    result.label = cfg.label();
+
+    int per_replica = cfg.train.globalBatchSize / cfg.par.dp;
+    int microbatches =
+        std::max(1, per_replica / cfg.train.microbatchSize);
+    parallel::MemoryPlanner planner(cfg.model, cfg.par);
+    auto memory_opts = memoryOptionsFor(cfg, microbatches);
+    result.memory = planner.worstStage(memory_opts);
+    if (cfg.checkMemory &&
+        !planner.fits(cfg.cluster.gpu.memoryBytes, memory_opts)) {
+        result.feasible = false;
+        return;
+    }
+
+    parallel::RankMapper mapper(cfg.par);
+    if (!cfg.devicePermutation.empty())
+        mapper.setDevicePermutation(cfg.devicePermutation);
+    runtime::ProgramBuilder builder(cfg.model, mapper, cfg.train);
+    tokensPerIter = builder.tokensPerIteration();
+    bubbleFraction = builder.pipelineBubbleFraction();
+
+    int total = cfg.warmupIterations + cfg.measuredIterations;
+    summaryOfIteration.assign(static_cast<std::size_t>(total), 0);
+    if (cfg.model.isMoe()) {
+        // MoE routing imbalance is re-drawn per iteration; every
+        // iteration gets its own summary.
+        iterationSummaries.reserve(static_cast<std::size_t>(total));
+        for (int i = 0; i < total; ++i) {
+            iterationSummaries.push_back(summarize(builder.build(i)));
+            summaryOfIteration[static_cast<std::size_t>(i)] = i;
+        }
+    } else {
+        iterationSummaries.push_back(summarize(builder.build(0)));
+    }
+}
+
+double
+AnalyticalBackend::hopBandwidth(int src, int dst,
+                                int local_members) const
+{
+    const auto& net = cfg.cluster.network;
+    int gpn = net.gpusPerNode;
+    double bw;
+    if (src / gpn == dst / gpn) {
+        if (net.chiplet) {
+            bw = (src / 2 == dst / 2) ? net.xgmiPackageBw.value()
+                                      : net.xgmiPortBw.value();
+        } else {
+            bw = net.nvlinkBw.value();
+        }
+    } else {
+        // Cross-node flows traverse PCIe and the per-node NIC. Sibling
+        // SPMD groups partition the node's GPUs and run the same
+        // collective concurrently, so each ring's boundary flow gets a
+        // members/gpusPerNode share of the NIC.
+        double share = net.nicBw.value() *
+                       static_cast<double>(local_members) /
+                       static_cast<double>(gpn);
+        bw = std::min(net.pcieBw.value(), share);
+    }
+    return bw * net::calib::kProtocolEfficiency;
+}
+
+double
+AnalyticalBackend::collectiveSeconds(const std::vector<int>& devices,
+                                     coll::CollectiveKind kind,
+                                     Bytes bytes, bool chunked,
+                                     int messages,
+                                     bool topology_aware) const
+{
+    const auto& net = cfg.cluster.network;
+    int n = static_cast<int>(devices.size());
+    if (n <= 1)
+        return net::calib::kIntraNodeLatencySec;
+    int launches = std::max(messages, 1);
+    int gpn = net.gpusPerNode;
+
+    std::vector<int> sorted = devices;
+    std::sort(sorted.begin(), sorted.end());
+
+    // Hierarchical decomposition, mirroring
+    // coll::CollectiveEngine::runHierarchical.
+    if (topology_aware &&
+        (kind == coll::CollectiveKind::AllReduce ||
+         kind == coll::CollectiveKind::AllGather ||
+         kind == coll::CollectiveKind::ReduceScatter)) {
+        std::map<int, std::vector<int>> by_node;
+        for (int d : sorted)
+            by_node[d / gpn].push_back(d);
+        std::size_t local = by_node.begin()->second.size();
+        bool uniform = true;
+        bool any_multi = false;
+        for (const auto& [node, members] : by_node) {
+            uniform = uniform && members.size() == local;
+            any_multi = any_multi || members.size() > 1;
+        }
+        if (by_node.size() >= 2 && any_multi && uniform) {
+            bool has_rs = kind != coll::CollectiveKind::AllGather;
+            bool has_ag = kind != coll::CollectiveKind::ReduceScatter;
+            coll::CollectiveKind inter_kind =
+                kind == coll::CollectiveKind::AllReduce
+                    ? coll::CollectiveKind::AllReduce
+                    : kind;
+            Bytes shard = bytes / static_cast<double>(local);
+            double t = 0.0;
+            for (const auto& [node, members] : by_node) {
+                double trs = collectiveSeconds(
+                    members, coll::CollectiveKind::ReduceScatter,
+                    bytes, chunked, launches, false);
+                double tag = collectiveSeconds(
+                    members, coll::CollectiveKind::AllGather, bytes,
+                    chunked, launches, false);
+                double phase = (has_rs ? trs : 0.0) +
+                               (has_ag ? tag : 0.0);
+                t = std::max(t, phase);
+                break; // members per node are uniform; one is enough
+            }
+            std::vector<int> ring;
+            for (const auto& [node, members] : by_node)
+                ring.push_back(members[0]);
+            t += collectiveSeconds(ring, inter_kind, shard, chunked,
+                                   launches, false);
+            return t;
+        }
+        // Non-uniform groups fall back to the flat ring, as the DES
+        // collective engine does.
+    }
+
+    int local = maxMembersPerNode(sorted, gpn);
+    double intra_lat = net.intraLatency.value();
+    double inter_lat = net.interLatency.value();
+
+    if (kind == coll::CollectiveKind::AllToAll) {
+        double per_pair = bytes.value() / static_cast<double>(n);
+        double t_path = 0.0;
+        double max_lat = intra_lat;
+        // Per-device egress serialization over its own ports, plus the
+        // shared node NIC for the cross-node pairs.
+        double intra_bw = hopBandwidth(0, 0, local); // same-node proxy
+        if (net.chiplet)
+            intra_bw = net.xgmiPortBw.value() *
+                       net::calib::kProtocolEfficiency;
+        for (int d : sorted) {
+            int same = 0;
+            for (int p : sorted) {
+                if (p != d && p / gpn == d / gpn)
+                    ++same;
+            }
+            int cross = n - 1 - same;
+            if (cross > 0)
+                max_lat = std::max(max_lat, inter_lat);
+            double t_intra = per_pair * same / intra_bw;
+            double t_pcie = cross > 0
+                                ? per_pair * cross /
+                                      (net.pcieBw.value() *
+                                       net::calib::kProtocolEfficiency)
+                                : 0.0;
+            t_path = std::max(t_path, std::max(t_intra, t_pcie));
+        }
+        // NIC: all cross-node pairs of every co-located sibling group
+        // funnel through one per-node port.
+        double node_cross =
+            per_pair * local * static_cast<double>(n - local);
+        double siblings =
+            std::max(1.0, static_cast<double>(gpn) / local);
+        double t_nic = node_cross * siblings /
+                       (net.nicBw.value() *
+                        net::calib::kProtocolEfficiency);
+        double extra = (launches - 1) * max_lat;
+        if (!chunked)
+            extra += net::calib::kUnchunkedHandshakeSec * launches;
+        return max_lat + extra + std::max(t_path, t_nic);
+    }
+
+    // Ring collectives (AllReduce / AllGather / ReduceScatter /
+    // Barrier): the collective finishes when its slowest flow does.
+    double wire = wirePerRank(kind, bytes.value(),
+                              static_cast<double>(n));
+    int steps = ringSteps(kind, n);
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) {
+        int src = sorted[static_cast<std::size_t>(i)];
+        int dst = sorted[static_cast<std::size_t>((i + 1) % n)];
+        double lat = (src / gpn == dst / gpn) ? intra_lat : inter_lat;
+        double extra = (steps * launches - 1) * lat;
+        if (!chunked)
+            extra += net::calib::kUnchunkedHandshakeSec * launches;
+        double hop = lat + extra + wire / hopBandwidth(src, dst, local);
+        t = std::max(t, hop);
+    }
+    return t;
+}
+
+void
+AnalyticalBackend::attributeRing(DeviceSummary& dev, int device,
+                                 const std::vector<int>& sorted,
+                                 Bytes wire) const
+{
+    int gpn = cfg.cluster.network.gpusPerNode;
+    int n = static_cast<int>(sorted.size());
+    auto it = std::find(sorted.begin(), sorted.end(), device);
+    if (it == sorted.end() || n < 2)
+        return;
+    int i = static_cast<int>(it - sorted.begin());
+    int next = sorted[static_cast<std::size_t>((i + 1) % n)];
+    int prev = sorted[static_cast<std::size_t>((i + n - 1) % n)];
+    // A device's scale-up (or PCIe) ports carry its ring segment out
+    // and the predecessor's segment in — matching how the DES flow
+    // network attributes link bytes to port-owning GPUs.
+    for (int peer : {next, prev}) {
+        if (peer / gpn == device / gpn)
+            dev.scaleUpBytes += wire.value();
+        else
+            dev.pcieBytes += wire.value();
+    }
+}
+
+std::vector<AnalyticalBackend::DeviceSummary>
+AnalyticalBackend::summarize(const runtime::Program& program) const
+{
+    const hw::ComputeModel model(cfg.cluster.gpu);
+    const auto& net = cfg.cluster.network;
+    int gpn = net.gpusPerNode;
+    int world = program.worldSize();
+
+    // Collective cost per (group, kind, bytes, ...) is identical for
+    // every member; cache by op identity within this program.
+    std::vector<DeviceSummary> out(static_cast<std::size_t>(world));
+    for (int d = 0; d < world; ++d) {
+        DeviceSummary& dev = out[static_cast<std::size_t>(d)];
+        const auto& ops =
+            program.deviceOps[static_cast<std::size_t>(d)];
+        dev.ops.reserve(ops.size());
+        for (const auto& op : ops) {
+            OpCost c;
+            c.type = op.type;
+            c.cls = op.cls;
+            c.tail = isTailOp(op.name);
+            c.async = op.async;
+            const auto& profile = hw::activityProfileFor(op.cls);
+            c.occupancy = profile.occupancy;
+            c.warpsPerSm = profile.warpsPerSm;
+            c.threadblocks = profile.threadblocks;
+            switch (op.type) {
+              case runtime::OpType::Compute: {
+                hw::ComputeWork work{op.cls, op.flops, op.hbmBytes,
+                                     op.kernels};
+                c.nominalSec =
+                    model.duration(work, ClockRel(1.0)).value();
+                c.smUtil = model.smUtilization(work);
+                c.powerActivity =
+                    hw::computeActivity(profile, c.smUtil);
+                c.occupancy *= std::max(c.smUtil, 0.3);
+                break;
+              }
+              case runtime::OpType::Collective: {
+                const auto& group = program.groups
+                    [static_cast<std::size_t>(op.groupId)];
+                Bytes bytes = op.bytes;
+                // Overlapped collectives contend with concurrent
+                // compute (engine applies kOverlapCommPenalty).
+                if (op.async)
+                    bytes *= hw::calib::kOverlapCommPenalty;
+                c.commSec = collectiveSeconds(
+                    group, op.ckind, bytes, op.chunked, op.messages,
+                    op.topologyAware);
+                c.powerActivity = profile.powerActivity;
+                std::vector<int> sorted = group;
+                std::sort(sorted.begin(), sorted.end());
+                double n = static_cast<double>(sorted.size());
+                if (op.ckind == coll::CollectiveKind::AllToAll) {
+                    double per_pair = bytes.value() / n;
+                    for (int p : sorted) {
+                        if (p == d)
+                            continue;
+                        if (p / gpn == d / gpn)
+                            dev.scaleUpBytes += 2.0 * per_pair;
+                        else
+                            dev.pcieBytes += 2.0 * per_pair;
+                    }
+                } else {
+                    attributeRing(
+                        dev, d, sorted,
+                        Bytes(wirePerRank(op.ckind, bytes.value(),
+                                          n)));
+                }
+                break;
+              }
+              case runtime::OpType::Send:
+              case runtime::OpType::Recv: {
+                int src = op.type == runtime::OpType::Send
+                              ? d
+                              : op.peerDevice;
+                int dst = op.type == runtime::OpType::Send
+                              ? op.peerDevice
+                              : d;
+                double lat = (src / gpn == dst / gpn)
+                                 ? net.intraLatency.value()
+                                 : net.interLatency.value();
+                double extra =
+                    op.chunked
+                        ? 0.0
+                        : net::calib::kUnchunkedHandshakeSec;
+                c.commSec = lat + extra +
+                            op.bytes.value() /
+                                hopBandwidth(src, dst, 1);
+                c.powerActivity = profile.powerActivity;
+                if (src / gpn == dst / gpn)
+                    dev.scaleUpBytes += op.bytes.value();
+                else
+                    dev.pcieBytes += op.bytes.value();
+                break;
+              }
+              case runtime::OpType::Drain:
+                break;
+            }
+            dev.ops.push_back(c);
+        }
+    }
+    return out;
+}
+
+AnalyticalBackend::DeviceWalk
+AnalyticalBackend::walkDevice(const DeviceSummary& dev,
+                              double clock) const
+{
+    using namespace hw::calib;
+    DeviceWalk w;
+    double clk = std::max(clock, 1e-3);
+    double async_rem = 0.0; //!< outstanding overlapped comm (wall sec)
+    double async_act = 0.0; //!< strongest outstanding comm activity
+
+    auto add_busy = [&w](bool tail, double d) {
+        (tail ? w.tailBusySec : w.bodyBusySec) += d;
+    };
+    auto add_profile = [&w](const OpCost& op, double d) {
+        w.occupancySec += op.occupancy * d;
+        w.warpSec += op.warpsPerSm * d;
+        w.blockSec += op.threadblocks * d;
+    };
+
+    for (const OpCost& op : dev.ops) {
+        switch (op.type) {
+          case runtime::OpType::Compute: {
+            double d;
+            double act;
+            if (async_rem > 0.0) {
+                // Compute contends with overlapped comm: the engine
+                // derates the compute rate by kOverlapComputePenalty
+                // until the async work drains.
+                double rate = clk / kOverlapComputePenalty;
+                double wall_pen = op.nominalSec / rate;
+                double stacked = std::min(
+                    op.powerActivity + 0.55 * async_act, 1.20);
+                if (wall_pen <= async_rem) {
+                    d = wall_pen;
+                    async_rem -= d;
+                    act = stacked * d;
+                } else {
+                    double t1 = async_rem;
+                    double remaining = op.nominalSec - t1 * rate;
+                    double t2 = remaining / clk;
+                    d = t1 + t2;
+                    act = stacked * t1 + op.powerActivity * t2;
+                    async_rem = 0.0;
+                }
+            } else {
+                d = op.nominalSec / clk;
+                act = op.powerActivity * d;
+            }
+            if (async_rem <= 0.0)
+                async_act = 0.0;
+            add_busy(op.tail, d);
+            w.breakdown[op.cls] += d;
+            w.activitySec += act;
+            w.peakActivity =
+                std::max(w.peakActivity, op.powerActivity);
+            add_profile(op, d);
+            break;
+          }
+          case runtime::OpType::Collective:
+            if (op.async) {
+                async_rem += op.commSec;
+                async_act = std::max(async_act, op.powerActivity);
+                w.breakdown[op.cls] += op.commSec;
+                add_profile(op, op.commSec);
+            } else {
+                double d = op.commSec;
+                async_rem = std::max(0.0, async_rem - d);
+                if (async_rem <= 0.0)
+                    async_act = 0.0;
+                add_busy(op.tail, d);
+                w.breakdown[op.cls] += d;
+                w.activitySec += 0.55 * op.powerActivity * d;
+                w.peakActivity = std::max(w.peakActivity,
+                                          0.55 * op.powerActivity);
+                add_profile(op, d);
+            }
+            break;
+          case runtime::OpType::Send:
+            // Eager send: the flow proceeds while this rank computes.
+            async_rem += op.commSec;
+            async_act = std::max(async_act, op.powerActivity);
+            w.breakdown[op.cls] += op.commSec;
+            add_profile(op, op.commSec);
+            break;
+          case runtime::OpType::Recv: {
+            double d = op.commSec;
+            async_rem = std::max(0.0, async_rem - d);
+            if (async_rem <= 0.0)
+                async_act = 0.0;
+            add_busy(op.tail, d);
+            w.breakdown[op.cls] += d;
+            w.activitySec += 0.55 * op.powerActivity * d;
+            add_profile(op, d);
+            break;
+          }
+          case runtime::OpType::Drain: {
+            double d = async_rem;
+            async_rem = 0.0;
+            add_busy(op.tail, d);
+            w.activitySec += 0.55 * async_act * d;
+            async_act = 0.0;
+            break;
+          }
+        }
+    }
+    // Leftover async work past the last op flushes into the tail
+    // (the engine's rank-done barrier).
+    if (async_rem > 0.0) {
+        w.tailBusySec += async_rem;
+        w.activitySec += 0.55 * async_act * async_rem;
+    }
+    return w;
+}
+
+double
+AnalyticalBackend::iterationSeconds(
+    const std::vector<DeviceWalk>& walks) const
+{
+    double body = 0.0;
+    double tail = 0.0;
+    for (const DeviceWalk& w : walks) {
+        body = std::max(body, w.bodyBusySec);
+        tail = std::max(tail, w.tailBusySec);
+    }
+    double denom = 1.0 - bubbleFraction;
+    CHARLLM_ASSERT(denom > 0.0, "degenerate pipeline bubble fraction ",
+                   bubbleFraction);
+    return body / denom + tail;
+}
+
+void
+AnalyticalBackend::execute()
+{
+    using namespace hw::calib;
+    CHARLLM_ASSERT(lowered && !executed,
+                   "AnalyticalBackend::execute needs exactly one "
+                   "prior lower");
+    executed = true;
+    if (!result.feasible)
+        return;
+
+    const hw::GpuSpec& spec = cfg.cluster.gpu;
+    int world = cfg.cluster.numGpus();
+    double tdp = spec.tdpWatts.value();
+    double idle = spec.idleWatts.value();
+    double range = tdp - idle;
+
+    std::vector<double> power_cap(static_cast<std::size_t>(world), tdp);
+    int gpn = cfg.cluster.network.gpusPerNode;
+    for (const auto& [node, watts] : cfg.nodePowerCaps) {
+        for (int g = node * gpn; g < (node + 1) * gpn; ++g)
+            power_cap[static_cast<std::size_t>(g)] = watts;
+    }
+
+    auto power_at = [&](double act_avg, double clk) {
+        double p = idle + range * act_avg * std::pow(clk, kClockPowerExp);
+        return std::min(p, kPeakPowerCap * tdp);
+    };
+
+    std::vector<hw::DvfsGovernor> governors(
+        static_cast<std::size_t>(world), hw::DvfsGovernor(spec));
+    hw::ThermalModel thermal(cfg.cluster.chassis, cfg.cluster.numNodes,
+                             spec.thermalResistance);
+    std::vector<double> clocks(static_cast<std::size_t>(world), 1.0);
+    std::vector<Watts> powers(static_cast<std::size_t>(world),
+                              Watts(idle));
+    std::vector<double> act_avg(static_cast<std::size_t>(world), 0.0);
+    std::vector<bool> compute_bound(static_cast<std::size_t>(world),
+                                    true);
+
+    // Steady-state thermal/DVFS fixed point on the first measured
+    // iteration's program: walk -> activity -> power -> steady-state
+    // temperature -> governor, until the iteration time converges.
+    const auto& ref = iterationSummaries[static_cast<std::size_t>(
+        summaryOfIteration[static_cast<std::size_t>(
+            cfg.warmupIterations)])];
+    std::vector<DeviceWalk> walks(static_cast<std::size_t>(world));
+    double t_iter = 0.0;
+    double prev_t = 0.0;
+    for (int round = 0; round < 8; ++round) {
+        for (int d = 0; d < world; ++d) {
+            walks[static_cast<std::size_t>(d)] = walkDevice(
+                ref[static_cast<std::size_t>(d)],
+                clocks[static_cast<std::size_t>(d)]);
+        }
+        t_iter = iterationSeconds(walks);
+        for (int d = 0; d < world; ++d) {
+            const DeviceWalk& w = walks[static_cast<std::size_t>(d)];
+            act_avg[static_cast<std::size_t>(d)] =
+                std::min(w.activitySec / t_iter, 1.20);
+            compute_bound[static_cast<std::size_t>(d)] =
+                w.breakdown.computeTotal() >= w.breakdown.commTotal();
+        }
+        for (int inner = 0; inner < 64; ++inner) {
+            for (int d = 0; d < world; ++d) {
+                powers[static_cast<std::size_t>(d)] = Watts(power_at(
+                    act_avg[static_cast<std::size_t>(d)],
+                    clocks[static_cast<std::size_t>(d)]));
+            }
+            bool stable = true;
+            for (int d = 0; d < world; ++d) {
+                Celsius temp = thermal.steadyState(d, powers);
+                double eff =
+                    powers[static_cast<std::size_t>(d)].value();
+                if (power_cap[static_cast<std::size_t>(d)] < tdp)
+                    eff += tdp - power_cap[static_cast<std::size_t>(d)];
+                double clk =
+                    governors[static_cast<std::size_t>(d)]
+                        .evaluate(temp, Watts(eff),
+                                  compute_bound
+                                      [static_cast<std::size_t>(d)])
+                        .value();
+                if (clk != clocks[static_cast<std::size_t>(d)]) {
+                    clocks[static_cast<std::size_t>(d)] = clk;
+                    stable = false;
+                }
+            }
+            if (stable)
+                break;
+        }
+        if (round > 0 &&
+            std::fabs(t_iter - prev_t) <=
+                1e-3 * std::max(t_iter, 1e-12))
+            break;
+        prev_t = t_iter;
+    }
+    for (int d = 0; d < world; ++d) {
+        powers[static_cast<std::size_t>(d)] = Watts(power_at(
+            act_avg[static_cast<std::size_t>(d)],
+            clocks[static_cast<std::size_t>(d)]));
+    }
+
+    // Price every iteration at the converged clocks.
+    int total = cfg.warmupIterations + cfg.measuredIterations;
+    std::vector<std::vector<DeviceWalk>> walks_by_summary(
+        iterationSummaries.size());
+    auto walks_for = [&](int summary) -> std::vector<DeviceWalk>& {
+        auto& cached =
+            walks_by_summary[static_cast<std::size_t>(summary)];
+        if (cached.empty()) {
+            cached.resize(static_cast<std::size_t>(world));
+            const auto& summ =
+                iterationSummaries[static_cast<std::size_t>(summary)];
+            for (int d = 0; d < world; ++d) {
+                cached[static_cast<std::size_t>(d)] = walkDevice(
+                    summ[static_cast<std::size_t>(d)],
+                    clocks[static_cast<std::size_t>(d)]);
+            }
+        }
+        return cached;
+    };
+
+    double measure_start = 0.0;
+    double measured_total = 0.0;
+    for (int i = 0; i < total; ++i) {
+        int s = summaryOfIteration[static_cast<std::size_t>(i)];
+        double t = iterationSeconds(walks_for(s));
+        if (i < cfg.warmupIterations) {
+            measure_start += t;
+        } else {
+            result.iterationSeconds.push_back(t);
+            measured_total += t;
+        }
+    }
+    result.measureStartSec = measure_start;
+    double iters = static_cast<double>(cfg.measuredIterations);
+    result.avgIterationSeconds = measured_total / iters;
+    result.tokensPerIteration = tokensPerIter;
+    result.tokensPerSecond =
+        result.tokensPerIteration / result.avgIterationSeconds;
+
+    RunningStats power_avg, temp_avg, clock_avg, throttle_avg;
+    for (int d = 0; d < world; ++d) {
+        // Average the per-iteration walks over the measured window.
+        DeviceWalk mean;
+        double scale_up = 0.0;
+        double pcie = 0.0;
+        for (int i = cfg.warmupIterations; i < total; ++i) {
+            int s = summaryOfIteration[static_cast<std::size_t>(i)];
+            const DeviceWalk& w =
+                walks_for(s)[static_cast<std::size_t>(d)];
+            mean.breakdown.merge(w.breakdown);
+            mean.activitySec += w.activitySec;
+            mean.occupancySec += w.occupancySec;
+            mean.warpSec += w.warpSec;
+            mean.blockSec += w.blockSec;
+            mean.peakActivity =
+                std::max(mean.peakActivity, w.peakActivity);
+            const DeviceSummary& summ = iterationSummaries
+                [static_cast<std::size_t>(s)]
+                [static_cast<std::size_t>(d)];
+            scale_up += summ.scaleUpBytes;
+            pcie += summ.pcieBytes;
+        }
+        for (double& s : mean.breakdown.seconds)
+            s /= iters;
+        double t_avg = result.avgIterationSeconds;
+        double clk = clocks[static_cast<std::size_t>(d)];
+
+        GpuResult g;
+        g.avgPowerW = powers[static_cast<std::size_t>(d)].value();
+        g.peakPowerW = power_at(std::min(mean.peakActivity, 1.20), clk);
+        Celsius temp = thermal.steadyState(d, powers);
+        g.avgTempC = temp.value();
+        g.peakTempC = temp.value();
+        g.avgClockGhz = clk * spec.nominalClockGhz;
+        g.throttleRatio =
+            clk < kThrottleClockThresholdRel ? 1.0 : 0.0;
+        g.avgOccupancy =
+            mean.occupancySec / iters / t_avg;
+        g.avgWarps = mean.warpSec / iters / t_avg;
+        g.avgThreadblocks = mean.blockSec / iters / t_avg;
+        g.energyJ = g.avgPowerW * measured_total;
+        g.pcieBytes = pcie / iters;
+        g.scaleUpBytes = scale_up / iters;
+        g.breakdown = mean.breakdown;
+
+        result.totalEnergyJ += g.energyJ;
+        result.meanBreakdown.merge(g.breakdown);
+        result.peakPowerW = std::max(result.peakPowerW, g.peakPowerW);
+        result.peakTempC = std::max(result.peakTempC, g.peakTempC);
+        power_avg.add(g.avgPowerW);
+        temp_avg.add(g.avgTempC);
+        clock_avg.add(g.avgClockGhz);
+        throttle_avg.add(g.throttleRatio);
+        result.gpus.push_back(std::move(g));
+    }
+    for (double& s : result.meanBreakdown.seconds)
+        s /= static_cast<double>(world);
+    result.avgPowerW = power_avg.mean();
+    result.avgTempC = temp_avg.mean();
+    result.avgClockGhz = clock_avg.mean();
+    result.throttleRatio = throttle_avg.mean();
+
+    double tokens_measured = result.tokensPerIteration * iters;
+    result.energyPerTokenJ = result.totalEnergyJ / tokens_measured;
+    result.tokensPerJoule = tokens_measured / result.totalEnergyJ;
+    // No event queue ran: telemetry series stay empty, the trace stays
+    // null, and the simulator self-profiling counters stay zero.
+}
+
+ExperimentResult
+AnalyticalBackend::results()
+{
+    CHARLLM_ASSERT(executed, "AnalyticalBackend::results before execute");
+    return std::move(result);
+}
+
+} // namespace core
+} // namespace charllm

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The analytical fidelity backend: a closed-form estimator that lowers
+ * the same per-rank programs as the DES path but prices them without an
+ * event queue — roofline compute (hw::ComputeModel), alpha-beta
+ * collectives mirroring coll::CollectiveEngine's ring/hierarchical
+ * decomposition with a NIC-sharing approximation, and a steady-state
+ * thermal/DVFS fixed point (hw::ThermalModel::steadyState plus the
+ * real hw::DvfsGovernor). It shares every calibration constant and
+ * quantity type with the DES backend; what it approximates away is
+ * transient contention (max-min fair flow sharing, straggler skew,
+ * thermal transients). See DESIGN.md "Fidelity backends" for the
+ * tolerance contract, and bench_backend_xval for the cross-validation
+ * that enforces it.
+ *
+ * Unsupported features (loud CHARLLM_ASSERT, never silent): fault
+ * scenarios, the resilience subsystem, telemetry sampling, and kernel
+ * traces — all are inherently transient phenomena.
+ */
+
+#ifndef CHARLLM_CORE_ANALYTICAL_BACKEND_HH
+#define CHARLLM_CORE_ANALYTICAL_BACKEND_HH
+
+#include <vector>
+
+#include "core/experiment.hh"
+#include "runtime/op.hh"
+#include "sim/backend.hh"
+
+namespace charllm {
+namespace core {
+
+/** Closed-form estimate of one experiment (no event queue). */
+class AnalyticalBackend final : public sim::Backend
+{
+  public:
+    void lower(const ExperimentConfig& config) override;
+    void execute() override;
+    ExperimentResult results() override;
+    const char* name() const override { return "analytical"; }
+
+    /**
+     * Closed-form hierarchical data-parallel gradient AllReduce across
+     * @p nodes of per-node bandwidth @p node_bandwidth. Shared with
+     * scale::Projector so the datacenter-scale projection and the
+     * analytical backend price DP communication identically.
+     */
+    static Seconds dataParallelAllReduceSeconds(
+        int nodes, Bytes grad_bytes, BytesPerSec node_bandwidth,
+        Seconds latency);
+
+  private:
+    /** Clock-independent cost summary of one runtime::Op. */
+    struct OpCost
+    {
+        runtime::OpType type = runtime::OpType::Compute;
+        hw::KernelClass cls = hw::KernelClass::Gemm;
+        bool tail = false;  //!< iteration-tail op (outside the 1F1B body)
+        bool async = false; //!< overlapped collective / eager send
+        /** Compute: kernel seconds at nominal clock (engine semantics:
+         *  the whole kernel, memory time included, scales 1/clock). */
+        double nominalSec = 0.0;
+        /** Communication: wall seconds (clock-independent). */
+        double commSec = 0.0;
+        double smUtil = 0.0;
+        double powerActivity = 0.0; //!< activity coefficient when live
+        double occupancy = 0.0;
+        double warpsPerSm = 0.0;
+        double threadblocks = 0.0;
+    };
+
+    /** One device's summarized schedule plus traffic attribution. */
+    struct DeviceSummary
+    {
+        std::vector<OpCost> ops;
+        double scaleUpBytes = 0.0; //!< NvLink/xGMI bytes, DES-style
+        double pcieBytes = 0.0;    //!< cross-node (PCIe/NIC) bytes
+    };
+
+    /** Per-device outcome of one priced iteration walk. */
+    struct DeviceWalk
+    {
+        double bodyBusySec = 0.0;
+        double tailBusySec = 0.0;
+        double activitySec = 0.0;  //!< integral of power activity
+        double peakActivity = 0.0;
+        double occupancySec = 0.0;
+        double warpSec = 0.0;
+        double blockSec = 0.0;
+        hw::KernelTimeBreakdown breakdown;
+    };
+
+    std::vector<DeviceSummary> summarize(
+        const runtime::Program& program) const;
+    double collectiveSeconds(const std::vector<int>& devices,
+                             coll::CollectiveKind kind, Bytes bytes,
+                             bool chunked, int messages,
+                             bool topology_aware) const;
+    double hopBandwidth(int src, int dst, int local_members) const;
+    void attributeRing(DeviceSummary& dev, int device,
+                       const std::vector<int>& sorted, Bytes wire) const;
+    DeviceWalk walkDevice(const DeviceSummary& dev, double clock) const;
+    double iterationSeconds(const std::vector<DeviceWalk>& walks) const;
+
+    ExperimentConfig cfg;
+    ExperimentResult result;
+    /** Summaries for iterations [0, warmup+measured); non-MoE models
+     *  are deterministic across iterations and share one entry. */
+    std::vector<std::vector<DeviceSummary>> iterationSummaries;
+    std::vector<int> summaryOfIteration;
+    double bubbleFraction = 0.0;
+    double tokensPerIter = 0.0;
+    bool lowered = false;
+    bool executed = false;
+};
+
+} // namespace core
+} // namespace charllm
+
+#endif // CHARLLM_CORE_ANALYTICAL_BACKEND_HH

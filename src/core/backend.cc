@@ -1,0 +1,24 @@
+#include "sim/backend.hh"
+
+#include "common/logging.hh"
+#include "core/analytical_backend.hh"
+#include "core/des_backend.hh"
+
+namespace charllm {
+namespace sim {
+
+std::unique_ptr<Backend>
+makeBackend(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Des:
+        return std::make_unique<core::DesBackend>();
+      case BackendKind::Analytical:
+        return std::make_unique<core::AnalyticalBackend>();
+    }
+    CHARLLM_PANIC("unknown backend kind ",
+                  static_cast<int>(kind));
+}
+
+} // namespace sim
+} // namespace charllm

@@ -1,0 +1,238 @@
+#include "core/des_backend.hh"
+
+#include <algorithm>
+
+#include "coll/collective_engine.hh"
+#include "common/logging.hh"
+#include "faults/fault_injector.hh"
+#include "hw/platform.hh"
+#include "net/flow_network.hh"
+#include "parallel/rank_mapper.hh"
+#include "runtime/engine.hh"
+#include "runtime/program_builder.hh"
+#include "sim/simulator.hh"
+
+namespace charllm {
+namespace core {
+
+void
+DesBackend::lower(const ExperimentConfig& config)
+{
+    CHARLLM_ASSERT(!lowered, "DesBackend::lower called twice");
+    lowered = true;
+
+    cfg = config;
+    cfg.par.validate();
+    CHARLLM_ASSERT(cfg.par.worldSize() == cfg.cluster.numGpus(),
+                   "parallel world (", cfg.par.worldSize(),
+                   ") != cluster size (", cfg.cluster.numGpus(), ")");
+    // The paper disables ZeRO-1 for MoE models (NeMo/Megatron limits).
+    if (cfg.model.isMoe())
+        cfg.train.zero1 = false;
+
+    result.label = cfg.label();
+
+    int per_replica = cfg.train.globalBatchSize / cfg.par.dp;
+    int microbatches =
+        std::max(1, per_replica / cfg.train.microbatchSize);
+    parallel::MemoryPlanner planner(cfg.model, cfg.par);
+    auto memory_opts = memoryOptionsFor(cfg, microbatches);
+    result.memory = planner.worstStage(memory_opts);
+    if (cfg.checkMemory &&
+        !planner.fits(cfg.cluster.gpu.memoryBytes, memory_opts))
+        result.feasible = false;
+}
+
+void
+DesBackend::execute()
+{
+    CHARLLM_ASSERT(lowered && !executed,
+                   "DesBackend::execute needs exactly one prior lower");
+    executed = true;
+    if (!result.feasible)
+        return;
+
+    // ---- build the full simulation stack -------------------------------
+    sim::Simulator simulator;
+    net::Topology topology(cfg.cluster.network);
+    hw::Platform platform(simulator, cfg.cluster.gpu,
+                          cfg.cluster.chassis, cfg.cluster.numNodes);
+    net::FlowNetwork network(simulator, topology);
+    coll::CollectiveEngine collectives(simulator, network);
+
+    parallel::RankMapper mapper(cfg.par);
+    if (!cfg.devicePermutation.empty())
+        mapper.setDevicePermutation(cfg.devicePermutation);
+
+    runtime::ProgramBuilder builder(cfg.model, mapper, cfg.train);
+    runtime::EngineOptions engine_opts;
+    engine_opts.warmupIterations = cfg.warmupIterations;
+    engine_opts.measuredIterations = cfg.measuredIterations;
+    runtime::TrainingEngine engine(platform, network, collectives,
+                                   builder, engine_opts);
+
+    std::unique_ptr<faults::FaultInjector> injector;
+    if (!cfg.faultScenario.empty()) {
+        injector = std::make_unique<faults::FaultInjector>(
+            simulator, platform, network);
+        injector->attachEngine(engine);
+        if (cfg.elasticRemap)
+            injector->attachMapper(mapper);
+    }
+
+    std::unique_ptr<resil::RecoveryManager> recovery;
+    if (cfg.resilience.enabled) {
+        CHARLLM_ASSERT(cfg.faultScenario.empty(),
+                       "resilience and the legacy fault scenario are "
+                       "mutually exclusive: the recovery state machine "
+                       "owns fault handling");
+        int per_replica = cfg.train.globalBatchSize / cfg.par.dp;
+        int microbatches =
+            std::max(1, per_replica / cfg.train.microbatchSize);
+        Bytes state = resil::CheckpointModel::rankStateBytes(
+            cfg.model, cfg.par, memoryOptionsFor(cfg, microbatches));
+        resil::StoragePath storage;
+        storage.pcieBw = cfg.cluster.network.pcieBw;
+        storage.nicBw = cfg.cluster.network.nicBw;
+        storage.storeBw =
+            BytesPerSec(cfg.resilience.checkpoint.storeGBps * 1e9);
+        resil::CheckpointModel ckpt(state, storage,
+                                    topology.gpusPerNode(),
+                                    topology.numGpus());
+        double interval = cfg.resilience.checkpoint.intervalSec;
+        if (interval <= 0.0)
+            interval =
+                resil::CheckpointModel::youngDalyInterval(
+                    ckpt.writeSeconds(),
+                    Seconds(cfg.resilience.mtbf.clusterFatalMtbfSec(
+                        topology.numGpus(), topology.numNodes())))
+                    .value();
+        auto schedule = resil::FailureGenerator::generate(
+            cfg.resilience.mtbf, topology.numGpus(),
+            topology.numNodes(), cfg.resilience.horizonSec,
+            cfg.resilience.seed);
+        result.failureSchedule = schedule;
+        result.checkpointIntervalSec = interval;
+        recovery = std::make_unique<resil::RecoveryManager>(
+            simulator, platform, network, engine, ckpt, interval,
+            cfg.resilience.checkpoint.async,
+            cfg.resilience.checkpoint.quiesceSec,
+            cfg.resilience.recovery, std::move(schedule));
+        if (cfg.resilience.recovery.elasticRemap)
+            recovery->attachMapper(mapper);
+    }
+
+    std::unique_ptr<telemetry::Sampler> sampler;
+    if (cfg.enableSampler) {
+        sampler = std::make_unique<telemetry::Sampler>(
+            platform, network, Seconds(cfg.samplePeriodSec),
+            cfg.maxSamplesPerGpu);
+        if (injector) {
+            auto* inj = injector.get();
+            sampler->setFaultAnnotator(
+                [inj](int gpu) { return inj->activeGpuFault(gpu); });
+        }
+    }
+    std::shared_ptr<telemetry::KernelTrace> trace;
+    if (cfg.enableTrace) {
+        trace = std::make_shared<telemetry::KernelTrace>();
+        engine.setTraceSink([trace](int dev, hw::KernelClass cls,
+                                    const char* name, double start,
+                                    double dur) {
+            trace->record(dev, cls, name, start, dur);
+        });
+    }
+
+    for (const auto& [node, watts] : cfg.nodePowerCaps)
+        platform.capNodePower(node, Watts(watts));
+    if (injector)
+        injector->apply(cfg.faultScenario);
+    platform.start();
+    engine.run();
+
+    // ---- collect metrics --------------------------------------------------
+    result.iterationSeconds = engine.iterationSeconds();
+    result.avgIterationSeconds = engine.avgIterationSeconds();
+    result.tokensPerIteration = builder.tokensPerIteration();
+    result.tokensPerSecond =
+        result.tokensPerIteration / result.avgIterationSeconds;
+    result.measureStartSec = engine.measureStartSeconds();
+
+    double iters = static_cast<double>(cfg.measuredIterations);
+    RunningStats power_avg, temp_avg, clock_avg, throttle_avg;
+    for (int i = 0; i < platform.numGpus(); ++i) {
+        const hw::Gpu& gpu = platform.gpu(i);
+        GpuResult g;
+        g.avgPowerW = gpu.powerStats().mean();
+        g.peakPowerW = gpu.powerStats().max();
+        g.avgTempC = gpu.tempStats().mean();
+        g.peakTempC = gpu.tempStats().max();
+        g.avgClockGhz = gpu.clockStats().mean() *
+                        gpu.spec().nominalClockGhz;
+        g.throttleRatio = gpu.throttleRatio();
+        g.avgOccupancy = gpu.occupancyStats().mean();
+        g.avgWarps = gpu.warpStats().mean();
+        g.avgThreadblocks = gpu.threadblockStats().mean();
+        g.energyJ = gpu.energyJoules().value();
+        g.pcieBytes =
+            gpu.trafficBytes(hw::TrafficClass::Pcie).value() / iters;
+        hw::TrafficClass up = cfg.cluster.network.chiplet
+                                  ? hw::TrafficClass::Xgmi
+                                  : hw::TrafficClass::NvLink;
+        g.scaleUpBytes = gpu.trafficBytes(up).value() / iters;
+        g.breakdown = gpu.breakdown();
+        for (double& s : g.breakdown.seconds)
+            s /= iters;
+
+        result.totalEnergyJ += g.energyJ;
+        result.meanBreakdown.merge(g.breakdown);
+        result.peakPowerW = std::max(result.peakPowerW, g.peakPowerW);
+        result.peakTempC = std::max(result.peakTempC, g.peakTempC);
+        power_avg.add(g.avgPowerW);
+        temp_avg.add(g.avgTempC);
+        clock_avg.add(g.avgClockGhz);
+        throttle_avg.add(g.throttleRatio);
+        result.gpus.push_back(std::move(g));
+    }
+    for (double& s : result.meanBreakdown.seconds)
+        s /= static_cast<double>(platform.numGpus());
+    result.avgPowerW = power_avg.mean();
+    result.avgTempC = temp_avg.mean();
+    result.avgClockGhz = clock_avg.mean();
+    result.throttleRatio = throttle_avg.mean();
+
+    double tokens_measured = result.tokensPerIteration * iters;
+    result.energyPerTokenJ = result.totalEnergyJ / tokens_measured;
+    result.tokensPerJoule = tokens_measured / result.totalEnergyJ;
+
+    if (sampler) {
+        result.series.reserve(
+            static_cast<std::size_t>(platform.numGpus()));
+        for (int i = 0; i < platform.numGpus(); ++i)
+            result.series.push_back(sampler->series(i));
+    }
+    result.trace = trace;
+    if (injector) {
+        result.faultLog = injector->log();
+        if (trace)
+            injector->overlayOnTrace(*trace);
+    }
+    result.iterationSpans = engine.iterationSpans();
+    if (recovery) {
+        result.goodput = recovery->finalize(result.series);
+        result.goodputValid = true;
+    }
+    result.counters.capture(simulator.queue(), network);
+    if (injector)
+        result.counters.faultsInjected = injector->numScheduled();
+}
+
+ExperimentResult
+DesBackend::results()
+{
+    CHARLLM_ASSERT(executed, "DesBackend::results before execute");
+    return std::move(result);
+}
+
+} // namespace core
+} // namespace charllm

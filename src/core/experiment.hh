@@ -23,6 +23,7 @@
 #include "resil/recovery.hh"
 #include "runtime/engine.hh"
 #include "runtime/options.hh"
+#include "sim/backend_kind.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/trace.hh"
 
@@ -39,6 +40,14 @@ struct ExperimentConfig
 
     int warmupIterations = 2;
     int measuredIterations = 3;
+
+    /**
+     * Fidelity backend executing this experiment (sim::Backend). Des
+     * is the full event-driven reference; Analytical is the
+     * closed-form estimator (no fault/resilience/telemetry support —
+     * see DESIGN.md "Fidelity backends" for the contract).
+     */
+    sim::BackendKind backend = sim::BackendKind::Des;
 
     /** Thermal-aware placement: logical rank -> device (empty = id). */
     std::vector<int> devicePermutation;
@@ -155,7 +164,11 @@ struct ExperimentResult
     std::vector<resil::FailureEvent> failureSchedule;
 };
 
-/** Runs experiments. Stateless; each run builds a fresh simulator. */
+/**
+ * Runs experiments. Stateless; each run constructs the fidelity
+ * backend named by config.backend (sim::makeBackend) and drives its
+ * lower -> execute -> results pipeline.
+ */
 class Experiment
 {
   public:
@@ -167,6 +180,13 @@ class Experiment
      */
     static bool fits(const ExperimentConfig& config);
 };
+
+/**
+ * Memory-planner options implied by an experiment config (shared by
+ * the feasibility screen and both fidelity backends).
+ */
+parallel::MemoryOptions memoryOptionsFor(const ExperimentConfig& cfg,
+                                         int microbatches);
 
 } // namespace core
 } // namespace charllm

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-kernel-class activity profiles: the fraction of the idle..TDP
+ * power range a fully-busy device draws for each class, plus the
+ * occupancy/warp/threadblock gauge contributions. One table shared by
+ * the event-driven Gpu power integrator and the analytical backend's
+ * steady-state power estimator, so both price activity identically.
+ */
+
+#ifndef CHARLLM_HW_ACTIVITY_PROFILE_HH
+#define CHARLLM_HW_ACTIVITY_PROFILE_HH
+
+#include "hw/calibration.hh"
+#include "hw/kernel.hh"
+
+namespace charllm {
+namespace hw {
+
+/** Per-kernel-class activity profile for power/occupancy modelling. */
+struct ActivityProfile
+{
+    double powerActivity; //!< fraction of idle..TDP range at full tilt
+    double occupancy;     //!< scheduler-slot occupancy contribution
+    double warpsPerSm;    //!< resident warps (relative scale)
+    double threadblocks;  //!< resident threadblocks (relative scale)
+};
+
+/** The calibrated profile of one kernel class. */
+inline const ActivityProfile&
+activityProfileFor(KernelClass cls)
+{
+    using namespace calib;
+    static const ActivityProfile profiles[kNumKernelClasses] = {
+        /* Gemm          */ {kComputePowerActivity, 0.70, 10.0, 1200.0},
+        /* Attention     */ {kAttentionPowerActivity, 0.76, 12.0, 950.0},
+        /* MoeGemm       */ {kComputePowerActivity, 0.68, 10.0, 1100.0},
+        /* Recompute     */ {0.90, 0.70, 10.0, 1200.0},
+        /* Optimizer     */ {kMemboundPowerActivity, 0.50, 6.0, 620.0},
+        /* AllReduce     */ {kCommPowerActivity, 0.88, 3.0, 140.0},
+        /* AllGather     */ {0.36, 0.85, 3.0, 130.0},
+        /* ReduceScatter */ {0.36, 0.85, 3.0, 130.0},
+        /* AllToAll      */ {0.33, 0.80, 2.5, 110.0},
+        /* SendRecv      */ {0.25, 0.45, 1.5, 60.0},
+    };
+    return profiles[static_cast<std::size_t>(cls)];
+}
+
+/**
+ * Instantaneous device activity for one compute kernel: memory-bound
+ * kernels draw less core power (the 0.55 floor is the fetch/decode
+ * and HBM-side draw that persists at low SM utilization).
+ */
+inline double
+computeActivity(const ActivityProfile& profile, double sm_util)
+{
+    return profile.powerActivity * (0.55 + 0.45 * sm_util);
+}
+
+} // namespace hw
+} // namespace charllm
+
+#endif // CHARLLM_HW_ACTIVITY_PROFILE_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "hw/activity_profile.hh"
 #include "hw/calibration.hh"
 
 namespace charllm {
@@ -11,32 +12,10 @@ namespace hw {
 
 namespace {
 
-/** Per-kernel-class activity profile for power/occupancy modelling. */
-struct ActivityProfile
-{
-    double powerActivity; //!< fraction of idle..TDP range at full tilt
-    double occupancy;     //!< scheduler-slot occupancy contribution
-    double warpsPerSm;    //!< resident warps (relative scale)
-    double threadblocks;  //!< resident threadblocks (relative scale)
-};
-
 const ActivityProfile&
 profileFor(KernelClass cls)
 {
-    using namespace calib;
-    static const ActivityProfile profiles[kNumKernelClasses] = {
-        /* Gemm          */ {kComputePowerActivity, 0.70, 10.0, 1200.0},
-        /* Attention     */ {kAttentionPowerActivity, 0.76, 12.0, 950.0},
-        /* MoeGemm       */ {kComputePowerActivity, 0.68, 10.0, 1100.0},
-        /* Recompute     */ {0.90, 0.70, 10.0, 1200.0},
-        /* Optimizer     */ {kMemboundPowerActivity, 0.50, 6.0, 620.0},
-        /* AllReduce     */ {kCommPowerActivity, 0.88, 3.0, 140.0},
-        /* AllGather     */ {0.36, 0.85, 3.0, 130.0},
-        /* ReduceScatter */ {0.36, 0.85, 3.0, 130.0},
-        /* AllToAll      */ {0.33, 0.80, 2.5, 110.0},
-        /* SendRecv      */ {0.25, 0.45, 1.5, 60.0},
-    };
-    return profiles[static_cast<std::size_t>(cls)];
+    return activityProfileFor(cls);
 }
 
 } // namespace

@@ -6,6 +6,11 @@
  * the DP degree, then add the modelled DP AllReduce at the target
  * interconnect bandwidth (the paper does the same with Astra-Sim on
  * top of real-GPU profiles).
+ *
+ * The projector is a thin client of core::AnalyticalBackend: the DP
+ * AllReduce term comes from its shared alpha-beta collective model,
+ * so the projection and the analytical fidelity backend can never
+ * disagree about the same physics.
  */
 
 #ifndef CHARLLM_SCALE_PROJECTOR_HH
@@ -13,21 +18,23 @@
 
 #include <vector>
 
+#include "common/quantity.hh"
+
 namespace charllm {
 namespace scale {
 
 /** Measured DP=1 baseline (one iteration) feeding the projection. */
 struct ProjectionInput
 {
-    double computeSeconds = 0.0;       //!< SM kernel time per iter
-    double intraCommSeconds = 0.0;     //!< NVLink-class comm per iter
-    double interCommSeconds = 0.0;     //!< NIC-class comm per iter
-    double gradBytesPerGpu = 0.0;      //!< DP AllReduce payload
-    int baseGpus = 0;                  //!< TP * PP
+    Seconds computeSeconds{0.0};   //!< SM kernel time per iter
+    Seconds intraCommSeconds{0.0}; //!< NVLink-class comm per iter
+    Seconds interCommSeconds{0.0}; //!< NIC-class comm per iter
+    Bytes gradBytesPerGpu{0.0};    //!< DP AllReduce payload
+    int baseGpus = 0;              //!< TP * PP
     int gpusPerNode = 8;
     double tokensPerIteration = 0.0;
-    double nodeBandwidth = 12.5e9;     //!< NIC bytes/s per direction
-    double messageLatency = 18e-6;     //!< per AllReduce step
+    BytesPerSec nodeBandwidth{12.5e9}; //!< NIC per direction
+    Seconds messageLatency{18e-6};     //!< per AllReduce step
 };
 
 /** One projected operating point. */
@@ -35,19 +42,22 @@ struct ProjectionPoint
 {
     int dp = 1;
     int totalGpus = 0;
-    double computeSeconds = 0.0;
-    double commSeconds = 0.0;       //!< non-DP communication
-    double allReduceSeconds = 0.0;  //!< DP gradient AllReduce
-    double iterationSeconds = 0.0;
+    Seconds computeSeconds{0.0};
+    Seconds commSeconds{0.0};      //!< non-DP communication
+    Seconds allReduceSeconds{0.0}; //!< DP gradient AllReduce
+    Seconds iterationSeconds{0.0};
     double tokensPerSecond = 0.0;
     double perGpuTokensPerSecond = 0.0;
-    /** Achieved / ideal speedup relative to DP=1 (1.0 = perfect). */
+    /** Achieved / ideal speedup against the DP=1 baseline at the
+     *  same bandwidth multiplier (1.0 = perfect, never above). */
     double strongScalingEfficiency = 1.0;
 };
 
 /**
  * Projects iteration time and throughput across DP degrees and
- * inter-node bandwidth multipliers.
+ * inter-node bandwidth multipliers. The constructor rejects
+ * non-finite or negative inputs and a zero total baseline time, so
+ * every projected point is finite by construction.
  */
 class Projector
 {

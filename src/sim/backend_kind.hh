@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fidelity-backend selector shared by the experiment API, the sweep
+ * benches (`--backend=des|analytical`), and the cross-validation
+ * harness. Lives in src/sim (header-only) so core, bench, and tools
+ * can name a backend without pulling in the experiment types.
+ */
+
+#ifndef CHARLLM_SIM_BACKEND_KIND_HH
+#define CHARLLM_SIM_BACKEND_KIND_HH
+
+#include <string>
+
+namespace charllm {
+namespace sim {
+
+/** Which fidelity backend executes an experiment. */
+enum class BackendKind
+{
+    /** Full discrete-event simulation: event queue, max-min fair flow
+     *  network, transient thermal/DVFS feedback. The reference. */
+    Des,
+    /** Closed-form roofline + alpha-beta collective + steady-state
+     *  thermal/DVFS estimator. No event queue; >=100x faster. */
+    Analytical,
+};
+
+/** Canonical lower-case name ("des" / "analytical"). */
+inline const char*
+backendKindName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Des: return "des";
+      case BackendKind::Analytical: return "analytical";
+    }
+    return "?";
+}
+
+/**
+ * Parse a backend name. Returns false (leaving @p out untouched) on
+ * anything but "des" or "analytical" — callers own the error path
+ * (the bench flag parser exits 2, matching its strict contract).
+ */
+inline bool
+parseBackendKind(const std::string& name, BackendKind* out)
+{
+    if (name == "des") {
+        *out = BackendKind::Des;
+        return true;
+    }
+    if (name == "analytical") {
+        *out = BackendKind::Analytical;
+        return true;
+    }
+    return false;
+}
+
+} // namespace sim
+} // namespace charllm
+
+#endif // CHARLLM_SIM_BACKEND_KIND_HH

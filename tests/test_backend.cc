@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the pluggable fidelity backends (sim::Backend): backend
+ * name parsing, DES determinism (byte-identical repeated runs),
+ * analytical-vs-DES cross-validation on a small preset, the memory
+ * screen on both backends, and loud rejection of features the
+ * analytical estimator cannot model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "core/analytical_backend.hh"
+#include "core/cluster.hh"
+#include "core/des_backend.hh"
+#include "core/experiment.hh"
+#include "faults/scenarios.hh"
+#include "hw/calibration.hh"
+#include "sim/backend.hh"
+#include "sim/backend_kind.hh"
+
+namespace {
+
+using namespace charllm;
+using namespace charllm::core;
+
+model::TransformerConfig
+smallModel()
+{
+    model::TransformerConfig c;
+    c.name = "Small-3B";
+    c.numLayers = 16;
+    c.hiddenSize = 2560;
+    c.numHeads = 20;
+    c.numQueryGroups = 20;
+    c.ffnHiddenSize = 4 * 2560;
+    c.vocabSize = 32000;
+    c.seqLength = 1024;
+    return c;
+}
+
+ExperimentConfig
+smallConfig(int tp, int pp, sim::BackendKind backend)
+{
+    ExperimentConfig cfg;
+    cfg.cluster = h200Cluster(1);
+    cfg.model = smallModel();
+    cfg.par = parallel::ParallelConfig::forWorld(8, tp, pp);
+    cfg.train.globalBatchSize = 16;
+    cfg.warmupIterations = 1;
+    cfg.measuredIterations = 2;
+    cfg.backend = backend;
+    return cfg;
+}
+
+double
+relErr(double a, double b)
+{
+    return std::fabs(a - b) / std::max(std::fabs(b), 1e-12);
+}
+
+// ---- backend kind parsing ----------------------------------------------------
+
+TEST(BackendKind, ParsesKnownNames)
+{
+    sim::BackendKind kind = sim::BackendKind::Analytical;
+    EXPECT_TRUE(sim::parseBackendKind("des", &kind));
+    EXPECT_EQ(kind, sim::BackendKind::Des);
+    EXPECT_TRUE(sim::parseBackendKind("analytical", &kind));
+    EXPECT_EQ(kind, sim::BackendKind::Analytical);
+}
+
+TEST(BackendKind, RejectsUnknownNames)
+{
+    sim::BackendKind kind = sim::BackendKind::Des;
+    EXPECT_FALSE(sim::parseBackendKind("", &kind));
+    EXPECT_FALSE(sim::parseBackendKind("DES", &kind));
+    EXPECT_FALSE(sim::parseBackendKind("roofline", &kind));
+    // A failed parse leaves the output untouched.
+    EXPECT_EQ(kind, sim::BackendKind::Des);
+}
+
+TEST(BackendKind, NamesRoundTrip)
+{
+    EXPECT_STREQ(sim::backendKindName(sim::BackendKind::Des), "des");
+    EXPECT_STREQ(sim::backendKindName(sim::BackendKind::Analytical),
+                 "analytical");
+    sim::BackendKind kind = sim::BackendKind::Des;
+    ASSERT_TRUE(sim::parseBackendKind(
+        sim::backendKindName(sim::BackendKind::Analytical), &kind));
+    EXPECT_EQ(kind, sim::BackendKind::Analytical);
+}
+
+TEST(BackendKind, FactoryReportsNames)
+{
+    EXPECT_STREQ(sim::makeBackend(sim::BackendKind::Des)->name(),
+                 "des");
+    EXPECT_STREQ(
+        sim::makeBackend(sim::BackendKind::Analytical)->name(),
+        "analytical");
+}
+
+// ---- DES backend: the reference ----------------------------------------------
+
+TEST(DesBackend, RepeatedRunsAreByteIdentical)
+{
+    auto cfg = smallConfig(2, 4, sim::BackendKind::Des);
+    auto a = Experiment::run(cfg);
+    auto b = Experiment::run(cfg);
+    ASSERT_TRUE(a.feasible);
+    ASSERT_TRUE(b.feasible);
+    // Exact double equality: the DES path must be deterministic.
+    EXPECT_EQ(a.avgIterationSeconds, b.avgIterationSeconds);
+    EXPECT_EQ(a.tokensPerSecond, b.tokensPerSecond);
+    EXPECT_EQ(a.totalEnergyJ, b.totalEnergyJ);
+    EXPECT_EQ(a.avgPowerW, b.avgPowerW);
+    EXPECT_EQ(a.peakTempC, b.peakTempC);
+    ASSERT_EQ(a.iterationSeconds.size(), b.iterationSeconds.size());
+    for (std::size_t i = 0; i < a.iterationSeconds.size(); ++i)
+        EXPECT_EQ(a.iterationSeconds[i], b.iterationSeconds[i]);
+    ASSERT_EQ(a.gpus.size(), b.gpus.size());
+    for (std::size_t i = 0; i < a.gpus.size(); ++i) {
+        EXPECT_EQ(a.gpus[i].energyJ, b.gpus[i].energyJ);
+        EXPECT_EQ(a.gpus[i].avgPowerW, b.gpus[i].avgPowerW);
+        EXPECT_EQ(a.gpus[i].avgTempC, b.gpus[i].avgTempC);
+    }
+}
+
+TEST(DesBackend, LifecycleIsEnforced)
+{
+    DesBackend backend;
+    EXPECT_DEATH(backend.results(), "before execute");
+}
+
+// ---- analytical backend ------------------------------------------------------
+
+TEST(AnalyticalBackend, MatchesDesWithinTolerance)
+{
+    auto des = Experiment::run(
+        smallConfig(2, 4, sim::BackendKind::Des));
+    auto ana = Experiment::run(
+        smallConfig(2, 4, sim::BackendKind::Analytical));
+    ASSERT_TRUE(des.feasible);
+    ASSERT_TRUE(ana.feasible);
+    // The analytical estimator approximates transient contention; the
+    // tight per-figure tolerances live in bench_backend_xval — here we
+    // assert the estimate is in the right ballpark.
+    EXPECT_LT(relErr(ana.avgIterationSeconds,
+                     des.avgIterationSeconds), 0.35);
+    EXPECT_LT(relErr(ana.tokensPerSecond, des.tokensPerSecond), 0.35);
+    EXPECT_LT(relErr(ana.totalEnergyJ, des.totalEnergyJ), 0.35);
+    EXPECT_LT(relErr(ana.avgPowerW, des.avgPowerW), 0.30);
+    // No avgTempC bound here: the analytical backend reports the
+    // steady-state temperature, while a short DES run never leaves the
+    // thermal transient. It must still sit between ambient and a
+    // plausible silicon ceiling.
+    EXPECT_GT(ana.avgTempC, hw::calib::kRoomTempC);
+    EXPECT_LT(ana.peakTempC, 100.0);
+}
+
+TEST(AnalyticalBackend, MetricsAreConsistentAndFinite)
+{
+    auto r = Experiment::run(
+        smallConfig(2, 4, sim::BackendKind::Analytical));
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.iterationSeconds.size(), 2u);
+    EXPECT_GT(r.avgIterationSeconds, 0.0);
+    EXPECT_NEAR(r.tokensPerSecond,
+                r.tokensPerIteration / r.avgIterationSeconds, 1e-6);
+    EXPECT_NEAR(r.tokensPerJoule * r.energyPerTokenJ, 1.0, 1e-9);
+    EXPECT_EQ(r.gpus.size(), 8u);
+    EXPECT_GE(r.peakPowerW, r.avgPowerW);
+    double sum = 0.0;
+    for (const auto& g : r.gpus) {
+        EXPECT_TRUE(std::isfinite(g.energyJ));
+        EXPECT_TRUE(std::isfinite(g.avgPowerW));
+        EXPECT_TRUE(std::isfinite(g.avgTempC));
+        EXPECT_GT(g.avgPowerW, 0.0);
+        sum += g.energyJ;
+    }
+    EXPECT_NEAR(sum, r.totalEnergyJ, 1e-6 * sum);
+    // No event queue ran: transient-only outputs are empty.
+    EXPECT_TRUE(r.series.empty());
+    EXPECT_EQ(r.trace, nullptr);
+    EXPECT_EQ(r.counters.eventsPopped, 0u);
+}
+
+TEST(AnalyticalBackend, IsDeterministic)
+{
+    auto cfg = smallConfig(4, 2, sim::BackendKind::Analytical);
+    auto a = Experiment::run(cfg);
+    auto b = Experiment::run(cfg);
+    EXPECT_EQ(a.avgIterationSeconds, b.avgIterationSeconds);
+    EXPECT_EQ(a.totalEnergyJ, b.totalEnergyJ);
+}
+
+TEST(AnalyticalBackend, AppliesMemoryScreen)
+{
+    auto cfg = smallConfig(1, 1, sim::BackendKind::Analytical);
+    cfg.model = model::gpt3_175b(); // 350 GB of weights on one GPU
+    cfg.par = parallel::ParallelConfig::forWorld(8, 1, 1);
+    auto r = Experiment::run(cfg);
+    EXPECT_FALSE(r.feasible);
+}
+
+TEST(AnalyticalBackend, RejectsFaultScenarios)
+{
+    auto cfg = smallConfig(2, 4, sim::BackendKind::Analytical);
+    cfg.faultScenario = faults::scenarios::straggler(0, 0.5);
+    EXPECT_DEATH(Experiment::run(cfg), "DES backend");
+}
+
+TEST(AnalyticalBackend, RejectsResilience)
+{
+    auto cfg = smallConfig(2, 4, sim::BackendKind::Analytical);
+    cfg.resilience.enabled = true;
+    EXPECT_DEATH(Experiment::run(cfg), "DES backend");
+}
+
+// ---- the strict --backend= flag parser ---------------------------------------
+
+TEST(SweepFlagsDeath, UnknownBackendExitsTwo)
+{
+    const char* argv[] = {"bench", "--backend=roofline"};
+    EXPECT_EXIT(benchutil::sweepFlags(2, const_cast<char**>(argv)),
+                testing::ExitedWithCode(2), "unknown backend");
+}
+
+TEST(SweepFlagsDeath, EmptyBackendExitsTwo)
+{
+    const char* argv[] = {"bench", "--backend="};
+    EXPECT_EXIT(benchutil::sweepFlags(2, const_cast<char**>(argv)),
+                testing::ExitedWithCode(2), "unknown backend");
+}
+
+TEST(SweepFlags, ParsesBackendValues)
+{
+    const char* argv[] = {"bench", "--backend=analytical"};
+    auto flags =
+        benchutil::sweepFlags(2, const_cast<char**>(argv));
+    EXPECT_EQ(flags.backend, sim::BackendKind::Analytical);
+    const char* argv2[] = {"bench", "--backend=des"};
+    flags = benchutil::sweepFlags(2, const_cast<char**>(argv2));
+    EXPECT_EQ(flags.backend, sim::BackendKind::Des);
+}
+
+TEST(AnalyticalBackend, SharedProjectorAllReduceIsMonotone)
+{
+    Bytes grad(10e9);
+    BytesPerSec bw(12.5e9);
+    Seconds lat(18e-6);
+    double t4 = AnalyticalBackend::dataParallelAllReduceSeconds(
+                    4, grad, bw, lat)
+                    .value();
+    double t32 = AnalyticalBackend::dataParallelAllReduceSeconds(
+                     32, grad, bw, lat)
+                     .value();
+    EXPECT_GT(t4, 0.0);
+    // Ring allreduce wire volume per rank grows with (n-1)/n.
+    EXPECT_GT(t32, t4);
+    double t1 = AnalyticalBackend::dataParallelAllReduceSeconds(
+                    1, grad, bw, lat)
+                    .value();
+    EXPECT_DOUBLE_EQ(t1, lat.value());
+}
+
+} // namespace

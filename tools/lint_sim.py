@@ -16,7 +16,8 @@ Three rule families, all scoped to the library tree (src/):
 
 3. Raw-double unit leaks in public physics headers. Parameters named
    *_w/_j/_c/_bps/_s holding plain double in src/hw, src/net,
-   src/coll, src/telemetry headers defeat the quantity type layer
+   src/coll, src/scale, src/telemetry headers defeat the quantity
+   type layer
    (common/quantity.hh); such values must be typed Watts/Joules/
    Celsius/BytesPerSec/Seconds. Timestamps on the simulator clock are
    the sanctioned exception and live in the allowlist.
@@ -81,7 +82,7 @@ RAW_DOUBLE_PARAM = re.compile(
     r"\bdouble\s+\w+_(w|j|c|bps|s)\s*[,)=]")
 
 PHYSICS_HEADER_DIRS = ("src/hw/", "src/net/", "src/coll/",
-                       "src/telemetry/")
+                       "src/scale/", "src/telemetry/")
 
 # (rule-id, compiled regex, message) applied to hot-path dirs only.
 HOT_PATH_RULES = [

@@ -11,6 +11,10 @@ Runs two quick workloads against a Release build:
    fast-vs-full recomputes, per-task wall-time histogram). The dump's
    core counters must be nonzero — a zero means the instrumentation
    came unwired.
+3. bench_backend_xval (DES vs analytical cross-validation): the bench
+   itself gates per-metric relative error; this script additionally
+   enforces the hard >=100x analytical speedup floor from the bench's
+   JSON artifact (the floor is absolute, not baseline-relative).
 
 Writes every measurement (plus the committed baseline, the
 current/baseline ratios, and the self-profiling counters) to
@@ -108,6 +112,35 @@ def run_sweep(build: Path, threads: int,
     return wall, sim_metrics
 
 
+# Absolute floor for the analytical backend's speedup over DES on the
+# cross-validation presets (the backend's contract, not a baseline).
+XVAL_SPEEDUP_FLOOR = 100.0
+
+
+def run_xval(build: Path, threads: int,
+             artifact_path: Path) -> tuple[dict[str, float], dict]:
+    exe = build / "bench" / "bench_backend_xval"
+    if not exe.exists():
+        print(f"perf_smoke: {exe} not found (build the bench targets)",
+              file=sys.stderr)
+        sys.exit(2)
+    proc = subprocess.run(
+        [str(exe), f"--threads={threads}", f"--out={artifact_path}"],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        print("perf_smoke: bench_backend_xval failed "
+              f"(exit {proc.returncode}):", file=sys.stderr)
+        print(proc.stdout + proc.stderr, file=sys.stderr)
+        sys.exit(1)
+    try:
+        report = json.loads(artifact_path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_smoke: bad xval artifact {artifact_path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    return {"backend_xval_speedup": float(report["speedup"])}, report
+
+
 def check_counters(sim_metrics: dict) -> list[str]:
     counters = sim_metrics.get("counters", {})
     problems = []
@@ -168,12 +201,23 @@ def main() -> int:
         build, args.threads,
         Path(args.output).with_suffix(".metrics.json"))
     metrics.update(wall)
+    xval_metrics, xval_report = run_xval(
+        build, args.threads,
+        Path(args.output).with_suffix(".xval.json"))
+    metrics.update(xval_metrics)
 
     counter_problems = check_counters(sim_metrics)
     if counter_problems:
         print("perf_smoke: self-profiling counters unwired:",
               file=sys.stderr)
         print("\n".join(counter_problems), file=sys.stderr)
+        return 1
+
+    speedup = xval_metrics["backend_xval_speedup"]
+    if speedup < XVAL_SPEEDUP_FLOOR:
+        print(f"perf_smoke: analytical backend speedup {speedup:.0f}x "
+              f"is below the {XVAL_SPEEDUP_FLOOR:.0f}x floor",
+              file=sys.stderr)
         return 1
 
     if args.update_baseline:
@@ -200,6 +244,7 @@ def main() -> int:
         "baseline": baseline,
         "current_over_baseline": ratios,
         "self_profile": sim_metrics,
+        "backend_xval": xval_report,
     }
     Path(args.output).write_text(json.dumps(artifact, indent=2,
                                             sort_keys=True) + "\n")
