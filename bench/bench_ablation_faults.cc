@@ -16,6 +16,7 @@
 #include "net/topology.hh"
 
 using namespace charllm;
+using namespace charllm::unit_literals;
 
 int
 main()
@@ -40,17 +41,17 @@ main()
     rows.push_back({"straggler gpu5 @50%",
                     faults::scenarios::straggler(5, 0.5), false});
     rows.push_back({"hot inlet gpu0 +14C",
-                    faults::scenarios::hotInlet(0, 14.0), false});
+                    faults::scenarios::hotInlet(0, 14.0_dC), false});
     rows.push_back({"degraded pod (inlet+flap)",
-                    faults::scenarios::degradedPod(topo, window),
+                    faults::scenarios::degradedPod(topo, Seconds(window)),
                     false});
     rows.push_back({"ecc storm gpu5",
-                    faults::scenarios::eccStorm(5, 0.01, 0.1, window),
+                    faults::scenarios::eccStorm(5, 0.01_s, 0.1_s, Seconds(window)),
                     false});
     rows.push_back({"fail-stop gpu5 (+2s restart)",
-                    faults::scenarios::failStop(5, 2.0, 0.0), false});
+                    faults::scenarios::failStop(5, 2.0_s, 0.0), false});
     rows.push_back({"fail-stop gpu5 + remap",
-                    faults::scenarios::failStop(5, 2.0, 0.0), true});
+                    faults::scenarios::failStop(5, 2.0_s, 0.0), true});
 
     TextTable t({"scenario", "iter(s)", "slowdown", "events",
                  "gpu0 peakT", "throttle"});

@@ -109,14 +109,14 @@ DesBackend::execute()
                     .value();
         auto schedule = resil::FailureGenerator::generate(
             cfg.resilience.mtbf, topology.numGpus(),
-            topology.numNodes(), cfg.resilience.horizonSec,
+            topology.numNodes(), Seconds(cfg.resilience.horizonSec),
             cfg.resilience.seed);
         result.failureSchedule = schedule;
         result.checkpointIntervalSec = interval;
         recovery = std::make_unique<resil::RecoveryManager>(
-            simulator, platform, network, engine, ckpt, interval,
-            cfg.resilience.checkpoint.async,
-            cfg.resilience.checkpoint.quiesceSec,
+            simulator, platform, network, engine, ckpt,
+            Seconds(interval), cfg.resilience.checkpoint.async,
+            Seconds(cfg.resilience.checkpoint.quiesceSec),
             cfg.resilience.recovery, std::move(schedule));
         if (cfg.resilience.recovery.elasticRemap)
             recovery->attachMapper(mapper);

@@ -189,7 +189,7 @@ FaultInjector::applyGpuFailStop(const FaultSpec& spec)
     sim.scheduleAt(sim::toTicks(spec.startSec), [this, gpu, spec] {
         plat.setGpuSlowdown(gpu, kFailStopDerate);
         if (engine)
-            engine->notifyFailStop(spec.magnitude);
+            engine->notifyFailStop(Seconds(spec.magnitude));
         if (mapper) {
             // Elastic response: hand the dead device's ranks to a
             // same-node peer (see parallel::failoverPeer for the
@@ -326,7 +326,7 @@ FaultInjector::applyEccStall(const FaultSpec& spec, Rng& rng)
                        (std::pow(2.0, attempts) - 1.0);
         sim.scheduleAt(sim::toTicks(t), [this, gpu, total] {
             if (engine)
-                engine->injectTransientStall(gpu, total);
+                engine->injectTransientStall(gpu, Seconds(total));
         });
         record(spec.kind, gpu, t, t + total, total);
         trackInterval(gpu, spec.kind, t, t + total);

@@ -15,22 +15,22 @@ straggler(int gpu, double factor, double start_s)
 }
 
 FaultScenario
-failStop(int gpu, double restart_cost_s, double start_s)
+failStop(int gpu, Seconds restart_cost, double start_s)
 {
     FaultScenario s;
     s.name = "fail-stop";
     s.faults.push_back(FaultSpec{FaultKind::GpuFailStop, gpu, start_s,
-                                 0.0, restart_cost_s, 0.0, 0.5});
+                                 0.0, restart_cost.value(), 0.0, 0.5});
     return s;
 }
 
 FaultScenario
-hotInlet(int gpu, double deg_c, double start_s)
+hotInlet(int gpu, CelsiusDelta excess, double start_s)
 {
     FaultScenario s;
     s.name = "hot-inlet";
     s.faults.push_back(FaultSpec{FaultKind::HotInlet, gpu, start_s,
-                                 0.0, deg_c, 0.0, 0.5});
+                                 0.0, excess.value(), 0.0, 0.5});
     return s;
 }
 
@@ -45,29 +45,31 @@ fanFailure(int gpu, double r_scale, double start_s)
 }
 
 FaultScenario
-flappingLink(net::LinkId link, double derate, double period_s,
-             double window_s, double start_s)
+flappingLink(net::LinkId link, double derate, Seconds period,
+             Seconds window, double start_s)
 {
     FaultScenario s;
     s.name = "flapping-link";
     s.faults.push_back(FaultSpec{FaultKind::LinkFlap, link, start_s,
-                                 window_s, derate, period_s, 0.4});
+                                 window.value(), derate, period.value(),
+                                 0.4});
     return s;
 }
 
 FaultScenario
-eccStorm(int gpu, double base_stall_s, double period_s,
-         double window_s, double start_s)
+eccStorm(int gpu, Seconds base_stall, Seconds period,
+         Seconds window, double start_s)
 {
     FaultScenario s;
     s.name = "ecc-storm";
     s.faults.push_back(FaultSpec{FaultKind::EccStall, gpu, start_s,
-                                 window_s, base_stall_s, period_s, 0.5});
+                                 window.value(), base_stall.value(),
+                                 period.value(), 0.5});
     return s;
 }
 
 FaultScenario
-degradedPod(const net::Topology& topo, double window_s)
+degradedPod(const net::Topology& topo, Seconds window)
 {
     FaultScenario s;
     s.name = "degraded-pod";
@@ -77,8 +79,8 @@ degradedPod(const net::Topology& topo, double window_s)
     // Network leg: node 0's IB egress flaps between 100% and 25%
     // capacity, roughly 20 cycles across the window.
     s.faults.push_back(FaultSpec{FaultKind::LinkFlap,
-                                 topo.nicOutLink(0), 0.0, window_s,
-                                 0.25, window_s / 20.0, 0.4});
+                                 topo.nicOutLink(0), 0.0, window.value(),
+                                 0.25, window.value() / 20.0, 0.4});
     return s;
 }
 

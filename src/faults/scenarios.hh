@@ -4,11 +4,16 @@
  * observes in production fleets (thermal stragglers, flapping IB
  * links, node power failures, ECC storms), packaged as reproducible
  * scenarios for experiments, tests, and ablation benches.
+ *
+ * Durations and temperature deltas are typed quantities; injection
+ * times (@p start_s) are points on the simulator clock, which by
+ * repo convention travel as raw double seconds (DESIGN.md §5).
  */
 
 #ifndef CHARLLM_FAULTS_SCENARIOS_HH
 #define CHARLLM_FAULTS_SCENARIOS_HH
 
+#include "common/quantity.hh"
 #include "faults/fault.hh"
 #include "net/topology.hh"
 
@@ -21,13 +26,13 @@ FaultScenario straggler(int gpu, double factor, double start_s = 0.0);
 
 /**
  * Node power incident: @p gpu fail-stops at @p start_s and the job
- * pays @p restart_cost_s of checkpoint/restart at the next iteration
+ * pays @p restart_cost of checkpoint/restart at the next iteration
  * boundary; the device returns after the restart window.
  */
-FaultScenario failStop(int gpu, double restart_cost_s, double start_s);
+FaultScenario failStop(int gpu, Seconds restart_cost, double start_s);
 
-/** Machine-room hot spot: @p gpu's inlet air runs @p deg_c hotter. */
-FaultScenario hotInlet(int gpu, double deg_c, double start_s = 0.0);
+/** Machine-room hot spot: @p gpu's inlet air runs @p excess hotter. */
+FaultScenario hotInlet(int gpu, CelsiusDelta excess, double start_s = 0.0);
 
 /** Degraded airflow: @p gpu's junction-to-air resistance scaled by
  * @p r_scale (> 1). */
@@ -35,27 +40,27 @@ FaultScenario fanFailure(int gpu, double r_scale, double start_s = 0.0);
 
 /**
  * Flapping link: @p link oscillates between full capacity and
- * @p derate with a jittered @p period_s cycle over @p window_s.
+ * @p derate with a jittered @p period cycle over @p window.
  */
 FaultScenario flappingLink(net::LinkId link, double derate,
-                           double period_s, double window_s,
+                           Seconds period, Seconds window,
                            double start_s = 0.0);
 
 /**
  * ECC retry storm on @p gpu: transient compute stalls of roughly
- * @p base_stall_s (doubled per retry) at a jittered @p period_s
- * cadence over @p window_s.
+ * @p base_stall (doubled per retry) at a jittered @p period cadence
+ * over @p window.
  */
-FaultScenario eccStorm(int gpu, double base_stall_s, double period_s,
-                       double window_s, double start_s = 0.0);
+FaultScenario eccStorm(int gpu, Seconds base_stall, Seconds period,
+                       Seconds window, double start_s = 0.0);
 
 /**
  * The acceptance scenario: one hot-inlet GPU (GPU 0, +14 degC) plus
  * one flapping IB link (node 0's NIC egress, derated to 25% on a
- * jittered cycle) over @p window_s. Exercises both the thermal and
+ * jittered cycle) over @p window. Exercises both the thermal and
  * the network degradation paths at once.
  */
-FaultScenario degradedPod(const net::Topology& topo, double window_s);
+FaultScenario degradedPod(const net::Topology& topo, Seconds window);
 
 } // namespace scenarios
 } // namespace faults

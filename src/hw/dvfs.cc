@@ -21,7 +21,6 @@ DvfsGovernor::evaluate(Celsius temp, Watts power, bool compute_bound)
 {
     using namespace calib;
 
-    double temp_c = temp.value();
     double min_rel = spec.minRel().value();
     double boost_rel = spec.boostRel().value();
 
@@ -35,12 +34,12 @@ DvfsGovernor::evaluate(Celsius temp, Watts power, bool compute_bound)
     } else if (power > spec.tdpWatts) {
         clock = std::max(min_rel, clock - kClockStepRel);
         reason = ThrottleReason::PowerCap;
-    } else if (temp_c >= spec.throttleTempC.value() - kThermalHysteresisC) {
+    } else if (temp >= spec.throttleTempC - CelsiusDelta(kThermalHysteresisC)) {
         // Hysteresis band just under the throttle point: hold the
         // derated clock (only boost clocks keep easing toward nominal).
         if (clock > 1.0)
             clock = std::max(1.0, clock - kClockStepRel);
-    } else if (temp_c >= spec.targetTempC.value()) {
+    } else if (temp >= spec.targetTempC) {
         // Soft zone: ease toward nominal from either side. Recovery
         // toward 1.0 must happen here too, otherwise a clock throttled
         // below nominal is stuck while the temperature sits between the

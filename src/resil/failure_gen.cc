@@ -11,30 +11,30 @@ namespace resil {
 
 namespace {
 
-/** Exponential draw with mean @p mean_s; floored so a pathological
+/** Exponential draw with mean @p mean; floored so a pathological
  *  u ~ 0 cannot stall schedule expansion. */
-double
-exponential(Rng& rng, double mean_s)
+Seconds
+exponential(Rng& rng, Seconds mean)
 {
     double u = rng.uniform();
-    return std::max(-mean_s * std::log(1.0 - u), 1e-9);
+    return Seconds(std::max(-mean.value() * std::log(1.0 - u), 1e-9));
 }
 
 void
-expandComponent(Rng& rng, FailureKind kind, int target, double mtbf_s,
-                double clear_mean_s, double horizon_s,
+expandComponent(Rng& rng, FailureKind kind, int target, Seconds mtbf,
+                Seconds clear_mean, Seconds horizon,
                 std::vector<FailureEvent>& out)
 {
-    double t = exponential(rng, mtbf_s);
-    while (t < horizon_s) {
+    Seconds t = exponential(rng, mtbf);
+    while (t.value() < horizon.value()) {
         FailureEvent ev;
         ev.kind = kind;
         ev.target = target;
-        ev.timeSec = t;
+        ev.timeSec = t.value();
         if (kind == FailureKind::LinkTransient)
-            ev.clearSec = exponential(rng, clear_mean_s);
+            ev.clearSec = exponential(rng, clear_mean).value();
         out.push_back(ev);
-        t += exponential(rng, mtbf_s);
+        t += exponential(rng, mtbf);
     }
 }
 
@@ -67,13 +67,13 @@ MtbfProfile::clusterFatalMtbfSec(int num_gpus, int num_nodes) const
 
 std::vector<FailureEvent>
 FailureGenerator::generate(const MtbfProfile& profile, int num_gpus,
-                           int num_nodes, double horizon_s,
+                           int num_nodes, Seconds horizon,
                            std::uint64_t seed)
 {
     CHARLLM_ASSERT(num_gpus >= 1 && num_nodes >= 1,
                    "bad cluster shape: ", num_gpus, " gpus / ",
                    num_nodes, " nodes");
-    CHARLLM_ASSERT(horizon_s > 0.0, "non-positive failure horizon");
+    CHARLLM_ASSERT(horizon.value() > 0.0, "non-positive failure horizon");
     std::vector<FailureEvent> events;
     if (profile.empty())
         return events;
@@ -83,23 +83,23 @@ FailureGenerator::generate(const MtbfProfile& profile, int num_gpus,
     if (profile.gpuMtbfSec > 0.0) {
         for (int g = 0; g < num_gpus; ++g)
             expandComponent(rng, FailureKind::GpuFatal, g,
-                            profile.gpuMtbfSec, 0.0, horizon_s,
-                            events);
+                            Seconds(profile.gpuMtbfSec), Seconds(0.0),
+                            horizon, events);
     }
     if (profile.linkMtbfSec > 0.0) {
         CHARLLM_ASSERT(profile.linkClearMeanSec > 0.0,
                        "transient links need a positive clear time");
         for (int n = 0; n < num_nodes; ++n)
             expandComponent(rng, FailureKind::LinkTransient, n,
-                            profile.linkMtbfSec,
-                            profile.linkClearMeanSec, horizon_s,
+                            Seconds(profile.linkMtbfSec),
+                            Seconds(profile.linkClearMeanSec), horizon,
                             events);
     }
     if (profile.nodeMtbfSec > 0.0) {
         for (int n = 0; n < num_nodes; ++n)
             expandComponent(rng, FailureKind::NodeFatal, n,
-                            profile.nodeMtbfSec, 0.0, horizon_s,
-                            events);
+                            Seconds(profile.nodeMtbfSec), Seconds(0.0),
+                            horizon, events);
     }
     std::sort(events.begin(), events.end(),
               [](const FailureEvent& a, const FailureEvent& b) {

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/quantity.hh"
+
 namespace charllm {
 namespace resil {
 
@@ -67,13 +69,13 @@ class FailureGenerator
 {
   public:
     /**
-     * Expand the deterministic failure schedule over [0, horizon_s),
+     * Expand the deterministic failure schedule over [0, horizon),
      * sorted by time (ties broken by kind then target so the order is
      * total).
      */
     static std::vector<FailureEvent>
     generate(const MtbfProfile& profile, int num_gpus, int num_nodes,
-             double horizon_s, std::uint64_t seed);
+             Seconds horizon, std::uint64_t seed);
 };
 
 } // namespace resil

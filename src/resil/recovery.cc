@@ -12,13 +12,13 @@ RecoveryManager::RecoveryManager(sim::Simulator& simulator,
                                  net::FlowNetwork& netw,
                                  runtime::TrainingEngine& eng,
                                  const CheckpointModel& checkpoint_model,
-                                 double checkpoint_interval_s,
-                                 bool async_checkpoint, double quiesce_s,
+                                 Seconds checkpoint_interval,
+                                 bool async_checkpoint, Seconds quiesce,
                                  const RecoveryConfig& config,
                                  std::vector<FailureEvent> schedule)
     : sim(simulator), plat(platform), network(netw), engine(eng),
-      ckpt(checkpoint_model), ckptIntervalSec(checkpoint_interval_s),
-      ckptAsync(async_checkpoint), quiesceSec(quiesce_s), cfg(config),
+      ckpt(checkpoint_model), ckptIntervalSec(checkpoint_interval.value()),
+      ckptAsync(async_checkpoint), quiesceSec(quiesce.value()), cfg(config),
       plan(std::move(schedule))
 {
     CHARLLM_ASSERT(ckptIntervalSec > 0.0,

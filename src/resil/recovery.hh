@@ -117,8 +117,8 @@ class RecoveryManager final : public runtime::ResilienceController
                     net::FlowNetwork& network,
                     runtime::TrainingEngine& engine,
                     const CheckpointModel& checkpoint_model,
-                    double checkpoint_interval_s, bool async_checkpoint,
-                    double quiesce_s, const RecoveryConfig& config,
+                    Seconds checkpoint_interval, bool async_checkpoint,
+                    Seconds quiesce, const RecoveryConfig& config,
                     std::vector<FailureEvent> schedule);
 
     RecoveryManager(const RecoveryManager&) = delete;

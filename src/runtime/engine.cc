@@ -473,12 +473,13 @@ TrainingEngine::tryRecv(int dev, const Op& op)
 }
 
 void
-TrainingEngine::injectTransientStall(int dev, double stall_s)
+TrainingEngine::injectTransientStall(int dev, Seconds stall)
 {
-    CHARLLM_ASSERT(stall_s >= 0.0, "negative stall: ", stall_s);
+    const double stallSec = stall.value();
+    CHARLLM_ASSERT(stallSec >= 0.0, "negative stall: ", stallSec);
     CHARLLM_ASSERT(dev >= 0 && dev < plat.numGpus(),
                    "device id ", dev, " out of range");
-    if (stall_s <= 0.0)
+    if (stallSec <= 0.0)
         return;
     if (pendingStall.size() !=
         static_cast<std::size_t>(plat.numGpus())) {
@@ -487,18 +488,18 @@ TrainingEngine::injectTransientStall(int dev, double stall_s)
     }
     if (inFlight.size() != static_cast<std::size_t>(plat.numGpus()) ||
         !inFlight[static_cast<std::size_t>(dev)].has_value()) {
-        pendingStall[static_cast<std::size_t>(dev)] += stall_s;
+        pendingStall[static_cast<std::size_t>(dev)] += stallSec;
         return;
     }
     auto& slot = inFlight[static_cast<std::size_t>(dev)];
     // Extend the in-flight kernel in place: fold progress to now,
     // then add the stall at the current rate so the wall-clock pause
-    // is exactly stall_s.
+    // is exactly the stall duration.
     double now = plat.simulator().nowSeconds();
     double elapsed = now - slot->lastUpdate;
     slot->remainingNominal =
         std::max(0.0, slot->remainingNominal - elapsed * slot->rate);
-    slot->remainingNominal += stall_s * slot->rate;
+    slot->remainingNominal += stallSec * slot->rate;
     slot->lastUpdate = now;
     slot->completion.cancel();
     slot->completion = plat.simulator().schedule(
@@ -507,14 +508,15 @@ TrainingEngine::injectTransientStall(int dev, double stall_s)
 }
 
 void
-TrainingEngine::notifyFailStop(double restart_cost_s)
+TrainingEngine::notifyFailStop(Seconds restart_cost)
 {
-    CHARLLM_ASSERT(restart_cost_s >= 0.0,
-                   "negative restart cost: ", restart_cost_s);
+    const double restartCostSec = restart_cost.value();
+    CHARLLM_ASSERT(restartCostSec >= 0.0,
+                   "negative restart cost: ", restartCostSec);
     // Overlapping fail-stops before the same boundary share one
     // restart window: the cluster restarts once, paying the slowest
     // recovery, not the serialized sum.
-    pendingRestartSec = std::max(pendingRestartSec, restart_cost_s);
+    pendingRestartSec = std::max(pendingRestartSec, restartCostSec);
 }
 
 void

@@ -120,22 +120,22 @@ class TrainingEngine
      * @{ */
 
     /**
-     * Stall device @p dev for @p stall_s simulated seconds (e.g. an
+     * Stall device @p dev for @p stall simulated time (e.g. an
      * ECC-retry storm). An in-flight compute kernel is extended in
      * place — its reported duration grows, exactly as real transient
      * stalls inflate kernel times; with no compute in flight the
      * stall is charged to the device's next compute kernel.
      */
-    void injectTransientStall(int dev, double stall_s);
+    void injectTransientStall(int dev, Seconds stall);
 
     /**
      * Model a fail-stop + checkpoint/restart: the next iteration
-     * starts only after @p restart_cost_s of global pause (checkpoint
+     * starts only after @p restart_cost of global pause (checkpoint
      * reload, process re-init, lost progress). Overlapping fail-stops
      * share one restart window — the pending debt is the max of the
      * individual costs, not their sum.
      */
-    void notifyFailStop(double restart_cost_s);
+    void notifyFailStop(Seconds restart_cost);
 
     /** Pending fail-stop restart debt (consumed at the next iteration
      *  start). Exposed for fault-accounting tests. */

@@ -22,6 +22,7 @@ namespace {
 
 using namespace charllm;
 using namespace charllm::faults;
+using namespace charllm::unit_literals;
 
 /** Small model so experiment-level tests stay fast. */
 model::TransformerConfig
@@ -128,7 +129,7 @@ TEST_F(InjectorFixture, HotInletRaisesInletTemperature)
     std::vector<Watts> powers(
         static_cast<std::size_t>(plat.numGpus()), Watts(100.0));
     double before = plat.thermal().inletTemperature(0, powers).value();
-    injector.apply(scenarios::hotInlet(0, 14.0, 0.0));
+    injector.apply(scenarios::hotInlet(0, 14.0_dC, 0.0));
     sim.run();
     EXPECT_NEAR(plat.thermal().inletTemperature(0, powers).value(),
                 before + 14.0, 1e-9);
@@ -145,7 +146,7 @@ TEST_F(InjectorFixture, FlapScheduleIsSeedReproducible)
         net::FlowNetwork netw(s, topo);
         FaultInjector inj(s, plat, netw);
         FaultScenario sc = scenarios::flappingLink(topo.nicOutLink(0),
-                                                   0.25, 0.05, 1.0);
+                                                   0.25, 0.05_s, 1.0_s);
         sc.seed = seed;
         inj.apply(sc);
         return inj.log();
@@ -202,7 +203,7 @@ TEST(FaultExperiment, DegradedPodSlowsStepTimeWithAttribution)
     // link, on a run whose pipeline boundary crosses that link.
     auto cfg = h100Config();
     net::Topology topo(cfg.cluster.network);
-    cfg.faultScenario = scenarios::degradedPod(topo, 2.0);
+    cfg.faultScenario = scenarios::degradedPod(topo, 2.0_s);
     cfg.enableSampler = true;
     cfg.enableTrace = true;
     auto degraded = core::Experiment::run(cfg);
@@ -231,9 +232,9 @@ TEST(FaultExperiment, SameSeedProducesByteIdenticalOutputs)
     auto make = [] {
         auto cfg = h100Config();
         net::Topology topo(cfg.cluster.network);
-        cfg.faultScenario = scenarios::degradedPod(topo, 2.0);
+        cfg.faultScenario = scenarios::degradedPod(topo, 2.0_s);
         cfg.faultScenario.faults.push_back(
-            scenarios::eccStorm(5, 0.002, 0.05, 1.0).faults[0]);
+            scenarios::eccStorm(5, 0.002_s, 0.05_s, 1.0_s).faults[0]);
         cfg.enableSampler = true;
         cfg.enableTrace = true;
         return core::Experiment::run(cfg);
@@ -255,7 +256,7 @@ TEST(FaultExperiment, EccStormStallsTraining)
     auto healthy = core::Experiment::run(h100Config());
     auto cfg = h100Config();
     // Frequent multi-ms stalls on one device throughout the run.
-    cfg.faultScenario = scenarios::eccStorm(0, 0.005, 0.02, 2.0);
+    cfg.faultScenario = scenarios::eccStorm(0, 0.005_s, 0.02_s, 2.0_s);
     auto degraded = core::Experiment::run(cfg);
     ASSERT_TRUE(degraded.feasible);
     EXPECT_GT(degraded.avgIterationSeconds, healthy.avgIterationSeconds);
@@ -266,7 +267,7 @@ TEST(FaultExperiment, FailStopPaysRestartCost)
 {
     auto healthy = core::Experiment::run(h100Config());
     auto cfg = h100Config();
-    cfg.faultScenario = scenarios::failStop(1, 0.2, 0.0);
+    cfg.faultScenario = scenarios::failStop(1, 0.2_s, 0.0);
     auto degraded = core::Experiment::run(cfg);
     ASSERT_TRUE(degraded.feasible);
     // The checkpoint/restart pause plus the outage derate dominate.

@@ -33,6 +33,7 @@
 namespace {
 
 using namespace charllm;
+using namespace charllm::unit_literals;
 using resil::Bucket;
 using resil::FailureEvent;
 using resil::FailureKind;
@@ -146,9 +147,9 @@ TEST(FailureGen, DeterministicSortedAndBounded)
     p.gpuMtbfSec = 50.0;
     p.linkMtbfSec = 30.0;
     p.nodeMtbfSec = 200.0;
-    auto a = resil::FailureGenerator::generate(p, 16, 2, 100.0, 42);
-    auto b = resil::FailureGenerator::generate(p, 16, 2, 100.0, 42);
-    auto c = resil::FailureGenerator::generate(p, 16, 2, 100.0, 43);
+    auto a = resil::FailureGenerator::generate(p, 16, 2, 100.0_s, 42);
+    auto b = resil::FailureGenerator::generate(p, 16, 2, 100.0_s, 42);
+    auto c = resil::FailureGenerator::generate(p, 16, 2, 100.0_s, 43);
     ASSERT_FALSE(a.empty());
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i) {
@@ -178,13 +179,13 @@ TEST(FailureGen, DisabledClassesNeverFire)
     resil::MtbfProfile p;
     p.linkMtbfSec = 5.0;
     auto events =
-        resil::FailureGenerator::generate(p, 16, 2, 200.0, 7);
+        resil::FailureGenerator::generate(p, 16, 2, 200.0_s, 7);
     ASSERT_FALSE(events.empty());
     for (const auto& e : events)
         EXPECT_EQ(e.kind, FailureKind::LinkTransient);
     resil::MtbfProfile off;
     EXPECT_TRUE(
-        resil::FailureGenerator::generate(off, 16, 2, 200.0, 7)
+        resil::FailureGenerator::generate(off, 16, 2, 200.0_s, 7)
             .empty());
 }
 
@@ -230,8 +231,8 @@ runRecovery(std::vector<FailureEvent> schedule, double interval_s,
                             BytesPerSec(1000e9)};
     resil::CheckpointModel model(Bytes(1e9), path, 8, 8);
     resil::RecoveryManager manager(simulator, plat, netw, engine,
-                                   model, interval_s, async, 0.05,
-                                   cfg, std::move(schedule));
+                                   model, Seconds(interval_s), async,
+                                   0.05_s, cfg, std::move(schedule));
     plat.start();
     engine.run();
 
@@ -556,10 +557,10 @@ TEST(EngineRestartDebt, OverlappingFailStopsPayMaxNotSum)
     // Two fail-stops land in the same inter-iteration window: the
     // cluster restarts once, so the debt is the max restart cost,
     // not the sum (the old code double-paid 5 s here).
-    engine.notifyFailStop(2.0);
-    engine.notifyFailStop(3.0);
+    engine.notifyFailStop(2.0_s);
+    engine.notifyFailStop(3.0_s);
     EXPECT_DOUBLE_EQ(engine.pendingRestartSeconds(), 3.0);
-    engine.notifyFailStop(1.0);
+    engine.notifyFailStop(1.0_s);
     EXPECT_DOUBLE_EQ(engine.pendingRestartSeconds(), 3.0);
 }
 

@@ -44,13 +44,17 @@ Sanctioned exceptions go in tools/lint_allowlist.txt, one per line:
     <path-substring>:<line-substring>
 A finding is suppressed when its path contains <path-substring> and
 its source line contains <line-substring>. Lines starting with '#'
-and blank lines are ignored.
+and blank lines are ignored. --check-allowlist additionally fails
+when an entry no longer suppresses anything, so suppressions cannot
+outlive the code they excuse.
 
-Exit status: 0 clean, 1 findings, 2 usage/IO error.
+Exit status: 0 clean, 1 findings (or stale allowlist), 2 usage/IO
+error.
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
@@ -107,58 +111,101 @@ OBS_HEADER_ALLOC = re.compile(
 OBS_HEADER_DIR = "src/obs/"
 
 
-def load_allowlist() -> list[tuple[str, str]]:
-    entries = []
-    if not ALLOWLIST.exists():
-        return entries
-    for raw in ALLOWLIST.read_text().splitlines():
-        line = raw.strip()
-        if not line or line.startswith("#"):
+class Allowlist:
+    """Suppression entries plus per-entry hit counts for staleness."""
+
+    def __init__(self, path: Path):
+        self.entries: list[tuple[str, str]] = []
+        self.hits: dict[tuple[str, str], int] = {}
+        if not path.exists():
+            return
+        for raw in path.read_text().splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if ":" not in line:
+                print(f"lint_sim: malformed allowlist entry: {line!r}",
+                      file=sys.stderr)
+                sys.exit(2)
+            path_sub, _, line_sub = line.partition(":")
+            self.entries.append((path_sub, line_sub))
+            self.hits[(path_sub, line_sub)] = 0
+
+    def allowed(self, rel: str, text: str) -> bool:
+        for p, s in self.entries:
+            if p in rel and s in text:
+                self.hits[(p, s)] += 1
+                return True
+        return False
+
+    def stale(self) -> list[str]:
+        return [f"{p}:{s}" for (p, s), n in self.hits.items() if n == 0]
+
+
+def strip_comments(line: str, in_block: bool = False) -> tuple[str, bool]:
+    """Return @p line with // and /* */ comments removed, plus the
+    block-comment state carried into the next line.
+
+    String- and char-literal aware: `//` or `/*` inside a literal (e.g.
+    a URL in an error message) is content, not a comment, so the scan
+    tracks quote state and escapes instead of using line.find("//") —
+    which used to truncate the line at the URL and hide any banned
+    construct after it."""
+    out: list[str] = []
+    quote: str | None = None
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if in_block:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block = False
             continue
-        if ":" not in line:
-            print(f"lint_sim: malformed allowlist entry: {line!r}",
-                  file=sys.stderr)
-            sys.exit(2)
-        path_sub, _, line_sub = line.partition(":")
-        entries.append((path_sub, line_sub))
-    return entries
+        if quote is not None:
+            out.append(c)
+            if c == "\\" and i + 1 < n:
+                out.append(line[i + 1])
+                i += 2
+                continue
+            if c == quote:
+                quote = None
+            i += 1
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and i + 1 < n:
+            if line[i + 1] == "/":
+                return "".join(out), False
+            if line[i + 1] == "*":
+                in_block = True
+                i += 2
+                continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block
 
 
-def allowed(rel: str, text: str,
-            allowlist: list[tuple[str, str]]) -> bool:
-    return any(p in rel and s in text for p, s in allowlist)
-
-
-def strip_comment(line: str) -> str:
-    """Drop // comments so prose mentioning rand() etc. doesn't trip."""
-    idx = line.find("//")
-    return line if idx < 0 else line[:idx]
-
-
-def lint_file(path: Path, allowlist) -> list[str]:
-    rel = path.relative_to(REPO).as_posix()
+def lint_file(path: Path, src_root: Path, allowlist: Allowlist) -> list[str]:
+    # Rule scopes (src/hw/, src/sim/, ...) and reported paths are both
+    # relative to the parent of the linted tree, so fixture trees that
+    # mirror the src/ layout exercise every directory-scoped rule.
+    rel = path.relative_to(src_root.parent).as_posix()
     findings = []
     in_block_comment = False
     for lineno, line in enumerate(
             path.read_text(errors="replace").splitlines(), 1):
-        # Cheap block-comment tracking: skip fully-commented lines.
-        code = line
-        if in_block_comment:
-            end = code.find("*/")
-            if end < 0:
-                continue
-            code = code[end + 2:]
-            in_block_comment = False
-        start = code.find("/*")
-        if start >= 0 and code.find("*/", start) < 0:
-            in_block_comment = True
-            code = code[:start]
-        code = strip_comment(code)
+        code, in_block_comment = strip_comments(line, in_block_comment)
         if not code.strip():
             continue
 
         def report(rule: str, msg: str):
-            if not allowed(rel, line, allowlist):
+            if not allowlist.allowed(rel, line):
                 findings.append(f"{rel}:{lineno}: [{rule}] {msg}\n"
                                 f"    {line.strip()}")
 
@@ -189,24 +236,44 @@ def lint_file(path: Path, allowlist) -> list[str]:
 
 
 def main() -> int:
-    src = REPO / "src"
+    ap = argparse.ArgumentParser(prog="lint_sim")
+    ap.add_argument("--src", default=str(REPO / "src"),
+                    help="source tree to lint (default: repo src/)")
+    ap.add_argument("--allowlist", default=str(ALLOWLIST),
+                    help="suppression file (default: "
+                         "tools/lint_allowlist.txt)")
+    ap.add_argument("--check-allowlist", action="store_true",
+                    help="fail if any allowlist entry is stale")
+    args = ap.parse_args()
+
+    src = Path(args.src).resolve()
     if not src.is_dir():
-        print("lint_sim: src/ not found (run from the repo)",
-              file=sys.stderr)
+        print(f"lint_sim: source tree not found: {src}", file=sys.stderr)
         return 2
-    allowlist = load_allowlist()
+    allowlist = Allowlist(Path(args.allowlist))
     findings = []
     for path in sorted(src.rglob("*")):
         if path.suffix in CXX_SUFFIXES and path.is_file():
-            findings.extend(lint_file(path, allowlist))
+            findings.extend(lint_file(path, src, allowlist))
+
+    status = 0
     if findings:
         print(f"lint_sim: {len(findings)} finding(s)\n")
         print("\n".join(findings))
         print("\nSanctioned exceptions go in tools/lint_allowlist.txt "
               "(<path-substring>:<line-substring>).")
-        return 1
-    print("lint_sim: clean")
-    return 0
+        status = 1
+    else:
+        print("lint_sim: clean")
+
+    stale = allowlist.stale()
+    if args.check_allowlist and stale:
+        print("\nlint_sim: stale allowlist entries (no longer match "
+              "any finding):", file=sys.stderr)
+        for entry in stale:
+            print(f"    {entry}", file=sys.stderr)
+        status = max(status, 1)
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,427 @@
+"""simcheck rules: the simulator's semantic contracts over the IR.
+
+Three families, mirroring the contracts in DESIGN.md §5/§6:
+
+Determinism ("same seed -> byte-identical telemetry"):
+  det-unordered-iter     iteration over std::unordered_{map,set} —
+                         iteration order is hash/allocation dependent
+  det-pointer-key        ordered container keyed by pointer value —
+                         ordering depends on allocator addresses
+  det-pointer-compare    relational comparison of two pointers (or
+                         default-compare sort of a pointer vector)
+  det-unseeded-rng       RNG engine constructed with no seed argument;
+                         seeds must flow from config structs
+
+Unit soundness (common/quantity.hh, now enforced across ALL of src/):
+  unit-raw-double        unit-suffixed (_w/_j/_c/_bps/_s) parameter,
+                         return, member, or local held in plain double
+  unit-value-escape      public header function returning a raw
+                         Quantity::value() double across the API
+
+Hot-path allocation (by reachability, not directory):
+  hot-alloc              heap-allocating construct in a function
+                         statically reachable from EventQueue dispatch
+                         or the FlowNetwork solve entry points
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ir import FileModel, Finding, Function
+
+UNORDERED_RE = re.compile(r"\bunordered_(map|set|multimap|multiset)\b")
+ORDERED_ASSOC_RE = re.compile(
+    r"(?:\bstd\s*::\s*)?\b(map|set|multimap|multiset)\s*<")
+RNG_NO_SEED_MSG = (
+    "RNG engine constructed without a seed; seeds must flow from an "
+    "explicit config field (see common/rng.hh)")
+
+UNIT_SUFFIX_RE = re.compile(r"_(w|j|c|bps|s)$")
+
+HEAP_TOKENS = {
+    "make_shared": "std::make_shared allocates a control block per call",
+    "make_unique": "std::make_unique heap-allocates per call",
+    "push_back": "container growth can reallocate on the hot path",
+    "emplace_back": "container growth can reallocate on the hot path",
+    "resize": "resize can reallocate on the hot path",
+    "reserve": "reserve allocates on the hot path",
+}
+
+# Default reachability roots: EventQueue dispatch + FlowNetwork solve
+# entry points, plus every lambda handed to the scheduling API (those
+# are the event bodies the dispatcher actually runs).
+DEFAULT_HOT_ROOTS = [
+    "EventQueue::runOne",
+    "EventQueue::runUntil",
+    "FlowNetwork::startFlow",
+    "FlowNetwork::progress",
+    "FlowNetwork::recompute",
+    "FlowNetwork::onCompletionEvent",
+]
+
+
+@dataclass
+class RuleConfig:
+    hot_roots: list[str] = field(default_factory=lambda: list(DEFAULT_HOT_ROOTS))
+    # Value-escape boundary dirs where .value() returns are the point
+    # (CSV/trace/NVML writers) — scoped out of unit-value-escape.
+    value_boundary_dirs: tuple = ()
+
+
+RULES = [
+    ("det-unordered-iter",
+     "iteration over an unordered associative container"),
+    ("det-pointer-key",
+     "ordered container keyed by pointer value"),
+    ("det-pointer-compare",
+     "relational comparison of pointer values used for ordering"),
+    ("det-unseeded-rng",
+     "RNG engine constructed without an explicit seed"),
+    ("unit-raw-double",
+     "unit-suffixed raw double parameter/return/member"),
+    ("unit-value-escape",
+     "public header API returning Quantity::value() as raw double"),
+    ("hot-alloc",
+     "heap allocation reachable from event dispatch / flow solve"),
+]
+
+
+def _snippet(fm: FileModel, line: int, source_lines: list[str]) -> str:
+    if 1 <= line <= len(source_lines):
+        return source_lines[line - 1].strip()
+    return ""
+
+
+class Analyzer:
+    def __init__(self, models: list[FileModel],
+                 sources: dict[str, list[str]],
+                 config: RuleConfig | None = None):
+        self.models = models
+        self.sources = sources  # path -> source lines (for snippets)
+        self.config = config or RuleConfig()
+        self.findings: list[Finding] = []
+
+    # -- helpers --------------------------------------------------------
+
+    def _emit(self, rule: str, fm: FileModel, line: int, message: str,
+              function: str = "") -> None:
+        self.findings.append(Finding(
+            rule=rule, file=fm.path, line=line, message=message,
+            snippet=_snippet(fm, line, self.sources.get(fm.path, [])),
+            function=function))
+
+    def run(self, only_rules: set[str] | None = None) -> list[Finding]:
+        checks = {
+            "det-unordered-iter": self.check_unordered_iter,
+            "det-pointer-key": self.check_pointer_key,
+            "det-pointer-compare": self.check_pointer_compare,
+            "det-unseeded-rng": self.check_unseeded_rng,
+            "unit-raw-double": self.check_unit_raw_double,
+            "unit-value-escape": self.check_value_escape,
+            "hot-alloc": self.check_hot_alloc,
+        }
+        for rule, fn in checks.items():
+            if only_rules is None or rule in only_rules:
+                fn()
+        self.findings.sort(key=lambda f: (f.file, f.line, f.rule))
+        return self.findings
+
+    # -- determinism ----------------------------------------------------
+
+    def check_unordered_iter(self) -> None:
+        for fm in self.models:
+            for fn in fm.functions:
+                for rf in fn.range_fors:
+                    if UNORDERED_RE.search(rf.expr_type):
+                        self._emit(
+                            "det-unordered-iter", fm, rf.line,
+                            f"range-for over '{rf.expr_name}' "
+                            f"({rf.expr_type}): unordered iteration "
+                            "order is not deterministic across "
+                            "implementations; use a sorted container "
+                            "or an index-ordered loop",
+                            fn.qname)
+                # .begin()/.cbegin() on an unordered container.
+                toks = fn.tokens
+                for i, t in enumerate(toks):
+                    if t.text in ("begin", "cbegin") and i >= 2 and \
+                            toks[i - 1].text in (".", "->") and \
+                            toks[i - 2].kind == "id":
+                        ty = fn.decls.get(toks[i - 2].text, "")
+                        if UNORDERED_RE.search(ty):
+                            self._emit(
+                                "det-unordered-iter", fm, t.line,
+                                f"iterator over '{toks[i - 2].text}' "
+                                f"({ty}): unordered iteration order is "
+                                "not deterministic",
+                                fn.qname)
+
+    def check_pointer_key(self) -> None:
+        def first_template_arg(ty: str) -> str:
+            m = ORDERED_ASSOC_RE.search(ty)
+            if not m:
+                return ""
+            rest = ty[m.end():]
+            depth = 0
+            for i, ch in enumerate(rest):
+                if ch == "<":
+                    depth += 1
+                elif ch == ">" and depth == 0:
+                    return rest[:i].strip()
+                elif ch == ">":
+                    depth -= 1
+                elif ch == "," and depth == 0:
+                    return rest[:i].strip()
+            return rest.strip()
+
+        for fm in self.models:
+            seen: set[tuple[str, int]] = set()
+
+            def scan(name: str, ty: str, line: int, where: str) -> None:
+                # Ignore unordered here; det-unordered-iter owns those.
+                if UNORDERED_RE.search(ty):
+                    return
+                key = first_template_arg(ty)
+                if key.endswith("*"):
+                    loc = (ty, line)
+                    if loc in seen:
+                        return
+                    seen.add(loc)
+                    self._emit(
+                        "det-pointer-key", fm, line,
+                        f"'{name}' is an ordered container keyed by "
+                        f"pointer ({ty}): iteration order follows "
+                        "allocator addresses; key by a stable id",
+                        where)
+
+            for mname, mty in fm.members.items():
+                # Member lines are not tracked; find the decl line from
+                # any function that inherited it, else report line 1.
+                scan(mname, mty, self._member_line(fm, mname), "")
+            for fn in fm.functions:
+                for name, ty in fn.decls.items():
+                    if name.startswith("<"):
+                        continue
+                    scan(name, ty, fn.line, fn.qname)
+
+    def _member_line(self, fm: FileModel, member: str) -> int:
+        # Best-effort: grep the source for the member name.
+        name = member.split("::")[-1]
+        for i, src_line in enumerate(self.sources.get(fm.path, []), 1):
+            if name in src_line and (";" in src_line or "=" in src_line) \
+                    and ORDERED_ASSOC_RE.search(src_line):
+                return i
+        return 1
+
+    def check_pointer_compare(self) -> None:
+        for fm in self.models:
+            for fn in fm.functions:
+                toks = fn.tokens
+                for i, t in enumerate(toks):
+                    if t.text not in ("<", ">", "<=", ">="):
+                        continue
+                    if i == 0 or i + 1 >= len(toks):
+                        continue
+                    lhs, rhs = toks[i - 1], toks[i + 1]
+                    if lhs.kind != "id" or rhs.kind != "id":
+                        continue
+                    lty = fn.decls.get(lhs.text, "")
+                    rty = fn.decls.get(rhs.text, "")
+                    if lty.rstrip("const ").endswith("*") and \
+                            rty.rstrip("const ").endswith("*"):
+                        self._emit(
+                            "det-pointer-compare", fm, t.line,
+                            f"ordering '{lhs.text} {t.text} {rhs.text}' "
+                            "compares pointer values; addresses vary "
+                            "run-to-run — compare stable ids instead",
+                            fn.qname)
+                # std::sort(v.begin(), v.end()) on vector<T*> without a
+                # comparator.
+                for i, t in enumerate(toks):
+                    if t.text != "sort":
+                        continue
+                    if i + 1 >= len(toks) or toks[i + 1].text != "(":
+                        continue
+                    # First arg: name.begin()
+                    if i + 2 < len(toks) and toks[i + 2].kind == "id":
+                        base = toks[i + 2].text
+                        ty = fn.decls.get(base, "")
+                        if re.search(r"\bvector\s*<[^>]*\*\s*>", ty):
+                            # Count top-level commas to detect a custom
+                            # comparator (3rd argument).
+                            from cxxlex import find_matching
+                            close = find_matching(toks, i + 1, "(", ")")
+                            commas = 0
+                            depth = 0
+                            for j in range(i + 2, close):
+                                tt = toks[j].text
+                                if tt in ("(", "[", "{"):
+                                    depth += 1
+                                elif tt in (")", "]", "}"):
+                                    depth -= 1
+                                elif tt == "," and depth == 0:
+                                    commas += 1
+                            if commas <= 1:
+                                self._emit(
+                                    "det-pointer-compare", fm, t.line,
+                                    f"std::sort of '{base}' ({ty}) with "
+                                    "the default comparator orders by "
+                                    "pointer value; sort by a stable key",
+                                    fn.qname)
+
+    def check_unseeded_rng(self) -> None:
+        for fm in self.models:
+            for fn in fm.functions:
+                for name, val in list(fn.decls.items()):
+                    if not name.startswith("<rng-args:"):
+                        continue
+                    if val == "yes":
+                        continue
+                    var = name[len("<rng-args:"):-1]
+                    line = int(fn.decls.get(f"<rng-line:{var}>", fn.line))
+                    self._emit("det-unseeded-rng", fm, line,
+                               f"'{var}': {RNG_NO_SEED_MSG}", fn.qname)
+
+    # -- unit soundness -------------------------------------------------
+
+    def check_unit_raw_double(self) -> None:
+        """Token-stream scan so prototypes, members, and locals are all
+        covered (in every file under src/, not just physics headers)."""
+        for fm in self.models:
+            toks = fm.tokens
+            for i, t in enumerate(toks):
+                if t.text != "double":
+                    continue
+                # double <id>_suffix   followed by , ) = ; ( {
+                j = i + 1
+                while j < len(toks) and toks[j].text in ("&", "*", "const"):
+                    j += 1
+                if j >= len(toks) or toks[j].kind != "id":
+                    continue
+                name = toks[j].text
+                if not UNIT_SUFFIX_RE.search(name):
+                    continue
+                nxt = toks[j + 1].text if j + 1 < len(toks) else ""
+                if nxt == "(":
+                    self._emit(
+                        "unit-raw-double", fm, toks[j].line,
+                        f"'{name}' returns a unit-carrying value as raw "
+                        "double; return the typed quantity "
+                        "(common/quantity.hh)")
+                elif nxt in (",", ")", "=", ";", "{"):
+                    self._emit(
+                        "unit-raw-double", fm, toks[j].line,
+                        f"'{name}' holds a unit-carrying value in raw "
+                        "double; use the typed quantity "
+                        "(common/quantity.hh)")
+
+    def check_value_escape(self) -> None:
+        for fm in self.models:
+            if not fm.is_header:
+                continue
+            if fm.path.startswith(self.config.value_boundary_dirs or ()):
+                continue
+            for fn in fm.functions:
+                if fn.is_lambda or fn.access not in ("public", "free"):
+                    continue
+                if fn.return_type.replace("const", "").strip() != "double":
+                    continue
+                toks = fn.tokens
+                for i, t in enumerate(toks):
+                    if t.text != "return":
+                        continue
+                    # return <expr> . value ( ) ;
+                    j = i + 1
+                    depth = 0
+                    hit_line = None
+                    while j < len(toks):
+                        tt = toks[j].text
+                        if tt in ("(", "[", "{"):
+                            depth += 1
+                        elif tt in (")", "]", "}"):
+                            depth -= 1
+                        elif tt == ";" and depth <= 0:
+                            break
+                        if tt == "value" and j >= 1 and \
+                                toks[j - 1].text in (".", "->") and \
+                                j + 1 < len(toks) and \
+                                toks[j + 1].text == "(":
+                            hit_line = toks[j].line
+                        j += 1
+                    if hit_line is not None:
+                        self._emit(
+                            "unit-value-escape", fm, hit_line,
+                            f"public API '{fn.name}' returns "
+                            "Quantity::value() as raw double, dropping "
+                            "the unit at the call boundary; return the "
+                            "typed quantity (escape hatches belong at "
+                            "CSV/trace/NVML writers)",
+                            fn.qname)
+
+    # -- hot-path allocation --------------------------------------------
+
+    def check_hot_alloc(self) -> None:
+        by_name: dict[str, list[Function]] = {}
+        by_qname: dict[str, Function] = {}
+        for fm in self.models:
+            for fn in fm.functions:
+                by_name.setdefault(fn.name, []).append(fn)
+                by_qname[fn.qname] = fn
+
+        roots: list[Function] = []
+        for fn in by_qname.values():
+            if fn.is_event_handler:
+                roots.append(fn)
+            else:
+                for root_pat in self.config.hot_roots:
+                    if fn.qname.endswith(root_pat):
+                        roots.append(fn)
+                        break
+
+        # BFS over the name-resolved call graph, src-defined only.
+        reachable: set[str] = set()
+        frontier = list(roots)
+        while frontier:
+            fn = frontier.pop()
+            if fn.qname in reachable:
+                continue
+            reachable.add(fn.qname)
+            for callee in fn.callee_names():
+                for target in by_name.get(callee, []):
+                    if target.qname not in reachable:
+                        frontier.append(target)
+            # A lambda defined inside a reachable function runs (at the
+            # latest) when that function invokes or schedules it.
+            for cand in by_qname.values():
+                if cand.parent == fn.qname and cand.qname not in reachable:
+                    frontier.append(cand)
+
+        for fm in self.models:
+            for fn in fm.functions:
+                if fn.qname not in reachable:
+                    continue
+                toks = fn.tokens
+                for i, t in enumerate(toks):
+                    reason = None
+                    if t.text == "new":
+                        # `new` as operator-new definitions or
+                        # placement-new are still allocations from the
+                        # rule's perspective; delete-expressions not.
+                        reason = "operator new allocates per call"
+                    elif t.text in HEAP_TOKENS:
+                        if i + 1 < len(toks) and toks[i + 1].text == "(":
+                            reason = HEAP_TOKENS[t.text]
+                    elif t.text == "function" and i >= 2 and \
+                            toks[i - 1].text == "::" and \
+                            toks[i - 2].text == "std":
+                        reason = ("std::function may heap-allocate "
+                                  "captured state")
+                    if reason:
+                        self._emit(
+                            "hot-alloc", fm, t.line,
+                            f"{reason} (reachable from "
+                            "event dispatch / flow solve; keep the "
+                            "per-event path allocation-free)",
+                            fn.qname)

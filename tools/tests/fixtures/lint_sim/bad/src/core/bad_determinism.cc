@@ -1,0 +1,20 @@
+// Fixture: determinism rules must fire; the string-literal line is the
+// strip_comment regression — a `//` inside the literal must not hide
+// the banned construct after it.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+unsigned
+entropy()
+{
+    const char* docs = "https://example.com/docs"; std::random_device rd;
+    (void)docs;
+    unsigned r = static_cast<unsigned>(rand());
+    const char* home = getenv("HOME");
+    (void)home;
+    return r + rd();
+}
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: the iostream rule must fire on the include.
+#include <iostream>
+
+namespace fixture {
+
+void
+shout()
+{
+    std::cout << "library code must not do this\n";
+}
+
+} // namespace fixture

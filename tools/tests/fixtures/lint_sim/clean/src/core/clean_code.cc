@@ -1,0 +1,17 @@
+// Fixture: clean counterpart. Prose below mentions rand() and
+// std::random_device only in comments, which must not trip the lint:
+// rand() is banned, std::random_device is banned, getenv is banned.
+/* Block comments mentioning steady_clock must not trip either. */
+
+namespace fixture {
+
+// A string containing a protocol separator is not a comment start.
+const char* kDocsUrl = "https://example.com/docs";
+
+unsigned
+next(unsigned state)
+{
+    return state * 1664525u + 1013904223u;
+}
+
+} // namespace fixture

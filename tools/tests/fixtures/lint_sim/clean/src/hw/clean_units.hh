@@ -1,0 +1,15 @@
+// Fixture: typed parameters in a physics header are fine.
+#ifndef FIXTURE_CLEAN_UNITS_HH
+#define FIXTURE_CLEAN_UNITS_HH
+
+namespace fixture {
+
+struct Watts {
+    double v;
+};
+
+void setPower(Watts power);
+
+} // namespace fixture
+
+#endif

@@ -1,0 +1,24 @@
+// Fixture: det-pointer-compare must fire on pointer ordering and on a
+// default-comparator sort of a pointer vector.
+#include <algorithm>
+#include <vector>
+
+namespace fixture {
+
+struct Widget {
+    int id;
+};
+
+bool
+before(Widget* a, Widget* b)
+{
+    return a < b;  // pointer ordering
+}
+
+void
+sortThem(std::vector<Widget*>& widgets)
+{
+    std::sort(widgets.begin(), widgets.end());  // default comparator
+}
+
+} // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: det-pointer-key must fire on a pointer-keyed ordered map.
+#include <map>
+
+namespace fixture {
+
+struct Node {
+    int id;
+};
+
+int
+countByAddress(Node* a, Node* b)
+{
+    std::map<Node*, int> byPtr;
+    byPtr[a] = 1;
+    byPtr[b] = 2;
+    return static_cast<int>(byPtr.size());
+}
+
+} // namespace fixture

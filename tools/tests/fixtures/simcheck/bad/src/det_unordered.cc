@@ -1,0 +1,18 @@
+// Fixture: det-unordered-iter must fire on both forms.
+#include <unordered_map>
+
+namespace fixture {
+
+int
+sumValues()
+{
+    std::unordered_map<int, int> counts;
+    int total = 0;
+    for (const auto& kv : counts)  // range-for over unordered
+        total += kv.second;
+    auto it = counts.begin();      // iterator over unordered
+    (void)it;
+    return total;
+}
+
+} // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: det-unseeded-rng must fire on a default-constructed engine.
+#include <random>
+
+namespace fixture {
+
+double
+roll()
+{
+    std::mt19937 gen;  // no seed: implementation-defined default
+    return static_cast<double>(gen());
+}
+
+} // namespace fixture

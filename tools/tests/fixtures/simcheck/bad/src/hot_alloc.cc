@@ -1,0 +1,35 @@
+// Fixture: hot-alloc must fire on allocations reachable from the
+// dispatch root (named EventQueue::runOne to match the default roots)
+// both directly and through a helper call.
+#include <vector>
+
+namespace fixture {
+
+struct Event {
+    int id;
+};
+
+std::vector<Event> g_log;
+
+void
+recordEvent(int id)
+{
+    g_log.push_back(Event{id});  // reachable via runOne -> recordEvent
+}
+
+class EventQueue {
+public:
+    void runOne();
+
+private:
+    std::vector<int> pending;
+};
+
+void
+EventQueue::runOne()
+{
+    pending.push_back(1);  // directly in the dispatch root
+    recordEvent(7);
+}
+
+} // namespace fixture

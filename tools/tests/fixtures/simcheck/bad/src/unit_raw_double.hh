@@ -1,0 +1,17 @@
+// Fixture: unit-raw-double must fire on parameter, return, and member.
+#ifndef FIXTURE_UNIT_RAW_DOUBLE_HH
+#define FIXTURE_UNIT_RAW_DOUBLE_HH
+
+namespace fixture {
+
+class PowerModel {
+public:
+    void setBudget(double budget_w);  // parameter
+    double energy_j() const;          // return
+private:
+    double idle_w = 12.5;             // member
+};
+
+} // namespace fixture
+
+#endif

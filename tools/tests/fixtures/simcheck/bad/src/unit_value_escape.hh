@@ -1,0 +1,22 @@
+// Fixture: unit-value-escape must fire on a public header API that
+// returns Quantity::value() as a raw double.
+#ifndef FIXTURE_UNIT_VALUE_ESCAPE_HH
+#define FIXTURE_UNIT_VALUE_ESCAPE_HH
+
+namespace fixture {
+
+struct Watts {
+    double v;
+    double value() const { return v; }
+};
+
+class Device {
+public:
+    double power() const { return draw.value(); }  // escapes the unit
+private:
+    Watts draw{0.0};
+};
+
+} // namespace fixture
+
+#endif

@@ -1,0 +1,58 @@
+// Fixture: deterministic, allocation-free counterparts of every bad
+// pattern: seeded RNG, id-keyed ordered map, stable-id ordering, and a
+// dispatch root that only writes through preallocated storage.
+#include <algorithm>
+#include <array>
+#include <map>
+#include <random>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+    int id;
+};
+
+double
+roll(unsigned seed)
+{
+    std::mt19937 gen(seed);  // explicit seed from config
+    return static_cast<double>(gen());
+}
+
+int
+countById(const Node& a, const Node& b)
+{
+    std::map<int, int> byId;  // keyed by stable id, not pointer
+    byId[a.id] = 1;
+    byId[b.id] = 2;
+    int total = 0;
+    for (const auto& kv : byId)  // ordered container: fine to iterate
+        total += kv.second;
+    return total;
+}
+
+void
+sortThem(std::vector<Node*>& nodes)
+{
+    std::sort(nodes.begin(), nodes.end(),
+              [](const Node* a, const Node* b) { return a->id < b->id; });
+}
+
+class EventQueue {
+public:
+    void runOne();
+
+private:
+    std::array<int, 64> slots{};
+    int used = 0;
+};
+
+void
+EventQueue::runOne()
+{
+    slots[static_cast<unsigned>(used % 64)] = used;  // no allocation
+    ++used;
+}
+
+} // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: the clean counterpart — typed quantities on the API, the
+// escape hatch never crosses a public boundary.
+#ifndef FIXTURE_CLEAN_MODEL_HH
+#define FIXTURE_CLEAN_MODEL_HH
+
+namespace fixture {
+
+struct Watts {
+    double v;
+    double value() const { return v; }
+};
+
+class Device {
+public:
+    void setBudget(Watts budget);
+    Watts power() const { return draw; }
+
+private:
+    Watts draw{0.0};
+};
+
+} // namespace fixture
+
+#endif

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/lint_sim.py (stdlib unittest; no pytest).
+
+Every rule family must fire on the bad fixture tree and stay silent on
+the clean tree; strip_comments carries the string-literal regression
+(a `//` inside a literal used to truncate the line and hide banned
+constructs after it); --check-allowlist must flag entries that no
+longer suppress anything.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+LINT = REPO / "tools" / "lint_sim.py"
+FIXTURES = HERE / "fixtures" / "lint_sim"
+
+sys.path.insert(0, str(REPO / "tools"))
+from lint_sim import strip_comments  # noqa: E402
+
+
+def run_lint(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINT), *argv],
+        capture_output=True, text=True, cwd=REPO)
+
+
+class StripCommentsTest(unittest.TestCase):
+    def test_slashes_inside_string_are_not_a_comment(self):
+        # Regression: line.find("//") used to truncate here and hide
+        # the random_device after the literal.
+        line = 'const char* d = "https://x.io"; std::random_device rd;'
+        code, in_block = strip_comments(line)
+        self.assertIn("random_device", code)
+        self.assertIn("https://x.io", code)
+        self.assertFalse(in_block)
+
+    def test_real_trailing_comment_is_dropped(self):
+        code, _ = strip_comments("int x = 1; // rand() in prose")
+        self.assertNotIn("rand", code)
+        self.assertIn("int x = 1;", code)
+
+    def test_escaped_quote_does_not_end_string(self):
+        code, _ = strip_comments(r'auto s = "a\"b // c"; f();')
+        self.assertIn("f();", code)
+        self.assertIn(r'"a\"b // c"', code)
+
+    def test_inline_block_comment_removed(self):
+        code, in_block = strip_comments(
+            "int y; /* steady_clock prose */ g();")
+        self.assertNotIn("steady_clock", code)
+        self.assertIn("g();", code)
+        self.assertFalse(in_block)
+
+    def test_multiline_block_comment_state(self):
+        code, in_block = strip_comments("start /* opens")
+        self.assertTrue(in_block)
+        self.assertEqual(code.strip(), "start")
+        code, in_block = strip_comments("rand() still inside", True)
+        self.assertTrue(in_block)
+        self.assertEqual(code, "")
+        code, in_block = strip_comments("done */ h();", True)
+        self.assertFalse(in_block)
+        self.assertIn("h();", code)
+
+    def test_comment_openers_inside_string(self):
+        code, in_block = strip_comments('auto s = "/* not a comment";')
+        self.assertFalse(in_block)
+        self.assertIn("/* not a comment", code)
+
+
+class FixtureTest(unittest.TestCase):
+    def test_bad_tree_fires_every_rule_family(self):
+        r = run_lint("--src", str(FIXTURES / "bad" / "src"),
+                     "--allowlist", "/dev/null")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        for rule in ("random-device", "rand", "getenv", "iostream",
+                     "raw-double-unit", "std-function", "make-shared",
+                     "obs-header-alloc"):
+            self.assertIn(f"[{rule}]", r.stdout,
+                          f"rule {rule} did not fire:\n{r.stdout}")
+
+    def test_string_literal_regression_fires(self):
+        # The banned construct sits AFTER a string containing '//'.
+        r = run_lint("--src", str(FIXTURES / "bad" / "src"),
+                     "--allowlist", "/dev/null")
+        self.assertRegex(
+            r.stdout,
+            r"bad_determinism\.cc:12: \[random-device\]")
+
+    def test_clean_tree_is_clean(self):
+        r = run_lint("--src", str(FIXTURES / "clean" / "src"),
+                     "--allowlist", "/dev/null")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("clean", r.stdout)
+
+    def test_allowlist_suppresses(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".txt",
+                                         delete=False) as f:
+            f.write("bad_iostream.cc:#include <iostream>\n")
+            allow = f.name
+        r = run_lint("--src", str(FIXTURES / "bad" / "src"),
+                     "--allowlist", allow)
+        self.assertEqual(r.returncode, 1)  # other findings remain
+        self.assertNotIn("[iostream]", r.stdout)
+
+    def test_stale_allowlist_detected(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".txt",
+                                         delete=False) as f:
+            f.write("no_such_file.cc:no_such_line\n")
+            allow = f.name
+        r = run_lint("--src", str(FIXTURES / "clean" / "src"),
+                     "--allowlist", allow, "--check-allowlist")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("stale", r.stderr)
+        self.assertIn("no_such_file.cc:no_such_line", r.stderr)
+
+    def test_repo_src_is_clean_with_fresh_allowlist(self):
+        r = run_lint("--check-allowlist")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
