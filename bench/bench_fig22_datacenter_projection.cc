@@ -11,17 +11,38 @@
  * (strong-scaling collapse approaching an order of magnitude at 8K
  * GPUs), substantially recovered at 800G; H100 reaches higher
  * absolute throughput, H200 higher per-GPU throughput.
+ *
+ * `--backend=des --symmetry=on` switches from the analytic projector
+ * to MECHANISTIC event-driven runs: rank-symmetry collapse folds the
+ * DP replicas onto tp*pp physical devices (DESIGN.md §12), so worlds
+ * of 16K-64K GPUs execute for real at the cost of a 32-GPU run. Each
+ * row is run twice (byte-determinism check) and cross-checked against
+ * scale::Projector and the analytical backend; `--out=FILE` writes a
+ * JSON artifact (events/sec, peak RSS) that tools/perf_smoke.py gates.
  */
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 #include "common/strings.hh"
 #include "scale/projector.hh"
 
 using namespace charllm;
 
 namespace {
+
+constexpr int kTp = 8;
+constexpr int kPp = 4;
+
+/** The analytical backend walks every logical rank (no collapse), so
+ *  its cross-check is restricted to worlds where that stays cheap;
+ *  beyond it the rows are gated on determinism and the projector. */
+constexpr int kAnalyticalCheckMaxWorld = 4096;
 
 void
 project(const core::ClusterSpec& cluster,
@@ -80,13 +101,246 @@ project(const core::ClusterSpec& cluster,
                 1.0 / worst.strongScalingEfficiency);
 }
 
+// ---- mechanistic collapsed-DES path ------------------------------------------
+
+/** GPT3-175B at tp=8/pp=4 on H200 nodes, logical world 32*dp. */
+core::ExperimentConfig
+mechConfig(int dp, int microbatches_per_replica)
+{
+    int world = kTp * kPp * dp;
+    auto cfg = benchutil::sweepConfig(
+        core::h200Cluster(world / 8), model::gpt3_175b(),
+        parallel::ParallelConfig::forWorld(world, kTp, kPp));
+    cfg.train.actRecompute = true;
+    cfg.train.globalBatchSize = microbatches_per_replica * dp;
+    return cfg;
+}
+
+struct MechRow
+{
+    int world = 0;
+    int dp = 0;
+    core::ExperimentResult des;
+    double projIterSec = 0.0;
+    double anaIterSec = 0.0;
+    double wallSec = 0.0;
+    double aggEventsPerSec = 0.0;
+    long peakRssKb = 0;
+    bool deterministic = false;
+};
+
+double
+relErr(double a, double b)
+{
+    double denom = std::max(std::abs(b), 1e-12);
+    return std::abs(a - b) / denom;
+}
+
+/** Run one collapsed world twice (determinism) plus the analytical
+ *  cross-check; dies loudly if collapse was refused. */
+MechRow
+runMechanistic(int dp, int microbatches, const scale::Projector* proj)
+{
+    MechRow row;
+    row.dp = dp;
+    row.world = kTp * kPp * dp;
+    auto cfg = mechConfig(dp, microbatches);
+    cfg.symmetryCollapse = true;
+
+    auto t0 = std::chrono::steady_clock::now();
+    row.des = core::Experiment::run(cfg);
+    row.wallSec = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    CHARLLM_CHECK(row.des.feasible, "mechanistic run infeasible");
+    CHARLLM_CHECK(row.des.symmetry.collapsed,
+                  "collapse refused: ", row.des.symmetry.reason);
+    row.aggEventsPerSec =
+        static_cast<double>(row.des.counters.eventsPopped) *
+        static_cast<double>(dp) / row.wallSec;
+    row.peakRssKb = benchutil::peakRssKb();
+
+    // Byte-determinism: the collapsed partitioned schedule must
+    // reproduce itself exactly.
+    auto again = core::Experiment::run(cfg);
+    row.deterministic =
+        again.avgIterationSeconds == row.des.avgIterationSeconds &&
+        again.totalEnergyJ == row.des.totalEnergyJ &&
+        again.peakTempC == row.des.peakTempC;
+    CHARLLM_CHECK(row.deterministic,
+                  "collapsed run is not byte-deterministic at world ",
+                  row.world);
+
+    // Cross-check 1: the analytical backend on the same config.
+    if (row.world <= kAnalyticalCheckMaxWorld) {
+        auto ana_cfg = cfg;
+        ana_cfg.backend = sim::BackendKind::Analytical;
+        ana_cfg.symmetryCollapse = false;
+        row.anaIterSec =
+            core::Experiment::run(ana_cfg).avgIterationSeconds;
+    }
+
+    // Cross-check 2: the strong-scaling projector (when the DP point
+    // shares the projector's fixed global batch).
+    if (proj != nullptr)
+        row.projIterSec = proj->project(dp, 1.0).iterationSeconds.value();
+    return row;
+}
+
+int
+mechanistic(const std::string& out_path)
+{
+    std::printf("--- mechanistic collapsed-DES runs "
+                "(tp=%d, pp=%d: %d physical GPUs) ---\n\n",
+                kTp, kPp, kTp * kPp);
+
+    // Projector baseline at DP=1 with the fixed strong-scaling batch.
+    const int kStrongBatch = 128;
+    auto base_cfg = mechConfig(1, kStrongBatch);
+    auto base = core::Experiment::run(base_cfg);
+    CHARLLM_CHECK(base.feasible, "projector baseline OOM");
+    scale::ProjectionInput in;
+    in.computeSeconds = Seconds(base.meanBreakdown.computeTotal());
+    in.intraCommSeconds =
+        Seconds(base.meanBreakdown[hw::KernelClass::AllReduce] +
+                base.meanBreakdown[hw::KernelClass::AllToAll]);
+    in.interCommSeconds =
+        Seconds(base.meanBreakdown[hw::KernelClass::SendRecv]);
+    parallel::MemoryPlanner planner(
+        model::gpt3_175b(),
+        parallel::ParallelConfig::forWorld(kTp * kPp, kTp, kPp));
+    in.gradBytesPerGpu = Bytes(planner.paramsPerGpu(1) * 2.0);
+    in.baseGpus = kTp * kPp;
+    in.gpusPerNode = 8;
+    in.tokensPerIteration = base.tokensPerIteration;
+    in.nodeBandwidth = core::h200Cluster(1).network.nicBw;
+    in.messageLatency = core::h200Cluster(1).network.interLatency;
+    scale::Projector proj(in);
+
+    // Strong-scaling rows (fixed global batch = projector's model):
+    // mechanistic DES vs projector, apples to apples.
+    std::vector<MechRow> rows;
+    for (int dp : {4, 16})
+        rows.push_back(
+            runMechanistic(dp, kStrongBatch / dp, &proj));
+    // Weak-scaling rows to datacenter worlds (4 microbatches per
+    // replica): 16K and 64K logical GPUs, executed mechanistically.
+    for (int dp : {64, 512, 2048})
+        rows.push_back(runMechanistic(dp, 4, nullptr));
+
+    TextTable t({"world", "DP", "domains", "iter(s)", "proj(s)",
+                 "ana(s)", "wall(s)", "Mevents/s", "rss(MB)",
+                 "bit-det"});
+    for (const auto& r : rows)
+        t.addRow({std::to_string(r.world), std::to_string(r.dp),
+                  std::to_string(r.des.symmetry.domains),
+                  formatFixed(r.des.avgIterationSeconds, 3),
+                  r.projIterSec > 0.0 ? formatFixed(r.projIterSec, 3)
+                                      : std::string("-"),
+                  r.anaIterSec > 0.0 ? formatFixed(r.anaIterSec, 3)
+                                     : std::string("-"),
+                  formatFixed(r.wallSec, 2),
+                  formatFixed(r.aggEventsPerSec / 1e6, 1),
+                  formatFixed(r.peakRssKb / 1024.0, 0),
+                  r.deterministic ? "yes" : "NO"});
+    t.print();
+
+    // Cross-validation gates. The analytical backend models the full
+    // config (observed agreement <1%; gate at 5%). The projector is a
+    // first-order model that misses NIC sharing across the node's TP
+    // ranks and the bubble-fraction growth as strong scaling shrinks
+    // the microbatch count (observed 41%/73% at dp=4/16), so it is
+    // gated at factor-of-two level: it catches gross regressions in
+    // the mechanistic path, not fine disagreement.
+    bool ok = true;
+    for (const auto& r : rows) {
+        if (r.anaIterSec > 0.0) {
+            double ana_err =
+                relErr(r.anaIterSec, r.des.avgIterationSeconds);
+            if (ana_err > 0.05) {
+                std::printf("FAIL: analytical mismatch at world %d: "
+                            "%.1f%%\n",
+                            r.world, 100.0 * ana_err);
+                ok = false;
+            }
+        }
+        if (r.projIterSec > 0.0) {
+            double proj_err =
+                relErr(r.projIterSec, r.des.avgIterationSeconds);
+            double tol = r.dp <= 4 ? 0.50 : 1.00;
+            if (proj_err > tol) {
+                std::printf("FAIL: projector mismatch at world %d: "
+                            "%.1f%%\n",
+                            r.world, 100.0 * proj_err);
+                ok = false;
+            }
+        }
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        os << "{\"tp\":" << kTp << ",\"pp\":" << kPp << ",\"runs\":[";
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const auto& r = rows[i];
+            if (i > 0)
+                os << ',';
+            os << "{\"world\":" << r.world << ",\"dp\":" << r.dp
+               << ",\"physical_world\":"
+               << r.des.symmetry.physicalWorld
+               << ",\"multiplicity\":" << r.des.symmetry.multiplicity
+               << ",\"domains\":" << r.des.symmetry.domains
+               << ",\"iteration_s\":"
+               << formatDouble(r.des.avgIterationSeconds)
+               << ",\"projector_iteration_s\":"
+               << formatDouble(r.projIterSec)
+               << ",\"analytical_iteration_s\":"
+               << formatDouble(r.anaIterSec)
+               << ",\"wall_s\":" << formatDouble(r.wallSec)
+               << ",\"events_popped_physical\":"
+               << r.des.counters.eventsPopped
+               << ",\"aggregate_events_per_sec\":"
+               << formatDouble(r.aggEventsPerSec)
+               << ",\"peak_rss_kb\":" << r.peakRssKb
+               << ",\"deterministic\":"
+               << (r.deterministic ? "true" : "false") << '}';
+        }
+        os << "]}\n";
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    std::string symmetry = "off";
+    std::string out_path;
+    benchutil::sweepFlags(
+        argc, argv,
+        {{"--symmetry=",
+          "on|off: mechanistic collapsed-DES scaling runs instead of "
+          "the analytic projector (default off)",
+          [&symmetry](const std::string& v) {
+              if (v != "on" && v != "off")
+                  return false;
+              symmetry = v;
+              return true;
+          }},
+         {"--out=",
+          "FILE: write the mechanistic-run JSON artifact "
+          "(perf_smoke gates events/sec and peak RSS)",
+          [&out_path](const std::string& v) {
+              out_path = v;
+              return !v.empty();
+          }}});
+
     benchutil::banner("Figure 22",
                       "Datacenter-scale projection (up to 8K GPUs)");
+    if (symmetry == "on")
+        return mechanistic(out_path);
+
     // DP=1 requires tp*pp to cover the cluster.
     project(core::h200Cluster(),
             parallel::ParallelConfig::forWorld(32, 2, 16), 1.0);

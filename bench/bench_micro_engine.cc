@@ -10,7 +10,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
 #include "coll/collective_engine.hh"
+#include "core/cluster.hh"
+#include "core/experiment.hh"
 #include "hw/platform.hh"
 #include "hw/thermal_model.hh"
 #include "model/transformer_config.hh"
@@ -172,6 +175,48 @@ BM_TinyTrainingIteration(benchmark::State& state)
     }
 }
 BENCHMARK(BM_TinyTrainingIteration);
+
+void
+BM_CollapsedTrainingIteration(benchmark::State& state)
+{
+    // World scaling under rank-symmetry collapse: one full training
+    // iteration at logical world range(0) folded to tp*pp = 4
+    // physical devices. Items = aggregate events (physical pops times
+    // the DP multiplicity), so items/sec is the collapsed engine's
+    // effective event rate on the logical cluster.
+    const int world = static_cast<int>(state.range(0));
+    const int tp = 2, pp = 2;
+    const int dp = world / (tp * pp);
+    core::ExperimentConfig cfg;
+    cfg.cluster =
+        core::oneGpuPerNodeCluster(core::h200Cluster(1), world);
+    cfg.model = microModel();
+    cfg.par = parallel::ParallelConfig::forWorld(world, tp, pp);
+    cfg.train.globalBatchSize = dp;
+    cfg.warmupIterations = 0;
+    cfg.measuredIterations = 1;
+    cfg.checkMemory = false;
+    cfg.symmetryCollapse = true;
+    std::uint64_t aggregate = 0;
+    for (auto _ : state) {
+        auto r = core::Experiment::run(cfg);
+        if (!r.symmetry.collapsed) {
+            state.SkipWithError(r.symmetry.reason.c_str());
+            return;
+        }
+        aggregate += r.counters.eventsPopped *
+                     static_cast<std::uint64_t>(dp);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(aggregate));
+    state.counters["multiplicity"] = static_cast<double>(dp);
+    state.counters["peak_rss_kb"] =
+        static_cast<double>(benchutil::peakRssKb());
+}
+BENCHMARK(BM_CollapsedTrainingIteration)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

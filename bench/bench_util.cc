@@ -1,5 +1,7 @@
 #include "bench_util.hh"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -330,6 +332,15 @@ std::string
 fmtSec(double s)
 {
     return formatSeconds(s);
+}
+
+long
+peakRssKb()
+{
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return ru.ru_maxrss;
 }
 
 } // namespace benchutil

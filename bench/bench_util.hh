@@ -123,6 +123,13 @@ void printBreakdown(const std::string& title,
 /** Format seconds with 3 significant digits. */
 std::string fmtSec(double s);
 
+/**
+ * Peak resident set size of this process so far, in KiB
+ * (getrusage ru_maxrss). Monotone over the process lifetime; used by
+ * the scale benches to report collapsed-run memory footprints.
+ */
+long peakRssKb();
+
 } // namespace benchutil
 } // namespace charllm
 

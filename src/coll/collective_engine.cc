@@ -33,6 +33,32 @@ CollectiveEngine::CollectiveEngine(sim::Simulator& simulator,
 {
 }
 
+void
+CollectiveEngine::setFold(const scale::SymmetryFold* f)
+{
+    fold = f;
+    wrapRoutes.clear();
+    if (fold == nullptr)
+        return;
+    // Intern every representative's wrap-around route now: the ring
+    // hop from a replica-0 member to its (ghost) replica-1 successor
+    // leaves via the member's own node ports and — by replica
+    // symmetry — re-enters through ports with the identical
+    // contention pattern, so we fold it onto the member's own
+    // pcie/nic pair. DP peers are node-aligned (the analyzer refuses
+    // otherwise), so the wrap hop is always the 4-link inter-node
+    // shape with unit weights.
+    const auto& topo = network.topology();
+    wrapRoutes.reserve(static_cast<std::size_t>(fold->physWorld()));
+    for (int v = 0; v < fold->physWorld(); ++v) {
+        int node = topo.nodeOf(v);
+        wrapRoutes.push_back(network.internRoute(
+            {topo.pcieOutLink(v), topo.nicOutLink(node),
+             topo.nicInLink(node), topo.pcieInLink(v)},
+            {1, 1, 1, 1}));
+    }
+}
+
 Bytes
 CollectiveEngine::wireBytesPerRank(const CollectiveRequest& request)
 {
@@ -115,6 +141,45 @@ CollectiveEngine::runRing(const CollectiveRequest& request,
     latch->onComplete = request.onComplete;
 
     const auto& topo = network.topology();
+    if (fold != nullptr) {
+        // Collapsed mode: ranks are logical. Only flows whose source
+        // is instantiated are emitted; the latch counts those. A flow
+        // to a ghost successor folds onto the source representative's
+        // pre-interned wrap route with the caller-visible semantics
+        // (latency, bytes, completion) unchanged.
+        int inst = 0;
+        for (int r : ring) {
+            if (fold->instantiated(r))
+                ++inst;
+        }
+        CHARLLM_ASSERT(inst >= 1, "ring with no instantiated member");
+        latch->remaining = inst;
+        for (int i = 0; i < n; ++i) {
+            int src = ring[static_cast<std::size_t>(i)];
+            if (!fold->instantiated(src))
+                continue;
+            int dst = ring[static_cast<std::size_t>((i + 1) % n)];
+            int launches = std::max(request.messages, 1);
+            Seconds extra = (steps * launches - 1) *
+                            topo.messageLatency(src, dst);
+            if (!request.chunked)
+                extra += Seconds(net::calib::kUnchunkedHandshakeSec *
+                                 launches);
+            if (fold->instantiated(dst)) {
+                network.transfer(fold->repOf(src), fold->repOf(dst),
+                                 per_rank_bytes,
+                                 [latch] { latch->arrive(); }, extra);
+            } else {
+                network.transferOnRoute(
+                    wrapRoutes[static_cast<std::size_t>(
+                        fold->repOf(src))],
+                    per_rank_bytes,
+                    extra + topo.messageLatency(src, dst),
+                    [latch] { latch->arrive(); });
+            }
+        }
+        return;
+    }
     for (int i = 0; i < n; ++i) {
         int src = ring[static_cast<std::size_t>(i)];
         int dst = ring[static_cast<std::size_t>((i + 1) % n)];
@@ -135,6 +200,10 @@ CollectiveEngine::runRing(const CollectiveRequest& request,
 void
 CollectiveEngine::runAllToAll(const CollectiveRequest& request)
 {
+    // AllToAll only arises from MoE dispatch, which the symmetry
+    // analyzer refuses — collapsed runs can never reach this path.
+    CHARLLM_ASSERT(fold == nullptr,
+                   "AllToAll under rank-symmetry collapse");
     auto n = static_cast<int>(request.ranks.size());
     Bytes per_pair = request.bytes / static_cast<double>(n);
 
@@ -292,7 +361,17 @@ CollectiveEngine::runSendRecv(const CollectiveRequest& request)
     Seconds extra = request.chunked
                         ? Seconds(0.0)
                         : Seconds(net::calib::kUnchunkedHandshakeSec);
-    network.transfer(request.ranks[0], request.ranks[1], request.bytes,
+    int src = request.ranks[0];
+    int dst = request.ranks[1];
+    if (fold != nullptr) {
+        // P2P under collapse is always between instantiated devices
+        // (PP peers live in the same replica); callers pass physical
+        // ids directly, so no mapping is needed here.
+        CHARLLM_ASSERT(src < fold->physWorld() &&
+                           dst < fold->physWorld(),
+                       "collapsed SendRecv with non-physical ranks");
+    }
+    network.transfer(src, dst, request.bytes,
                      [cb = request.onComplete] {
         if (cb)
             cb();

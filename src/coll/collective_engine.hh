@@ -11,9 +11,11 @@
 #define CHARLLM_COLL_COLLECTIVE_ENGINE_HH
 
 #include <memory>
+#include <vector>
 
 #include "coll/collective.hh"
 #include "net/flow_network.hh"
+#include "scale/symmetry.hh"
 
 namespace charllm {
 namespace coll {
@@ -26,6 +28,17 @@ class CollectiveEngine
 {
   public:
     CollectiveEngine(sim::Simulator& sim, net::FlowNetwork& network);
+
+    /**
+     * Enable rank-symmetry collapse: requests arrive with LOGICAL
+     * rank ids; the engine emits flows only for instantiated
+     * (replica-0) members, mapping them to physical devices, and
+     * folds each ring's wrap-around hop into a pre-interned weighted
+     * route on the representative's own node ports (DESIGN.md §12).
+     * Must be called at setup, before any run(); the fold must
+     * outlive the engine. nullptr disables.
+     */
+    void setFold(const scale::SymmetryFold* f);
 
     /** Launch a collective; the request's callback fires when done. */
     void run(CollectiveRequest request);
@@ -58,6 +71,10 @@ class CollectiveEngine
     sim::Simulator& sim;
     net::FlowNetwork& network;
     std::uint64_t runCount = 0;
+    const scale::SymmetryFold* fold = nullptr;
+    /** Per-physical-device wrap-around route (interned at setFold,
+     *  so the hot path never allocates routes). */
+    std::vector<const net::FlowNetwork::WeightedRoute*> wrapRoutes;
 };
 
 } // namespace coll

@@ -10,6 +10,7 @@
 #include "parallel/rank_mapper.hh"
 #include "runtime/engine.hh"
 #include "runtime/program_builder.hh"
+#include "scale/symmetry.hh"
 #include "sim/simulator.hh"
 
 namespace charllm {
@@ -52,24 +53,64 @@ DesBackend::execute()
     if (!result.feasible)
         return;
 
+    // ---- rank-symmetry decision ----------------------------------------
+    scale::SymmetryFold fold;
+    {
+        scale::SymmetryAnalyzer::Input sym;
+        sym.tp = cfg.par.tp;
+        sym.dp = cfg.par.dp;
+        sym.pp = cfg.par.pp;
+        sym.ep = cfg.par.ep;
+        sym.gpusPerNode = cfg.cluster.network.gpusPerNode;
+        sym.moe = cfg.model.isMoe();
+        sym.faults = !cfg.faultScenario.empty();
+        sym.resilience = cfg.resilience.enabled;
+        sym.powerCaps = !cfg.nodePowerCaps.empty();
+        sym.devicePermutation = !cfg.devicePermutation.empty();
+        sym.requested = cfg.symmetryCollapse;
+        result.symmetry = scale::SymmetryAnalyzer::analyze(sym, &fold);
+    }
+    const bool collapsed = result.symmetry.collapsed;
+    if (result.symmetry.requested && !collapsed)
+        CHARLLM_WARN("symmetry collapse refused (", result.symmetry.reason,
+                     "); falling back to full instantiation");
+
     // ---- build the full simulation stack -------------------------------
+    // Under collapse the stack is built at physical size (one DP
+    // replica per pipeline stage); everything logical-facing (rank
+    // mapper, program groups, aggregation) keeps the logical world.
     sim::Simulator simulator;
-    net::Topology topology(cfg.cluster.network);
+    if (collapsed && cfg.partitionedDispatch) {
+        simulator.partition(1 + fold.physNodes());
+        result.symmetry.domains = 1 + fold.physNodes();
+    }
+    net::Topology::Params net_params = cfg.cluster.network;
+    if (collapsed)
+        net_params.numNodes = fold.physNodes();
+    net::Topology topology(net_params);
     hw::Platform platform(simulator, cfg.cluster.gpu,
-                          cfg.cluster.chassis, cfg.cluster.numNodes);
+                          cfg.cluster.chassis,
+                          collapsed ? fold.physNodes()
+                                    : cfg.cluster.numNodes);
     net::FlowNetwork network(simulator, topology);
     coll::CollectiveEngine collectives(simulator, network);
+    if (collapsed)
+        collectives.setFold(&fold);
 
     parallel::RankMapper mapper(cfg.par);
     if (!cfg.devicePermutation.empty())
         mapper.setDevicePermutation(cfg.devicePermutation);
 
     runtime::ProgramBuilder builder(cfg.model, mapper, cfg.train);
+    if (collapsed)
+        builder.setFold(&fold);
     runtime::EngineOptions engine_opts;
     engine_opts.warmupIterations = cfg.warmupIterations;
     engine_opts.measuredIterations = cfg.measuredIterations;
     runtime::TrainingEngine engine(platform, network, collectives,
                                    builder, engine_opts);
+    if (collapsed)
+        engine.setFold(&fold);
 
     std::unique_ptr<faults::FaultInjector> injector;
     if (!cfg.faultScenario.empty()) {
@@ -136,11 +177,24 @@ DesBackend::execute()
     std::shared_ptr<telemetry::KernelTrace> trace;
     if (cfg.enableTrace) {
         trace = std::make_shared<telemetry::KernelTrace>();
-        engine.setTraceSink([trace](int dev, hw::KernelClass cls,
-                                    const char* name, double start,
-                                    double dur) {
-            trace->record(dev, cls, name, start, dur);
-        });
+        if (collapsed) {
+            // Expand physical spans to every replica image at record
+            // time so the trace covers the logical world.
+            const scale::SymmetryFold f = fold;
+            engine.setTraceSink([trace, f](int dev, hw::KernelClass cls,
+                                           const char* name,
+                                           double start, double dur) {
+                for (int k = 0; k < f.dp; ++k)
+                    trace->record(f.imageOf(dev, k), cls, name, start,
+                                  dur);
+            });
+        } else {
+            engine.setTraceSink([trace](int dev, hw::KernelClass cls,
+                                        const char* name, double start,
+                                        double dur) {
+                trace->record(dev, cls, name, start, dur);
+            });
+        }
     }
 
     for (const auto& [node, watts] : cfg.nodePowerCaps)
@@ -160,8 +214,14 @@ DesBackend::execute()
 
     double iters = static_cast<double>(cfg.measuredIterations);
     RunningStats power_avg, temp_avg, clock_avg, throttle_avg;
-    for (int i = 0; i < platform.numGpus(); ++i) {
-        const hw::Gpu& gpu = platform.gpu(i);
+    // Aggregate over the LOGICAL world in device order; under collapse
+    // logical device d reads its representative's statistics, giving
+    // the identical sequence of floating-point adds as a full run.
+    const int logical_world =
+        collapsed ? fold.logicalWorld() : platform.numGpus();
+    for (int i = 0; i < logical_world; ++i) {
+        const hw::Gpu& gpu =
+            platform.gpu(collapsed ? fold.repOf(i) : i);
         GpuResult g;
         g.avgPowerW = gpu.powerStats().mean();
         g.peakPowerW = gpu.powerStats().max();
@@ -195,7 +255,7 @@ DesBackend::execute()
         result.gpus.push_back(std::move(g));
     }
     for (double& s : result.meanBreakdown.seconds)
-        s /= static_cast<double>(platform.numGpus());
+        s /= static_cast<double>(logical_world);
     result.avgPowerW = power_avg.mean();
     result.avgTempC = temp_avg.mean();
     result.avgClockGhz = clock_avg.mean();
@@ -207,9 +267,10 @@ DesBackend::execute()
 
     if (sampler) {
         result.series.reserve(
-            static_cast<std::size_t>(platform.numGpus()));
-        for (int i = 0; i < platform.numGpus(); ++i)
-            result.series.push_back(sampler->series(i));
+            static_cast<std::size_t>(logical_world));
+        for (int i = 0; i < logical_world; ++i)
+            result.series.push_back(
+                sampler->series(collapsed ? fold.repOf(i) : i));
     }
     result.trace = trace;
     if (injector) {
@@ -222,7 +283,7 @@ DesBackend::execute()
         result.goodput = recovery->finalize(result.series);
         result.goodputValid = true;
     }
-    result.counters.capture(simulator.queue(), network);
+    result.counters.capture(simulator, network);
     if (injector)
         result.counters.faultsInjected = injector->numScheduled();
 }

@@ -23,6 +23,7 @@
 #include "resil/recovery.hh"
 #include "runtime/engine.hh"
 #include "runtime/options.hh"
+#include "scale/symmetry.hh"
 #include "sim/backend_kind.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/trace.hh"
@@ -91,6 +92,23 @@ struct ExperimentConfig
     /** Reject configurations that do not fit HBM (paper Sec. 3.1). */
     bool checkMemory = true;
 
+    /**
+     * Request rank-symmetry collapse (DES backend only): provably
+     * identical DP replicas fold onto one representative, making
+     * memory and event count O(distinct ranks). Configs that break
+     * replica symmetry fall back to full instantiation with the
+     * reason recorded in ExperimentResult::symmetry (DESIGN.md §12).
+     */
+    bool symmetryCollapse = false;
+
+    /**
+     * Partitioned event dispatch for collapsed runs: per-node event
+     * domains advanced through conservative time windows, byte-
+     * identical to the serial schedule. Only consulted when collapse
+     * is active.
+     */
+    bool partitionedDispatch = true;
+
     /** Paper-style label: "<model> <cluster> <parallelism>[+opts]". */
     std::string label() const;
 };
@@ -152,6 +170,10 @@ struct ExperimentResult
     /** Simulator self-profiling counters for this run (event-queue
      *  pops/compactions, flow-solver fast/full recomputes, faults). */
     obs::SimCounters counters;
+
+    /** Whether rank-symmetry collapse was requested / applied and,
+     *  if refused, why (scale::SymmetryAnalyzer). */
+    scale::SymmetryDecision symmetry;
 
     /** Goodput classification of the whole run (valid only when
      *  resilience was enabled; conservation is asserted inside). */

@@ -112,6 +112,24 @@ seriesCsv(const ExperimentResult& result)
     return csv;
 }
 
+namespace {
+
+std::string
+symmetryJson(const scale::SymmetryDecision& s)
+{
+    std::ostringstream os;
+    os << "{\"requested\":" << (s.requested ? "true" : "false")
+       << ",\"collapsed\":" << (s.collapsed ? "true" : "false")
+       << ",\"reason\":\"" << jsonEscape(s.reason) << "\""
+       << ",\"logical_world\":" << s.logicalWorld
+       << ",\"physical_world\":" << s.physicalWorld
+       << ",\"multiplicity\":" << s.multiplicity
+       << ",\"domains\":" << s.domains << "}";
+    return os.str();
+}
+
+} // namespace
+
 std::string
 toJson(const ExperimentResult& result)
 {
@@ -126,7 +144,8 @@ toJson(const ExperimentResult& result)
        << ",\"avg_temp_c\":" << formatDouble(result.avgTempC)
        << ",\"peak_temp_c\":" << formatDouble(result.peakTempC)
        << ",\"throttle_ratio\":" << formatDouble(result.throttleRatio)
-       << ",\"gpus\":" << result.gpus.size() << "}";
+       << ",\"gpus\":" << result.gpus.size()
+       << ",\"symmetry\":" << symmetryJson(result.symmetry) << "}";
     return os.str();
 }
 

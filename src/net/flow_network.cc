@@ -64,8 +64,54 @@ FlowNetwork::freeFlowSlot(std::uint32_t slot)
 {
     Flow& flow = flowSlab[slot];
     flow.route = nullptr;
+    flow.weights = nullptr;
     flow.onComplete = nullptr;
     freeFlowSlots.push_back(slot);
+}
+
+const FlowNetwork::WeightedRoute*
+FlowNetwork::internRoute(std::vector<LinkId> links,
+                         std::vector<int> weights)
+{
+    CHARLLM_ASSERT(links.size() == weights.size(),
+                   "weighted route: ", links.size(), " links vs ",
+                   weights.size(), " weights");
+    for (int w : weights)
+        CHARLLM_ASSERT(w >= 1,
+                       "weighted route: weight ", w,
+                       " violates weight conservation");
+    ownedRoutes.push_back(
+        WeightedRoute{std::move(links), std::move(weights)});
+    return &ownedRoutes.back();
+}
+
+FlowNetwork::FlowId
+FlowNetwork::transferOnRoute(const WeightedRoute* route, Bytes bytes,
+                             Seconds latency,
+                             std::function<void()> on_complete)
+{
+    double byte_count = bytes.value();
+    CHARLLM_ASSERT(byte_count >= 0.0, "negative transfer size");
+    CHARLLM_ASSERT(route != nullptr, "null weighted route");
+    FlowId id = nextId++;
+    if (byte_count <= 0.0) {
+        sim.schedule(sim::toTicks(latency.value()),
+                     [cb = std::move(on_complete)] { cb(); });
+        return id;
+    }
+    std::uint32_t slot = allocFlowSlot();
+    Flow& flow = flowSlab[slot];
+    flow.id = id;
+    flow.src = -1;
+    flow.dst = -1;
+    flow.route = &route->links;
+    flow.weights = &route->weights;
+    flow.bytesRemaining = byte_count;
+    flow.rate = 0.0;
+    flow.onComplete = std::move(on_complete);
+    sim.schedule(sim::toTicks(latency.value()),
+                 [this, slot] { joinFlow(slot); });
+    return id;
 }
 
 void
@@ -118,6 +164,7 @@ FlowNetwork::transfer(int src, int dst, Bytes bytes,
     flow.src = src;
     flow.dst = dst;
     flow.route = &route;
+    flow.weights = nullptr;
     flow.bytesRemaining = byte_count;
     flow.rate = 0.0;
     flow.onComplete = std::move(on_complete);
@@ -146,16 +193,22 @@ FlowNetwork::joinFlow(std::uint32_t slot)
 
     // A flow whose links carry no other traffic takes the residual
     // capacity of its own bottleneck and cannot perturb anyone else's
-    // allocation — skip the water-fill.
+    // allocation — skip the water-fill. A hop weight above 1 means
+    // the flow contends with its own folded images, so it never
+    // qualifies.
     bool uncontended = !forceFull;
-    for (LinkId l : *flow.route) {
-        if (flowsOnLink[static_cast<std::size_t>(l)] != 0) {
+    for (std::size_t i = 0; i < flow.route->size(); ++i) {
+        LinkId l = (*flow.route)[i];
+        if (flowsOnLink[static_cast<std::size_t>(l)] != 0 ||
+            hopWeight(flow, i) > 1) {
             uncontended = false;
             break;
         }
     }
-    for (LinkId l : *flow.route)
-        ++flowsOnLink[static_cast<std::size_t>(l)];
+    for (std::size_t i = 0; i < flow.route->size(); ++i) {
+        LinkId l = (*flow.route)[i];
+        flowsOnLink[static_cast<std::size_t>(l)] += hopWeight(flow, i);
+    }
 
     if (uncontended) {
         double rate = std::numeric_limits<double>::infinity();
@@ -186,11 +239,17 @@ FlowNetwork::progress(double now)
         if (moved <= 0.0)
             continue;
         flow.bytesRemaining -= moved;
-        for (LinkId l : *flow.route) {
-            linkByteCount[static_cast<std::size_t>(l)] += moved;
+        for (std::size_t i = 0; i < flow.route->size(); ++i) {
+            LinkId l = (*flow.route)[i];
             const LinkSpec& spec = topo.link(l);
-            if (spec.ownerGpu >= 0 && sink)
-                sink(spec.ownerGpu, spec.cls, Bytes(moved));
+            // Weighted hops account once per folded image — repeated
+            // adds, not a multiply, so the float sums match the full
+            // run's per-replica accumulation bitwise.
+            for (int w = hopWeight(flow, i); w > 0; --w) {
+                linkByteCount[static_cast<std::size_t>(l)] += moved;
+                if (spec.ownerGpu >= 0 && sink)
+                    sink(spec.ownerGpu, spec.cls, Bytes(moved));
+            }
         }
     }
     lastProgress = now;
@@ -243,11 +302,15 @@ FlowNetwork::recompute(double now)
                 continue;
             flow.rate = best_share;
             ++fixed_this_round;
-            for (LinkId l : *flow.route) {
-                auto li = static_cast<std::size_t>(l);
-                remainingScratch[li] -= best_share;
-                remainingScratch[li] = std::max(remainingScratch[li], 0.0);
-                --flowsOnScratch[li];
+            for (std::size_t ri = 0; ri < flow.route->size(); ++ri) {
+                auto li =
+                    static_cast<std::size_t>((*flow.route)[ri]);
+                for (int w = hopWeight(flow, ri); w > 0; --w) {
+                    remainingScratch[li] -= best_share;
+                    remainingScratch[li] =
+                        std::max(remainingScratch[li], 0.0);
+                    --flowsOnScratch[li];
+                }
             }
         }
         CHARLLM_ASSERT(fixed_this_round > 0,
@@ -277,8 +340,10 @@ FlowNetwork::referenceRates() const
     for (std::uint32_t slot : activeOrder) {
         const Flow& flow = flowSlab[slot];
         rates.emplace_back(flow.id, -1.0);
-        for (LinkId l : *flow.route)
-            ++flows_on[static_cast<std::size_t>(l)];
+        for (std::size_t i = 0; i < flow.route->size(); ++i) {
+            flows_on[static_cast<std::size_t>((*flow.route)[i])] +=
+                hopWeight(flow, i);
+        }
     }
 
     std::size_t unfixed = rates.size();
@@ -312,11 +377,14 @@ FlowNetwork::referenceRates() const
                 continue;
             rates[i].second = best_share;
             ++fixed_this_round;
-            for (LinkId l : *flow.route) {
-                auto li = static_cast<std::size_t>(l);
-                remaining[li] -= best_share;
-                remaining[li] = std::max(remaining[li], 0.0);
-                --flows_on[li];
+            for (std::size_t ri = 0; ri < flow.route->size(); ++ri) {
+                auto li =
+                    static_cast<std::size_t>((*flow.route)[ri]);
+                for (int w = hopWeight(flow, ri); w > 0; --w) {
+                    remaining[li] -= best_share;
+                    remaining[li] = std::max(remaining[li], 0.0);
+                    --flows_on[li];
+                }
             }
         }
         CHARLLM_ASSERT(fixed_this_round > 0,
@@ -337,8 +405,25 @@ FlowNetwork::rebuildAggregates()
         const std::vector<LinkId>& route = *flow.route;
         for (std::size_t i = 0; i < route.size(); ++i) {
             LinkId l = route[i];
-            linkUsedCache[static_cast<std::size_t>(l)] += rate;
             const LinkSpec& spec = topo.link(l);
+            if (flow.weights != nullptr) {
+                // Folded flows stand in for one full-run flow per hop
+                // occurrence, so every occurrence contributes — the
+                // first-match dedup below models a single flow
+                // touching a port twice, which does not apply here.
+                for (int w = (*flow.weights)[i]; w > 0; --w) {
+                    linkUsedCache[static_cast<std::size_t>(l)] += rate;
+                    if (spec.ownerGpu >= 0) {
+                        gpuRateCache
+                            [static_cast<std::size_t>(spec.ownerGpu) *
+                                 hw::kNumTrafficClasses +
+                             static_cast<std::size_t>(spec.cls)] +=
+                            rate;
+                    }
+                }
+                continue;
+            }
+            linkUsedCache[static_cast<std::size_t>(l)] += rate;
             if (spec.ownerGpu < 0)
                 continue;
             // Each flow counts once per (gpu, class): only the first
@@ -398,8 +483,10 @@ FlowNetwork::onCompletionEvent()
         if (flow.bytesRemaining <= kEpsBytes) {
             completedCallbacks.push_back(std::move(flow.onComplete));
             completedSlots.push_back(slot);
-            for (LinkId l : *flow.route)
-                --flowsOnLink[static_cast<std::size_t>(l)];
+            for (std::size_t i = 0; i < flow.route->size(); ++i) {
+                flowsOnLink[static_cast<std::size_t>(
+                    (*flow.route)[i])] -= hopWeight(flow, i);
+            }
         } else {
             *keep++ = slot;
         }

@@ -25,6 +25,7 @@
 #define CHARLLM_NET_FLOW_NETWORK_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <vector>
@@ -61,6 +62,40 @@ class FlowNetwork
     FlowId transfer(int src, int dst, Bytes bytes,
                     std::function<void()> on_complete,
                     Seconds extra_latency = Seconds(0.0));
+
+    /**
+     * An explicit route with a per-link multiplicity weight: hop i
+     * counts @p weights[i] times toward contention, byte accounting,
+     * and traffic attribution. Rank-symmetry collapse uses this to
+     * let one representative flow stand in for the folded replicas'
+     * flows on shared physical links (DESIGN.md §12).
+     */
+    struct WeightedRoute
+    {
+        std::vector<LinkId> links;
+        std::vector<int> weights;
+    };
+
+    /**
+     * Intern a weighted route for later transferOnRoute() calls. The
+     * returned pointer is stable for the network's lifetime. Must be
+     * called from setup code, never from event handlers (it
+     * allocates). Fatal if @p links and @p weights differ in length
+     * or any weight is < 1 — weight conservation is what keeps the
+     * collapsed run equal to the full one.
+     */
+    const WeightedRoute* internRoute(std::vector<LinkId> links,
+                                     std::vector<int> weights);
+
+    /**
+     * Start a transfer over an interned weighted route. Unlike
+     * transfer(), @p latency is the FULL pre-serialization delay —
+     * the caller includes the topology message latency. Zero or
+     * negative @p bytes degenerates to a latency-only callback.
+     */
+    FlowId transferOnRoute(const WeightedRoute* route, Bytes bytes,
+                           Seconds latency,
+                           std::function<void()> on_complete);
 
     /** Instantaneous aggregate rate seen at a GPU's ports, by class. */
     BytesPerSec gpuRate(int gpu, hw::TrafficClass cls) const;
@@ -134,10 +169,20 @@ class FlowNetwork
         int dst = 0;
         /** Cached at admission; points into routeCache (stable). */
         const std::vector<LinkId>* route = nullptr;
+        /** Per-hop multiplicities (parallel to route) for folded
+         *  flows; nullptr for ordinary unit-weight flows. */
+        const std::vector<int>* weights = nullptr;
         double bytesRemaining = 0.0;
         double rate = 0.0;
         std::function<void()> onComplete;
     };
+
+    /** Multiplicity of hop @p i of @p flow (1 for ordinary flows). */
+    static int
+    hopWeight(const Flow& flow, std::size_t i)
+    {
+        return flow.weights != nullptr ? (*flow.weights)[i] : 1;
+    }
 
     /** Capacity a link offers the water-fill, after protocol
      *  efficiency and any fault derate. */
@@ -197,6 +242,8 @@ class FlowNetwork
     std::vector<std::uint32_t> completedSlots;
 
     std::map<std::uint64_t, std::vector<LinkId>> routeCache;
+    /** Interned weighted routes; deque keeps pointers stable. */
+    std::deque<WeightedRoute> ownedRoutes;
 
     bool forceFull = false;
     std::uint64_t fullRecomputes = 0;

@@ -143,6 +143,14 @@ Topology::pcieOutLink(int gpu) const
     return pcieOut[static_cast<std::size_t>(gpu)];
 }
 
+LinkId
+Topology::pcieInLink(int gpu) const
+{
+    CHARLLM_ASSERT(gpu >= 0 && gpu < numGpus(),
+                   "gpu id out of range: ", gpu);
+    return pcieIn[static_cast<std::size_t>(gpu)];
+}
+
 std::vector<LinkId>
 Topology::route(int src, int dst) const
 {

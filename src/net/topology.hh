@@ -97,6 +97,7 @@ class Topology
     LinkId nicInLink(int node) const;
     LinkId scaleUpOutLink(int gpu) const;
     LinkId pcieOutLink(int gpu) const;
+    LinkId pcieInLink(int gpu) const;
     /** @} */
 
     /** Directed route from @p src GPU to @p dst GPU (src != dst). */

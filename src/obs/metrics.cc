@@ -5,6 +5,7 @@
 #include "common/strings.hh"
 #include "net/flow_network.hh"
 #include "sim/event_queue.hh"
+#include "sim/simulator.hh"
 
 namespace charllm {
 namespace obs {
@@ -143,6 +144,20 @@ SimCounters::capture(const sim::EventQueue& queue,
     flowFullRecomputes = network.numFullRecomputes();
     flowFastJoins = network.numFastJoins();
     flowFastCompletions = network.numFastCompletions();
+}
+
+void
+SimCounters::capture(const sim::Simulator& simulator,
+                     const net::FlowNetwork& network)
+{
+    capture(simulator.queue(), network);
+    for (int d = 1; d < simulator.numDomains(); ++d) {
+        const sim::EventQueue& q = simulator.domainQueue(d);
+        eventsPopped += q.numPopped();
+        eventsCancelled += q.numCancelled();
+        eventCompactions += q.numCompactions();
+        eventSlabSlots += q.slabSize();
+    }
 }
 
 void

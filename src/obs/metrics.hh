@@ -38,6 +38,7 @@ class FlowNetwork;
 }
 namespace sim {
 class EventQueue;
+class Simulator;
 }
 
 namespace obs {
@@ -209,6 +210,12 @@ struct SimCounters
 
     /** Read the live counters out of a simulation stack. */
     void capture(const sim::EventQueue& queue,
+                 const net::FlowNetwork& network);
+
+    /** Same, summing event counters across every partition domain of
+     *  @p simulator (identical to the queue overload when the
+     *  simulator is unpartitioned). */
+    void capture(const sim::Simulator& simulator,
                  const net::FlowNetwork& network);
 
     /** Sum this snapshot into @p registry under the sim./net./faults.

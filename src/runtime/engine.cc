@@ -226,6 +226,18 @@ TrainingEngine::computeRate(int dev) const
     return std::max(rate, 1e-3);
 }
 
+sim::EventHandle
+TrainingEngine::scheduleComputeDone(int dev, double delay_sec)
+{
+    // Compute completions are the only engine events that touch a
+    // single device; routing them to the device's node domain is what
+    // lets partitioned dispatch batch same-node work. All other
+    // engine events stay in domain 0 (they couple devices).
+    return plat.simulator().scheduleInDomain(
+        1 + plat.nodeOf(dev), sim::toTicks(delay_sec),
+        [this, dev] { finishCompute(dev); });
+}
+
 void
 TrainingEngine::startCompute(int dev, const Op& op)
 {
@@ -250,10 +262,8 @@ TrainingEngine::startCompute(int dev, const Op& op)
     fl.cls = op.cls;
     fl.name = op.name;
     fl.gpuToken = gpu.kernelBegin(op.cls, sm_util, now);
-    fl.completion = plat.simulator().schedule(
-        sim::toTicks(fl.remainingNominal / fl.rate), [this, dev] {
-        finishCompute(dev);
-    });
+    fl.completion =
+        scheduleComputeDone(dev, fl.remainingNominal / fl.rate);
     inFlight[static_cast<std::size_t>(dev)] = std::move(fl);
 }
 
@@ -292,9 +302,8 @@ TrainingEngine::retimeCompute(int dev)
     slot->rate = computeRate(dev);
     slot->lastUpdate = now;
     slot->completion.cancel();
-    slot->completion = plat.simulator().schedule(
-        sim::toTicks(slot->remainingNominal / slot->rate),
-        [this, dev] { finishCompute(dev); });
+    slot->completion =
+        scheduleComputeDone(dev, slot->remainingNominal / slot->rate);
 }
 
 void
@@ -312,41 +321,83 @@ TrainingEngine::joinCollective(int dev, const Op& op)
     inst.async = op.async;
     inst.cls = op.cls;
     inst.name = op.name;
+    inst.ckind = op.ckind;
+    inst.groupId = op.groupId;
+    inst.bytes = op.bytes;
+    inst.chunked = op.chunked;
+    inst.messages = op.messages;
+    inst.topologyAware = op.topologyAware;
     if (op.async)
         ++ranks[static_cast<std::size_t>(dev)].outstandingAsync;
 
+    int expected =
+        program.groupExpected.empty()
+            ? static_cast<int>(
+                  program
+                      .groups[static_cast<std::size_t>(op.groupId)]
+                      .size())
+            : program.groupExpected[static_cast<std::size_t>(
+                  op.groupId)];
+    if (static_cast<int>(inst.arrivals.size()) == expected) {
+        if (fold != nullptr && inst.async &&
+            expected <
+                static_cast<int>(
+                    program.groups[static_cast<std::size_t>(op.groupId)]
+                        .size())) {
+            // Folded async group: in the full run the LAST logical
+            // member launches, by which time the earlier members —
+            // the representative among them — have already continued
+            // past their join (usually into overlapped compute). A
+            // zero-delay event fires after this device's synchronous
+            // continuation, so the overlap penalty samples the same
+            // state the full run would.
+            plat.simulator().schedule(0, [this, key, e = epoch] {
+                if (e != epoch)
+                    return;
+                launchCollective(key);
+            });
+        } else {
+            launchCollective(key);
+        }
+    }
+}
+
+void
+TrainingEngine::launchCollective(std::uint64_t key)
+{
+    auto it = instances.find(key);
+    CHARLLM_ASSERT(it != instances.end(),
+                   "launching unknown collective instance");
+    CollectiveInstance& inst = it->second;
     const auto& group =
-        program.groups[static_cast<std::size_t>(op.groupId)];
-    if (inst.arrivals.size() == group.size()) {
-        // Last member arrived: launch the collective. The op metadata
-        // is identical across members; use this op's.
-        coll::CollectiveRequest req;
-        req.kind = op.ckind;
-        req.ranks = group;
-        req.bytes = op.bytes;
-        req.chunked = op.chunked;
-        req.messages = op.messages;
-        req.topologyAware = op.topologyAware;
-        // Overlapped collectives contend with concurrent compute for
-        // memory/SM resources (paper Sec. 4.3).
-        if (inst.async) {
-            for (int member : group) {
-                if (plat.gpu(member).computeActive()) {
-                    req.bytes *= hw::calib::kOverlapCommPenalty;
-                    break;
-                }
+        program.groups[static_cast<std::size_t>(inst.groupId)];
+    coll::CollectiveRequest req;
+    req.kind = inst.ckind;
+    req.ranks = group;
+    req.bytes = inst.bytes;
+    req.chunked = inst.chunked;
+    req.messages = inst.messages;
+    req.topologyAware = inst.topologyAware;
+    // Overlapped collectives contend with concurrent compute for
+    // memory/SM resources (paper Sec. 4.3).
+    if (inst.async) {
+        for (int member : group) {
+            int m = fold != nullptr ? fold->repOf(member) : member;
+            if (plat.gpu(m).computeActive()) {
+                req.bytes *= hw::calib::kOverlapCommPenalty;
+                break;
             }
         }
-        // Flows cannot be cancelled; on abort the completion arrives
-        // from a dead epoch and drops itself here.
-        req.onComplete = [this, key, e = epoch] {
-            if (e != epoch)
-                return;
-            onCollectiveDone(key);
-        };
-        inst.issued = true;
-        coll.run(std::move(req));
     }
+    // Flows cannot be cancelled; on abort the completion arrives
+    // from a dead epoch and drops itself here.
+    req.onComplete = [this, key, e = epoch] {
+        if (e != epoch)
+            return;
+        onCollectiveDone(key);
+    };
+    inst.issued = true;
+    coll.run(std::move(req));
 }
 
 void
@@ -392,7 +443,13 @@ void
 TrainingEngine::issueSend(int dev, const Op& op)
 {
     double now = plat.simulator().nowSeconds();
-    std::uint64_t ckey = channelKey(dev, op.peerDevice);
+    // PP peers live inside the representative replica under collapse,
+    // so the peer's physical id is well-defined; channel keys and
+    // request ranks are physical (abortIteration decodes devices from
+    // channel keys).
+    int peer = fold != nullptr ? fold->repOf(op.peerDevice)
+                               : op.peerDevice;
+    std::uint64_t ckey = channelKey(dev, peer);
     Channel& ch = channels[ckey];
     std::uint64_t seq = ch.sendSeq++;
 
@@ -405,10 +462,10 @@ TrainingEngine::issueSend(int dev, const Op& op)
 
     coll::CollectiveRequest req;
     req.kind = coll::CollectiveKind::SendRecv;
-    req.ranks = {dev, op.peerDevice};
+    req.ranks = {dev, peer};
     req.bytes = op.bytes;
     req.chunked = op.chunked;
-    int dst = op.peerDevice;
+    int dst = peer;
     const char* name = op.name;
     req.onComplete = [this, dev, dst, ckey, seq, sid, token, now, name,
                       e = epoch] {
@@ -454,7 +511,9 @@ TrainingEngine::issueSend(int dev, const Op& op)
 bool
 TrainingEngine::tryRecv(int dev, const Op& op)
 {
-    std::uint64_t ckey = channelKey(op.peerDevice, dev);
+    int peer = fold != nullptr ? fold->repOf(op.peerDevice)
+                               : op.peerDevice;
+    std::uint64_t ckey = channelKey(peer, dev);
     Channel& ch = channels[ckey];
     std::uint64_t seq = ch.recvSeq++;
     auto it = ch.ready.find(seq);
@@ -502,9 +561,8 @@ TrainingEngine::injectTransientStall(int dev, Seconds stall)
     slot->remainingNominal += stallSec * slot->rate;
     slot->lastUpdate = now;
     slot->completion.cancel();
-    slot->completion = plat.simulator().schedule(
-        sim::toTicks(slot->remainingNominal / slot->rate),
-        [this, dev] { finishCompute(dev); });
+    slot->completion =
+        scheduleComputeDone(dev, slot->remainingNominal / slot->rate);
 }
 
 void

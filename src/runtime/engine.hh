@@ -18,6 +18,7 @@
 #include "hw/platform.hh"
 #include "net/flow_network.hh"
 #include "runtime/program_builder.hh"
+#include "scale/symmetry.hh"
 
 namespace charllm {
 namespace runtime {
@@ -84,6 +85,15 @@ class TrainingEngine
                    const EngineOptions& options);
 
     void setTraceSink(TraceSink sink) { trace = std::move(sink); }
+
+    /**
+     * Enable rank-symmetry collapse: the builder emits programs for
+     * physical (replica-0) devices only, groups keep logical ids, and
+     * collectives launch once every instantiated member has arrived.
+     * Must match the fold passed to the builder and the collective
+     * engine; set before run(). nullptr disables.
+     */
+    void setFold(const scale::SymmetryFold* f) { fold = f; }
 
     /** Attach a resilience controller (nullptr = none). Must be set
      *  before run(). The controller must outlive the engine run. */
@@ -194,6 +204,14 @@ class TrainingEngine
         bool issued = false;
         hw::KernelClass cls = hw::KernelClass::AllReduce;
         const char* name = "";
+        // Launch metadata stashed at join time so a deferred launch
+        // (collapsed async collectives) no longer needs the Op.
+        coll::CollectiveKind ckind = coll::CollectiveKind::AllReduce;
+        int groupId = -1;
+        Bytes bytes;
+        bool chunked = true;
+        int messages = 1;
+        bool topologyAware = false;
     };
 
     struct Channel
@@ -233,8 +251,19 @@ class TrainingEngine
 
     /** Re-time the in-flight compute op after a rate change. */
     void retimeCompute(int dev);
+
+    /**
+     * Schedule a compute-completion event for @p dev. Under
+     * partitioned execution compute events live in the device's node
+     * domain; unpartitioned simulators fall back to the global queue.
+     */
+    sim::EventHandle scheduleComputeDone(int dev, double delay_sec);
+
     void joinCollective(int dev, const Op& op);
-    void issueCollective(std::uint64_t key);
+
+    /** Launch the fully-arrived collective instance @p key. */
+    void launchCollective(std::uint64_t key);
+
     void onCollectiveDone(std::uint64_t key);
     void issueSend(int dev, const Op& op);
     bool tryRecv(int dev, const Op& op);
@@ -271,6 +300,7 @@ class TrainingEngine
     bool finished = false;
 
     ResilienceController* resil = nullptr;
+    const scale::SymmetryFold* fold = nullptr;
     /** Abort epoch: network/collective completions cannot be cancelled
      *  (their flows run to completion), so every engine-side async
      *  callback captures the epoch at issue time and drops itself when

@@ -64,6 +64,14 @@ struct Program
     /** Collective group tables: groupId -> participating devices. */
     std::vector<std::vector<int>> groups;
 
+    /**
+     * Arrivals required to launch each group's collective. Equals
+     * groups[g].size() normally; under rank-symmetry collapse only
+     * instantiated devices execute programs, so folded groups expect
+     * fewer arrivals than they have logical members.
+     */
+    std::vector<int> groupExpected;
+
     int
     worldSize() const
     {

@@ -156,7 +156,7 @@ ProgramBuilder::emitForward(BuildContext& ctx, int rank, int mb,
 {
     const auto& par = map.config();
     int dev = map.deviceOf(rank);
-    auto& ops = ctx.program.deviceOps[static_cast<std::size_t>(dev)];
+    auto& ops = ctx.program.deviceOps[opSlot(dev)];
     int stage = map.coordsOf(rank).ppIdx;
     int v = std::max(opts.virtualStages, 1);
     int vstage = chunk * par.pp + stage;
@@ -341,7 +341,7 @@ ProgramBuilder::emitBackward(BuildContext& ctx, int rank, int mb,
 {
     const auto& par = map.config();
     int dev = map.deviceOf(rank);
-    auto& ops = ctx.program.deviceOps[static_cast<std::size_t>(dev)];
+    auto& ops = ctx.program.deviceOps[opSlot(dev)];
     int stage = map.coordsOf(rank).ppIdx;
     int v = std::max(opts.virtualStages, 1);
     int vstage = chunk * par.pp + stage;
@@ -543,7 +543,7 @@ ProgramBuilder::emitIterationTail(BuildContext& ctx, int rank) const
 {
     const auto& par = map.config();
     int dev = map.deviceOf(rank);
-    auto& ops = ctx.program.deviceOps[static_cast<std::size_t>(dev)];
+    auto& ops = ctx.program.deviceOps[opSlot(dev)];
     int stage = map.coordsOf(rank).ppIdx;
 
     if (opts.inference)
@@ -634,8 +634,7 @@ ProgramBuilder::emitRank(BuildContext& ctx, int rank) const
         Op drain;
         drain.type = OpType::Drain;
         drain.name = "iteration-drain";
-        ctx.program
-            .deviceOps[static_cast<std::size_t>(map.deviceOf(rank))]
+        ctx.program.deviceOps[opSlot(map.deviceOf(rank))]
             .push_back(drain);
         return;
     }
@@ -718,10 +717,29 @@ ProgramBuilder::build(int iteration) const
     BuildContext ctx;
     ctx.rng = Rng(opts.seed * 0x9e3779b9ULL +
                   static_cast<unsigned>(iteration) * 0x85ebca6bULL + 1);
-    ctx.program.deviceOps.resize(
-        static_cast<std::size_t>(map.worldSize()));
-    for (int rank = 0; rank < map.worldSize(); ++rank)
+    ctx.program.deviceOps.resize(static_cast<std::size_t>(
+        fold != nullptr ? fold->physWorld() : map.worldSize()));
+    for (int rank = 0; rank < map.worldSize(); ++rank) {
+        // Under collapse only replica-0 ranks execute; folded ranks'
+        // behaviour is implied by their representative. Groups still
+        // record logical members, so arrival thresholds come from
+        // groupExpected below. (The per-rank RNG is only consumed by
+        // MoE imbalance draws, which the symmetry analyzer refuses,
+        // so skipping ranks cannot shift any sampled stream.)
+        if (fold != nullptr &&
+            !fold->instantiated(map.deviceOf(rank)))
+            continue;
         emitRank(ctx, rank);
+    }
+    ctx.program.groupExpected.reserve(ctx.program.groups.size());
+    for (const auto& group : ctx.program.groups) {
+        int expected = 0;
+        for (int d : group) {
+            if (fold == nullptr || fold->instantiated(d))
+                ++expected;
+        }
+        ctx.program.groupExpected.push_back(expected);
+    }
     return ctx.program;
 }
 

@@ -17,6 +17,7 @@
 #include "parallel/rank_mapper.hh"
 #include "runtime/op.hh"
 #include "runtime/options.hh"
+#include "scale/symmetry.hh"
 
 namespace charllm {
 namespace runtime {
@@ -45,6 +46,14 @@ class ProgramBuilder
     /** Layers per virtual chunk under interleaved scheduling. */
     double layersPerChunk() const;
 
+    /**
+     * Enable rank-symmetry collapse: build() emits programs only for
+     * instantiated (replica-0) ranks, indexed by physical device id,
+     * while groups and P2P peers keep logical ids. Must be set before
+     * the engine is constructed; the fold must outlive the builder.
+     */
+    void setFold(const scale::SymmetryFold* f) { fold = f; }
+
     /** Build the schedule for iteration @p iteration. */
     Program build(int iteration) const;
 
@@ -63,6 +72,14 @@ class ProgramBuilder
     };
 
     int groupIdFor(BuildContext& ctx, std::vector<int> devices) const;
+
+    /** deviceOps slot of logical device @p dev (physical under fold). */
+    std::size_t
+    opSlot(int dev) const
+    {
+        return static_cast<std::size_t>(
+            fold != nullptr ? fold->repOf(dev) : dev);
+    }
 
     /** Device hosting pipeline stage @p stage of @p rank's pipe. */
     int deviceAtStage(int rank, int stage) const;
@@ -86,6 +103,7 @@ class ProgramBuilder
     TrainOptions opts;
     int microbatches;
     double tokensPerMicrobatch;
+    const scale::SymmetryFold* fold = nullptr;
 };
 
 } // namespace runtime

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Rank-symmetry collapse (ROADMAP item 1, PrismLLM direction): prove
+ * which DP replicas of a training config behave identically and fold
+ * them onto one representative replica with a multiplicity weight.
+ *
+ * The fold instantiated here is the node-aligned tier: when TP is a
+ * multiple of the node width (so every DP replica owns whole nodes),
+ * replica k and replica 0 of the same (tp, pp) slice see bitwise the
+ * same compute, network contention, power, and thermal trajectories.
+ * The engine then simulates only replica 0 of every pipeline stage —
+ * physical world tp*pp instead of tp*dp*pp — and carries the DP
+ * degree as a weight through the flow solver and the aggregators.
+ *
+ * This header is self-contained (no core/ includes) so that
+ * core/experiment.hh can embed a SymmetryDecision without an include
+ * cycle. See DESIGN.md §12 for the equivalence-class proof sketch
+ * and the exact refusal conditions.
+ */
+
+#ifndef CHARLLM_SCALE_SYMMETRY_HH
+#define CHARLLM_SCALE_SYMMETRY_HH
+
+#include <string>
+
+namespace charllm {
+namespace scale {
+
+/**
+ * Arithmetic of the node-aligned DP fold, for Megatron rank order
+ * dev = t + tp*(k + dp*p) with t in [0,tp), k in [0,dp), p in [0,pp).
+ *
+ * The instantiated (physical) devices are exactly the k==0 members,
+ * renumbered densely: s = t + tp*p. All mappings below are pure
+ * index arithmetic so they are usable from hot paths.
+ */
+struct SymmetryFold
+{
+    int tp = 1;
+    int dp = 1;
+    int pp = 1;
+    int gpusPerNode = 1;
+
+    int logicalWorld() const { return tp * dp * pp; }
+    int physWorld() const { return tp * pp; }
+    int physNodes() const { return (tp * pp) / gpusPerNode; }
+    int multiplicity() const { return dp; }
+
+    /** True iff logical device @p d belongs to the representative
+     *  replica (dpIdx == 0) and is therefore instantiated. */
+    bool instantiated(int d) const { return ((d / tp) % dp) == 0; }
+
+    /** Physical (dense) id of the representative of logical @p d. */
+    int repOf(int d) const { return d % tp + tp * (d / (tp * dp)); }
+
+    /** Logical id of physical device @p s (its dpIdx==0 pre-image). */
+    int logicalOf(int s) const { return s % tp + tp * dp * (s / tp); }
+
+    /** Logical id of the replica-@p k image of physical @p s. */
+    int imageOf(int s, int k) const
+    {
+        return s % tp + tp * (k + dp * (s / tp));
+    }
+};
+
+/**
+ * Why collapse did or did not happen, surfaced in ExperimentResult
+ * and the report JSON so benches and tests can assert on it.
+ */
+struct SymmetryDecision
+{
+    bool requested = false;
+    bool collapsed = false;
+    /** Human-readable refusal reason ("" when collapsed or not
+     *  requested). */
+    std::string reason;
+    int logicalWorld = 0;
+    int physicalWorld = 0;
+    int multiplicity = 1;
+    /** Event-dispatch domains (1 + physical nodes) when partitioned
+     *  execution is active, else 1. */
+    int domains = 1;
+};
+
+/**
+ * Decides whether a config's DP replicas are provably symmetric.
+ * Deliberately decoupled from core::ExperimentConfig: the caller
+ * (DesBackend) flattens the config into this plain input.
+ */
+class SymmetryAnalyzer
+{
+  public:
+    struct Input
+    {
+        int tp = 1;
+        int dp = 1;
+        int pp = 1;
+        int ep = 1;
+        int gpusPerNode = 1;
+        bool moe = false;
+        bool faults = false;           //!< any fault scenario
+        bool resilience = false;       //!< resil subsystem enabled
+        bool powerCaps = false;        //!< per-node power caps
+        bool devicePermutation = false; //!< placement permutation
+        bool requested = false;        //!< cfg.symmetryCollapse
+    };
+
+    /** Analyze @p in; on success fills @p fold (node-aligned tier). */
+    static SymmetryDecision analyze(const Input& in, SymmetryFold* fold)
+    {
+        SymmetryDecision d;
+        d.requested = in.requested;
+        d.logicalWorld = in.tp * in.dp * in.pp;
+        d.physicalWorld = d.logicalWorld;
+        if (!in.requested)
+            return d;
+        const char* reason = refusalReason(in);
+        if (reason != nullptr) {
+            d.reason = reason;
+            return d;
+        }
+        d.collapsed = true;
+        d.physicalWorld = in.tp * in.pp;
+        d.multiplicity = in.dp;
+        if (fold != nullptr) {
+            fold->tp = in.tp;
+            fold->dp = in.dp;
+            fold->pp = in.pp;
+            fold->gpusPerNode = in.gpusPerNode;
+        }
+        return d;
+    }
+
+  private:
+    /** nullptr = symmetric; else the refusal reason. Conditions are
+     *  exhaustive and documented in DESIGN.md §12. */
+    static const char* refusalReason(const Input& in)
+    {
+        if (in.dp < 2)
+            return "dp < 2: nothing to collapse";
+        if (in.ep > 1)
+            return "expert parallelism breaks replica symmetry";
+        if (in.moe)
+            return "MoE per-rank routing imbalance breaks symmetry";
+        if (in.faults)
+            return "fault injection targets individual ranks";
+        if (in.resilience)
+            return "resilience rollback state is per-rank";
+        if (in.powerCaps)
+            return "node power caps break thermal symmetry";
+        if (in.devicePermutation)
+            return "device permutation breaks placement symmetry";
+        if (in.gpusPerNode <= 0 || in.tp % in.gpusPerNode != 0)
+            return "tp not node-aligned: DP peers share nodes";
+        return nullptr;
+    }
+};
+
+} // namespace scale
+} // namespace charllm
+
+#endif // CHARLLM_SCALE_SYMMETRY_HH

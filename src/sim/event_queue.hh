@@ -273,7 +273,7 @@ class EventQueue
         record.fn = std::move(fn);
         record.when = when;
         record.live = true;
-        heap.push_back(HeapEntry{when, nextSeq++, slot});
+        heap.push_back(HeapEntry{when, (*seqPtr)++, slot});
         siftUp(heap.size() - 1);
         ++liveCount;
         return EventHandle(this, slot, record.generation);
@@ -284,6 +284,46 @@ class EventQueue
     schedule(Tick delay, EventFn fn)
     {
         return scheduleAt(currentTick + delay, std::move(fn));
+    }
+
+    /**
+     * Share one monotone sequence counter across several queues.
+     * Partitioned execution (sim::Simulator domains) runs one queue
+     * per network domain; a shared counter makes the global
+     * (when, seq) order identical to the single-queue schedule, which
+     * is what keeps partitioned runs byte-identical to serial ones.
+     * Must be called before any event is scheduled on this queue.
+     */
+    void
+    shareSequence(std::uint64_t* counter)
+    {
+        CHARLLM_ASSERT(heap.empty() && slabCount == 0,
+                       "shareSequence after events were scheduled");
+        seqPtr = counter;
+    }
+
+    /**
+     * Report the next live event without firing it. Prunes cancelled
+     * heap tops as a side effect. Returns false when no live event
+     * remains; otherwise fills @p when / @p seq with the head's
+     * firing time and global sequence number.
+     */
+    bool
+    peekNext(Tick* when, std::uint64_t* seq)
+    {
+        while (!heap.empty()) {
+            const HeapEntry& top = heap.front();
+            if (!recordAt(top.slot).live) {
+                HeapEntry dead = popTop();
+                --cancelledInHeap;
+                freeSlot(dead.slot);
+                continue;
+            }
+            *when = top.when;
+            *seq = top.seq;
+            return true;
+        }
+        return false;
     }
 
     /** Any live events pending? */
@@ -563,6 +603,11 @@ class EventQueue
 
     Tick currentTick = 0;
     std::uint64_t nextSeq = 0;
+    /** Sequence source: this queue's own counter by default, or a
+     *  counter shared across domain queues (shareSequence). The
+     *  self-reference is safe: EventQueue is non-copyable and
+     *  non-movable, so the address never goes stale. */
+    std::uint64_t* seqPtr = &nextSeq;
     std::size_t liveCount = 0;
     std::size_t cancelledInHeap = 0;
     std::uint64_t compactions = 0;

@@ -2,11 +2,24 @@
  * @file
  * Simulator facade: owns the event queue and provides periodic tickers
  * (used for thermal integration and telemetry sampling) plus run control.
+ *
+ * Partitioned execution (ROADMAP item 1): partition() splits the
+ * event population into per-network-domain queues (domain 0 = the
+ * global/engine domain, domains 1..N = per-node scale-up fabrics).
+ * dispatchNext() advances the domain holding the globally earliest
+ * event through a conservative time window: it may fire events
+ * back-to-back from one domain as long as they stay strictly earlier
+ * than every other domain's head and nothing was cross-inserted into
+ * another domain. All queues share one sequence counter, so the
+ * global (when, seq) order — and therefore every simulation output —
+ * is byte-identical to the single-queue serial schedule.
  */
 
 #ifndef CHARLLM_SIM_SIMULATOR_HH
 #define CHARLLM_SIM_SIMULATOR_HH
 
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -22,25 +35,81 @@ namespace sim {
 class Simulator
 {
   public:
-    Simulator() = default;
+    Simulator() { events.shareSequence(&seqCounter); }
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
 
     EventQueue& queue() { return events; }
+    const EventQueue& queue() const { return events; }
 
-    Tick now() const { return events.now(); }
-    double nowSeconds() const { return toSeconds(events.now()); }
+    Tick now() const
+    {
+        return shards.empty() ? events.now() : globalTick;
+    }
+    double nowSeconds() const { return toSeconds(now()); }
 
     EventHandle
     schedule(Tick delay, EventFn fn)
     {
-        return events.schedule(delay, std::move(fn));
+        return scheduleOn(events, now() + delay, std::move(fn));
     }
 
     EventHandle
     scheduleAt(Tick when, EventFn fn)
     {
-        return events.scheduleAt(when, std::move(fn));
+        return scheduleOn(events, when, std::move(fn));
+    }
+
+    /**
+     * Split event dispatch into @p domains queues (domain 0 included;
+     * pass 1 + numNodes for per-node partitioning). Must be called
+     * before any simulation work is scheduled into the node domains.
+     */
+    void
+    partition(int domains)
+    {
+        CHARLLM_ASSERT(shards.empty(), "partition() called twice");
+        CHARLLM_ASSERT(domains >= 1, "need at least domain 0");
+        for (int i = 1; i < domains; ++i) {
+            shards.push_back(std::make_unique<EventQueue>());
+            shards.back()->shareSequence(&seqCounter);
+        }
+    }
+
+    /** Number of dispatch domains (1 when unpartitioned). */
+    int numDomains() const
+    {
+        return 1 + static_cast<int>(shards.size());
+    }
+
+    /** Queue of domain @p i (0 = the global/engine domain). */
+    EventQueue&
+    domainQueue(int i)
+    {
+        return i == 0 ? events : *shards[static_cast<std::size_t>(i - 1)];
+    }
+
+    const EventQueue&
+    domainQueue(int i) const
+    {
+        return i == 0 ? events : *shards[static_cast<std::size_t>(i - 1)];
+    }
+
+    /**
+     * Schedule @p fn in dispatch domain @p domain, @p delay from now.
+     * Domain <= 0, out-of-range, or an unpartitioned simulator all
+     * fall back to the global queue, so callers can pass a domain
+     * unconditionally.
+     */
+    EventHandle
+    scheduleInDomain(int domain, Tick delay, EventFn fn)
+    {
+        EventQueue& q =
+            (domain <= 0 ||
+             domain > static_cast<int>(shards.size()))
+                ? events
+                : *shards[static_cast<std::size_t>(domain - 1)];
+        return scheduleOn(q, now() + delay, std::move(fn));
     }
 
     /**
@@ -61,6 +130,16 @@ class Simulator
     /** Number of registered periodic tickers. */
     std::size_t numTickers() const { return tickers.size(); }
 
+    /** Live events pending across all domains. */
+    std::size_t
+    totalPending() const
+    {
+        std::size_t n = events.numPending();
+        for (const auto& s : shards)
+            n += s->numPending();
+        return n;
+    }
+
     /**
      * Run the simulation until no non-ticker work remains. Periodic
      * tickers re-arm only while other events are pending.
@@ -68,7 +147,12 @@ class Simulator
     void
     run()
     {
-        while (events.runOne()) {
+        if (shards.empty()) {
+            while (events.runOne()) {
+            }
+            return;
+        }
+        while (dispatchNext()) {
         }
     }
 
@@ -76,7 +160,23 @@ class Simulator
     void
     runUntil(Tick until)
     {
-        events.runUntil(until);
+        if (shards.empty()) {
+            events.runUntil(until);
+            return;
+        }
+        for (;;) {
+            Tick bw = 0;
+            std::uint64_t bs = 0;
+            EventQueue* best = earliest(&bw, &bs, nullptr, nullptr);
+            if (best == nullptr || bw > until)
+                break;
+            globalTick = bw;
+            active = best;
+            best->runOne();
+            active = nullptr;
+        }
+        if (until > globalTick)
+            globalTick = until;
     }
 
   private:
@@ -87,6 +187,94 @@ class Simulator
         EventHandle handle;
     };
 
+    EventHandle
+    scheduleOn(EventQueue& q, Tick when, EventFn fn)
+    {
+        if (&q != active)
+            ++crossInserts;
+        return q.scheduleAt(when, std::move(fn));
+    }
+
+    /**
+     * Find the domain queue holding the globally earliest live event.
+     * Fills (@p when, @p seq) for it and, when requested, the
+     * runner-up head in (@p when2, @p seq2) — the conservative window
+     * bound. Returns nullptr when every queue is empty.
+     */
+    EventQueue*
+    earliest(Tick* when, std::uint64_t* seq, Tick* when2,
+             std::uint64_t* seq2)
+    {
+        EventQueue* best = nullptr;
+        Tick bw = 0;
+        std::uint64_t bs = 0;
+        Tick sw = std::numeric_limits<Tick>::max();
+        std::uint64_t ss = std::numeric_limits<std::uint64_t>::max();
+        const int n = numDomains();
+        for (int i = 0; i < n; ++i) {
+            EventQueue& q = domainQueue(i);
+            Tick w;
+            std::uint64_t s;
+            if (!q.peekNext(&w, &s))
+                continue;
+            if (best == nullptr || w < bw || (w == bw && s < bs)) {
+                sw = bw;
+                ss = bs;
+                if (best == nullptr) {
+                    sw = std::numeric_limits<Tick>::max();
+                    ss = std::numeric_limits<std::uint64_t>::max();
+                }
+                best = &q;
+                bw = w;
+                bs = s;
+            } else if (w < sw || (w == sw && s < ss)) {
+                sw = w;
+                ss = s;
+            }
+        }
+        if (best != nullptr) {
+            *when = bw;
+            *seq = bs;
+            if (when2 != nullptr) {
+                *when2 = sw;
+                *seq2 = ss;
+            }
+        }
+        return best;
+    }
+
+    /**
+     * Fire the globally next event, then keep firing from the same
+     * domain while its head stays strictly ahead of every other
+     * domain's cached head and no event was inserted into another
+     * domain (cross-inserts could create an earlier head there;
+     * cancellations only push heads later, so the cached bound stays
+     * conservative). Returns false once all domains are drained.
+     */
+    bool
+    dispatchNext()
+    {
+        Tick bw = 0, sw = 0;
+        std::uint64_t bs = 0, ss = 0;
+        EventQueue* best = earliest(&bw, &bs, &sw, &ss);
+        if (best == nullptr)
+            return false;
+        for (;;) {
+            globalTick = bw;
+            active = best;
+            const std::uint64_t xi = crossInserts;
+            best->runOne();
+            active = nullptr;
+            if (crossInserts != xi)
+                break;
+            if (!best->peekNext(&bw, &bs))
+                break;
+            if (bw > sw || (bw == sw && bs > ss))
+                break;
+        }
+        return true;
+    }
+
     void
     armTicker(Ticker* t)
     {
@@ -94,18 +282,29 @@ class Simulator
         // Ticker for the Simulator's lifetime, and the event queue is
         // destroyed (callbacks dropped, never invoked) alongside it.
         ++pendingTickerEvents;
-        t->handle = events.schedule(t->period, [this, t] {
+        t->handle = schedule(t->period, [this, t] {
             --pendingTickerEvents;
             t->fn();
             // Re-arm only while non-ticker work remains; otherwise
             // tickers would keep the simulation (and each other)
             // alive forever.
-            if (events.numPending() > pendingTickerEvents)
+            if (totalPending() > pendingTickerEvents)
                 armTicker(t);
         });
     }
 
     EventQueue events;
+    /** Sequence counter shared by every domain queue: one global
+     *  (when, seq) total order across domains. */
+    std::uint64_t seqCounter = 0;
+    /** Per-node domain queues (empty = unpartitioned). */
+    std::vector<std::unique_ptr<EventQueue>> shards;
+    /** Global clock when partitioned (shard clocks trail it). */
+    Tick globalTick = 0;
+    /** Domain currently dispatching (window-staleness tracking). */
+    EventQueue* active = nullptr;
+    /** Bumped whenever an event lands outside the active domain. */
+    std::uint64_t crossInserts = 0;
     std::vector<std::unique_ptr<Ticker>> tickers;
     std::size_t pendingTickerEvents = 0;
 };

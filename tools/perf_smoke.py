@@ -15,6 +15,15 @@ Runs two quick workloads against a Release build:
    itself gates per-metric relative error; this script additionally
    enforces the hard >=100x analytical speedup floor from the bench's
    JSON artifact (the floor is absolute, not baseline-relative).
+4. bench_fig22_datacenter_projection --backend=des --symmetry=on:
+   mechanistic collapsed-DES runs at logical worlds up to 65536. The
+   bench gates byte-determinism and the projector/analytical
+   cross-checks itself; this script re-checks the determinism bits in
+   the artifact and enforces two absolute collapse contracts: the
+   aggregate event rate at the largest world must clear
+   COLLAPSED_RATE_FLOOR, and peak RSS must stay under
+   FIG22_RSS_CAP_KB (memory O(distinct ranks) — a full instantiation
+   of 65536 ranks would blow the cap immediately).
 
 Writes every measurement (plus the committed baseline, the
 current/baseline ratios, and the self-profiling counters) to
@@ -49,10 +58,23 @@ MICRO_METRICS = {
     "BM_EventQueueScheduleRun/16384": "events_per_sec_16384",
     "BM_FlowNetworkContention/512": "flow_contention_per_sec_512",
     "BM_FlowNetworkRecompute/256": "flow_recompute_per_sec_256",
+    "BM_CollapsedTrainingIteration/1024": "events_per_sec_world1024",
+    "BM_CollapsedTrainingIteration/16384": "events_per_sec_world16384",
+    "BM_CollapsedTrainingIteration/65536": "events_per_sec_world65536",
 }
 
+# Absolute floor for the collapsed engine's aggregate event rate
+# (physical pops x DP multiplicity) at a 65536-GPU logical world —
+# the rank-symmetry-collapse contract, not a baseline-relative gate.
+COLLAPSED_RATE_FLOOR = 1.0e7
+
+# Peak-RSS ceiling for the mechanistic fig22 runs (KiB). Collapsed
+# runs measure ~70 MB; a full instantiation of a 65536-rank world
+# would exceed this by orders of magnitude.
+FIG22_RSS_CAP_KB = 2_000_000
+
 # Wall-clock metrics (seconds, lower = better).
-WALL_METRICS = {"table2_wall_seconds"}
+WALL_METRICS = {"table2_wall_seconds", "fig22_wall_seconds"}
 
 
 def run_micro(build: Path) -> dict[str, float]:
@@ -141,6 +163,63 @@ def run_xval(build: Path, threads: int,
     return {"backend_xval_speedup": float(report["speedup"])}, report
 
 
+def run_fig22(build: Path, threads: int,
+              artifact_path: Path) -> tuple[dict[str, float], dict]:
+    exe = build / "bench" / "bench_fig22_datacenter_projection"
+    if not exe.exists():
+        print(f"perf_smoke: {exe} not found (build the bench targets)",
+              file=sys.stderr)
+        sys.exit(2)
+    start = time.monotonic()
+    proc = subprocess.run(
+        [str(exe), f"--threads={threads}", "--backend=des",
+         "--symmetry=on", f"--out={artifact_path}"],
+        capture_output=True, text=True)
+    wall = time.monotonic() - start
+    if proc.returncode != 0:
+        print("perf_smoke: mechanistic fig22 failed "
+              f"(exit {proc.returncode}):", file=sys.stderr)
+        print(proc.stdout + proc.stderr, file=sys.stderr)
+        sys.exit(1)
+    try:
+        report = json.loads(artifact_path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_smoke: bad fig22 artifact {artifact_path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    runs = report.get("runs", [])
+    if not runs:
+        print("perf_smoke: fig22 artifact has no runs", file=sys.stderr)
+        sys.exit(1)
+    problems = []
+    for run in runs:
+        if not run.get("deterministic", False):
+            problems.append(
+                f"  world {run.get('world')}: not byte-deterministic")
+        if run.get("peak_rss_kb", 0) > FIG22_RSS_CAP_KB:
+            problems.append(
+                f"  world {run.get('world')}: peak RSS "
+                f"{run.get('peak_rss_kb')} KiB exceeds the "
+                f"{FIG22_RSS_CAP_KB} KiB collapse cap")
+    largest = max(runs, key=lambda r: r.get("world", 0))
+    rate = float(largest.get("aggregate_events_per_sec", 0.0))
+    if rate < COLLAPSED_RATE_FLOOR:
+        problems.append(
+            f"  world {largest.get('world')}: aggregate rate "
+            f"{rate:.3g} ev/s below the {COLLAPSED_RATE_FLOOR:.0e} "
+            "floor")
+    if problems:
+        print("perf_smoke: mechanistic fig22 contract violations:",
+              file=sys.stderr)
+        print("\n".join(problems), file=sys.stderr)
+        sys.exit(1)
+    metrics = {
+        "fig22_wall_seconds": wall,
+        "fig22_events_per_sec_world65536": rate,
+    }
+    return metrics, report
+
+
 def check_counters(sim_metrics: dict) -> list[str]:
     counters = sim_metrics.get("counters", {})
     problems = []
@@ -205,6 +284,10 @@ def main() -> int:
         build, args.threads,
         Path(args.output).with_suffix(".xval.json"))
     metrics.update(xval_metrics)
+    fig22_metrics, fig22_report = run_fig22(
+        build, args.threads,
+        Path(args.output).with_suffix(".fig22.json"))
+    metrics.update(fig22_metrics)
 
     counter_problems = check_counters(sim_metrics)
     if counter_problems:
@@ -217,6 +300,14 @@ def main() -> int:
     if speedup < XVAL_SPEEDUP_FLOOR:
         print(f"perf_smoke: analytical backend speedup {speedup:.0f}x "
               f"is below the {XVAL_SPEEDUP_FLOOR:.0f}x floor",
+              file=sys.stderr)
+        return 1
+
+    collapsed_rate = metrics["events_per_sec_world65536"]
+    if collapsed_rate < COLLAPSED_RATE_FLOOR:
+        print(f"perf_smoke: collapsed aggregate event rate "
+              f"{collapsed_rate:.3g} ev/s at world 65536 is below "
+              f"the {COLLAPSED_RATE_FLOOR:.0e} floor",
               file=sys.stderr)
         return 1
 
@@ -245,6 +336,7 @@ def main() -> int:
         "current_over_baseline": ratios,
         "self_profile": sim_metrics,
         "backend_xval": xval_report,
+        "fig22_mechanistic": fig22_report,
     }
     Path(args.output).write_text(json.dumps(artifact, indent=2,
                                             sort_keys=True) + "\n")

@@ -55,10 +55,12 @@ HEAP_TOKENS = {
 DEFAULT_HOT_ROOTS = [
     "EventQueue::runOne",
     "EventQueue::runUntil",
+    "EventQueue::peekNext",
     "FlowNetwork::startFlow",
     "FlowNetwork::progress",
     "FlowNetwork::recompute",
     "FlowNetwork::onCompletionEvent",
+    "Simulator::dispatchNext",
 ]
 
 
