@@ -5,41 +5,86 @@
  * more than 4x slower, straggling the entire training pipeline. This
  * bench injects per-node power caps and measures how locally-slow
  * GPUs propagate through synchronous parallelism.
+ *
+ * Every capped run also executes with causal critical-path tracing and
+ * asserts the attribution is mechanistically right: the faulty node's
+ * GPUs must carry more critical-path time than the healthy nodes (the
+ * straggler IS the path). `--critical-path=FILE` dumps the first
+ * capped run's cause-tree report, plus the matching clean run's report
+ * to FILE.clean, so `tools/rundiff.py FILE.clean FILE` explains the
+ * fault as a straggler regression on the capped node's ranks.
  */
 
 #include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
 
 #include "bench_util.hh"
 #include "common/strings.hh"
+#include "obs/critical_path.hh"
 
 using namespace charllm;
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto flags = benchutil::sweepFlags(argc, argv);
     benchutil::banner("Ablation",
                       "Node power fault -> cluster-wide stragglers "
                       "(GPT3-30B, H200)");
 
+    const bool critpath = flags.backend == sim::BackendKind::Des;
+    if (!critpath)
+        std::fprintf(stderr,
+                     "critical-path attribution needs the DES backend "
+                     "(the analytical backend has no event timeline); "
+                     "skipping the straggler-dominance checks\n");
+
     auto cluster = core::h200Cluster();
     TextTable t({"config", "fault", "iter(s)", "slowdown",
-                 "faulty-node clock", "healthy clock"});
+                 "faulty-node clock", "healthy clock",
+                 "faulty-node path share"});
 
+    auto writeReport = [](const std::string& path,
+                          const std::string& label,
+                          const std::string& reportJson) {
+        std::ofstream out(path, std::ios::binary);
+        if (out && (out << "{\"label\":\"" << jsonEscape(label)
+                        << "\",\"critical_path\":" << reportJson
+                        << "}"))
+            std::printf("wrote critical-path report: %s\n",
+                        path.c_str());
+        else
+            std::fprintf(stderr,
+                         "failed to write critical-path report: %s\n",
+                         path.c_str());
+    };
+
+    int violations = 0;
+    bool wroteCritPath = false;
     for (const auto& par :
          {parallel::ParallelConfig::forWorld(32, 8, 4),
           parallel::ParallelConfig::forWorld(32, 2, 16),
           parallel::ParallelConfig::forWorld(32, 2, 1)}) {
         double healthy_iter = 0.0;
+        std::shared_ptr<obs::CriticalPathReport> cleanReport;
+        std::string cleanLabel;
         for (double cap : {0.0, 400.0, 150.0}) {
             auto cfg = benchutil::sweepConfig(cluster,
                                               model::gpt3_30b(), par);
+            cfg.backend = flags.backend;
+            cfg.enableCriticalPath = critpath;
             if (cap > 0.0)
                 cfg.nodePowerCaps = {{1, cap}};
             auto r = core::Experiment::run(cfg);
             if (!r.feasible)
                 continue;
-            if (cap == 0.0)
+            if (cap == 0.0) {
                 healthy_iter = r.avgIterationSeconds;
+                cleanReport = r.critPath;
+                cleanLabel = r.label;
+            }
             double faulty_clk = 0.0, ok_clk = 0.0;
             for (int g = 0; g < 32; ++g) {
                 if (g / 8 == 1)
@@ -49,6 +94,43 @@ main()
                     ok_clk += r.gpus[static_cast<std::size_t>(g)]
                                   .avgClockGhz;
             }
+            // Path share of the faulty node: how much of the mean
+            // critical path is attributed to node 1's GPUs (devices
+            // 8..15). Under a deep cap this must exceed the healthy
+            // nodes' combined share — the straggler dominates the
+            // extracted path or the attribution is wrong.
+            std::string share = "-";
+            if (critpath && r.critPath) {
+                double faulty_s = 0.0, healthy_s = 0.0;
+                for (int g = 0; g < 32; ++g) {
+                    double s = r.critPath->deviceSeconds(g);
+                    (g / 8 == 1 ? faulty_s : healthy_s) += s;
+                }
+                double attributed = faulty_s + healthy_s;
+                share = attributed > 0.0
+                            ? strprintf("%.0f%%", 100.0 * faulty_s /
+                                                      attributed)
+                            : std::string("-");
+                if (cap > 0.0 && faulty_s <= healthy_s) {
+                    std::fprintf(
+                        stderr,
+                        "VIOLATION: %s node1 @ %.0f W/GPU: faulty "
+                        "node carries %.6fs of the mean critical "
+                        "path vs %.6fs for the 3 healthy nodes\n",
+                        par.label().c_str(), cap, faulty_s,
+                        healthy_s);
+                    ++violations;
+                }
+                if (cap > 0.0 && !wroteCritPath &&
+                    !flags.critPathPath.empty()) {
+                    writeReport(flags.critPathPath, r.label,
+                                r.critPath->toJson());
+                    if (cleanReport)
+                        writeReport(flags.critPathPath + ".clean",
+                                    cleanLabel, cleanReport->toJson());
+                    wroteCritPath = true;
+                }
+            }
             t.addRow({par.label(),
                       cap > 0.0 ? strprintf("node1 @ %.0f W/GPU", cap)
                                 : std::string("none"),
@@ -56,7 +138,7 @@ main()
                       strprintf("%.2fx", r.avgIterationSeconds /
                                              healthy_iter),
                       formatFixed(faulty_clk / 8.0, 2) + " GHz",
-                      formatFixed(ok_clk / 24.0, 2) + " GHz"});
+                      formatFixed(ok_clk / 24.0, 2) + " GHz", share});
         }
         t.addSeparator();
     }
@@ -65,6 +147,14 @@ main()
         "\nExpected: the capped node's GPUs throttle deeply; every\n"
         "synchronous configuration slows toward the faulty node's\n"
         "pace (the paper's >4x incident), with deep-PP configs\n"
-        "partially absorbing the skew in pipeline bubbles.\n");
+        "partially absorbing the skew in pipeline bubbles. The\n"
+        "critical-path tracer attributes the path to the faulty\n"
+        "node's GPUs (straggler wait + slowed compute).\n");
+    if (violations > 0) {
+        std::fprintf(stderr,
+                     "%d straggler-dominance violation(s)\n",
+                     violations);
+        return 1;
+    }
     return 0;
 }

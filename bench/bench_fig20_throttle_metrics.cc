@@ -12,6 +12,7 @@
  * three metrics along with throttling.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hh"
@@ -21,8 +22,9 @@ using namespace charllm;
 using benchutil::sweepConfig;
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto flags = benchutil::sweepFlags(argc, argv);
     benchutil::banner("Figure 20",
                       "Throttling vs occupancy / warps / threadblocks "
                       "(H200)");
@@ -42,7 +44,49 @@ main()
             configs.push_back(cc);
         }
     }
-    auto rows = benchutil::runSweep(configs);
+    auto rows = benchutil::runSweep(configs, flags);
+
+    // With --critical-path, the first config carries a causal
+    // attribution report; cross-check it against the telemetry: the
+    // GPU the tracer charges the most thermal-throttle path
+    // elongation to must be (nearly) the hottest one. Tolerant by
+    // 1C — thermally-tied neighbours legitimately trade places on
+    // the path.
+    int violations = 0;
+    if (!rows.empty() && rows.front().result.feasible &&
+        rows.front().result.critPath) {
+        const auto& r = rows.front().result;
+        const auto& cp = *r.critPath;
+        int throttled = -1;
+        double worst = 0.0;
+        for (const auto& [dev, slots] : cp.meanDeviceThrottleSeconds) {
+            double thermal = slots[static_cast<std::size_t>(
+                obs::ThrottleSlot::Thermal)];
+            if (dev >= 0 && thermal > worst) {
+                worst = thermal;
+                throttled = dev;
+            }
+        }
+        if (throttled >= 0) {
+            double hottest = 0.0;
+            for (const auto& g : r.gpus)
+                hottest = std::max(hottest, g.avgTempC);
+            double at = r.gpus[static_cast<std::size_t>(throttled)]
+                            .avgTempC;
+            std::printf("\ncritical path: GPU%d carries the most "
+                        "thermal-throttle elongation (%.6fs/iter, "
+                        "avg %.1fC; cluster-hottest avg %.1fC)\n",
+                        throttled, worst, at, hottest);
+            if (at + 1.0 < hottest) {
+                std::fprintf(stderr,
+                             "VIOLATION: thermal-throttle path "
+                             "attribution picked GPU%d (avg %.1fC) "
+                             "but the hottest GPU averages %.1fC\n",
+                             throttled, at, hottest);
+                ++violations;
+            }
+        }
+    }
 
     TextTable t({"model", "config", "throttle", "occupancy",
                  "warps/SM", "threadblocks"});
@@ -70,5 +114,5 @@ main()
                   formatFixed(blocks / n, 0)});
     }
     t.print();
-    return 0;
+    return violations > 0 ? 1 : 0;
 }

@@ -177,6 +177,35 @@ BM_TinyTrainingIteration(benchmark::State& state)
 BENCHMARK(BM_TinyTrainingIteration);
 
 void
+BM_TrainingIteration(benchmark::State& state)
+{
+    // Full DES training iteration with causal critical-path tracing
+    // off (Arg 0) vs on (Arg 1). Items = popped events, so the two
+    // arms' items/sec ratio is the recorder's overhead; the disabled
+    // arm must stay within 2% of the enabled arm (gated by
+    // tools/perf_smoke.py, ISSUE 9 acceptance).
+    const bool critpath = state.range(0) != 0;
+    core::ExperimentConfig cfg;
+    cfg.cluster = core::h200Cluster(1);
+    cfg.model = microModel();
+    cfg.par = parallel::ParallelConfig::forWorld(8, 2, 4);
+    cfg.train.globalBatchSize = 8;
+    cfg.warmupIterations = 0;
+    cfg.measuredIterations = 2;
+    cfg.checkMemory = false;
+    cfg.enableCriticalPath = critpath;
+    std::uint64_t popped = 0;
+    for (auto _ : state) {
+        auto r = core::Experiment::run(cfg);
+        popped += r.counters.eventsPopped;
+        benchmark::DoNotOptimize(r.avgIterationSeconds);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(popped));
+    state.counters["critpath"] = critpath ? 1.0 : 0.0;
+}
+BENCHMARK(BM_TrainingIteration)->Arg(0)->Arg(1);
+
+void
 BM_CollapsedTrainingIteration(benchmark::State& state)
 {
     // World scaling under rank-symmetry collapse: one full training

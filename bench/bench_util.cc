@@ -90,6 +90,15 @@ runSweep(std::vector<core::ExperimentConfig> configs,
     if (!flags.tracePath.empty() && !tracing)
         std::fprintf(stderr, "--trace needs the DES backend; no trace "
                              "will be written\n");
+    bool critpath = !flags.critPathPath.empty() && !configs.empty() &&
+                    flags.backend == sim::BackendKind::Des;
+    if (critpath)
+        configs.front().enableCriticalPath = true;
+    if (!flags.critPathPath.empty() && !critpath)
+        std::fprintf(stderr,
+                     "--critical-path needs the DES backend (the "
+                     "analytical backend has no event timeline to "
+                     "trace); no report will be written\n");
 
     obs::MetricsRegistry registry;
     core::SweepRunner runner(flags.threads);
@@ -104,6 +113,20 @@ runSweep(std::vector<core::ExperimentConfig> configs,
         else
             std::fprintf(stderr, "failed to write trace: %s\n",
                          flags.tracePath.c_str());
+    }
+    if (critpath) {
+        const core::ExperimentResult& front = results.front();
+        if (front.critPath &&
+            writeText(flags.critPathPath,
+                      "{\"label\":\"" + jsonEscape(front.label) +
+                          "\",\"critical_path\":" +
+                          front.critPath->toJson() + "}"))
+            std::printf("wrote critical-path report: %s\n",
+                        flags.critPathPath.c_str());
+        else
+            std::fprintf(stderr,
+                         "failed to write critical-path report: %s\n",
+                         flags.critPathPath.c_str());
     }
     if (!flags.metricsPath.empty()) {
         if (writeText(flags.metricsPath, registry.toJson()))
@@ -148,6 +171,8 @@ printUsage(const char* prog, const std::vector<ExtraFlag>& extra,
                       "trace of the first config\n");
     std::fprintf(out, "  --metrics=FILE    write the self-profiling "
                       "metrics registry dump\n");
+    std::fprintf(out, "  --critical-path=FILE  write the causal "
+                      "critical-path report of the first config\n");
     std::fprintf(out, "  --backend=KIND    fidelity backend: des "
                       "(default) or analytical\n");
     for (const auto& f : extra)
@@ -183,6 +208,15 @@ sweepFlags(int argc, char** argv, const std::vector<ExtraFlag>& extra)
         if (arg.rfind("--metrics=", 0) == 0) {
             flags.metricsPath = arg.substr(10);
             if (flags.metricsPath.empty()) {
+                std::fprintf(stderr, "empty path in '%s'\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            continue;
+        }
+        if (arg.rfind("--critical-path=", 0) == 0) {
+            flags.critPathPath = arg.substr(16);
+            if (flags.critPathPath.empty()) {
                 std::fprintf(stderr, "empty path in '%s'\n",
                              arg.c_str());
                 std::exit(2);

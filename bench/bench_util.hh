@@ -57,6 +57,10 @@ struct SweepFlags
     int threads = 0;         //!< --threads=N / -jN (0 = auto)
     std::string tracePath;   //!< --trace=FILE: unified Perfetto JSON
     std::string metricsPath; //!< --metrics=FILE: self-profiling dump
+    /** --critical-path=FILE: causal critical-path report JSON of the
+     *  first config (DES backend only; refused with a message on the
+     *  analytical backend, which has no event timeline to trace). */
+    std::string critPathPath;
     /** --backend=des|analytical: fidelity backend for every config. */
     sim::BackendKind backend = sim::BackendKind::Des;
 };
@@ -67,6 +71,10 @@ struct SweepFlags
  *    kernel trace and telemetry sampler enabled and its merged
  *    Perfetto timeline (kernel spans + counter tracks + fault
  *    overlays + iteration markers) is written there;
+ *  - with flags.critPathPath set, the first configuration runs with
+ *    causal critical-path tracing and the attribution report
+ *    ({"label":...,"critical_path":{...}}, the tools/rundiff.py input
+ *    format) is written there;
  *  - with flags.metricsPath set, the sweep self-profiles (event-queue
  *    / flow-solver counters, per-task wall times) and the metrics
  *    registry dump is written there.

@@ -4,9 +4,9 @@
  * telemetry the way the paper's modified Zeus does — through the
  * (simulated) NVML API and a periodic sampler — then writes the
  * Zeus-style CSV, a Chakra-style Chrome trace, the unified Perfetto
- * timeline (kernels + counter tracks + iteration markers on one
- * clock), a phase/energy attribution summary, and the simulator's
- * self-profiling metrics dump.
+ * timeline (kernels + counter tracks + iteration markers + causal
+ * critical-path segments on one clock), a phase/energy attribution
+ * summary, and the simulator's self-profiling metrics dump.
  *
  * Outputs: ./telemetry.csv, ./kernel_trace.json,
  *          ./unified_trace.json, ./metrics.json
@@ -21,6 +21,7 @@
 #include "core/cluster.hh"
 #include "hw/platform.hh"
 #include "net/flow_network.hh"
+#include "obs/critical_path.hh"
 #include "obs/metrics.hh"
 #include "obs/phase.hh"
 #include "obs/trace_builder.hh"
@@ -65,6 +66,8 @@ main()
                             double dur) {
         trace.record(dev, cls, name, start, dur);
     });
+    obs::CriticalPathRecorder critpath(platform.numGpus());
+    engine.setCriticalPath(&critpath);
 
     std::printf("Training %s on %d x %s with Zeus-style telemetry...\n",
                 m.name.c_str(), platform.numGpus(),
@@ -121,8 +124,41 @@ main()
         unified.addRunSpan("iteration", name, span.startSec,
                            span.endSec - span.startSec);
     }
+    obs::CriticalPathReport critReport = critpath.analyze();
+    for (const auto& iter : critReport.iterations) {
+        for (const auto& seg : iter.segments) {
+            std::string name = obs::causeClassName(seg.cause);
+            if (seg.dev >= 0)
+                name += " gpu" + std::to_string(seg.dev);
+            unified.addRunSpan("critical_path", name, seg.startSec,
+                               seg.endSec - seg.startSec);
+        }
+    }
     if (unified.writeTo("unified_trace.json"))
         std::printf("wrote unified_trace.json (open in Perfetto)\n");
+
+    // Causal attribution: what the critical path is made of, averaged
+    // over the measured iterations.
+    std::printf("\nCritical path (mean over %d measured iterations, "
+                "wall %s/iter):\n",
+                critReport.measuredIterations,
+                formatSeconds(critReport.meanWallSeconds).c_str());
+    for (std::size_t c = 0; c < obs::kNumCauseClasses; ++c) {
+        double s = critReport.meanCauseSeconds[c];
+        if (s <= 0.0)
+            continue;
+        std::printf("  %-24s %s (%.1f%%)\n",
+                    obs::causeClassName(
+                        static_cast<obs::CauseClass>(c)),
+                    formatSeconds(s).c_str(),
+                    100.0 * s / critReport.meanWallSeconds);
+    }
+    int dominant = critReport.dominantDevice();
+    if (dominant >= 0)
+        std::printf("  dominant device: GPU%d (%s/iter on the path)\n",
+                    dominant,
+                    formatSeconds(
+                        critReport.deviceSeconds(dominant)).c_str());
 
     // Phase attribution: where did the time and energy go?
     std::vector<std::vector<telemetry::Sample>> series;

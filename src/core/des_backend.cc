@@ -112,6 +112,15 @@ DesBackend::execute()
     if (collapsed)
         engine.setFold(&fold);
 
+    std::unique_ptr<obs::CriticalPathRecorder> critpath;
+    if (cfg.enableCriticalPath) {
+        critpath = std::make_unique<obs::CriticalPathRecorder>(
+            platform.numGpus());
+        if (collapsed)
+            critpath->setFold(true, fold.multiplicity());
+        engine.setCriticalPath(critpath.get());
+    }
+
     std::unique_ptr<faults::FaultInjector> injector;
     if (!cfg.faultScenario.empty()) {
         injector = std::make_unique<faults::FaultInjector>(
@@ -279,6 +288,10 @@ DesBackend::execute()
             injector->overlayOnTrace(*trace);
     }
     result.iterationSpans = engine.iterationSpans();
+    if (critpath) {
+        result.critPath = std::make_shared<obs::CriticalPathReport>(
+            critpath->analyze());
+    }
     if (recovery) {
         result.goodput = recovery->finalize(result.series);
         result.goodputValid = true;

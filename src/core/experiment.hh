@@ -81,6 +81,17 @@ struct ExperimentConfig
      */
     resil::ResilienceConfig resilience;
 
+    /**
+     * Causal critical-path tracing (DES backend only; the analytical
+     * backend has no event timeline to trace and ignores the flag).
+     * Attaches an obs::CriticalPathRecorder to the engine and fills
+     * ExperimentResult::critPath; the simulation itself stays
+     * byte-identical (the recorder is passive). Composes with
+     * symmetryCollapse: representatives carry DP multiplicity and the
+     * report is marked folded (DESIGN.md §13).
+     */
+    bool enableCriticalPath = false;
+
     bool enableSampler = false;
     double samplePeriodSec = 0.01;
     /** Sampler retention cap per GPU (0 = unbounded); past the cap
@@ -162,6 +173,9 @@ struct ExperimentResult
     std::vector<std::vector<telemetry::Sample>> series;
     /** Kernel trace (null unless enableTrace). */
     std::shared_ptr<telemetry::KernelTrace> trace;
+    /** Critical-path attribution (null unless enableCriticalPath on
+     *  the DES backend). */
+    std::shared_ptr<obs::CriticalPathReport> critPath;
     /** Realized fault intervals (empty unless a scenario was set). */
     std::vector<faults::FaultRecord> faultLog;
     /** Every completed iteration (warmup included), for the unified

@@ -177,6 +177,21 @@ unifiedTraceJson(const ExperimentResult& result)
                                seg.startSec, seg.endSec - seg.startSec);
         }
     }
+    if (result.critPath) {
+        // One span per critical-path segment, named by cause class
+        // (plus the attributed GPU when one exists). Segments are
+        // emitted in iteration order and are intra-iteration sorted,
+        // so the track satisfies the per-track time-sort contract.
+        for (const auto& iter : result.critPath->iterations) {
+            for (const auto& seg : iter.segments) {
+                std::string name = obs::causeClassName(seg.cause);
+                if (seg.dev >= 0)
+                    name += " gpu" + std::to_string(seg.dev);
+                builder.addRunSpan("critical_path", name, seg.startSec,
+                                   seg.endSec - seg.startSec);
+            }
+        }
+    }
     return builder.toJson();
 }
 
@@ -220,6 +235,8 @@ runReportJson(const ExperimentResult& result)
         os << ",\"phases\":" << phaseReport(result).toJson();
     if (result.goodputValid)
         os << ",\"goodput\":" << result.goodput.toJson();
+    if (result.critPath)
+        os << ",\"critical_path\":" << result.critPath->toJson();
     os << ",\"metrics\":" << registry.toJson() << '}';
     return os.str();
 }
@@ -257,6 +274,8 @@ writeReports(const ExperimentResult& result,
     }
     if (result.goodputValid)
         emit("_goodput.csv", result.goodput.toCsv());
+    if (result.critPath)
+        emit("_critpath.csv", result.critPath->toCsv());
     emitText("_report.json", runReportJson(result));
     return written;
 }

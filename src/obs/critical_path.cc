@@ -1,0 +1,753 @@
+#include "obs/critical_path.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace charllm {
+namespace obs {
+
+namespace {
+
+/// Contiguity / identity tolerance (seconds, relative to >=1 s).
+constexpr double kTol = 1e-9;
+
+bool
+closeEnough(double a, double b)
+{
+    return std::abs(a - b) <= kTol * std::max(1.0, std::max(std::abs(a),
+                                                            std::abs(b)));
+}
+
+} // namespace
+
+const char*
+causeClassName(CauseClass cause)
+{
+    switch (cause) {
+      case CauseClass::Startup:
+        return "startup";
+      case CauseClass::Compute:
+        return "compute";
+      case CauseClass::CommCollScaleup:
+        return "comm.collective.scaleup";
+      case CauseClass::CommCollInternode:
+        return "comm.collective.internode";
+      case CauseClass::CommP2PScaleup:
+        return "comm.p2p.scaleup";
+      case CauseClass::CommP2PInternode:
+        return "comm.p2p.internode";
+      case CauseClass::WaitStraggler:
+        return "wait.straggler";
+      case CauseClass::BubblePipeline:
+        return "bubble.pipeline";
+    }
+    return "unknown";
+}
+
+const char*
+throttleSlotName(ThrottleSlot slot)
+{
+    switch (slot) {
+      case ThrottleSlot::Thermal:
+        return "thermal";
+      case ThrottleSlot::PowerCap:
+        return "power_cap";
+      case ThrottleSlot::Fault:
+        return "fault";
+    }
+    return "unknown";
+}
+
+CriticalPathRecorder::CriticalPathRecorder(int numDevices,
+                                           std::size_t reserveRecords)
+{
+    CHARLLM_CHECK(numDevices > 0, "recorder needs at least one device");
+    heads.assign(static_cast<std::size_t>(numDevices), -1);
+    records.reserve(reserveRecords);
+    memberEdges.reserve(reserveRecords);
+    iterations.reserve(64);
+}
+
+void
+CriticalPathRecorder::setFold(bool foldedRun, int foldMultiplicity)
+{
+    folded = foldedRun;
+    multiplicity = foldMultiplicity;
+}
+
+void
+CriticalPathRecorder::beginIteration(int index, bool warmup,
+                                     double startSec)
+{
+    CHARLLM_ASSERT(iterations.empty() || !iterations.back().open,
+                   "beginIteration with an iteration still open");
+    IterMark mark;
+    mark.index = index;
+    mark.warmup = warmup;
+    mark.aborted = false;
+    mark.open = true;
+    mark.startSec = startSec;
+    mark.endSec = startSec;
+    mark.firstRecord = records.size();
+    mark.endRecord = records.size();
+    iterations.push_back(mark);
+    std::fill(heads.begin(), heads.end(), -1);
+}
+
+void
+CriticalPathRecorder::endIteration(double endSec, bool aborted)
+{
+    CHARLLM_ASSERT(!iterations.empty() && iterations.back().open,
+                   "endIteration without an open iteration");
+    IterMark& mark = iterations.back();
+    mark.open = false;
+    mark.aborted = aborted;
+    mark.endSec = endSec;
+    mark.endRecord = records.size();
+}
+
+int
+CriticalPathRecorder::pushRecord(const Record& record)
+{
+    int id = static_cast<int>(records.size());
+    records.push_back(record);
+    return id;
+}
+
+int
+CriticalPathRecorder::onComputeDone(int dev, double startSec,
+                                    double endSec, const char* name,
+                                    int pred,
+                                    const double (&slow)[kNumThrottleSlots])
+{
+    Record rec;
+    rec.startSec = startSec;
+    rec.endSec = endSec;
+    rec.windowSec = -1.0;
+    for (std::size_t i = 0; i < kNumThrottleSlots; ++i)
+        rec.slow[i] = slow[i];
+    rec.name = name;
+    rec.pred = pred;
+    rec.memberBegin = -1;
+    rec.memberCount = 0;
+    rec.dev = static_cast<std::int16_t>(dev);
+    rec.dev2 = -1;
+    rec.kind = EdgeKind::Compute;
+    rec.internode = false;
+    int id = pushRecord(rec);
+    setHead(dev, id);
+    return id;
+}
+
+int
+CriticalPathRecorder::onCollectiveDone(
+    const std::vector<std::pair<int, double>>& arrivals,
+    const std::vector<int>& causes, double endSec, const char* name,
+    bool internode)
+{
+    CHARLLM_ASSERT(!arrivals.empty() && causes.size() == arrivals.size(),
+                   "collective record needs aligned arrivals/causes");
+    // The launch is gated by the last arriver; ties resolve to the
+    // earliest join (deterministic: arrivals is the engine's join
+    // order). The second-latest arrival bounds the straggler window.
+    std::size_t last = 0;
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+        if (arrivals[i].second > arrivals[last].second)
+            last = i;
+    }
+    double launch = arrivals[last].second;
+    double second = -1.0;
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        if (i != last && arrivals[i].second > second)
+            second = arrivals[i].second;
+    }
+
+    Record rec;
+    rec.startSec = launch;
+    rec.endSec = endSec;
+    rec.windowSec = arrivals.size() >= 2 ? second : -1.0;
+    for (std::size_t i = 0; i < kNumThrottleSlots; ++i)
+        rec.slow[i] = 0.0;
+    rec.name = name;
+    rec.pred = causes[last];
+    rec.memberBegin = static_cast<std::int32_t>(memberEdges.size());
+    rec.memberCount = static_cast<std::int32_t>(arrivals.size());
+    rec.dev = static_cast<std::int16_t>(arrivals[last].first);
+    rec.dev2 = -1;
+    rec.kind = EdgeKind::Collective;
+    rec.internode = internode;
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        MemberEdge edge;
+        edge.pred = causes[i];
+        edge.arrivalSec = arrivals[i].second;
+        edge.dev = static_cast<std::int16_t>(arrivals[i].first);
+        memberEdges.push_back(edge);
+    }
+    return pushRecord(rec);
+}
+
+int
+CriticalPathRecorder::onP2PDone(int src, int dst, double flowStartSec,
+                                double endSec, const char* name,
+                                int pred, double recvPostedSec,
+                                bool internode)
+{
+    Record rec;
+    rec.startSec = flowStartSec;
+    rec.endSec = endSec;
+    rec.windowSec = recvPostedSec;
+    for (std::size_t i = 0; i < kNumThrottleSlots; ++i)
+        rec.slow[i] = 0.0;
+    rec.name = name;
+    rec.pred = pred;
+    rec.memberBegin = -1;
+    rec.memberCount = 0;
+    rec.dev = static_cast<std::int16_t>(src);
+    rec.dev2 = static_cast<std::int16_t>(dst);
+    rec.kind = EdgeKind::P2P;
+    rec.internode = internode;
+    return pushRecord(rec);
+}
+
+namespace {
+
+struct OverrideWindow
+{
+    double startSec;
+    double endSec;
+    CauseClass cause;
+    int dev;
+    int record;
+};
+
+bool
+windowOrder(const OverrideWindow& a, const OverrideWindow& b)
+{
+    if (a.startSec != b.startSec)
+        return a.startSec < b.startSec;
+    if (a.endSec != b.endSec)
+        return a.endSec < b.endSec;
+    return a.dev < b.dev;
+}
+
+} // namespace
+
+void
+CriticalPathRecorder::analyzeIteration(const IterMark& mark,
+                                       IterCritPath& out,
+                                       Histogram& slackHist) const
+{
+    out.index = mark.index;
+    out.warmup = mark.warmup;
+    out.aborted = mark.aborted;
+    out.startSec = mark.startSec;
+    out.endSec = mark.endSec;
+    if (mark.aborted)
+        return; // Partial iterations carry no complete causal chain.
+
+    double wall = mark.endSec - mark.startSec;
+    if (mark.firstRecord == mark.endRecord) {
+        if (wall > 0.0) {
+            out.segments.push_back({mark.startSec, mark.endSec,
+                                    CauseClass::Startup, -1, -1});
+            out.causeSeconds[static_cast<std::size_t>(
+                CauseClass::Startup)] += wall;
+            out.deviceSeconds[-1] += wall;
+        }
+        return;
+    }
+
+    // Sink: latest-ending record; ties resolve to the latest-created
+    // one (the record whose completion actually closed the iteration).
+    std::size_t sink = mark.firstRecord;
+    for (std::size_t i = mark.firstRecord; i < mark.endRecord; ++i) {
+        if (records[i].endSec >= records[sink].endSec)
+            sink = i;
+    }
+    CHARLLM_ASSERT(closeEnough(records[sink].endSec, mark.endSec),
+                   "iteration sink ends at ", records[sink].endSec,
+                   " but the iteration closed at ", mark.endSec);
+
+    // Backward walk along binding predecessors. Records are created
+    // at completion, so predecessor ids are strictly smaller and the
+    // walk terminates; adjacent path records are exactly contiguous.
+    std::vector<int> chain;
+    int cursor = static_cast<int>(sink);
+    while (cursor >= 0) {
+        CHARLLM_ASSERT(
+            cursor >= static_cast<int>(mark.firstRecord) &&
+                cursor < static_cast<int>(mark.endRecord),
+            "critical-path predecessor escapes its iteration");
+        chain.push_back(cursor);
+        int pred = records[static_cast<std::size_t>(cursor)].pred;
+        if (pred >= 0) {
+            const Record& cur = records[static_cast<std::size_t>(cursor)];
+            const Record& prev = records[static_cast<std::size_t>(pred)];
+            CHARLLM_ASSERT(pred < cursor,
+                           "predecessor created after its successor");
+            CHARLLM_ASSERT(closeEnough(prev.endSec, cur.startSec),
+                           "path discontinuity: predecessor ends at ",
+                           prev.endSec, ", successor starts at ",
+                           cur.startSec);
+        }
+        cursor = pred;
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    // Base timeline: an optional startup gap, then one segment per
+    // chain record (contiguous by the assertion above).
+    struct BaseSeg
+    {
+        double startSec;
+        double endSec;
+        CauseClass cause;
+        int dev;
+        int record;
+    };
+    std::vector<BaseSeg> base;
+    double firstStart =
+        records[static_cast<std::size_t>(chain.front())].startSec;
+    CHARLLM_ASSERT(firstStart >= mark.startSec - kTol,
+                   "path begins before the iteration");
+    if (firstStart > mark.startSec)
+        base.push_back({mark.startSec, firstStart, CauseClass::Startup,
+                        -1, -1});
+    for (int id : chain) {
+        const Record& rec = records[static_cast<std::size_t>(id)];
+        CauseClass cause = CauseClass::Compute;
+        int dev = rec.dev;
+        switch (rec.kind) {
+          case EdgeKind::Compute:
+            cause = CauseClass::Compute;
+            break;
+          case EdgeKind::Collective:
+            cause = rec.internode ? CauseClass::CommCollInternode
+                                  : CauseClass::CommCollScaleup;
+            dev = -1; // Wire time is the network's, not a device's.
+            break;
+          case EdgeKind::P2P:
+            cause = rec.internode ? CauseClass::CommP2PInternode
+                                  : CauseClass::CommP2PScaleup;
+            dev = -1;
+            break;
+        }
+        if (rec.endSec > rec.startSec)
+            base.push_back({rec.startSec, rec.endSec, cause, dev, id});
+    }
+    if (base.empty()) {
+        // Every chain record is zero-length; the whole wall (if any)
+        // is pre-path time.
+        if (wall > 0.0)
+            base.push_back({mark.startSec, mark.endSec,
+                            CauseClass::Startup, -1, -1});
+        else
+            return;
+    }
+    // Close any representation gap so the partition spans the wall
+    // exactly (the last record on the chain is the sink).
+    base.back().endSec = mark.endSec;
+
+    // Override windows: reclassify upstream path time that was really
+    // spent waiting. Straggler windows (collective members idling
+    // between the second-latest and latest arrival) take precedence
+    // over pipeline bubbles (receiver blocked before the flow began);
+    // within a tier, earlier windows claim overlaps first.
+    std::vector<OverrideWindow> stragglers;
+    std::vector<OverrideWindow> bubbles;
+    for (int id : chain) {
+        const Record& rec = records[static_cast<std::size_t>(id)];
+        if (rec.windowSec < 0.0)
+            continue;
+        double lo = std::max(rec.windowSec, mark.startSec);
+        double hi = rec.startSec;
+        if (lo >= hi)
+            continue;
+        if (rec.kind == EdgeKind::Collective)
+            stragglers.push_back(
+                {lo, hi, CauseClass::WaitStraggler, rec.dev, id});
+        else if (rec.kind == EdgeKind::P2P)
+            bubbles.push_back(
+                {lo, hi, CauseClass::BubblePipeline, rec.dev2, id});
+    }
+    std::sort(stragglers.begin(), stragglers.end(), windowOrder);
+    std::sort(bubbles.begin(), bubbles.end(), windowOrder);
+
+    // Elementary-interval partition: every base-segment and window
+    // boundary becomes a cut point, so each elementary interval has
+    // one base class and at most one winning override.
+    std::vector<double> cuts;
+    cuts.reserve(base.size() * 2 + (stragglers.size() + bubbles.size()) * 2);
+    for (const BaseSeg& seg : base) {
+        cuts.push_back(seg.startSec);
+        cuts.push_back(seg.endSec);
+    }
+    auto clipCut = [&](double t) {
+        cuts.push_back(std::min(std::max(t, mark.startSec), mark.endSec));
+    };
+    for (const OverrideWindow& win : stragglers) {
+        clipCut(win.startSec);
+        clipCut(win.endSec);
+    }
+    for (const OverrideWindow& win : bubbles) {
+        clipCut(win.startSec);
+        clipCut(win.endSec);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    std::size_t basePos = 0;
+    double covered = 0.0;
+    for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+        double lo = cuts[c];
+        double hi = cuts[c + 1];
+        if (hi <= lo)
+            continue;
+        while (basePos + 1 < base.size() && base[basePos].endSec <= lo)
+            ++basePos;
+        const BaseSeg& seg = base[basePos];
+        CauseClass cause = seg.cause;
+        int dev = seg.dev;
+        int record = seg.record;
+        const OverrideWindow* winner = nullptr;
+        for (const OverrideWindow& win : stragglers) {
+            if (win.startSec <= lo && hi <= win.endSec) {
+                winner = &win;
+                break;
+            }
+        }
+        if (winner == nullptr) {
+            for (const OverrideWindow& win : bubbles) {
+                if (win.startSec <= lo && hi <= win.endSec) {
+                    winner = &win;
+                    break;
+                }
+            }
+        }
+        if (winner != nullptr) {
+            cause = winner->cause;
+            dev = winner->dev;
+            record = winner->record;
+        }
+        if (!out.segments.empty() &&
+            out.segments.back().cause == cause &&
+            out.segments.back().dev == dev &&
+            out.segments.back().record == record &&
+            out.segments.back().endSec == lo) {
+            out.segments.back().endSec = hi;
+        } else {
+            out.segments.push_back({lo, hi, cause, dev, record});
+        }
+        out.causeSeconds[static_cast<std::size_t>(cause)] += hi - lo;
+        out.deviceSeconds[dev] += hi - lo;
+        covered += hi - lo;
+    }
+    CHARLLM_ASSERT(
+        std::abs(covered - wall) <= kTol * std::max(1.0, wall),
+        "critical-path identity violated: segments cover ", covered,
+        " s of a ", wall, " s iteration");
+
+    // Throttle-induced slowdown: a cross-cutting annotation on path
+    // compute records (how much longer each kernel ran than it would
+    // have at full clocks), reported per DVFS reason and device. Not
+    // part of the time-axis identity.
+    for (int id : chain) {
+        const Record& rec = records[static_cast<std::size_t>(id)];
+        if (rec.kind != EdgeKind::Compute)
+            continue;
+        double span = rec.endSec - rec.startSec;
+        for (std::size_t s = 0; s < kNumThrottleSlots; ++s) {
+            double lost = std::min(rec.slow[s], span);
+            if (lost <= 0.0)
+                continue;
+            out.throttleSeconds[s] += lost;
+            out.deviceThrottleSeconds[rec.dev][s] += lost;
+        }
+    }
+
+    // Per-op slack: CPM backward pass. Binding-predecessor edges have
+    // zero weight; member-arrival edges carry the launch wait; every
+    // record may also slip to the iteration end. Non-negative by
+    // induction (all record ends precede the iteration end).
+    std::size_t n = mark.endRecord - mark.firstRecord;
+    std::vector<double> slack(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        slack[i] = std::max(
+            0.0, mark.endSec - records[mark.firstRecord + i].endSec);
+    }
+    for (std::size_t i = n; i-- > 0;) {
+        const Record& rec = records[mark.firstRecord + i];
+        auto relax = [&](int pred, double weight) {
+            if (pred < 0)
+                return;
+            std::size_t p =
+                static_cast<std::size_t>(pred) - mark.firstRecord;
+            slack[p] = std::min(slack[p],
+                                slack[i] + std::max(0.0, weight));
+        };
+        relax(rec.pred,
+              rec.startSec -
+                  (rec.pred >= 0
+                       ? records[static_cast<std::size_t>(rec.pred)]
+                             .endSec
+                       : 0.0));
+        for (std::int32_t m = 0; m < rec.memberCount; ++m) {
+            const MemberEdge& edge = memberEdges[static_cast<std::size_t>(
+                rec.memberBegin + m)];
+            relax(edge.pred, rec.startSec - edge.arrivalSec);
+        }
+    }
+    if (!mark.warmup) {
+        for (std::size_t i = 0; i < n; ++i)
+            slackHist.observe(slack[i]);
+    }
+}
+
+CriticalPathReport
+CriticalPathRecorder::analyze() const
+{
+    CriticalPathReport report;
+    report.folded = folded;
+    report.multiplicity = multiplicity;
+    report.numDevices = numDevices();
+    for (const IterMark& mark : iterations) {
+        if (mark.open)
+            continue; // Run ended mid-iteration; nothing complete.
+        report.iterations.emplace_back();
+        analyzeIteration(mark, report.iterations.back(), report.slack);
+    }
+    for (const IterCritPath& iter : report.iterations) {
+        if (iter.warmup || iter.aborted)
+            continue;
+        ++report.measuredIterations;
+        report.meanWallSeconds += iter.wallSeconds();
+        for (std::size_t c = 0; c < kNumCauseClasses; ++c)
+            report.meanCauseSeconds[c] += iter.causeSeconds[c];
+        for (const auto& [dev, sec] : iter.deviceSeconds)
+            report.meanDeviceSeconds[dev] += sec;
+        for (std::size_t s = 0; s < kNumThrottleSlots; ++s)
+            report.meanThrottleSeconds[s] += iter.throttleSeconds[s];
+        for (const auto& [dev, slots] : iter.deviceThrottleSeconds) {
+            for (std::size_t s = 0; s < kNumThrottleSlots; ++s)
+                report.meanDeviceThrottleSeconds[dev][s] += slots[s];
+        }
+    }
+    if (report.measuredIterations > 0) {
+        double inv = 1.0 / report.measuredIterations;
+        report.meanWallSeconds *= inv;
+        for (std::size_t c = 0; c < kNumCauseClasses; ++c)
+            report.meanCauseSeconds[c] *= inv;
+        for (auto& [dev, sec] : report.meanDeviceSeconds)
+            sec *= inv;
+        for (std::size_t s = 0; s < kNumThrottleSlots; ++s)
+            report.meanThrottleSeconds[s] *= inv;
+        for (auto& [dev, slots] : report.meanDeviceThrottleSeconds) {
+            for (std::size_t s = 0; s < kNumThrottleSlots; ++s)
+                slots[s] *= inv;
+        }
+    }
+    return report;
+}
+
+int
+CriticalPathReport::dominantDevice() const
+{
+    int best = -1;
+    double bestSec = 0.0;
+    for (const auto& [dev, sec] : meanDeviceSeconds) {
+        if (dev < 0)
+            continue;
+        if (best < 0 || sec > bestSec) {
+            best = dev;
+            bestSec = sec;
+        }
+    }
+    return best;
+}
+
+double
+CriticalPathReport::deviceSeconds(int dev) const
+{
+    auto it = meanDeviceSeconds.find(dev);
+    return it == meanDeviceSeconds.end() ? 0.0 : it->second;
+}
+
+namespace {
+
+void
+emitCauses(std::ostringstream& os,
+           const std::array<double, kNumCauseClasses>& causes)
+{
+    os << '{';
+    for (std::size_t c = 0; c < kNumCauseClasses; ++c) {
+        if (c > 0)
+            os << ',';
+        os << '"' << causeClassName(static_cast<CauseClass>(c))
+           << "\":" << formatDouble(causes[c], 17);
+    }
+    os << '}';
+}
+
+void
+emitThrottle(std::ostringstream& os,
+             const std::array<double, kNumThrottleSlots>& slots)
+{
+    os << '{';
+    for (std::size_t s = 0; s < kNumThrottleSlots; ++s) {
+        if (s > 0)
+            os << ',';
+        os << '"' << throttleSlotName(static_cast<ThrottleSlot>(s))
+           << "\":" << formatDouble(slots[s], 17);
+    }
+    os << '}';
+}
+
+void
+emitDevices(
+    std::ostringstream& os, const std::map<int, double>& deviceSeconds,
+    const std::map<int, std::array<double, kNumThrottleSlots>>& throttle)
+{
+    os << '[';
+    bool first = true;
+    for (const auto& [dev, sec] : deviceSeconds) {
+        if (dev < 0)
+            continue; // -1 is network/startup; visible via causes.
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"gpu\":" << dev
+           << ",\"path_s\":" << formatDouble(sec, 17);
+        auto it = throttle.find(dev);
+        for (std::size_t s = 0; s < kNumThrottleSlots; ++s) {
+            double lost =
+                it == throttle.end() ? 0.0 : it->second[s];
+            os << ",\"throttle_"
+               << throttleSlotName(static_cast<ThrottleSlot>(s))
+               << "_s\":" << formatDouble(lost, 17);
+        }
+        os << '}';
+    }
+    os << ']';
+}
+
+} // namespace
+
+std::string
+CriticalPathReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"folded\":" << (folded ? "true" : "false")
+       << ",\"multiplicity\":" << multiplicity
+       << ",\"num_devices\":" << numDevices
+       << ",\"measured_iterations\":" << measuredIterations
+       << ",\"mean\":{\"wall_s\":" << formatDouble(meanWallSeconds, 17)
+       << ",\"causes\":";
+    emitCauses(os, meanCauseSeconds);
+    os << ",\"throttle\":";
+    emitThrottle(os, meanThrottleSeconds);
+    os << ",\"devices\":";
+    emitDevices(os, meanDeviceSeconds, meanDeviceThrottleSeconds);
+    os << "},\"slack\":{\"count\":" << slack.count()
+       << ",\"sum\":" << formatDouble(slack.sum(), 17)
+       << ",\"min\":" << formatDouble(slack.min(), 17)
+       << ",\"max\":" << formatDouble(slack.max(), 17)
+       << ",\"mean\":" << formatDouble(slack.mean(), 17)
+       << ",\"p50\":" << formatDouble(slack.quantile(0.50), 17)
+       << ",\"p90\":" << formatDouble(slack.quantile(0.90), 17)
+       << ",\"p99\":" << formatDouble(slack.quantile(0.99), 17)
+       << "},\"iterations\":[";
+    bool first = true;
+    for (const IterCritPath& iter : iterations) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"index\":" << iter.index
+           << ",\"warmup\":" << (iter.warmup ? "true" : "false")
+           << ",\"aborted\":" << (iter.aborted ? "true" : "false")
+           << ",\"start_s\":" << formatDouble(iter.startSec, 17)
+           << ",\"wall_s\":" << formatDouble(iter.wallSeconds(), 17)
+           << ",\"causes\":";
+        emitCauses(os, iter.causeSeconds);
+        os << ",\"throttle\":";
+        emitThrottle(os, iter.throttleSeconds);
+        os << ",\"devices\":";
+        emitDevices(os, iter.deviceSeconds, iter.deviceThrottleSeconds);
+        os << '}';
+    }
+    os << "]}";
+    return os.str();
+}
+
+CsvWriter
+CriticalPathReport::toCsv() const
+{
+    CsvWriter csv;
+    csv.header({"iteration", "warmup", "aborted", "cause", "gpu",
+                "seconds"});
+    auto row = [&](int iteration, bool warmup, bool aborted,
+                   const std::string& cause, int dev, double seconds) {
+        csv.beginRow();
+        csv.cell(iteration);
+        csv.cell(warmup ? 1 : 0);
+        csv.cell(aborted ? 1 : 0);
+        csv.cell(cause);
+        csv.cell(dev);
+        csv.cell(seconds);
+        csv.endRow();
+    };
+    for (const IterCritPath& iter : iterations) {
+        row(iter.index, iter.warmup, iter.aborted, "wall", -1,
+            iter.wallSeconds());
+        for (std::size_t c = 0; c < kNumCauseClasses; ++c) {
+            row(iter.index, iter.warmup, iter.aborted,
+                causeClassName(static_cast<CauseClass>(c)), -1,
+                iter.causeSeconds[c]);
+        }
+        for (const auto& [dev, sec] : iter.deviceSeconds) {
+            if (dev < 0)
+                continue;
+            row(iter.index, iter.warmup, iter.aborted, "device.path",
+                dev, sec);
+        }
+        for (const auto& [dev, slots] : iter.deviceThrottleSeconds) {
+            for (std::size_t s = 0; s < kNumThrottleSlots; ++s) {
+                if (slots[s] <= 0.0)
+                    continue;
+                row(iter.index, iter.warmup, iter.aborted,
+                    std::string("device.throttle.") +
+                        throttleSlotName(static_cast<ThrottleSlot>(s)),
+                    dev, slots[s]);
+            }
+        }
+    }
+    // Measured-iteration means under the pseudo-iteration -1 so flat
+    // consumers need not re-aggregate.
+    row(-1, false, false, "wall", -1, meanWallSeconds);
+    for (std::size_t c = 0; c < kNumCauseClasses; ++c) {
+        row(-1, false, false,
+            causeClassName(static_cast<CauseClass>(c)), -1,
+            meanCauseSeconds[c]);
+    }
+    for (const auto& [dev, sec] : meanDeviceSeconds) {
+        if (dev < 0)
+            continue;
+        row(-1, false, false, "device.path", dev, sec);
+    }
+    for (const auto& [dev, slots] : meanDeviceThrottleSeconds) {
+        for (std::size_t s = 0; s < kNumThrottleSlots; ++s) {
+            if (slots[s] <= 0.0)
+                continue;
+            row(-1, false, false,
+                std::string("device.throttle.") +
+                    throttleSlotName(static_cast<ThrottleSlot>(s)),
+                dev, slots[s]);
+        }
+    }
+    return csv;
+}
+
+} // namespace obs
+} // namespace charllm

@@ -85,7 +85,10 @@ MetricsRegistry::toJson() const
            << ",\"sum\":" << formatDouble(h.sum(), 17)
            << ",\"min\":" << formatDouble(h.min(), 17)
            << ",\"max\":" << formatDouble(h.max(), 17)
-           << ",\"mean\":" << formatDouble(h.mean(), 17) << '}';
+           << ",\"mean\":" << formatDouble(h.mean(), 17)
+           << ",\"p50\":" << formatDouble(h.quantile(0.50), 17)
+           << ",\"p90\":" << formatDouble(h.quantile(0.90), 17)
+           << ",\"p99\":" << formatDouble(h.quantile(0.99), 17) << '}';
     }
     os << "}}";
     return os.str();

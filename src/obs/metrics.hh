@@ -113,6 +113,36 @@ class Histogram
         return std::ldexp(1.0, static_cast<int>(i) - 31);
     }
 
+    /**
+     * Quantile estimate from the log2 buckets, following the
+     * common::stats::Histogram convention (smallest bound such that
+     * at least @p q of the observations lie at or below it), clamped
+     * to the exact observed [min, max]. For positive data the
+     * estimate is within a factor of 2 of the true quantile — the
+     * bucket width; see tests/test_obs.cc for the cross-check against
+     * the fixed-bin histogram.
+     */
+    double
+    quantile(double q) const
+    {
+        if (observations == 0)
+            return 0.0;
+        if (q <= 0.0)
+            return min();
+        if (q >= 1.0)
+            return max();
+        double target = q * static_cast<double>(observations);
+        double seen = 0.0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            seen += static_cast<double>(buckets[i]);
+            if (seen >= target) {
+                double upper = bucketUpperBound(i);
+                return std::min(std::max(upper, minimum), maximum);
+            }
+        }
+        return max();
+    }
+
   private:
     static std::size_t
     bucketOf(double value)

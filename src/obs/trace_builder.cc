@@ -142,8 +142,21 @@ TraceBuilder::toJson() const
     const int runPid = maxDevice + 1;
     const double horizon = horizonSec();
 
+    // Run-span categories ("iteration", "resilience",
+    // "critical_path", ...) each get their own thread in the run
+    // process, tid assigned in first-seen order, so every category is
+    // an independently time-sorted track (schema v2; v1 put all run
+    // spans on one thread, which broke the per-track sort contract as
+    // soon as two categories interleaved in time).
+    std::vector<std::string> runCats;
+    for (const auto& s : runSpans) {
+        if (std::find(runCats.begin(), runCats.end(), s.cat) ==
+            runCats.end())
+            runCats.push_back(s.cat);
+    }
+
     std::ostringstream os;
-    os << "{\"traceEvents\":[";
+    os << "{\"schemaVersion\":2,\"traceEvents\":[";
     bool first = true;
 
     // Track metadata: one process per GPU (pid == device id), with
@@ -163,7 +176,9 @@ TraceBuilder::toJson() const
     if (!runSpans.empty()) {
         emitMeta(os, first, "process_name", runPid, "name", "run");
         emitSortIndex(os, first, runPid, sortIndex++);
-        emitThreadName(os, first, runPid, 0, "iterations");
+        for (std::size_t t = 0; t < runCats.size(); ++t)
+            emitThreadName(os, first, runPid, static_cast<int>(t),
+                           runCats[t].c_str());
     }
 
     // Kernel spans, time-sorted per device. The stable sort keeps the
@@ -224,13 +239,27 @@ TraceBuilder::toJson() const
         }
     }
 
-    // Cluster-wide marker spans (iterations, restart windows).
-    for (const auto& s : runSpans) {
-        double dur = s.durSec >= 0.0
-                         ? s.durSec
-                         : std::max(horizon - s.startSec, 0.0);
-        emitSpan(os, first, s.name.c_str(), s.cat.c_str(), runPid, 0,
-                 s.startSec, dur);
+    // Cluster-wide marker spans (iterations, restart windows,
+    // critical-path segments), one thread per category, each track
+    // time-sorted (stable sort keeps insertion order on ties, so
+    // output stays byte-deterministic).
+    for (std::size_t t = 0; t < runCats.size(); ++t) {
+        std::vector<const RunSpan*> spans;
+        for (const auto& s : runSpans) {
+            if (s.cat == runCats[t])
+                spans.push_back(&s);
+        }
+        std::stable_sort(spans.begin(), spans.end(),
+                         [](const RunSpan* a, const RunSpan* b) {
+                             return a->startSec < b->startSec;
+                         });
+        for (const RunSpan* s : spans) {
+            double dur = s->durSec >= 0.0
+                             ? s->durSec
+                             : std::max(horizon - s->startSec, 0.0);
+            emitSpan(os, first, s->name.c_str(), s->cat.c_str(),
+                     runPid, static_cast<int>(t), s->startSec, dur);
+        }
     }
 
     os << "],\"displayTimeUnit\":\"ms\"}";

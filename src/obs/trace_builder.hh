@@ -7,9 +7,12 @@
  * simulated clock.
  *
  * Layout (see DESIGN.md "Observability architecture" for the full
- * schema): one Chrome "process" per GPU (pid == device id) holding a
- * "kernels" thread, a "faults" thread, and the GPU's counter tracks;
- * plus one trailing "run" process for cluster-wide marker spans.
+ * schema, stamped as top-level "schemaVersion": 2): one Chrome
+ * "process" per GPU (pid == device id) holding a "kernels" thread, a
+ * "faults" thread, and the GPU's counter tracks; plus one trailing
+ * "run" process for cluster-wide marker spans, one thread per span
+ * category ("iteration", "resilience", "critical_path", ...) so each
+ * category is an independently time-sorted track.
  * Open-ended fault spans are clipped to the trace horizon, kernel
  * spans are emitted time-sorted per device, and all strings are
  * JSON-escaped, so the output always parses and loads in Perfetto UI

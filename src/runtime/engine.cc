@@ -113,6 +113,11 @@ TrainingEngine::startIteration()
     ranksRemaining = world;
     iterationActive = true;
     iterStart = plat.simulator().nowSeconds();
+    if (critpath != nullptr) {
+        critpath->beginIteration(iteration,
+                                 iteration < opts.warmupIterations,
+                                 iterStart);
+    }
     double restart = pendingRestartSec;
     pendingRestartSec = 0.0;
     if (restart > 0.0) {
@@ -137,6 +142,8 @@ TrainingEngine::finishIteration()
     double now = plat.simulator().nowSeconds();
     double dur = now - iterStart;
     iterationActive = false;
+    if (critpath != nullptr)
+        critpath->endIteration(now, /*aborted=*/false);
     iterSpans.push_back(IterationSpan{
         iteration, iteration < opts.warmupIterations, iterStart, now,
         /*replay=*/iteration < maxCommitted, /*aborted=*/false});
@@ -261,6 +268,11 @@ TrainingEngine::startCompute(int dev, const Op& op)
     fl.startTime = now;
     fl.cls = op.cls;
     fl.name = op.name;
+    if (critpath != nullptr) {
+        fl.causeRec = critpath->head(dev);
+        fl.clockRelSnap = gpu.clockRel().value();
+        fl.reasonSnap = gpu.throttleReason();
+    }
     fl.gpuToken = gpu.kernelBegin(op.cls, sm_util, now);
     fl.completion =
         scheduleComputeDone(dev, fl.remainingNominal / fl.rate);
@@ -278,6 +290,11 @@ TrainingEngine::finishCompute(int dev)
     gpu.addKernelTime(slot->cls, Seconds(now - slot->startTime));
     emitTrace(dev, slot->cls, slot->name, slot->startTime,
               now - slot->startTime);
+    if (critpath != nullptr) {
+        foldThrottle(*slot, dev, now);
+        critpath->onComputeDone(dev, slot->startTime, now, slot->name,
+                                slot->causeRec, slot->slow);
+    }
     slot.reset();
     advance(dev);
 }
@@ -290,12 +307,43 @@ TrainingEngine::onClockChange(int dev, ClockRel clock)
 }
 
 void
+TrainingEngine::foldThrottle(InFlightCompute& fl, int dev, double now)
+{
+    double elapsed = now - fl.lastUpdate;
+    if (elapsed > 0.0 && fl.clockRelSnap < 1.0) {
+        // At relative clock c, a window of `elapsed` wall seconds did
+        // c*elapsed of full-clock work: the elongation this window
+        // contributed is (1-c)*elapsed, charged to the DVFS reason
+        // that held during it.
+        double lost = elapsed * (1.0 - fl.clockRelSnap);
+        switch (fl.reasonSnap) {
+          case hw::ThrottleReason::Thermal:
+            fl.slow[0] += lost;
+            break;
+          case hw::ThrottleReason::PowerCap:
+            fl.slow[1] += lost;
+            break;
+          case hw::ThrottleReason::Fault:
+            fl.slow[2] += lost;
+            break;
+          case hw::ThrottleReason::None:
+            break;
+        }
+    }
+    const hw::Gpu& gpu = plat.gpu(dev);
+    fl.clockRelSnap = gpu.clockRel().value();
+    fl.reasonSnap = gpu.throttleReason();
+}
+
+void
 TrainingEngine::retimeCompute(int dev)
 {
     auto& slot = inFlight[static_cast<std::size_t>(dev)];
     if (!slot.has_value())
         return;
     double now = plat.simulator().nowSeconds();
+    if (critpath != nullptr)
+        foldThrottle(*slot, dev, now);
     double elapsed = now - slot->lastUpdate;
     slot->remainingNominal =
         std::max(0.0, slot->remainingNominal - elapsed * slot->rate);
@@ -318,6 +366,8 @@ TrainingEngine::joinCollective(int dev, const Op& op)
     std::uint64_t token = gpu.kernelBegin(op.cls, 0.0, now);
     inst.arrivals.emplace_back(dev, now);
     inst.tokens.emplace_back(dev, token);
+    if (critpath != nullptr)
+        inst.causes.push_back(critpath->head(dev));
     inst.async = op.async;
     inst.cls = op.cls;
     inst.name = op.name;
@@ -423,6 +473,14 @@ TrainingEngine::onCollectiveDone(std::uint64_t key)
         // Contention relief: concurrent compute regains full rate.
         retimeCompute(dev);
     }
+    // Record before any advance: ops issued downstream must be able
+    // to adopt this completion as their causal head.
+    int rec = -1;
+    if (critpath != nullptr) {
+        rec = critpath->onCollectiveDone(inst.arrivals, inst.causes,
+                                         now, inst.name,
+                                         groupSpansNodes(inst.groupId));
+    }
     for (const auto& [dev, arr] : inst.arrivals) {
         auto& st = ranks[static_cast<std::size_t>(dev)];
         if (inst.async) {
@@ -431,9 +489,15 @@ TrainingEngine::onCollectiveDone(std::uint64_t key)
             --st.outstandingAsync;
             if (st.draining && st.outstandingAsync == 0) {
                 st.draining = false;
+                // The drain barrier was blocked on this completion.
+                if (critpath != nullptr)
+                    critpath->setHead(dev, rec);
                 advance(dev);
             }
         } else {
+            // Synchronous members resume only now.
+            if (critpath != nullptr)
+                critpath->setHead(dev, rec);
             advance(dev);
         }
     }
@@ -467,12 +531,29 @@ TrainingEngine::issueSend(int dev, const Op& op)
     req.chunked = op.chunked;
     int dst = peer;
     const char* name = op.name;
+    int sendCause = critpath != nullptr ? critpath->head(dev) : -1;
     req.onComplete = [this, dev, dst, ckey, seq, sid, token, now, name,
-                      e = epoch] {
+                      sendCause, e = epoch] {
         if (e != epoch)
             return;
         sends.erase(sid);
         double done = plat.simulator().nowSeconds();
+        // Record before any advance (sender drain-unblock or receiver
+        // wake): the flow's completion is their causal head. A
+        // receiver already blocked on this sequence number marks the
+        // pipeline-bubble window from its recv posting to the flow
+        // start.
+        int rec = -1;
+        if (critpath != nullptr) {
+            double posted = -1.0;
+            const Channel& chPeek = channels[ckey];
+            if (chPeek.waiting &&
+                std::get<0>(*chPeek.waiting) == seq)
+                posted = std::get<1>(*chPeek.waiting);
+            rec = critpath->onP2PDone(
+                dev, dst, now, done, name, sendCause, posted,
+                plat.nodeOf(dev) != plat.nodeOf(dst));
+        }
         // Sender side bookkeeping.
         hw::Gpu& src_gpu = plat.gpu(dev);
         src_gpu.kernelEnd(token, done);
@@ -486,6 +567,8 @@ TrainingEngine::issueSend(int dev, const Op& op)
         --sst.outstandingAsync;
         if (sst.draining && sst.outstandingAsync == 0) {
             sst.draining = false;
+            if (critpath != nullptr)
+                critpath->setHead(dev, rec);
             advance(dev);
         }
         // Receiver side: wake a blocked recv or buffer the arrival.
@@ -500,6 +583,8 @@ TrainingEngine::issueSend(int dev, const Op& op)
                                   Seconds(done - arr));
             emitTrace(dst, hw::KernelClass::SendRecv, "recv", arr,
                       done - arr);
+            if (critpath != nullptr)
+                critpath->setHead(dst, rec);
             advance(dst);
         } else {
             channel.ready.emplace(seq, done);
@@ -555,6 +640,8 @@ TrainingEngine::injectTransientStall(int dev, Seconds stall)
     // then add the stall at the current rate so the wall-clock pause
     // is exactly the stall duration.
     double now = plat.simulator().nowSeconds();
+    if (critpath != nullptr)
+        foldThrottle(*slot, dev, now);
     double elapsed = now - slot->lastUpdate;
     slot->remainingNominal =
         std::max(0.0, slot->remainingNominal - elapsed * slot->rate);
@@ -646,6 +733,8 @@ TrainingEngine::abortIteration(int rollback, double resume_at_s)
             iteration, iteration < opts.warmupIterations, iterStart,
             now, /*replay=*/iteration < maxCommitted,
             /*aborted=*/true});
+        if (critpath != nullptr)
+            critpath->endIteration(now, /*aborted=*/true);
     } else {
         // Failure detected inside a boundary pause: nothing was in
         // flight, the cancelled pendingStart is the only teardown.
@@ -661,6 +750,22 @@ TrainingEngine::abortIteration(int rollback, double resume_at_s)
             return;
         startIteration();
     });
+}
+
+bool
+TrainingEngine::groupSpansNodes(int groupId) const
+{
+    const auto& group =
+        program.groups[static_cast<std::size_t>(groupId)];
+    if (group.empty())
+        return false;
+    int per = plat.gpusPerNode();
+    int node0 = group.front() / per;
+    for (int member : group) {
+        if (member / per != node0)
+            return true;
+    }
+    return false;
 }
 
 void

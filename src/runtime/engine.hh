@@ -17,6 +17,7 @@
 #include "coll/collective_engine.hh"
 #include "hw/platform.hh"
 #include "net/flow_network.hh"
+#include "obs/critical_path.hh"
 #include "runtime/program_builder.hh"
 #include "scale/symmetry.hh"
 
@@ -100,6 +101,19 @@ class TrainingEngine
     void setResilienceController(ResilienceController* controller)
     {
         resil = controller;
+    }
+
+    /**
+     * Attach a causal critical-path recorder (nullptr = disabled; the
+     * default). The recorder is passive — it never schedules events or
+     * touches simulation state, so attaching one leaves results
+     * byte-identical — and every hook below is guarded by a null
+     * check, so the disabled path costs one branch per op completion.
+     * Must be set before run() and outlive it.
+     */
+    void setCriticalPath(obs::CriticalPathRecorder* recorder)
+    {
+        critpath = recorder;
     }
 
     /**
@@ -194,12 +208,23 @@ class TrainingEngine
         hw::KernelClass cls;
         const char* name = "";
         sim::EventHandle completion;
+        // Critical-path annotations, maintained only when a recorder
+        // is attached: the causal head at issue, plus the clock /
+        // throttle-reason state of the current residency window so
+        // throttle-induced elongation can be folded per DVFS reason
+        // at every retime point.
+        int causeRec = -1;
+        double clockRelSnap = 1.0;
+        hw::ThrottleReason reasonSnap = hw::ThrottleReason::None;
+        double slow[obs::kNumThrottleSlots] = {0.0, 0.0, 0.0};
     };
 
     struct CollectiveInstance
     {
         std::vector<std::pair<int, double>> arrivals; //!< (dev, time)
         std::vector<std::pair<int, std::uint64_t>> tokens;
+        std::vector<int> causes; //!< per-member head at join
+                                 //!< (critical path only)
         bool async = false;
         bool issued = false;
         hw::KernelClass cls = hw::KernelClass::AllReduce;
@@ -252,6 +277,17 @@ class TrainingEngine
     /** Re-time the in-flight compute op after a rate change. */
     void retimeCompute(int dev);
 
+    /** Fold the elapsed clock-residency window into the in-flight
+     *  op's per-reason throttle-elongation tally and re-snapshot the
+     *  device's clock/reason. Critical-path bookkeeping only; must be
+     *  called before lastUpdate moves. */
+    void foldThrottle(InFlightCompute& fl, int dev, double now);
+
+    /** True when @p groupId has members on more than one node
+     *  (logical ids; layout is node-uniform, so this matches the
+     *  physical link tier under symmetry collapse too). */
+    bool groupSpansNodes(int groupId) const;
+
     /**
      * Schedule a compute-completion event for @p dev. Under
      * partitioned execution compute events live in the device's node
@@ -301,6 +337,7 @@ class TrainingEngine
 
     ResilienceController* resil = nullptr;
     const scale::SymmetryFold* fold = nullptr;
+    obs::CriticalPathRecorder* critpath = nullptr;
     /** Abort epoch: network/collective completions cannot be cancelled
      *  (their flows run to completion), so every engine-side async
      *  callback captures the epoch at issue time and drops itself when

@@ -8,12 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
 #include "faults/scenarios.hh"
@@ -552,6 +555,48 @@ TEST(Metrics, HistogramStatsAndBuckets)
     EXPECT_EQ(h.bucketCount(33), 1u);
     EXPECT_EQ(h.bucketCount(31), 1u);
     EXPECT_DOUBLE_EQ(obs::Histogram::bucketUpperBound(32), 2.0);
+}
+
+TEST(Metrics, HistogramQuantilesCrossCheckFixedBins)
+{
+    // Cross-check the log2-bucket quantile estimate against the exact
+    // sample quantile and against common/stats.hh's fine fixed-bin
+    // Histogram on the same data. The log2 estimate returns a bucket
+    // upper bound, so for positive data it brackets the true value
+    // from above within a factor of 2 (the bucket width).
+    obs::Histogram log2Hist;
+    Histogram fineHist(0.0, 130.0, 130000); // 1e-3 wide bins
+    std::vector<double> samples;
+    std::uint64_t lcg = 0x2545F4914F6CDD1DULL;
+    for (int i = 0; i < 4096; ++i) {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        // Positive, spanning ~3 decades: [0.001, ~128).
+        double x = 0.001 + static_cast<double>(lcg >> 40) / 131072.0;
+        samples.push_back(x);
+        log2Hist.observe(x);
+        fineHist.add(x);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (double q : {0.5, 0.9, 0.99}) {
+        auto idx = static_cast<std::size_t>(
+            std::ceil(q * static_cast<double>(samples.size())));
+        double exact = samples[std::min(idx, samples.size()) - 1];
+        double est = log2Hist.quantile(q);
+        EXPECT_GE(est, exact) << "q=" << q;
+        EXPECT_LE(est, 2.0 * exact) << "q=" << q;
+        // The fine-binned histogram is near-exact on this range; the
+        // log2 estimate must bracket it the same way.
+        double fine = fineHist.quantile(q);
+        EXPECT_NEAR(fine, exact, 1e-2) << "q=" << q;
+        EXPECT_GE(est, fine - 1e-2) << "q=" << q;
+        EXPECT_LE(est, 2.0 * fine + 1e-2) << "q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(log2Hist.quantile(0.0), log2Hist.min());
+    EXPECT_DOUBLE_EQ(log2Hist.quantile(-1.0), log2Hist.min());
+    EXPECT_DOUBLE_EQ(log2Hist.quantile(1.0), log2Hist.max());
+    EXPECT_DOUBLE_EQ(log2Hist.quantile(2.0), log2Hist.max());
+    obs::Histogram empty;
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
 }
 
 TEST(Metrics, RegistryStableRefsAndDeterministicDump)

@@ -25,6 +25,18 @@ Runs two quick workloads against a Release build:
    FIG22_RSS_CAP_KB (memory O(distinct ranks) — a full instantiation
    of 65536 ranks would blow the cap immediately).
 
+5. bench_micro_engine BM_TrainingIteration/{0,1}: a full DES training
+   iteration with causal critical-path tracing disabled vs enabled,
+   best-of-3 per arm in one process. The enabled arm must stay within
+   CRITPATH_OVERHEAD (2%) of the disabled arm's events/sec; since the
+   disabled path is a strict subset of the enabled path's work (one
+   null-check branch per hook), this bounds the disabled-path
+   overhead too. Both arms also gate baseline-relative.
+6. bench_table2_techniques --critical-path= twice: the two attribution
+   reports must be byte-identical AND tools/rundiff.py --expect-null
+   must report a null diff (a non-null diff on a double run means
+   nondeterminism in the tracer or the explainer).
+
 Writes every measurement (plus the committed baseline, the
 current/baseline ratios, and the self-profiling counters) to
 BENCH_sweep.json so CI can archive the artifact, then fails if any
@@ -76,6 +88,11 @@ FIG22_RSS_CAP_KB = 2_000_000
 # Wall-clock metrics (seconds, lower = better).
 WALL_METRICS = {"table2_wall_seconds", "fig22_wall_seconds"}
 
+# Allowed fractional events/sec cost of the critical-path recorder,
+# enabled vs disabled, same process, best-of-3 per arm (ISSUE 9
+# acceptance: the observability layer must be effectively free).
+CRITPATH_OVERHEAD = 0.02
+
 
 def run_micro(build: Path) -> dict[str, float]:
     exe = build / "bench" / "bench_micro_engine"
@@ -100,6 +117,99 @@ def run_micro(build: Path) -> dict[str, float]:
               file=sys.stderr)
         sys.exit(2)
     return metrics
+
+
+def _critpath_arms(exe: Path) -> tuple[float, float]:
+    """One bench_micro_engine invocation: best-of-3 events/sec for
+    BM_TrainingIteration with the recorder off (Arg 0) vs on (Arg 1)."""
+    out = subprocess.run(
+        [str(exe), "--benchmark_format=json",
+         "--benchmark_filter=^BM_TrainingIteration/[01]$",
+         "--benchmark_repetitions=3"],
+        capture_output=True, text=True, check=True).stdout
+    report = json.loads(out)
+    best: dict[str, float] = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") != "iteration":
+            continue
+        name = bench.get("name", "").split("/repeat")[0]
+        rate = float(bench.get("items_per_second", 0.0))
+        best[name] = max(best.get(name, 0.0), rate)
+    off = best.get("BM_TrainingIteration/0", 0.0)
+    on = best.get("BM_TrainingIteration/1", 0.0)
+    if off <= 0.0 or on <= 0.0:
+        print("perf_smoke: BM_TrainingIteration arms missing from "
+              f"report (got {sorted(best)})", file=sys.stderr)
+        sys.exit(2)
+    return off, on
+
+
+def run_critpath_overhead(build: Path) -> dict[str, float]:
+    """Gate enabled-vs-disabled critical-path tracing overhead on
+    BM_TrainingIteration events/sec. Both arms run in one process so
+    host speed cancels; single-invocation scatter on a busy runner
+    still reaches a few percent, so a >2% reading is retried (a real
+    regression fails every attempt, noise does not repeat)."""
+    exe = build / "bench" / "bench_micro_engine"
+    if not exe.exists():
+        print(f"perf_smoke: {exe} not found (build the bench targets)",
+              file=sys.stderr)
+        sys.exit(2)
+    attempts = 3
+    off = on = 0.0
+    for attempt in range(attempts):
+        off, on = _critpath_arms(exe)
+        if on >= (1.0 - CRITPATH_OVERHEAD) * off:
+            break
+        print(f"perf_smoke: critical-path overhead attempt "
+              f"{attempt + 1}/{attempts}: "
+              f"{(1.0 - on / off) * 100.0:.2f}% "
+              f"(enabled {on:.4g} vs disabled {off:.4g})")
+    else:
+        print(f"perf_smoke: critical-path tracing costs "
+              f"{(1.0 - on / off) * 100.0:.2f}% events/sec "
+              f"(enabled {on:.4g} vs disabled {off:.4g}) on every "
+              f"attempt, above the "
+              f"{CRITPATH_OVERHEAD * 100.0:.0f}% gate", file=sys.stderr)
+        sys.exit(1)
+    print(f"perf_smoke: critical-path overhead "
+          f"{(1.0 - on / off) * 100.0:+.2f}% "
+          f"(enabled {on:.4g} vs disabled {off:.4g} events/sec)")
+    return {
+        "training_iter_events_per_sec_off": off,
+        "training_iter_events_per_sec_on": on,
+    }
+
+
+def run_rundiff_null(build: Path, threads: int, stem: Path) -> None:
+    """Double-run bench_table2_techniques with --critical-path and
+    require a byte-identical report pair plus a null rundiff."""
+    exe = build / "bench" / "bench_table2_techniques"
+    if not exe.exists():
+        print(f"perf_smoke: {exe} not found (build the bench targets)",
+              file=sys.stderr)
+        sys.exit(2)
+    paths = [stem.with_suffix(f".critpath{i}.json") for i in (1, 2)]
+    for path in paths:
+        subprocess.run(
+            [str(exe), f"--threads={threads}",
+             f"--critical-path={path}"],
+            capture_output=True, text=True, check=True)
+    if paths[0].read_bytes() != paths[1].read_bytes():
+        print("perf_smoke: double-run critical-path reports are not "
+              "byte-identical (tracer nondeterminism)", file=sys.stderr)
+        sys.exit(1)
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "rundiff.py"),
+         str(paths[0]), str(paths[1]), "--expect-null",
+         "--json", str(stem.with_suffix(".rundiff.json"))],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        print("perf_smoke: rundiff on a double-run pair was not null "
+              f"(exit {proc.returncode}):", file=sys.stderr)
+        print(proc.stdout + proc.stderr, file=sys.stderr)
+        sys.exit(1)
+    print("perf_smoke: rundiff double-run pair is null (deterministic)")
 
 
 # Self-profiling counters that must be nonzero after the table2 sweep
@@ -276,6 +386,8 @@ def main() -> int:
 
     build = Path(args.build_dir)
     metrics = run_micro(build)
+    metrics.update(run_critpath_overhead(build))
+    run_rundiff_null(build, args.threads, Path(args.output))
     wall, sim_metrics = run_sweep(
         build, args.threads,
         Path(args.output).with_suffix(".metrics.json"))

@@ -61,6 +61,15 @@ DEFAULT_HOT_ROOTS = [
     "FlowNetwork::recompute",
     "FlowNetwork::onCompletionEvent",
     "Simulator::dispatchNext",
+    # Critical-path recorder entry points: called from op-completion
+    # event handlers, so they sit on the dispatch path whenever
+    # tracing is enabled. Slab growth past the reserve is the only
+    # sanctioned allocation (see allowlist).
+    "CriticalPathRecorder::onComputeDone",
+    "CriticalPathRecorder::onCollectiveDone",
+    "CriticalPathRecorder::onP2PDone",
+    "CriticalPathRecorder::beginIteration",
+    "CriticalPathRecorder::endIteration",
 ]
 
 

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Fixture suite for tools/rundiff.py: a known regression pair (clean
+vs node-power-fault straggler) must be explained by wait.straggler on
+the faulty GPU, and an identical pair must produce a null diff."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent.parent
+RUNDIFF = TOOLS / "rundiff.py"
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "rundiff"
+CLEAN = FIXTURES / "clean.json"
+STRAGGLER = FIXTURES / "straggler.json"
+
+
+def run_rundiff(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(RUNDIFF), *args],
+        capture_output=True, text=True)
+
+
+class RegressionPair(unittest.TestCase):
+    """clean -> straggler: 12.3% slower, wait.straggler on GPU27."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.tmp = tempfile.TemporaryDirectory()
+        cls.json_path = Path(cls.tmp.name) / "diff.json"
+        cls.proc = run_rundiff(str(CLEAN), str(STRAGGLER),
+                               "--json", str(cls.json_path))
+        cls.result = json.loads(cls.json_path.read_text())
+
+    @classmethod
+    def tearDownClass(cls):
+        cls.tmp.cleanup()
+
+    def test_exit_zero_without_expectation(self):
+        self.assertEqual(self.proc.returncode, 0, self.proc.stderr)
+
+    def test_not_null(self):
+        self.assertFalse(self.result["null_diff"])
+
+    def test_wall_delta(self):
+        self.assertAlmostEqual(self.result["wall_delta_s"], 0.0412,
+                               places=9)
+        self.assertAlmostEqual(self.result["wall_delta_rel"],
+                               0.0412 / 0.3762, places=6)
+
+    def test_dominant_cause_is_straggler_wait(self):
+        self.assertEqual(self.result["dominant_cause"],
+                         "wait.straggler")
+
+    def test_dominant_device_is_faulty_gpu(self):
+        self.assertEqual(self.result["dominant_device"], 27)
+
+    def test_cause_deltas_partition_wall_delta(self):
+        total = sum(c["delta_s"]
+                    for c in self.result["causes"].values())
+        self.assertAlmostEqual(total, self.result["wall_delta_s"],
+                               places=9)
+
+    def test_straggler_share_of_regression(self):
+        share = self.result["causes"]["wait.straggler"][
+            "share_of_regression"]
+        self.assertAlmostEqual(share, 0.0322 / 0.0412, places=6)
+
+    def test_throttle_attribution_surfaces_power_cap(self):
+        self.assertAlmostEqual(
+            self.result["throttle"]["power_cap"]["delta_s"], 0.0385,
+            places=9)
+        top = self.result["devices"][0]
+        self.assertEqual(top["gpu"], 27)
+        self.assertAlmostEqual(top["throttle_power_cap_delta_s"],
+                               0.0385, places=9)
+
+    def test_explanation_names_cause_and_device(self):
+        self.assertIn("wait.straggler", self.result["explanation"])
+        self.assertIn("GPU27", self.result["explanation"])
+        self.assertIn("slower", self.result["explanation"])
+        self.assertIn("wait.straggler", self.proc.stdout)
+        self.assertIn("GPU27", self.proc.stdout)
+
+    def test_expect_null_fails_on_regression(self):
+        proc = run_rundiff(str(CLEAN), str(STRAGGLER),
+                           "--expect-null")
+        self.assertEqual(proc.returncode, 1)
+
+
+class IdenticalPair(unittest.TestCase):
+    """A report diffed against itself is a null diff."""
+
+    def test_expect_null_passes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            out = Path(tmp) / "null.json"
+            proc = run_rundiff(str(CLEAN), str(CLEAN),
+                               "--expect-null", "--json", str(out))
+            self.assertEqual(proc.returncode, 0,
+                             proc.stdout + proc.stderr)
+            result = json.loads(out.read_text())
+        self.assertTrue(result["null_diff"])
+        self.assertIsNone(result["dominant_cause"])
+        self.assertIsNone(result["dominant_device"])
+        self.assertIn("equivalent", result["explanation"])
+
+
+class InputHandling(unittest.TestCase):
+    def test_bare_critical_path_object_accepted(self):
+        doc = json.loads(CLEAN.read_text())["critical_path"]
+        with tempfile.TemporaryDirectory() as tmp:
+            bare = Path(tmp) / "bare.json"
+            bare.write_text(json.dumps(doc))
+            proc = run_rundiff(str(bare), str(CLEAN), "--expect-null")
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + proc.stderr)
+
+    def test_folded_vs_unfolded_refused(self):
+        doc = json.loads(CLEAN.read_text())
+        doc["critical_path"]["folded"] = True
+        doc["critical_path"]["multiplicity"] = 8
+        with tempfile.TemporaryDirectory() as tmp:
+            folded = Path(tmp) / "folded.json"
+            folded.write_text(json.dumps(doc))
+            proc = run_rundiff(str(CLEAN), str(folded))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("folded", proc.stderr)
+
+    def test_missing_critical_path_refused(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            bogus = Path(tmp) / "bogus.json"
+            bogus.write_text('{"summary":{"label":"x"}}')
+            proc = run_rundiff(str(bogus), str(CLEAN))
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -13,12 +13,21 @@ Checks, in order:
 4. Counter ("C") events carry args.value and are time-sorted within
    one (pid, name) counter track.
 
+5. If the document carries a top-level "schemaVersion", it must be 2
+   (the current builder schema: one run-process thread per span
+   category).
+
 Optional content requirements (for CI acceptance gating):
     --require-kernels     at least one X event outside the fault rows
     --require-counters=a,b,c
                           each named counter track must exist with at
                           least one sample (e.g. power_w,temp_c)
     --require-fault-rows  at least one X event with cat == "fault"
+    --require-critical-path
+                          at least one X event with
+                          cat == "critical_path" (the causal
+                          critical-path track), and schemaVersion 2
+                          must be stamped
 
 Exit status: 0 valid, 1 validation failure, 2 usage/IO error.
 """
@@ -46,6 +55,9 @@ def main() -> int:
                          "each have at least one sample")
     ap.add_argument("--require-fault-rows", action="store_true",
                     help="require at least one cat=fault X event")
+    ap.add_argument("--require-critical-path", action="store_true",
+                    help="require schemaVersion 2 and at least one "
+                         "cat=critical_path X event")
     args = ap.parse_args()
 
     try:
@@ -60,6 +72,12 @@ def main() -> int:
 
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         fail("top level must be an object with a 'traceEvents' list")
+    schema = doc.get("schemaVersion")
+    if schema is not None and schema != 2:
+        fail(f"schemaVersion is {schema!r}, expected 2")
+    if args.require_critical_path and schema != 2:
+        fail("critical-path track requires schemaVersion 2, "
+             f"got {schema!r}")
     events = doc["traceEvents"]
     if not isinstance(events, list):
         fail("'traceEvents' is not a list")
@@ -70,6 +88,7 @@ def main() -> int:
     counter_samples: dict[str, int] = defaultdict(int)
     kernel_spans = 0
     fault_spans = 0
+    critpath_spans = 0
 
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
@@ -101,10 +120,13 @@ def main() -> int:
                      f"not sorted by ts ({ts} after "
                      f"{span_tracks[key]})")
             span_tracks[key] = ts
-            if ev.get("cat") == "fault":
+            cat = ev.get("cat")
+            if cat == "fault":
                 fault_spans += 1
             else:
                 kernel_spans += 1
+            if cat == "critical_path":
+                critpath_spans += 1
         elif ph == "C":
             value = ev.get("args", {}).get("value")
             if not isinstance(value, (int, float)):
@@ -120,12 +142,15 @@ def main() -> int:
         fail("no kernel spans (non-fault X events) in trace")
     if args.require_fault_rows and fault_spans == 0:
         fail("no fault-overlay spans (cat=fault) in trace")
+    if args.require_critical_path and critpath_spans == 0:
+        fail("no critical-path spans (cat=critical_path) in trace")
     for want in filter(None, args.require_counters.split(",")):
         if counter_samples.get(want, 0) == 0:
             fail(f"required counter track {want!r} has no samples")
 
     print(f"validate_trace: OK: {len(events)} events, "
           f"{kernel_spans} kernel spans, {fault_spans} fault spans, "
+          f"{critpath_spans} critical-path spans, "
           f"{len(counter_tracks)} counter tracks")
     return 0
 
