@@ -53,3 +53,4 @@ charllm_add_bench(bench_ablation_faults)
 charllm_add_bench(bench_ablation_interleaved)
 charllm_add_bench(bench_ablation_chunking)
 charllm_add_bench(bench_ablation_resilience)
+charllm_add_bench(bench_ablation_elastic)

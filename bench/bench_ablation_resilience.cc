@@ -103,10 +103,17 @@ main(int argc, char** argv)
             cfg.samplePeriodSec = 0.02;
             cfg.resilience.enabled = true;
             cfg.resilience.seed = seed;
+            // Hot-MTBF cells can stretch past the default 1 h
+            // failure horizon (finalize() now hard-checks coverage).
+            cfg.resilience.horizonSec = 40000.0;
             cfg.resilience.mtbf.gpuMtbfSec = mtbf;
             cfg.resilience.mtbf.linkMtbfSec = 2.0 * mtbf;
             cfg.resilience.mtbf.nodeMtbfSec = 0.0;
             cfg.resilience.checkpoint.intervalSec = interval;
+            // Warm spares were unconditional before the finite pool
+            // existed; this sweep keeps the legacy always-a-spare
+            // economics (pool depth is bench_ablation_elastic's job).
+            cfg.resilience.recovery.spares.capacity = 1 << 20;
             configs.push_back(std::move(cfg));
         }
     }

@@ -65,6 +65,9 @@ DesBackend::execute()
         sym.moe = cfg.model.isMoe();
         sym.faults = !cfg.faultScenario.empty();
         sym.resilience = cfg.resilience.enabled;
+        sym.elastic = cfg.resilience.enabled &&
+                      cfg.resilience.recovery.dryPolicy ==
+                          resil::DryPoolPolicy::ElasticShrink;
         sym.powerCaps = !cfg.nodePowerCaps.empty();
         sym.devicePermutation = !cfg.devicePermutation.empty();
         sym.requested = cfg.symmetryCollapse;
@@ -104,6 +107,31 @@ DesBackend::execute()
     runtime::ProgramBuilder builder(cfg.model, mapper, cfg.train);
     if (collapsed)
         builder.setFold(&fold);
+    std::unique_ptr<parallel::ElasticWorld> elastic_world;
+    if (cfg.resilience.enabled &&
+        cfg.resilience.recovery.dryPolicy ==
+            resil::DryPoolPolicy::ElasticShrink) {
+        CHARLLM_ASSERT(!collapsed, "elastic shrink under symmetry "
+                                   "collapse (analyzer must refuse)");
+        CHARLLM_CHECK(cfg.par.ep == 1,
+                      "elastic DP shrink requires ep == 1: expert "
+                      "groups span DP replicas, so dropping a replica "
+                      "would orphan experts");
+        CHARLLM_CHECK(cfg.par.dp >= 2,
+                      "elastic DP shrink requires dp >= 2 (got dp=",
+                      cfg.par.dp, "): a single replica cannot shrink");
+        CHARLLM_CHECK(!(cfg.resilience.recovery.elastic.rebalance &&
+                        cfg.train.virtualStages > 1),
+                      "elastic batch rebalance is not supported with "
+                      "interleaved pipeline schedules (virtualStages "
+                      "> 1): the rebalanced microbatch count breaks "
+                      "the interleaving invariants");
+        elastic_world = std::make_unique<parallel::ElasticWorld>(
+            cfg.par.dp, cfg.train.globalBatchSize,
+            cfg.train.microbatchSize,
+            cfg.resilience.recovery.elastic.rebalance);
+        builder.setElasticWorld(elastic_world.get());
+    }
     runtime::EngineOptions engine_opts;
     engine_opts.warmupIterations = cfg.warmupIterations;
     engine_opts.measuredIterations = cfg.measuredIterations;
@@ -167,9 +195,12 @@ DesBackend::execute()
             simulator, platform, network, engine, ckpt,
             Seconds(interval), cfg.resilience.checkpoint.async,
             Seconds(cfg.resilience.checkpoint.quiesceSec),
-            cfg.resilience.recovery, std::move(schedule));
+            cfg.resilience.recovery, std::move(schedule),
+            Seconds(cfg.resilience.horizonSec), cfg.resilience.seed);
         if (cfg.resilience.recovery.elasticRemap)
             recovery->attachMapper(mapper);
+        if (elastic_world)
+            recovery->attachElastic(mapper, *elastic_world);
     }
 
     std::unique_ptr<telemetry::Sampler> sampler;

@@ -176,6 +176,24 @@ unifiedTraceJson(const ExperimentResult& result)
                                resil::bucketName(seg.bucket),
                                seg.startSec, seg.endSec - seg.startSec);
         }
+        // World-size track: one span per capacity epoch, so elastic
+        // shrink/grow shows up next to the resilience buckets. A
+        // single epoch means the world never changed — skip the track.
+        const auto& caps = result.goodput.capacity;
+        if (caps.size() > 1) {
+            for (std::size_t i = 0; i < caps.size(); ++i) {
+                double end = i + 1 < caps.size()
+                                 ? caps[i + 1].startSec
+                                 : result.goodput.wallSec;
+                if (end <= caps[i].startSec)
+                    continue;
+                builder.addRunSpan(
+                    "world_size",
+                    "world " + std::to_string(caps[i].activeGpus) +
+                        " gpus",
+                    caps[i].startSec, end - caps[i].startSec);
+            }
+        }
     }
     if (result.critPath) {
         // One span per critical-path segment, named by cause class
@@ -227,7 +245,21 @@ runReportJson(const ExperimentResult& result)
             .inc(s.checkpointsCommitted);
         registry.counter("resil.checkpoints_discarded")
             .inc(s.checkpointsDiscarded);
+        registry.counter("resil.elastic.domain_faults")
+            .inc(s.domainFaults);
+        registry.counter("resil.elastic.shrinks").inc(s.elasticShrinks);
+        registry.counter("resil.elastic.grows").inc(s.elasticGrows);
+        registry.counter("resil.elastic.spares_consumed")
+            .inc(s.sparesConsumed);
+        registry.counter("resil.elastic.spares_replenished")
+            .inc(s.sparesReplenished);
+        registry.counter("resil.elastic.pool_dry_events")
+            .inc(s.poolDryEvents);
         registry.gauge("resil.ettr").set(result.goodput.ettr());
+        registry.gauge("resil.effective_ettr")
+            .set(result.goodput.effectiveEttr());
+        registry.gauge("resil.elastic.min_active_gpus")
+            .set(static_cast<double>(result.goodput.minActiveGpus()));
     }
     std::ostringstream os;
     os << "{\"summary\":" << toJson(result);

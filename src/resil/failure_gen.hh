@@ -8,6 +8,16 @@
  * timing. Link faults are transient (they clear after an exponential
  * outage and are candidates for retry/backoff); GPU and node faults
  * are fatal (they require replacement + rollback).
+ *
+ * Beyond independent per-component draws, the generator models
+ * correlated failure domains: a scale-out switch or a PDU/rack power
+ * circuit serves a contiguous block of nodes, and a domain fault
+ * fail-stops every GPU in the block simultaneously (FailureEvent::
+ * nodeSpan carries the block width). Every component — each GPU,
+ * link, node, and domain — expands from its own (seed, kind, index)-
+ * derived sub-stream, so raising the horizon only appends events past
+ * the old horizon and enabling one failure class never perturbs
+ * another class's schedule for an existing seed.
  */
 
 #ifndef CHARLLM_RESIL_FAILURE_GEN_HH
@@ -26,6 +36,8 @@ enum class FailureKind
     GpuFatal = 0,  //!< fail-stop of one GPU (ECC, HBM, power stage)
     LinkTransient, //!< scale-out link outage; clears on its own
     NodeFatal,     //!< whole-node loss (host, PSU, cooling)
+    SwitchFatal,   //!< scale-out switch: its node block fail-stops
+    PduFatal,      //!< PDU/rack power circuit: its node block dies
 };
 
 const char* failureKindName(FailureKind kind);
@@ -34,11 +46,14 @@ const char* failureKindName(FailureKind kind);
 struct FailureEvent
 {
     FailureKind kind = FailureKind::GpuFatal;
-    /** GPU id for GpuFatal; node id for LinkTransient / NodeFatal. */
+    /** GPU id for GpuFatal; first node id for every other kind. */
     int target = 0;
     double timeSec = 0.0;
     /** LinkTransient only: outage length before the link heals. */
     double clearSec = 0.0;
+    /** Fatal domain width: nodes [target, target + nodeSpan) die
+     *  together. 1 for NodeFatal and every legacy kind. */
+    int nodeSpan = 1;
 };
 
 /** Per-component mean time between failures; 0 disables a class. */
@@ -48,19 +63,27 @@ struct MtbfProfile
     double linkMtbfSec = 0.0;      //!< per node's scale-out NIC
     double nodeMtbfSec = 0.0;      //!< per node
     double linkClearMeanSec = 1.0; //!< mean transient outage length
+    /** Correlated-domain classes: one draw per switch / PDU, failing
+     *  its whole node block at once. 0 disables the class. */
+    double switchMtbfSec = 0.0;    //!< per scale-out switch
+    double pduMtbfSec = 0.0;       //!< per PDU / rack power circuit
+    int nodesPerSwitch = 4;
+    int nodesPerPdu = 8;
 
     bool
     empty() const
     {
         return gpuMtbfSec <= 0.0 && linkMtbfSec <= 0.0 &&
-               nodeMtbfSec <= 0.0;
+               nodeMtbfSec <= 0.0 && switchMtbfSec <= 0.0 &&
+               pduMtbfSec <= 0.0;
     }
 
     /**
-     * Cluster-level fatal MTBF (GPU + node classes; transient link
-     * faults do not force a rollback, so they are excluded): the
-     * aggregate failure rate of @p num_gpus GPUs and @p num_nodes
-     * nodes. Returns 0 when no fatal class is enabled.
+     * Cluster-level fatal MTBF (GPU, node, and correlated-domain
+     * classes; transient link faults do not force a rollback, so they
+     * are excluded): the aggregate failure rate of @p num_gpus GPUs,
+     * @p num_nodes nodes, and the switch/PDU domains covering them.
+     * Returns 0 when no fatal class is enabled.
      */
     double clusterFatalMtbfSec(int num_gpus, int num_nodes) const;
 };

@@ -32,10 +32,13 @@ enum class Bucket
     Detection,      //!< fault occurred but not yet noticed
     Retry,          //!< transient-fault backoff/retry window
     RollbackReplay, //!< replacement + restore + doomed + replayed work
+    Reconfig,       //!< elastic shrink/grow: quiesce + group re-init
+    Degraded,       //!< useful work at reduced world size (derived;
+                    //!< weighted by the capacity factor in effect)
     Idle,           //!< accounted to nothing else
 };
 
-constexpr std::size_t kNumBuckets = 6;
+constexpr std::size_t kNumBuckets = 8;
 
 const char* bucketName(Bucket bucket);
 
@@ -61,6 +64,25 @@ struct ResilienceStats
     int iterationsAborted = 0;
     int checkpointsCommitted = 0;
     int checkpointsDiscarded = 0; //!< in-flight write killed by fault
+    int domainFaults = 0;        //!< switch/PDU correlated events
+    int elasticShrinks = 0;      //!< replicas removed from the world
+    int elasticGrows = 0;        //!< replicas rejoined at a boundary
+    int sparesConsumed = 0;      //!< pool units spent on replacements
+    int sparesReplenished = 0;   //!< pool units returned by the depot
+    int poolDryEvents = 0;       //!< demands the pool could not cover
+};
+
+/**
+ * One step of the world-capacity step function: from startSec until
+ * the next epoch the run executes on activeGpus GPUs delivering
+ * `factor` of healthy sample throughput. A run that never shrinks has
+ * a single epoch at factor 1.
+ */
+struct CapacityEpoch
+{
+    double startSec = 0.0;
+    double factor = 1.0;
+    int activeGpus = 0;
 };
 
 /** One classified segment of the run timeline (for trace overlays). */
@@ -80,6 +102,11 @@ struct GoodputReport
     ResilienceStats stats;
     /** Merged, time-sorted segments covering [0, wall) exactly. */
     std::vector<MarkedInterval> timeline;
+    /** World-capacity step function (empty when elastic is off). */
+    std::vector<CapacityEpoch> capacity;
+    /** Degraded seconds weighted by each epoch's capacity factor:
+     *  the healthy-equivalent work delivered while shrunk. */
+    double degradedEffectiveSec = 0.0;
 
     const BucketSlice&
     slice(Bucket b) const
@@ -103,6 +130,32 @@ struct GoodputReport
                    : 0.0;
     }
 
+    /** Full-width useful seconds plus capacity-weighted degraded
+     *  seconds: the healthy-equivalent training delivered. */
+    double
+    effectiveUsefulSec() const
+    {
+        return usefulSec() + degradedEffectiveSec;
+    }
+
+    /** ETTR with degraded time credited at its capacity factor. */
+    double
+    effectiveEttr() const
+    {
+        return wallSec > 0.0 ? effectiveUsefulSec() / wallSec : 0.0;
+    }
+
+    /** Smallest world the run ever executed on (0 if never tracked). */
+    int
+    minActiveGpus() const
+    {
+        int min_gpus = 0;
+        for (const auto& epoch : capacity)
+            if (min_gpus == 0 || epoch.activeGpus < min_gpus)
+                min_gpus = epoch.activeGpus;
+        return min_gpus;
+    }
+
     /** One row per bucket plus a totals row. */
     CsvWriter toCsv() const;
     std::string toJson() const;
@@ -123,6 +176,16 @@ class GoodputLedger
     /** Record that [start_s, end_s) was spent in @p bucket. */
     void mark(Bucket bucket, double start_s, double end_s);
 
+    /**
+     * Append a world-capacity epoch: from @p start_s the run executes
+     * on @p active_gpus GPUs at @p factor of healthy throughput.
+     * Epochs must arrive in time order; a same-timestamp append
+     * overwrites (an absorbed fault folding into an open shrink
+     * re-states the epoch it already planned). Useful-classified
+     * segments inside a sub-capacity epoch finalize as Degraded.
+     */
+    void setCapacity(double start_s, double factor, int active_gpus);
+
     GoodputReport
     finalize(double wall_end_s,
              const std::vector<runtime::IterationSpan>& spans,
@@ -131,6 +194,7 @@ class GoodputLedger
 
   private:
     std::vector<MarkedInterval> marks;
+    std::vector<CapacityEpoch> capacity;
 };
 
 } // namespace resil

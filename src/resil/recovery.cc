@@ -3,9 +3,30 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 
 namespace charllm {
 namespace resil {
+
+std::vector<double>
+SparePool::replenishSchedule(Seconds horizon,
+                             std::uint64_t seed) const
+{
+    std::vector<double> arrivals;
+    if (replenishMean.value() <= 0.0)
+        return arrivals;
+    Rng rng(seed);
+    double t = 0.0;
+    for (;;) {
+        double u = rng.uniform();
+        t += std::max(-replenishMean.value() * std::log(1.0 - u),
+                      1e-9);
+        if (t >= horizon.value())
+            break;
+        arrivals.push_back(t);
+    }
+    return arrivals;
+}
 
 RecoveryManager::RecoveryManager(sim::Simulator& simulator,
                                  hw::Platform& platform,
@@ -15,31 +36,60 @@ RecoveryManager::RecoveryManager(sim::Simulator& simulator,
                                  Seconds checkpoint_interval,
                                  bool async_checkpoint, Seconds quiesce,
                                  const RecoveryConfig& config,
-                                 std::vector<FailureEvent> schedule)
+                                 std::vector<FailureEvent> schedule,
+                                 Seconds horizon, std::uint64_t seed)
     : sim(simulator), plat(platform), network(netw), engine(eng),
       ckpt(checkpoint_model), ckptIntervalSec(checkpoint_interval.value()),
       ckptAsync(async_checkpoint), quiesceSec(quiesce.value()), cfg(config),
-      plan(std::move(schedule))
+      plan(std::move(schedule)), horizonSec(horizon.value()),
+      scheduleSeed(seed)
 {
     CHARLLM_ASSERT(ckptIntervalSec > 0.0,
                    "checkpoint interval must be positive (use "
                    "youngDalyInterval or an explicit value)");
     CHARLLM_ASSERT(cfg.retry.maxAttempts >= 1 &&
-                       cfg.retry.initialBackoffSec > 0.0 &&
-                       cfg.retry.backoffMultiplier >= 1.0,
+                       cfg.retry.initialBackoff.value() > 0.0 &&
+                       cfg.retry.backoffMultiplier >= 1.0 &&
+                       cfg.retry.maxBackoff.value() >=
+                           cfg.retry.initialBackoff.value(),
                    "bad retry policy");
     CHARLLM_ASSERT(cfg.gpuFailDerate > 0.0 && cfg.gpuFailDerate < 1.0 &&
                        cfg.linkFaultDerate > 0.0 &&
                        cfg.linkFaultDerate <= 1.0,
                    "derates must be in (0, 1]");
+    CHARLLM_ASSERT(cfg.spares.capacity >= 0 &&
+                       cfg.spares.acquire.value() > 0.0 &&
+                       cfg.reboot.value() > 0.0,
+                   "bad spare-pool economics");
+    CHARLLM_ASSERT(cfg.elastic.quiesce.value() >= 0.0 &&
+                       cfg.elastic.groupReinit.value() >= 0.0,
+                   "bad elastic reconfiguration costs");
+    CHARLLM_ASSERT(horizonSec > 0.0, "non-positive failure horizon");
+    sparesFree = cfg.spares.capacity;
+    // The depot's arrival stream is salted off the failure-schedule
+    // seed so pool economics and fault timing stay independent draws.
+    replenishPlan = cfg.spares.replenishSchedule(
+        Seconds(horizonSec), scheduleSeed ^ 0x9e3779b97f4a7c15ULL);
     engine.setResilienceController(this);
     armNextFailure();
+    armNextReplenish();
 }
 
 void
 RecoveryManager::attachMapper(parallel::RankMapper& m)
 {
     mapper = &m;
+}
+
+void
+RecoveryManager::attachElastic(parallel::RankMapper& m,
+                               parallel::ElasticWorld& world)
+{
+    CHARLLM_ASSERT(cfg.dryPolicy == DryPoolPolicy::ElasticShrink,
+                   "attachElastic needs DryPoolPolicy::ElasticShrink");
+    mapper = &m;
+    eworld = &world;
+    ledger.setCapacity(0.0, 1.0, activeGpuCount());
 }
 
 sim::EventHandle
@@ -80,53 +130,185 @@ RecoveryManager::onFailure(std::size_t index)
     }
 
     double now = sim.nowSeconds();
+    // Whether a collective was live at the instant of the fault
+    // decides later (at detection) if shared gradient state is torn
+    // and a shrink must restore the last checkpoint.
+    bool mid_collective = engine.collectiveInFlight();
     std::vector<int> gpus;
     if (ev.kind == FailureKind::GpuFatal) {
         gpus.push_back(ev.target);
     } else {
+        if (ev.kind != FailureKind::NodeFatal)
+            ++runStats.domainFaults;
         int per_node = network.topology().gpusPerNode();
         for (int g = ev.target * per_node;
-             g < (ev.target + 1) * per_node; ++g)
+             g < (ev.target + ev.nodeSpan) * per_node; ++g)
             gpus.push_back(g);
+    }
+    if (eworld != nullptr) {
+        // GPUs whose replica already left the world cannot hurt the
+        // shrunk run again; drop them from the event.
+        std::vector<int> live;
+        for (int g : gpus)
+            if (!eworld->replicaDead(dpIdxOfGpu(g)))
+                live.push_back(g);
+        if (live.empty()) {
+            ++runStats.failuresAbsorbed;
+            return;
+        }
+        gpus.swap(live);
     }
     for (int g : gpus)
         plat.setGpuSlowdown(g, cfg.gpuFailDerate);
     if (recovering) {
-        // The cluster is already down for repair: the same maintenance
-        // window covers this fault, no extra rollback.
-        ++runStats.failuresAbsorbed;
-        double heal = resumeAtSec;
-        scheduleAt(heal, [this, gpus] {
-            for (int g : gpus)
-                plat.setGpuSlowdown(g, 1.0);
-        });
+        // The cluster is already down for repair (or mid-reconfig):
+        // the same window covers this fault, no extra rollback.
+        absorbFatal(gpus);
         return;
     }
     ++runStats.fatalFaults;
     double detect = ev.kind == FailureKind::GpuFatal
-                        ? cfg.detection.gpuDetectSec()
-                        : cfg.detection.nodeDetectSec();
-    scheduleAt(now + detect, [this, now, gpus, detect] {
-        onFatalGpus(now, gpus, now + detect);
+                        ? cfg.detection.gpuDetect().value()
+                        : cfg.detection.nodeDetect().value();
+    scheduleAt(now + detect,
+               [this, now, gpus, detect, mid_collective] {
+        onFatalGpus(now, gpus, now + detect, mid_collective);
     });
 }
 
 void
 RecoveryManager::onFatalGpus(double fail_s, std::vector<int> gpus,
-                             double detect_s)
+                             double detect_s, bool mid_collective)
 {
     if (runDone)
         return;
     if (recovering) {
         // Detected during another fault's repair window: absorbed.
-        ++runStats.failuresAbsorbed;
-        scheduleAt(resumeAtSec, [this, gpus] {
-            for (int g : gpus)
-                plat.setGpuSlowdown(g, 1.0);
-        });
+        absorbFatal(gpus);
         return;
     }
-    beginRollback(fail_s, detect_s, std::move(gpus), -1);
+    if (eworld != nullptr && allInDeadReplicas(gpus)) {
+        // Every victim's replica died (folded into a shrink) between
+        // the fault and its detection: nothing left to repair.
+        ++runStats.failuresAbsorbed;
+        return;
+    }
+    int units = unitsFor(gpus);
+    if (sparesFree >= units) {
+        sparesFree -= units;
+        runStats.sparesConsumed += units;
+        beginRollback(fail_s, detect_s, std::move(gpus), -1,
+                      cfg.spares.acquire.value());
+        return;
+    }
+    ++runStats.poolDryEvents;
+    if (cfg.dryPolicy == DryPoolPolicy::ElasticShrink &&
+        eworld != nullptr) {
+        std::vector<int> replicas = replicasOf(gpus);
+        if (!replicas.empty() &&
+            static_cast<int>(replicas.size()) <
+                eworld->aliveReplicas()) {
+            beginShrink(fail_s, detect_s, std::move(gpus),
+                        mid_collective);
+            return;
+        }
+        // Shrinking would remove the last replica: fall through to
+        // the reboot-length repair window.
+    }
+    beginRollback(fail_s, detect_s, std::move(gpus), -1,
+                  cfg.reboot.value());
+}
+
+void
+RecoveryManager::absorbFatal(const std::vector<int>& gpus)
+{
+    ++runStats.failuresAbsorbed;
+    if (shrinkWindowOpen && eworld != nullptr) {
+        std::vector<int> replicas = replicasOf(gpus);
+        if (!replicas.empty() &&
+            static_cast<int>(replicas.size()) <
+                eworld->aliveReplicas()) {
+            // Fold into the open shrink: these replicas leave with
+            // the same reconfiguration pause, and the planned
+            // capacity epoch is re-stated for the wider loss.
+            for (int k : replicas) {
+                DeadReplica dr;
+                dr.dpIdx = k;
+                for (int g : gpus)
+                    if (dpIdxOfGpu(g) == k)
+                        dr.gpus.push_back(g);
+                dr.units = unitsFor(dr.gpus);
+                eworld->markDead(k);
+                ++runStats.elasticShrinks;
+                deadReplicas.push_back(std::move(dr));
+            }
+            ledger.setCapacity(resumeAtSec, eworld->capacityFactor(),
+                               activeGpuCount());
+            return;
+        }
+    }
+    std::vector<int> heal = gpus;
+    scheduleAt(resumeAtSec, [this, heal] {
+        for (int g : heal)
+            plat.setGpuSlowdown(g, 1.0);
+    });
+}
+
+int
+RecoveryManager::dpIdxOfGpu(int gpu) const
+{
+    return mapper->coordsOf(mapper->rankOf(gpu)).dpIdx;
+}
+
+std::vector<int>
+RecoveryManager::replicasOf(const std::vector<int>& gpus) const
+{
+    std::vector<int> replicas;
+    for (int g : gpus) {
+        int k = dpIdxOfGpu(g);
+        if (eworld->replicaDead(k))
+            continue;
+        if (std::find(replicas.begin(), replicas.end(), k) ==
+            replicas.end())
+            replicas.push_back(k);
+    }
+    return replicas;
+}
+
+bool
+RecoveryManager::allInDeadReplicas(const std::vector<int>& gpus) const
+{
+    for (int g : gpus)
+        if (!eworld->replicaDead(dpIdxOfGpu(g)))
+            return false;
+    return true;
+}
+
+int
+RecoveryManager::unitsFor(const std::vector<int>& gpus) const
+{
+    int per_node = network.topology().gpusPerNode();
+    int units = 0;
+    int last_node = -1;
+    // Victim lists arrive node-sorted from schedule expansion.
+    for (int g : gpus) {
+        int node = g / per_node;
+        if (node != last_node) {
+            ++units;
+            last_node = node;
+        }
+    }
+    return std::max(units, 1);
+}
+
+int
+RecoveryManager::activeGpuCount() const
+{
+    int total = plat.numGpus();
+    if (eworld == nullptr)
+        return total;
+    int per_replica = total / eworld->dpSize();
+    return per_replica * eworld->aliveReplicas();
 }
 
 void
@@ -154,7 +336,7 @@ RecoveryManager::onTransientLink(const FailureEvent& ev)
     s.node = ev.target;
     s.failSec = now;
     s.clearAtSec = now + ev.clearSec;
-    s.detectSec = now + cfg.detection.linkDetectSec();
+    s.detectSec = now + cfg.detection.linkDetect().value();
     s.active = true;
     sessions.push_back(s);
     std::size_t idx = sessions.size() - 1;
@@ -164,7 +346,8 @@ RecoveryManager::onTransientLink(const FailureEvent& ev)
         RetrySession& session = sessions[idx];
         ledger.mark(Bucket::Detection, session.failSec,
                     session.detectSec);
-        double first = session.detectSec + cfg.retry.backoffSec(0);
+        double first =
+            session.detectSec + cfg.retry.backoff(0).value();
         scheduleAt(first, [this, idx, first] {
             retryAttempt(idx, first);
         });
@@ -191,23 +374,50 @@ RecoveryManager::retryAttempt(std::size_t session, double attempt_s)
     if (s.attempt >= cfg.retry.maxAttempts) {
         // Budget exhausted: declare the NIC dead and escalate to the
         // fatal path (replacement + rollback). The link itself heals
-        // when the replacement part arrives.
+        // when the replacement part arrives; a spare NIC sled comes
+        // off the same finite shelf the GPU replacements use.
         ledger.mark(Bucket::Retry, s.detectSec, attempt_s);
         ++runStats.retriesEscalated;
         ++runStats.fatalFaults;
         s.active = false;
-        beginRollback(attempt_s, attempt_s, {}, s.link);
+        double replacement = cfg.reboot.value();
+        if (sparesFree >= 1) {
+            --sparesFree;
+            ++runStats.sparesConsumed;
+            replacement = cfg.spares.acquire.value();
+        } else {
+            ++runStats.poolDryEvents;
+        }
+        beginRollback(attempt_s, attempt_s, {}, s.link, replacement);
         return;
     }
-    double next = attempt_s + cfg.retry.backoffSec(s.attempt);
+    double next = attempt_s + cfg.retry.backoff(s.attempt).value();
     scheduleAt(next, [this, session, next] {
         retryAttempt(session, next);
     });
 }
 
 void
+RecoveryManager::closeSessions(double fail_s, double ready_s)
+{
+    // Other in-progress retry sessions die with the repair window;
+    // their links heal in the same maintenance window.
+    for (auto& s : sessions) {
+        if (!s.active)
+            continue;
+        if (s.detectSec < fail_s)
+            ledger.mark(Bucket::Retry, s.detectSec, fail_s);
+        s.active = false;
+        net::LinkId l = s.link;
+        scheduleAt(ready_s,
+                   [this, l] { network.setLinkDerate(l, 1.0); });
+    }
+}
+
+void
 RecoveryManager::beginRollback(double fail_s, double detect_s,
-                               std::vector<int> gpus, net::LinkId link)
+                               std::vector<int> gpus, net::LinkId link,
+                               double replacement_sec)
 {
     CHARLLM_ASSERT(!recovering, "nested rollback");
     recovering = true;
@@ -229,24 +439,12 @@ RecoveryManager::beginRollback(double fail_s, double detect_s,
     CHARLLM_CHECK(rollback >= 0, "checkpoint ahead of progress: ",
                   lastCkptStep, " > ", committed);
 
-    double replacement =
-        cfg.warmSpares ? cfg.spareAcquireSec : cfg.rebootSec;
-    double ready = detect_s + replacement;
+    double ready = detect_s + replacement_sec;
     double resume = ready + ckpt.readSeconds().value();
     resumeAtSec = resume;
     ledger.mark(Bucket::RollbackReplay, detect_s, resume);
 
-    // Other in-progress retry sessions die with the rollback; their
-    // links heal in the same maintenance window.
-    for (auto& s : sessions) {
-        if (!s.active)
-            continue;
-        if (s.detectSec < fail_s)
-            ledger.mark(Bucket::Retry, s.detectSec, fail_s);
-        s.active = false;
-        net::LinkId l = s.link;
-        scheduleAt(ready, [this, l] { network.setLinkDerate(l, 1.0); });
-    }
+    closeSessions(fail_s, ready);
 
     scheduleAt(ready, [this, gpus, link] {
         for (int g : gpus)
@@ -266,6 +464,153 @@ RecoveryManager::beginRollback(double fail_s, double detect_s,
     scheduleAt(resume, [this] { recovering = false; });
 }
 
+void
+RecoveryManager::beginShrink(double fail_s, double detect_s,
+                             std::vector<int> gpus,
+                             bool mid_collective)
+{
+    CHARLLM_ASSERT(!recovering, "nested shrink");
+    recovering = true;
+    shrinkWindowOpen = true;
+    if (detect_s > fail_s)
+        ledger.mark(Bucket::Detection, fail_s, detect_s);
+
+    int rollback = 0;
+    if (mid_collective) {
+        // The fault tore a live collective: shared gradient state is
+        // inconsistent across the survivors, so they restore the last
+        // completed checkpoint and replay. A boundary fault (no
+        // collective in flight) keeps all committed work.
+        ++runStats.rollbacks;
+        if (ckptWritePending) {
+            ckptComplete.cancel();
+            ckptWritePending = false;
+            ++runStats.checkpointsDiscarded;
+        }
+        int committed = engine.committedIterations();
+        rollback = committed - lastCkptStep;
+        CHARLLM_CHECK(rollback >= 0, "checkpoint ahead of progress: ",
+                      lastCkptStep, " > ", committed);
+    }
+
+    double pause =
+        cfg.elastic.quiesce.value() +
+        cfg.elastic.groupReinit.value() +
+        (mid_collective ? ckpt.readSeconds().value() : 0.0);
+    double resume = detect_s + pause;
+    resumeAtSec = resume;
+    ledger.mark(Bucket::Reconfig, detect_s, resume);
+    closeSessions(fail_s, resume);
+
+    // Remove every replica the victims belong to; their failed GPUs
+    // stay derated (dead) until spares repair the replica.
+    for (int k : replicasOf(gpus)) {
+        DeadReplica dr;
+        dr.dpIdx = k;
+        for (int g : gpus)
+            if (dpIdxOfGpu(g) == k)
+                dr.gpus.push_back(g);
+        dr.units = unitsFor(dr.gpus);
+        eworld->markDead(k);
+        ++runStats.elasticShrinks;
+        deadReplicas.push_back(std::move(dr));
+    }
+    ledger.setCapacity(resume, eworld->capacityFactor(),
+                       activeGpuCount());
+
+    engine.abortIteration(rollback, resume);
+    lastCkptRefSec = resume;
+    scheduleAt(resume, [this] {
+        recovering = false;
+        shrinkWindowOpen = false;
+    });
+    // A partially-stocked pool may already cover the cheapest dead
+    // replica (e.g. a two-node switch loss against one shelf unit).
+    tryScheduleRepairs(detect_s);
+}
+
+double
+RecoveryManager::beginGrow(double end_s)
+{
+    // Rejoin every repaired replica at this iteration boundary: the
+    // survivors quiesce, DP communicators re-form at the wider width,
+    // and the rejoining ranks pull current state (one checkpoint-read
+    // worth of bytes). No rollback — committed work stands.
+    double pause = cfg.elastic.quiesce.value() +
+                   cfg.elastic.groupReinit.value() +
+                   ckpt.readSeconds().value();
+    double resume = end_s + pause;
+    ledger.mark(Bucket::Reconfig, end_s, resume);
+    recovering = true;
+    resumeAtSec = resume;
+    std::vector<int> heal;
+    for (auto it = deadReplicas.begin(); it != deadReplicas.end();) {
+        if (!it->ready) {
+            ++it;
+            continue;
+        }
+        eworld->markAlive(it->dpIdx);
+        ++runStats.elasticGrows;
+        for (int g : it->gpus)
+            heal.push_back(g);
+        it = deadReplicas.erase(it);
+    }
+    CHARLLM_ASSERT(!heal.empty(), "grow without a repaired replica");
+    ledger.setCapacity(resume, eworld->capacityFactor(),
+                       activeGpuCount());
+    lastCkptRefSec = resume;
+    scheduleAt(resume, [this, heal] {
+        for (int g : heal)
+            plat.setGpuSlowdown(g, 1.0);
+        recovering = false;
+    });
+    return pause;
+}
+
+void
+RecoveryManager::tryScheduleRepairs(double now_s)
+{
+    for (auto& dr : deadReplicas) {
+        if (dr.repairing)
+            continue;
+        if (sparesFree < dr.units)
+            break; // FIFO: a cheap young replica never jumps the queue
+        sparesFree -= dr.units;
+        runStats.sparesConsumed += dr.units;
+        dr.repairing = true;
+        int dp_idx = dr.dpIdx;
+        scheduleAt(now_s + cfg.spares.acquire.value(),
+                   [this, dp_idx] {
+            for (auto& d : deadReplicas)
+                if (d.dpIdx == dp_idx)
+                    d.ready = true;
+        });
+    }
+}
+
+void
+RecoveryManager::armNextReplenish()
+{
+    if (nextReplenish >= replenishPlan.size())
+        return;
+    double when =
+        std::max(replenishPlan[nextReplenish], sim.nowSeconds());
+    std::size_t index = nextReplenish;
+    scheduleAt(when, [this, index, when] {
+        if (runDone)
+            return;
+        nextReplenish = index + 1;
+        armNextReplenish();
+        // The depot restocks toward capacity; a full shelf wastes the
+        // delivery (the pool is finite, not an accumulator).
+        if (sparesFree < cfg.spares.capacity) {
+            ++sparesFree;
+            ++runStats.sparesReplenished;
+            tryScheduleRepairs(when);
+        }
+    });
+}
+
 double
 RecoveryManager::onIterationCommitted(int index, double start_s,
                                       double end_s, bool last)
@@ -274,6 +619,12 @@ RecoveryManager::onIterationCommitted(int index, double start_s,
     if (last) {
         shutdown(end_s);
         return 0.0;
+    }
+    if (!recovering) {
+        for (const auto& dr : deadReplicas) {
+            if (dr.ready)
+                return beginGrow(end_s);
+        }
     }
     if (ckptWritePending ||
         end_s - lastCkptRefSec < ckptIntervalSec)
@@ -329,6 +680,13 @@ RecoveryManager::finalize(
     const std::vector<std::vector<telemetry::Sample>>& series) const
 {
     CHARLLM_ASSERT(runDone, "finalize before the run completed");
+    CHARLLM_CHECK(wallEnd <= horizonSec + 1e-9,
+                  "failure-schedule horizon (", horizonSec,
+                  " s) is shorter than the run (", wallEnd,
+                  " s): failures past the horizon were never "
+                  "generated, so the tail of the run is silently "
+                  "failure-free — raise ResilienceConfig::horizonSec "
+                  "to cover the full run");
     ResilienceStats stats = runStats;
     for (const auto& span : engine.iterationSpans()) {
         if (span.aborted)

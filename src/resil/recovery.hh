@@ -6,10 +6,20 @@
  *
  *   healthy --fault--> degraded --detect--> { transient: retry with
  *   exponential backoff until the link clears (no rollback) or the
- *   budget is exhausted (escalate to fatal) | fatal: acquire a
- *   replacement (warm spare or reboot), restore the last completed
- *   checkpoint, roll the engine back, replay the lost iterations }
- *   --resume--> healthy
+ *   budget is exhausted (escalate to fatal) | fatal, pool has spares:
+ *   acquire a replacement, restore the last completed checkpoint,
+ *   roll the engine back, replay the lost iterations | fatal, pool
+ *   dry: policy choice — StallReboot (reboot-length repair window) or
+ *   ElasticShrink (drop the dead replica's DP group and keep training
+ *   at reduced width; rollback only if the failure landed mid-
+ *   collective) } --resume--> healthy | shrunk
+ *
+ * A shrunk world grows back at the next iteration boundary after the
+ * spare-pool replenish schedule delivers enough units to repair the
+ * oldest dead replica (FIFO), paying a reconfiguration pause
+ * (quiesce + group re-init + state sync) that the goodput ledger
+ * books as Reconfig; the degraded interval in between is booked as
+ * Degraded, weighted by the world's capacity factor.
  *
  * Detection is never instantaneous: GPU and link faults surface after
  * an NCCL-watchdog-style collective timeout, node faults after N
@@ -21,11 +31,14 @@
 #ifndef CHARLLM_RESIL_RECOVERY_HH
 #define CHARLLM_RESIL_RECOVERY_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "hw/platform.hh"
 #include "net/flow_network.hh"
+#include "parallel/elastic_world.hh"
 #include "parallel/rank_mapper.hh"
 #include "resil/checkpoint.hh"
 #include "resil/failure_gen.hh"
@@ -41,17 +54,17 @@ struct DetectionModel
 {
     /** NCCL-watchdog-style collective timeout: a dead GPU or link is
      *  noticed when its collective fails to complete in time. */
-    double collectiveTimeoutSec = 0.5;
-    double heartbeatPeriodSec = 0.5;
+    Seconds collectiveTimeout{0.5};
+    Seconds heartbeatPeriod{0.5};
     int heartbeatMisses = 3; //!< node declared dead after N misses
 
-    double gpuDetectSec() const { return collectiveTimeoutSec; }
-    double linkDetectSec() const { return collectiveTimeoutSec; }
+    Seconds gpuDetect() const { return collectiveTimeout; }
+    Seconds linkDetect() const { return collectiveTimeout; }
 
-    double
-    nodeDetectSec() const
+    Seconds
+    nodeDetect() const
     {
-        return heartbeatPeriodSec *
+        return heartbeatPeriod *
                static_cast<double>(heartbeatMisses);
     }
 };
@@ -60,18 +73,60 @@ struct DetectionModel
 struct RetryPolicy
 {
     int maxAttempts = 4;
-    double initialBackoffSec = 0.25;
+    Seconds initialBackoff{0.25};
     double backoffMultiplier = 2.0;
+    /** Cap on a single backoff, so a large attempt budget cannot
+     *  overflow the exponential into absurd escalation delays. */
+    Seconds maxBackoff{30.0};
 
-    /** Backoff before 0-based attempt @p attempt. */
-    double
-    backoffSec(int attempt) const
+    /** Backoff before 0-based attempt @p attempt (closed form,
+     *  clamped to maxBackoff). */
+    Seconds
+    backoff(int attempt) const
     {
-        double b = initialBackoffSec;
-        for (int i = 0; i < attempt; ++i)
-            b *= backoffMultiplier;
-        return b;
+        double b = initialBackoff.value() *
+                   std::pow(backoffMultiplier,
+                            static_cast<double>(attempt));
+        return Seconds(std::min(b, maxBackoff.value()));
     }
+};
+
+/**
+ * Finite warm-spare pool. capacity units are on the shelf at t=0; a
+ * fatal fault consumes one unit per lost node (a single-GPU fault
+ * still consumes one — the whole sled is swapped). When replenishMean
+ * is positive, the depot restocks the shelf toward capacity on a
+ * seeded exponential schedule expanded over the run horizon (a
+ * delivery to a full shelf is wasted), so pool economics are a pure
+ * function of (config, horizon, seed).
+ */
+struct SparePool
+{
+    int capacity = 1;
+    Seconds acquire{2.0};       //!< attach latency per replacement
+    Seconds replenishMean{0.0}; //!< mean inter-arrival; 0 = never
+
+    /** Deterministic depot-arrival times over [0, horizon). */
+    std::vector<double> replenishSchedule(Seconds horizon,
+                                          std::uint64_t seed) const;
+};
+
+/** What to do when a fatal fault finds the spare pool dry. */
+enum class DryPoolPolicy
+{
+    StallReboot = 0, //!< whole-cluster repair window (reboot)
+    ElasticShrink,   //!< drop the dead DP replicas, keep training
+};
+
+/** Cost model for one elastic reconfiguration (shrink or grow). */
+struct ElasticPolicy
+{
+    Seconds quiesce{0.2};     //!< drain + park the survivors
+    Seconds groupReinit{1.0}; //!< re-form the DP communicators
+    /** Spread the full global batch over the survivors while
+     *  degraded (more microbatches per replica) instead of letting
+     *  the effective batch shrink with the world. */
+    bool rebalance = false;
 };
 
 /** Recovery-pipeline knobs. */
@@ -79,11 +134,13 @@ struct RecoveryConfig
 {
     DetectionModel detection;
     RetryPolicy retry;
-    /** Warm-spare pool: a replacement attaches after spareAcquireSec;
-     *  without spares the node must reboot (rebootSec). */
-    bool warmSpares = true;
-    double spareAcquireSec = 2.0;
-    double rebootSec = 60.0;
+    /** Finite warm-spare pool; when dry, dryPolicy decides. */
+    SparePool spares;
+    DryPoolPolicy dryPolicy = DryPoolPolicy::StallReboot;
+    /** Repair window when the pool is dry under StallReboot (or when
+     *  elastic shrink cannot apply, e.g. the last replica died). */
+    Seconds reboot{60.0};
+    ElasticPolicy elastic;
     /** Residual capacity of a transiently-faulted scale-out link. */
     double linkFaultDerate = 0.05;
     /** Effective clock of a fail-stopped GPU until replacement. */
@@ -98,7 +155,9 @@ struct ResilienceConfig
 {
     bool enabled = false;
     std::uint64_t seed = 0x5eed0fa1u;
-    /** Failure-schedule horizon; must cover the simulated run. */
+    /** Failure-schedule horizon; must cover the simulated run
+     *  (RecoveryManager::finalize hard-checks it — a shorter horizon
+     *  would silently under-count late failures). */
     double horizonSec = 3600.0;
     MtbfProfile mtbf;
     CheckpointPolicy checkpoint;
@@ -119,13 +178,20 @@ class RecoveryManager final : public runtime::ResilienceController
                     const CheckpointModel& checkpoint_model,
                     Seconds checkpoint_interval, bool async_checkpoint,
                     Seconds quiesce, const RecoveryConfig& config,
-                    std::vector<FailureEvent> schedule);
+                    std::vector<FailureEvent> schedule,
+                    Seconds horizon, std::uint64_t seed);
 
     RecoveryManager(const RecoveryManager&) = delete;
     RecoveryManager& operator=(const RecoveryManager&) = delete;
 
     /** Enable elastic re-map (cfg.elasticRemap) onto @p mapper. */
     void attachMapper(parallel::RankMapper& mapper);
+
+    /** Arm DP shrink/grow (cfg.dryPolicy == ElasticShrink): @p world
+     *  is the liveness mask the ProgramBuilder also reads, @p mapper
+     *  resolves devices to DP replicas. Call before engine.run(). */
+    void attachElastic(parallel::RankMapper& mapper,
+                       parallel::ElasticWorld& world);
 
     /** runtime::ResilienceController: checkpoint cadence + run end. */
     double onIterationCommitted(int index, double start_s,
@@ -156,14 +222,50 @@ class RecoveryManager final : public runtime::ResilienceController
         bool active = false;
     };
 
+    /** A DP replica removed from the world, waiting for spares. */
+    struct DeadReplica
+    {
+        int dpIdx = -1;
+        int units = 0; //!< spare units needed to repair it
+        std::vector<int> gpus;
+        bool repairing = false; //!< spares committed, attach pending
+        bool ready = false;     //!< repaired; grows at next boundary
+    };
+
     void armNextFailure();
     void onFailure(std::size_t index);
     void onFatalGpus(double fail_s, std::vector<int> gpus,
-                     double detect_s);
+                     double detect_s, bool mid_collective);
     void onTransientLink(const FailureEvent& ev);
     void retryAttempt(std::size_t session, double attempt_s);
     void beginRollback(double fail_s, double detect_s,
-                       std::vector<int> gpus, net::LinkId link);
+                       std::vector<int> gpus, net::LinkId link,
+                       double replacement_sec);
+    /** Elastic shrink: drop the dead replicas, pay the reconfig
+     *  pause, roll back only when the fault hit a live collective. */
+    void beginShrink(double fail_s, double detect_s,
+                     std::vector<int> gpus, bool mid_collective);
+    /** Grow every ready replica back in at an iteration boundary;
+     *  returns the reconfiguration pause. */
+    double beginGrow(double end_s);
+    /** Commit free spare units to dead replicas, oldest first. */
+    void tryScheduleRepairs(double now_s);
+    void armNextReplenish();
+    /** A fatal landing inside an open recovery window: fold it into
+     *  an open shrink when possible, else the window covers it. */
+    void absorbFatal(const std::vector<int>& gpus);
+    int dpIdxOfGpu(int gpu) const;
+    /** Distinct DP replicas (not yet dead) that @p gpus belong to. */
+    std::vector<int> replicasOf(const std::vector<int>& gpus) const;
+    /** Spare units a fatal loss consumes: one per distinct node. */
+    int unitsFor(const std::vector<int>& gpus) const;
+    /** True when every @p gpus member sits in an already-dead
+     *  replica (the fault cannot hurt the shrunk world further). */
+    bool allInDeadReplicas(const std::vector<int>& gpus) const;
+    int activeGpuCount() const;
+    /** Close every open retry session into the repair window ending
+     *  at @p ready_s (their links heal with the replacement). */
+    void closeSessions(double fail_s, double ready_s);
     /** Begin a checkpoint at an iteration boundary; returns the
      *  boundary pause (full write when sync, quiesce when async). */
     double startCheckpointPause(int covered_step, double now_s);
@@ -175,6 +277,7 @@ class RecoveryManager final : public runtime::ResilienceController
     net::FlowNetwork& network;
     runtime::TrainingEngine& engine;
     parallel::RankMapper* mapper = nullptr;
+    parallel::ElasticWorld* eworld = nullptr;
 
     CheckpointModel ckpt;
     double ckptIntervalSec;
@@ -182,10 +285,20 @@ class RecoveryManager final : public runtime::ResilienceController
     double quiesceSec;
     RecoveryConfig cfg;
     std::vector<FailureEvent> plan;
+    double horizonSec;
+    std::uint64_t scheduleSeed;
 
     GoodputLedger ledger;
     ResilienceStats runStats;
     std::vector<RetrySession> sessions;
+
+    int sparesFree = 0;
+    std::vector<double> replenishPlan;
+    std::size_t nextReplenish = 0;
+    std::vector<DeadReplica> deadReplicas;
+    /** An elastic shrink's reconfig window is open: further fatal
+     *  faults fold into it (more replicas die, no extra pause). */
+    bool shrinkWindowOpen = false;
 
     std::size_t nextFailure = 0;
     sim::EventHandle armedFailure;

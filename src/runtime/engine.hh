@@ -185,6 +185,13 @@ class TrainingEngine
     /** Iterations committed so far (monotone except across aborts). */
     int committedIterations() const { return iteration; }
 
+    /** A collective is currently in flight. resil::RecoveryManager
+     *  samples this at fault time: a fatal landing inside a live
+     *  collective tears shared gradient state and forces a rollback,
+     *  while a boundary fault lets an elastic shrink keep all
+     *  committed work. */
+    bool collectiveInFlight() const { return !instances.empty(); }
+
     bool runFinished() const { return finished; }
 
     /** @} */

@@ -150,6 +150,19 @@ ProgramBuilder::deviceAtStage(int rank, int stage) const
     return map.deviceOf(map.rankFromCoords(c));
 }
 
+std::vector<int>
+ProgramBuilder::dpGroupAlive(int rank) const
+{
+    std::vector<int> group = map.dpGroupDevices(rank);
+    if (elastic == nullptr)
+        return group;
+    std::vector<int> alive;
+    for (int d : group)
+        if (!deviceDead(d))
+            alive.push_back(d);
+    return alive;
+}
+
 void
 ProgramBuilder::emitForward(BuildContext& ctx, int rank, int mb,
                             int chunk) const
@@ -168,13 +181,13 @@ ProgramBuilder::emitForward(BuildContext& ctx, int rank, int mb,
     bool moe = cfg.isMoe() && par.ep > 1;
 
     // FSDP: gather this stage's full parameters for the microbatch.
-    if (par.fsdp && par.dp > 1) {
+    if (par.fsdp && effectiveDp() > 1) {
         Op ag;
         ag.type = OpType::Collective;
         ag.cls = hw::KernelClass::AllGather;
         ag.name = "fsdp-allgather";
         ag.ckind = coll::CollectiveKind::AllGather;
-        ag.groupId = groupIdFor(ctx, map.dpGroupDevices(rank));
+        ag.groupId = groupIdFor(ctx, dpGroupAlive(rank));
         ag.bytes = stageParamBytes(stage);
         ag.messages = static_cast<int>(layersOnStage(stage));
         ag.topologyAware = opts.topologyAwareCollectives;
@@ -503,13 +516,13 @@ ProgramBuilder::emitBackward(BuildContext& ctx, int rank, int mb,
     }
 
     // FSDP reduce-scatters this microbatch's gradients.
-    if (par.fsdp && par.dp > 1) {
+    if (par.fsdp && effectiveDp() > 1) {
         Op rs;
         rs.type = OpType::Collective;
         rs.cls = hw::KernelClass::ReduceScatter;
         rs.name = "fsdp-reducescatter";
         rs.ckind = coll::CollectiveKind::ReduceScatter;
-        rs.groupId = groupIdFor(ctx, map.dpGroupDevices(rank));
+        rs.groupId = groupIdFor(ctx, dpGroupAlive(rank));
         rs.bytes = gradBytesPerGpu(stage);
         rs.messages = static_cast<int>(layersOnStage(stage));
         rs.topologyAware = opts.topologyAwareCollectives;
@@ -528,7 +541,7 @@ ProgramBuilder::emitBackward(BuildContext& ctx, int rank, int mb,
         gb.name = "dp-grad-bucket";
         gb.ckind = opts.zero1 ? coll::CollectiveKind::ReduceScatter
                               : coll::CollectiveKind::AllReduce;
-        gb.groupId = groupIdFor(ctx, map.dpGroupDevices(rank));
+        gb.groupId = groupIdFor(ctx, dpGroupAlive(rank));
         gb.bytes = gradBytesPerGpu(stage) /
                    std::max(bucket_count, 1);
         gb.topologyAware = opts.topologyAwareCollectives;
@@ -549,7 +562,8 @@ ProgramBuilder::emitIterationTail(BuildContext& ctx, int rank) const
     if (opts.inference)
         return;
 
-    bool plain_dp = par.dp > 1 && !par.fsdp;
+    int dp = effectiveDp();
+    bool plain_dp = dp > 1 && !par.fsdp;
     if (plain_dp) {
         if (opts.ccOverlap) {
             // Buckets were issued during the backward tail.
@@ -566,22 +580,23 @@ ProgramBuilder::emitIterationTail(BuildContext& ctx, int rank) const
             sync.ckind = opts.zero1
                              ? coll::CollectiveKind::ReduceScatter
                              : coll::CollectiveKind::AllReduce;
-            sync.groupId = groupIdFor(ctx, map.dpGroupDevices(rank));
+            sync.groupId = groupIdFor(ctx, dpGroupAlive(rank));
             sync.bytes = gradBytesPerGpu(stage);
             sync.topologyAware = opts.topologyAwareCollectives;
             ops.push_back(sync);
         }
     }
 
-    // Optimizer step (HBM-bound). ZeRO-1 / FSDP shard the work.
+    // Optimizer step (HBM-bound). ZeRO-1 / FSDP shard the work; a
+    // shrunk elastic world re-shards across the survivors.
     double trainable_fraction =
         analytics.trainableParams() / analytics.totalParams();
     double trainable =
         stageParamBytes(stage).value() /
         model::TransformerConfig::kBytesPerElement * trainable_fraction;
     double shard = 1.0;
-    if (par.fsdp || (opts.zero1 && par.dp > 1))
-        shard = par.dp;
+    if (par.fsdp || (opts.zero1 && dp > 1))
+        shard = dp;
     Op opt;
     opt.type = OpType::Compute;
     opt.cls = hw::KernelClass::Optimizer;
@@ -597,7 +612,7 @@ ProgramBuilder::emitIterationTail(BuildContext& ctx, int rank) const
         ag.cls = hw::KernelClass::AllGather;
         ag.name = "zero1-param-allgather";
         ag.ckind = coll::CollectiveKind::AllGather;
-        ag.groupId = groupIdFor(ctx, map.dpGroupDevices(rank));
+        ag.groupId = groupIdFor(ctx, dpGroupAlive(rank));
         ag.bytes = stageParamBytes(stage) * trainable_fraction;
         ag.topologyAware = opts.topologyAwareCollectives;
         ops.push_back(ag);
@@ -614,9 +629,9 @@ ProgramBuilder::emitRank(BuildContext& ctx, int rank) const
 {
     const auto& par = map.config();
     int stage = map.coordsOf(rank).ppIdx;
-    int m = microbatches;
+    int m = effectiveMicrobatches();
     int buckets = std::min(opts.gradBuckets, m);
-    bool plain_dp = par.dp > 1 && !par.fsdp;
+    bool plain_dp = effectiveDp() > 1 && !par.fsdp;
 
     if (std::max(opts.virtualStages, 1) > 1) {
         emitRankInterleaved(ctx, rank);
@@ -665,11 +680,11 @@ ProgramBuilder::emitRankInterleaved(BuildContext& ctx, int rank) const
     // the bubble shrinks accordingly.
     const auto& par = map.config();
     int stage = map.coordsOf(rank).ppIdx;
-    int m = microbatches;
+    int m = effectiveMicrobatches();
     int v = opts.virtualStages;
     int total = m * v;
     int buckets = std::min(opts.gradBuckets, total);
-    bool plain_dp = par.dp > 1 && !par.fsdp;
+    bool plain_dp = effectiveDp() > 1 && !par.fsdp;
 
     // Forward/backward schedule-slot -> (chunk, microbatch). Both
     // mappings are rank-independent, which keeps the per-channel
@@ -715,6 +730,9 @@ Program
 ProgramBuilder::build(int iteration) const
 {
     BuildContext ctx;
+    CHARLLM_ASSERT(fold == nullptr || elastic == nullptr,
+                   "symmetry fold and elastic shrink are mutually "
+                   "exclusive");
     ctx.rng = Rng(opts.seed * 0x9e3779b9ULL +
                   static_cast<unsigned>(iteration) * 0x85ebca6bULL + 1);
     ctx.program.deviceOps.resize(static_cast<std::size_t>(
@@ -729,14 +747,24 @@ ProgramBuilder::build(int iteration) const
         if (fold != nullptr &&
             !fold->instantiated(map.deviceOf(rank)))
             continue;
+        // Under elastic shrink a dead replica's ranks execute
+        // nothing: their op lists stay empty, so the engine's devices
+        // complete instantly and the survivors' DP groups (restricted
+        // by dpGroupAlive) never wait on them.
+        if (elastic != nullptr &&
+            elastic->replicaDead(map.coordsOf(rank).dpIdx))
+            continue;
         emitRank(ctx, rank);
     }
     ctx.program.groupExpected.reserve(ctx.program.groups.size());
     for (const auto& group : ctx.program.groups) {
         int expected = 0;
         for (int d : group) {
-            if (fold == nullptr || fold->instantiated(d))
-                ++expected;
+            if (fold != nullptr && !fold->instantiated(d))
+                continue;
+            if (elastic != nullptr && deviceDead(d))
+                continue;
+            ++expected;
         }
         ctx.program.groupExpected.push_back(expected);
     }

@@ -14,6 +14,7 @@
 
 #include "common/rng.hh"
 #include "model/analytics.hh"
+#include "parallel/elastic_world.hh"
 #include "parallel/rank_mapper.hh"
 #include "runtime/op.hh"
 #include "runtime/options.hh"
@@ -54,6 +55,17 @@ class ProgramBuilder
      */
     void setFold(const scale::SymmetryFold* f) { fold = f; }
 
+    /**
+     * Enable elastic DP shrink/grow: build() consults the liveness
+     * mask on every call, emits no ops for dead replicas' ranks, and
+     * forms DP collectives over the survivors only. Mutually
+     * exclusive with setFold; the world must outlive the builder.
+     */
+    void setElasticWorld(const parallel::ElasticWorld* w)
+    {
+        elastic = w;
+    }
+
     /** Build the schedule for iteration @p iteration. */
     Program build(int iteration) const;
 
@@ -84,6 +96,35 @@ class ProgramBuilder
     /** Device hosting pipeline stage @p stage of @p rank's pipe. */
     int deviceAtStage(int rank, int stage) const;
 
+    /** Data-parallel width this iteration (survivors under elastic). */
+    int
+    effectiveDp() const
+    {
+        return elastic != nullptr ? elastic->aliveReplicas()
+                                  : map.config().dp;
+    }
+
+    /** Microbatches per replica this iteration (rebalanced under a
+     *  degraded elastic world). */
+    int
+    effectiveMicrobatches() const
+    {
+        return elastic != nullptr ? elastic->effectiveMicrobatches()
+                                  : microbatches;
+    }
+
+    /** True when @p dev sits in a dead elastic replica. */
+    bool
+    deviceDead(int dev) const
+    {
+        return elastic != nullptr &&
+               elastic->replicaDead(
+                   map.coordsOf(map.rankOf(dev)).dpIdx);
+    }
+
+    /** @p rank's DP group restricted to surviving replicas. */
+    std::vector<int> dpGroupAlive(int rank) const;
+
     void emitForward(BuildContext& ctx, int rank, int mb,
                      int chunk) const;
     void emitBackward(BuildContext& ctx, int rank, int mb, int chunk,
@@ -104,6 +145,7 @@ class ProgramBuilder
     int microbatches;
     double tokensPerMicrobatch;
     const scale::SymmetryFold* fold = nullptr;
+    const parallel::ElasticWorld* elastic = nullptr;
 };
 
 } // namespace runtime

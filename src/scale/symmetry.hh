@@ -100,6 +100,7 @@ class SymmetryAnalyzer
         bool moe = false;
         bool faults = false;           //!< any fault scenario
         bool resilience = false;       //!< resil subsystem enabled
+        bool elastic = false;          //!< DP shrink/grow armed
         bool powerCaps = false;        //!< per-node power caps
         bool devicePermutation = false; //!< placement permutation
         bool requested = false;        //!< cfg.symmetryCollapse
@@ -144,6 +145,9 @@ class SymmetryAnalyzer
             return "MoE per-rank routing imbalance breaks symmetry";
         if (in.faults)
             return "fault injection targets individual ranks";
+        if (in.elastic)
+            return "elastic shrink/grow changes the world size "
+                   "mid-run";
         if (in.resilience)
             return "resilience rollback state is per-rank";
         if (in.powerCaps)

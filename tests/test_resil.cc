@@ -189,6 +189,50 @@ TEST(FailureGen, DisabledClassesNeverFire)
             .empty());
 }
 
+// ---- retry backoff (closed form vs iterated product) ------------------------
+
+TEST(RetryPolicy, ClosedFormBackoffMatchesIteratedProduct)
+{
+    resil::RetryPolicy p;
+    p.initialBackoff = Seconds(0.25);
+    p.backoffMultiplier = 2.0;
+    p.maxBackoff = Seconds(1e12); // cap out of the way
+    for (int attempt = 0; attempt < 40; ++attempt) {
+        double iterated = p.initialBackoff.value();
+        for (int i = 0; i < attempt; ++i)
+            iterated *= p.backoffMultiplier;
+        // Multiplier 2.0: both forms are exact powers of two.
+        EXPECT_DOUBLE_EQ(p.backoff(attempt).value(), iterated)
+            << "attempt " << attempt;
+    }
+    // Non-power-of-two multiplier: pow vs iterated product may differ
+    // in the last ulp, never more.
+    p.backoffMultiplier = 1.7;
+    for (int attempt = 0; attempt < 30; ++attempt) {
+        double iterated = p.initialBackoff.value();
+        for (int i = 0; i < attempt; ++i)
+            iterated *= p.backoffMultiplier;
+        EXPECT_NEAR(p.backoff(attempt).value(), iterated,
+                    1e-12 * iterated)
+            << "attempt " << attempt;
+    }
+}
+
+TEST(RetryPolicy, BackoffCapClampsLargeAttempts)
+{
+    resil::RetryPolicy p;
+    p.initialBackoff = Seconds(0.25);
+    p.backoffMultiplier = 2.0;
+    p.maxBackoff = Seconds(30.0);
+    // 0.25 * 2^7 = 32 > 30: attempt 7 and everything after clamps.
+    EXPECT_DOUBLE_EQ(p.backoff(6).value(), 16.0);
+    EXPECT_DOUBLE_EQ(p.backoff(7).value(), 30.0);
+    EXPECT_DOUBLE_EQ(p.backoff(100).value(), 30.0);
+    // The old loop formulation overflowed to inf around attempt 1100;
+    // the closed form stays clamped.
+    EXPECT_DOUBLE_EQ(p.backoff(2000).value(), 30.0);
+}
+
 // ---- recovery state machine (manual stack, explicit schedules) --------------
 
 struct RecoveryRun
@@ -208,7 +252,7 @@ struct RecoveryRun
 RecoveryRun
 runRecovery(std::vector<FailureEvent> schedule, double interval_s,
             bool async = false, int iterations = 8,
-            resil::RecoveryConfig cfg = {})
+            resil::RecoveryConfig cfg = {}, double horizon_s = 1e9)
 {
     core::ClusterSpec cluster = core::h100Cluster(1);
     sim::Simulator simulator;
@@ -232,7 +276,8 @@ runRecovery(std::vector<FailureEvent> schedule, double interval_s,
     resil::CheckpointModel model(Bytes(1e9), path, 8, 8);
     resil::RecoveryManager manager(simulator, plat, netw, engine,
                                    model, Seconds(interval_s), async,
-                                   0.05_s, cfg, std::move(schedule));
+                                   0.05_s, cfg, std::move(schedule),
+                                   Seconds(horizon_s), 0x5eed0fa1u);
     plat.start();
     engine.run();
 
@@ -311,7 +356,7 @@ TEST(Recovery, RetryBudgetExhaustionEscalatesToRollback)
     // The outage never clears inside the backoff budget; a fast
     // retry cadence keeps the whole escalation inside the run.
     resil::RecoveryConfig cfg;
-    cfg.retry.initialBackoffSec = 0.05;
+    cfg.retry.initialBackoff = Seconds(0.05);
     auto run = runRecovery(
         {{FailureKind::LinkTransient, 0, mid, 1e9}}, 1e9, false, 8,
         cfg);
@@ -460,6 +505,15 @@ TEST(Recovery, AsyncQuiesceStallsLessThanSyncWrite)
     EXPECT_LT(async.report.slice(Bucket::Checkpoint).seconds,
               sync.report.slice(Bucket::Checkpoint).seconds);
     EXPECT_LT(async.wallSec, sync.wallSec);
+}
+
+TEST(RecoveryDeathTest, HorizonShorterThanRunIsRejected)
+{
+    // The failure schedule was generated over [0, 0.001 s) but the
+    // run is much longer: finalize() must refuse instead of silently
+    // under-counting late failures.
+    EXPECT_DEATH(runRecovery({}, 1e9, false, 8, {}, 0.001),
+                 "horizon");
 }
 
 // ---- goodput conservation + determinism (experiment level) ------------------
